@@ -1,0 +1,151 @@
+//! Memory-unconstrained runner.
+//!
+//! Executes a [`VertexProgram`] directly over the host CSR with no device,
+//! no partitioning and no transfers. Three jobs:
+//!
+//! 1. **Semantic oracle** — every out-of-core system must produce exactly
+//!    this output (integration tests enforce it);
+//! 2. **Workload profiler** — the per-iteration [`IterationLog`] yields the
+//!    active-edge ratios of the paper's Table 1 and the working-set sizes
+//!    behind Table 2;
+//! 3. **Iteration-shape source** — the benchmark harness uses the logs to
+//!    reason about K (the paper's active-fraction parameter, §3.3).
+
+use ascetic_graph::Csr;
+use ascetic_par::{parallel_for, AtomicBitmap};
+
+use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+
+/// Per-iteration activity record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterationLog {
+    /// Iteration index (0-based).
+    pub iteration: u32,
+    /// Vertices active at the start of the iteration.
+    pub active_vertices: u64,
+    /// Sum of their out-degrees (edges traversed this iteration).
+    pub active_edges: u64,
+}
+
+/// Result of an in-memory run.
+#[derive(Clone, Debug)]
+pub struct InMemoryResult {
+    /// Final program output.
+    pub output: AlgoOutput,
+    /// Number of iterations executed (until the frontier emptied).
+    pub iterations: u32,
+    /// Per-iteration activity.
+    pub log: Vec<IterationLog>,
+    /// Total edges traversed across the run.
+    pub total_edges: u64,
+}
+
+impl InMemoryResult {
+    /// Mean fraction of the graph's edges that were active per iteration —
+    /// the paper's Table 1 metric ("Average percentages of active edges per
+    /// iteration").
+    pub fn avg_active_edge_fraction(&self, g: &Csr) -> f64 {
+        if self.log.is_empty() || g.num_edges() == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .log
+            .iter()
+            .map(|l| l.active_edges as f64 / g.num_edges() as f64)
+            .sum();
+        sum / self.log.len() as f64
+    }
+}
+
+/// Run `prog` over `g` entirely in memory.
+pub fn run_in_memory<P: VertexProgram>(g: &Csr, prog: &P) -> InMemoryResult {
+    if prog.needs_weights() {
+        assert!(g.is_weighted(), "{} requires weights", prog.name());
+    }
+    let n = g.num_vertices();
+    let state = prog.new_state(g);
+    let mut active = prog.initial_frontier(g);
+    let mut log = Vec::new();
+    let mut total_edges = 0u64;
+    let mut iter = 0u32;
+
+    while !active.is_all_zero() && iter < prog.max_iterations() {
+        prog.begin_iteration(iter, &active, &state);
+        let nodes = active.to_indices();
+        let active_edges: u64 = nodes.iter().map(|&v| g.degree(v)).sum();
+        log.push(IterationLog {
+            iteration: iter,
+            active_vertices: nodes.len() as u64,
+            active_edges,
+        });
+        total_edges += active_edges;
+
+        let next = AtomicBitmap::new(n);
+        let weights = g.weights();
+        parallel_for(nodes.len(), |i| {
+            let v = nodes[i];
+            let r = g.edge_range(v);
+            let (s, e) = (r.start as usize, r.end as usize);
+            let slice = EdgeSlice::split(&g.targets()[s..e], weights.map(|w| &w[s..e]));
+            prog.process_vertex(v, slice, &state, &next);
+        });
+        active = next.snapshot();
+        iter += 1;
+    }
+
+    InMemoryResult {
+        output: prog.output(&state),
+        iterations: iter,
+        log,
+        total_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::Bfs;
+    use crate::cc::Cc;
+    use crate::pr::PageRank;
+    use ascetic_graph::generators::uniform_graph;
+    use ascetic_graph::GraphBuilder;
+
+    #[test]
+    fn empty_frontier_terminates_immediately() {
+        // BFS from an isolated vertex: 1 iteration (source only), then done.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let res = run_in_memory(&g, &Bfs::new(0));
+        assert_eq!(res.iterations, 1);
+        assert_eq!(res.log[0].active_vertices, 1);
+        assert_eq!(res.log[0].active_edges, 0);
+        assert_eq!(res.total_edges, 0);
+    }
+
+    #[test]
+    fn log_sums_to_total() {
+        let g = uniform_graph(400, 3_000, true, 1);
+        let res = run_in_memory(&g, &Cc::new());
+        let sum: u64 = res.log.iter().map(|l| l.active_edges).sum();
+        assert_eq!(sum, res.total_edges);
+        assert_eq!(res.log.len() as u32, res.iterations);
+    }
+
+    #[test]
+    fn active_fraction_in_unit_range() {
+        let g = uniform_graph(300, 2_000, false, 2);
+        let res = run_in_memory(&g, &PageRank::new());
+        let f = res.avg_active_edge_fraction(&g);
+        assert!(f > 0.0 && f <= 1.0, "fraction {f}");
+    }
+
+    #[test]
+    fn iteration_indices_are_sequential() {
+        let g = uniform_graph(200, 1_500, true, 3);
+        let res = run_in_memory(&g, &Bfs::new(0));
+        for (i, l) in res.log.iter().enumerate() {
+            assert_eq!(l.iteration, i as u32);
+        }
+    }
+}

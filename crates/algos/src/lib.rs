@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # ascetic-algos — the vertex-centric programming model and algorithms
+//!
+//! The paper evaluates four push-based vertex-centric algorithms: BFS, SSSP,
+//! CC and PageRank ("We choose the push-based vertex-centric programming
+//! model... We use a vertex-centric model in the framework and keep all
+//! vertices in the GPU memory").
+//!
+//! * [`traits`] — the [`VertexProgram`] abstraction every out-of-core system
+//!   executes: per-active-vertex edge processing over an [`EdgeSlice`] whose
+//!   payload may live in any device region, plus next-frontier activation
+//!   through an atomic bitmap.
+//! * [`bfs`] / [`sssp`] / [`cc`] / [`pr`] — the four programs. PR is the
+//!   residual ("delta") formulation, which is what gives the paper's
+//!   decaying-but-high active ratios (Table 1: 25–29 %).
+//! * [`mod@reference`] — simple sequential oracles (queue BFS, Bellman–Ford,
+//!   union–find, power iteration) used by tests to verify every system.
+//! * [`inmemory`] — a memory-unconstrained runner used as the semantic
+//!   oracle and to measure per-iteration active-edge ratios (Table 1).
+
+pub mod bfs;
+pub mod cc;
+pub mod closeness;
+pub mod inmemory;
+pub mod kcore;
+pub mod msbfs;
+pub mod pr;
+pub mod reference;
+pub mod sssp;
+pub mod traits;
+
+pub use bfs::Bfs;
+pub use cc::Cc;
+pub use closeness::Closeness;
+pub use inmemory::{run_in_memory, InMemoryResult, IterationLog};
+pub use kcore::KCore;
+pub use msbfs::MsBfs;
+pub use pr::PageRank;
+pub use sssp::Sssp;
+pub use traits::{AlgoOutput, EdgeSlice, VertexProgram};

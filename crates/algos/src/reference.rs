@@ -1,0 +1,177 @@
+//! Sequential reference oracles.
+//!
+//! Each out-of-core system's result is checked against these simple,
+//! obviously-correct implementations: a queue BFS, Dijkstra, union–find for
+//! weakly connected components, and dense power-iteration PageRank (same
+//! dangling convention as the push variant: dangling mass retired, not
+//! redistributed).
+
+use std::collections::VecDeque;
+
+use ascetic_graph::{Csr, VertexId, INF_DIST};
+
+/// Hop distances from `source` (queue BFS).
+pub fn bfs_reference(g: &Csr, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![INF_DIST; g.num_vertices()];
+    dist[source as usize] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        for &t in g.neighbors(v) {
+            if dist[t as usize] == INF_DIST {
+                dist[t as usize] = d + 1;
+                q.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path distances from `source` (binary-heap Dijkstra).
+/// Panics if `g` is unweighted.
+pub fn sssp_reference(g: &Csr, source: VertexId) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    assert!(g.is_weighted(), "SSSP reference needs weights");
+    let mut dist = vec![INF_DIST; g.num_vertices()];
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (&t, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            let nd = d.saturating_add(w);
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Reverse((nd, t)));
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly-connected component labels: each vertex gets the minimum vertex
+/// id in its component (union–find with path halving; edges treated as
+/// undirected).
+pub fn cc_reference(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for (u, v) in g.iter_edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            // union by min id so the final label is the component minimum
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// PageRank by dense power iteration, `rank = (1-d)/n + d·Σ rank(u)/deg(u)`
+/// over in-edges, iterated until the L1 delta drops below `tol` (or
+/// `max_iters`). Dangling mass is retired (not redistributed) to match the
+/// push formulation.
+pub fn pagerank_reference(g: &Csr, damping: f64, tol: f64, max_iters: u32) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - damping) / n as f64;
+    let mut rank = vec![base; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iters {
+        next.fill(base);
+        for v in 0..n as VertexId {
+            let deg = g.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = damping * rank[v as usize] / deg as f64;
+            for &t in g.neighbors(v) {
+                next[t as usize] += share;
+            }
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascetic_graph::GraphBuilder;
+
+    #[test]
+    fn bfs_on_diamond() {
+        // 0 -> {1, 2} -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(bfs_reference(&g, 0), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn dijkstra_beats_greedy_hop() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 2, 100);
+        b.add_weighted_edge(0, 1, 1);
+        b.add_weighted_edge(1, 2, 1);
+        let g = b.build();
+        assert_eq!(sssp_reference(&g, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn union_find_components() {
+        let mut b = GraphBuilder::new(6).symmetrize(true);
+        b.add_edge(0, 5);
+        b.add_edge(5, 2);
+        b.add_edge(1, 3);
+        let g = b.build();
+        assert_eq!(cc_reference(&g), vec![0, 1, 0, 1, 4, 0]);
+    }
+
+    #[test]
+    fn cc_treats_directed_edges_as_undirected() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1); // only one direction
+        let g = b.build();
+        assert_eq!(cc_reference(&g), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let mut b = GraphBuilder::new(4);
+        for v in 0..4u32 {
+            b.add_edge(v, (v + 1) % 4);
+        }
+        let g = b.build();
+        let r = pagerank_reference(&g, 0.85, 1e-12, 1_000);
+        for &x in &r {
+            assert!((x - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        assert!(pagerank_reference(&Csr::empty(0), 0.85, 1e-9, 10).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Single-source shortest paths (push-based Bellman–Ford with frontier).
+//!
+//! A push proposes `dist(src) + w(src,t)` through an atomic min; targets
+//! whose distance improved join the next frontier (label-correcting).
+//! Requires edge weights — the paper doubles the edge footprint for SSSP.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use ascetic_graph::{Csr, VertexId, INF_DIST};
+use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
+
+use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+
+/// SSSP from a fixed source over non-negative `u32` weights.
+#[derive(Clone, Copy, Debug)]
+pub struct Sssp {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Sssp {
+    /// SSSP rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sssp { source }
+    }
+}
+
+/// SSSP per-vertex state: the distance array plus the iteration-start
+/// snapshot of active distances (bulk-synchronous semantics — see
+/// [`crate::bfs::BfsState`]).
+pub struct SsspState {
+    dist: Vec<AtomicU32>,
+    frozen: Vec<AtomicU32>,
+}
+
+impl VertexProgram for Sssp {
+    type State = SsspState;
+
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn needs_weights(&self) -> bool {
+        true
+    }
+
+    fn new_state(&self, g: &Csr) -> SsspState {
+        assert!(g.is_weighted(), "SSSP requires a weighted graph");
+        let dist: Vec<AtomicU32> = (0..g.num_vertices())
+            .map(|_| AtomicU32::new(INF_DIST))
+            .collect();
+        dist[self.source as usize].store(0, Ordering::Relaxed);
+        let frozen = (0..g.num_vertices())
+            .map(|_| AtomicU32::new(INF_DIST))
+            .collect();
+        SsspState { dist, frozen }
+    }
+
+    fn initial_frontier(&self, g: &Csr) -> Bitmap {
+        let mut b = Bitmap::new(g.num_vertices());
+        b.set(self.source as usize);
+        b
+    }
+
+    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &SsspState) {
+        for v in active.iter_ones() {
+            state.frozen[v].store(state.dist[v].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn process_vertex(
+        &self,
+        src: VertexId,
+        edges: EdgeSlice<'_>,
+        state: &SsspState,
+        next: &AtomicBitmap,
+    ) {
+        debug_assert!(edges.weighted(), "SSSP must receive weighted slices");
+        let d = state.frozen[src as usize].load(Ordering::Relaxed);
+        if d == INF_DIST {
+            return;
+        }
+        for (t, w) in edges.iter() {
+            let nd = d.saturating_add(w);
+            if atomic_min_u32(&state.dist[t as usize], nd) {
+                next.set(t as usize);
+            }
+        }
+    }
+
+    fn output(&self, state: &SsspState) -> AlgoOutput {
+        AlgoOutput::Distances(
+            state
+                .dist
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inmemory::run_in_memory;
+    use crate::reference::sssp_reference;
+    use ascetic_graph::datasets::weighted_variant;
+    use ascetic_graph::generators::{rmat_graph, uniform_graph, RmatConfig};
+    use ascetic_graph::GraphBuilder;
+
+    #[test]
+    fn prefers_cheap_two_hop_path() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 2, 10);
+        b.add_weighted_edge(0, 1, 1);
+        b.add_weighted_edge(1, 2, 2);
+        let g = b.build();
+        let res = run_in_memory(&g, &Sssp::new(0));
+        assert_eq!(res.output, AlgoOutput::Distances(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 5);
+        b.add_weighted_edge(2, 0, 1);
+        let g = b.build();
+        let res = run_in_memory(&g, &Sssp::new(0));
+        assert_eq!(res.output, AlgoOutput::Distances(vec![0, 5, INF_DIST]));
+    }
+
+    #[test]
+    fn matches_dijkstra_reference() {
+        for seed in 0..3 {
+            let g = weighted_variant(&uniform_graph(400, 3_000, false, seed));
+            let res = run_in_memory(&g, &Sssp::new(0));
+            assert_eq!(
+                res.output,
+                AlgoOutput::Distances(sssp_reference(&g, 0)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_rmat() {
+        let g = weighted_variant(&rmat_graph(&RmatConfig::new(9, 6_000, 11).undirected(true)));
+        let res = run_in_memory(&g, &Sssp::new(2));
+        assert_eq!(res.output, AlgoOutput::Distances(sssp_reference(&g, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted")]
+    fn rejects_unweighted_graph() {
+        let g = uniform_graph(10, 20, false, 1);
+        let _ = Sssp::new(0).new_state(&g);
+    }
+}

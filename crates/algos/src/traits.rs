@@ -1,0 +1,358 @@
+//! The push-based vertex-program abstraction.
+//!
+//! Every out-of-core system in this workspace (PT, UVM, Subway, Ascetic)
+//! executes the same programs through this trait. The contract mirrors the
+//! paper's workflow (Figure 4):
+//!
+//! 1. the driver owns an `ActiveBitmap`; at the start of each iteration it
+//!    snapshots it and calls [`VertexProgram::begin_iteration`];
+//! 2. the system materializes each active vertex's edge payload *somewhere*
+//!    (a partition buffer, the static region, a gathered on-demand
+//!    subgraph, UVM pages) and hands it to
+//!    [`VertexProgram::process_vertex`] as an [`EdgeSlice`] — programs
+//!    never know or care where the bytes came from;
+//! 3. `process_vertex` pushes updates into the (device-resident, atomic)
+//!    vertex state and marks activated vertices in the *next* frontier;
+//! 4. the run ends when the frontier comes back empty.
+//!
+//! A vertex's edges may be delivered in several pieces within one iteration
+//! (Subway splits oversized subgraphs; Ascetic splits across the two
+//! regions' boundary chunk), so `process_vertex` must be correct under
+//! partial, repeated-source delivery — which push-style atomic reductions
+//! are naturally.
+
+use ascetic_graph::{Csr, VertexId};
+use ascetic_par::{AtomicBitmap, Bitmap};
+
+/// A view over the edge payload of one vertex (or a piece of it).
+///
+/// Two zero-copy layouts are supported:
+/// * **Packed** — the device serialization format produced by
+///   [`Csr::write_edge_words`]: `[target]` per edge unweighted or
+///   `[target, weight]` interleaved (what the partition buffers, on-demand
+///   region and static region hold);
+/// * **Split** — the host CSR's separate target/weight arrays (what the
+///   in-memory oracle and UVM runner read directly).
+#[derive(Clone, Copy, Debug)]
+pub enum EdgeSlice<'a> {
+    /// Interleaved device format.
+    Packed {
+        /// `[t]` or `[t, w]` repeated.
+        words: &'a [u32],
+        /// Whether entries carry weights.
+        weighted: bool,
+    },
+    /// Host CSR format.
+    Split {
+        /// Edge targets.
+        targets: &'a [u32],
+        /// Optional parallel weights.
+        weights: Option<&'a [u32]>,
+    },
+}
+
+impl<'a> EdgeSlice<'a> {
+    /// Wrap a packed word slice. Debug-panics if a weighted slice has odd
+    /// length.
+    #[inline]
+    pub fn new(words: &'a [u32], weighted: bool) -> Self {
+        if weighted {
+            debug_assert!(
+                words.len().is_multiple_of(2),
+                "weighted slice must be even-length"
+            );
+        }
+        EdgeSlice::Packed { words, weighted }
+    }
+
+    /// Wrap host CSR arrays. Debug-panics on length mismatch.
+    #[inline]
+    pub fn split(targets: &'a [u32], weights: Option<&'a [u32]>) -> Self {
+        if let Some(w) = weights {
+            debug_assert_eq!(w.len(), targets.len(), "weights length mismatch");
+        }
+        EdgeSlice::Split { targets, weights }
+    }
+
+    /// Number of edges in the slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            EdgeSlice::Packed {
+                words,
+                weighted: true,
+            } => words.len() / 2,
+            EdgeSlice::Packed {
+                words,
+                weighted: false,
+            } => words.len(),
+            EdgeSlice::Split { targets, .. } => targets.len(),
+        }
+    }
+
+    /// Whether the slice holds zero edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether entries carry weights.
+    #[inline]
+    pub fn weighted(&self) -> bool {
+        match self {
+            EdgeSlice::Packed { weighted, .. } => *weighted,
+            EdgeSlice::Split { weights, .. } => weights.is_some(),
+        }
+    }
+
+    /// Iterate `(target, weight)`; unweighted edges yield weight 1.
+    #[inline]
+    pub fn iter(&self) -> EdgeSliceIter<'a> {
+        match *self {
+            EdgeSlice::Packed { words, weighted } => EdgeSliceIter::Packed { words, weighted },
+            EdgeSlice::Split { targets, weights } => EdgeSliceIter::Split { targets, weights },
+        }
+    }
+}
+
+/// Iterator over an [`EdgeSlice`].
+pub enum EdgeSliceIter<'a> {
+    /// Interleaved walk.
+    Packed {
+        /// Remaining words.
+        words: &'a [u32],
+        /// Entry width flag.
+        weighted: bool,
+    },
+    /// Parallel-array walk.
+    Split {
+        /// Remaining targets.
+        targets: &'a [u32],
+        /// Remaining weights.
+        weights: Option<&'a [u32]>,
+    },
+}
+
+impl<'a> Iterator for EdgeSliceIter<'a> {
+    type Item = (VertexId, u32);
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, u32)> {
+        match self {
+            EdgeSliceIter::Packed {
+                words,
+                weighted: true,
+            } => match words {
+                [t, w, rest @ ..] => {
+                    let item = (*t, *w);
+                    *words = rest;
+                    Some(item)
+                }
+                _ => None,
+            },
+            EdgeSliceIter::Packed {
+                words,
+                weighted: false,
+            } => match words {
+                [t, rest @ ..] => {
+                    let item = (*t, 1);
+                    *words = rest;
+                    Some(item)
+                }
+                _ => None,
+            },
+            EdgeSliceIter::Split { targets, weights } => match targets {
+                [t, rest @ ..] => {
+                    let w = match weights {
+                        Some([w, wrest @ ..]) => {
+                            let w = *w;
+                            *weights = Some(wrest);
+                            w
+                        }
+                        _ => 1,
+                    };
+                    let item = (*t, w);
+                    *targets = rest;
+                    Some(item)
+                }
+                _ => None,
+            },
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            EdgeSliceIter::Packed {
+                words,
+                weighted: true,
+            } => words.len() / 2,
+            EdgeSliceIter::Packed {
+                words,
+                weighted: false,
+            } => words.len(),
+            EdgeSliceIter::Split { targets, .. } => targets.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EdgeSliceIter<'_> {}
+
+/// Final result of a program run, for oracle comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlgoOutput {
+    /// Per-vertex hop distance or shortest-path distance
+    /// ([`ascetic_graph::INF_DIST`] = unreachable).
+    Distances(Vec<u32>),
+    /// Per-vertex component label.
+    Labels(Vec<u32>),
+    /// Per-vertex PageRank score.
+    Ranks(Vec<f64>),
+}
+
+impl AlgoOutput {
+    /// Compare against another output; floats compare with `tol`
+    /// (absolute). Returns the first mismatching vertex, if any.
+    pub fn first_mismatch(&self, other: &AlgoOutput, tol: f64) -> Option<usize> {
+        match (self, other) {
+            (AlgoOutput::Distances(a), AlgoOutput::Distances(b))
+            | (AlgoOutput::Labels(a), AlgoOutput::Labels(b)) => {
+                if a.len() != b.len() {
+                    return Some(a.len().min(b.len()));
+                }
+                a.iter().zip(b).position(|(x, y)| x != y)
+            }
+            (AlgoOutput::Ranks(a), AlgoOutput::Ranks(b)) => {
+                if a.len() != b.len() {
+                    return Some(a.len().min(b.len()));
+                }
+                a.iter().zip(b).position(|(x, y)| (x - y).abs() > tol)
+            }
+            _ => Some(0),
+        }
+    }
+}
+
+/// A push-based vertex program.
+pub trait VertexProgram: Sync {
+    /// Per-run mutable state (device-resident vertex arrays; atomics).
+    type State: Sync + Send;
+
+    /// Display name ("BFS", "SSSP", ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether this program requires edge weights (doubles edge bytes —
+    /// the paper's SSSP).
+    fn needs_weights(&self) -> bool {
+        false
+    }
+
+    /// Allocate and initialize state for `g`.
+    fn new_state(&self, g: &Csr) -> Self::State;
+
+    /// The iteration-0 frontier.
+    fn initial_frontier(&self, g: &Csr) -> Bitmap;
+
+    /// Hook called once per iteration with the (frozen) active bitmap,
+    /// before any `process_vertex` of that iteration. PR claims residuals
+    /// here so that split edge delivery cannot double-claim.
+    fn begin_iteration(&self, iteration: u32, active: &Bitmap, state: &Self::State) {
+        let _ = (iteration, active, state);
+    }
+
+    /// Process (a piece of) the out-edges of active vertex `src`, pushing
+    /// updates into `state` and activating vertices in `next`.
+    fn process_vertex(
+        &self,
+        src: VertexId,
+        edges: EdgeSlice<'_>,
+        state: &Self::State,
+        next: &AtomicBitmap,
+    );
+
+    /// Extract the final answer.
+    fn output(&self, state: &Self::State) -> AlgoOutput;
+
+    /// Safety valve for non-converging configurations.
+    fn max_iterations(&self) -> u32 {
+        10_000
+    }
+}
+
+/// Bytes of vertex-array state a program keeps on the device per vertex —
+/// used by the systems' device-memory budgeting (vertices always stay on
+/// the GPU per the paper). Conservative common bound: value arrays plus
+/// offsets/degrees plus the two bitmaps round to ~24 B/vertex.
+pub const DEVICE_BYTES_PER_VERTEX: u64 = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_slice_iteration() {
+        let words = [5u32, 6, 7];
+        let s = EdgeSlice::new(&words, false);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![(5, 1), (6, 1), (7, 1)]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn weighted_slice_iteration() {
+        let words = [5u32, 10, 6, 20];
+        let s = EdgeSlice::new(&words, true);
+        assert_eq!(s.len(), 2);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![(5, 10), (6, 20)]);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let s = EdgeSlice::new(&[], true);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().next(), None);
+    }
+
+    #[test]
+    fn split_slice_unweighted() {
+        let t = [3u32, 4];
+        let s = EdgeSlice::split(&t, None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.weighted());
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn split_slice_weighted_matches_packed() {
+        let targets = [3u32, 4, 9];
+        let weights = [30u32, 40, 90];
+        let split = EdgeSlice::split(&targets, Some(&weights));
+        let packed_words = [3u32, 30, 4, 40, 9, 90];
+        let packed = EdgeSlice::new(&packed_words, true);
+        assert!(split.weighted());
+        assert_eq!(
+            split.iter().collect::<Vec<_>>(),
+            packed.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(split.len(), packed.len());
+    }
+
+    #[test]
+    fn output_mismatch_detection() {
+        let a = AlgoOutput::Distances(vec![0, 1, 2]);
+        let b = AlgoOutput::Distances(vec![0, 1, 3]);
+        assert_eq!(a.first_mismatch(&b, 0.0), Some(2));
+        assert_eq!(a.first_mismatch(&a.clone(), 0.0), None);
+
+        let r1 = AlgoOutput::Ranks(vec![0.5, 0.25]);
+        let r2 = AlgoOutput::Ranks(vec![0.5 + 1e-12, 0.25]);
+        assert_eq!(r1.first_mismatch(&r2, 1e-9), None);
+        assert_eq!(r1.first_mismatch(&r2, 1e-15), Some(0));
+
+        assert_eq!(a.first_mismatch(&r1, 0.0), Some(0), "type mismatch");
+        let short = AlgoOutput::Distances(vec![0]);
+        assert_eq!(a.first_mismatch(&short, 0.0), Some(1));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # ascetic-baselines — comparison systems
+//!
+//! The three systems the paper evaluates Ascetic against (§4.1):
+//!
+//! * [`pt`] — a **partition-based** system in the style of GraphReduce
+//!   (the paper's "PT"): static vertex-range partitions sized to GPU
+//!   memory, every partition containing an active vertex streamed through
+//!   the device each iteration. Simple, but moves 10–200× the dataset
+//!   (Table 5).
+//! * [`subway`] — a faithful re-implementation of **Subway**'s three-phase
+//!   loop: GPU subgraph identification → multi-threaded CPU gather of
+//!   exactly the active edges → transfer → compute, with the phases
+//!   strictly serialized (the paper measures 68 % GPU idle for BFS on
+//!   friendster-konect as a consequence).
+//! * [`uvm`] — a **Unified Virtual Memory** system: edges stay in host
+//!   memory and fault in page-by-page with LRU residency (the paper's
+//!   §4.4 comparison; optionally with bulk prefetch hints).
+//!
+//! All three implement [`ascetic_core::OutOfCoreSystem`] and produce the
+//! same [`ascetic_core::RunReport`] as Ascetic, so every table and figure
+//! compares like-for-like.
+
+pub mod pt;
+pub mod subway;
+pub mod uvm;
+
+pub use pt::PtSystem;
+pub use subway::SubwaySystem;
+pub use uvm::UvmSystem;

@@ -1,0 +1,69 @@
+//! Benchmarks of graph construction: the generators and the edge-list →
+//! CSR builder (counting sort, symmetrization, dedup).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use ascetic_graph::generators::{
+    rmat_graph, social_graph, web_graph, RmatConfig, SocialConfig, WebConfig,
+};
+use ascetic_graph::GraphBuilder;
+
+fn generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(200_000));
+    g.bench_function("rmat_200k_edges", |b| {
+        b.iter(|| black_box(rmat_graph(&RmatConfig::new(14, 200_000, 1))))
+    });
+    g.bench_function("social_200k_edges", |b| {
+        b.iter(|| black_box(social_graph(&SocialConfig::new(16_384, 100_000, 1))))
+    });
+    g.bench_function("web_200k_edges", |b| {
+        b.iter(|| black_box(web_graph(&WebConfig::new(16_384, 200_000, 1))))
+    });
+    g.finish();
+}
+
+fn builder(c: &mut Criterion) {
+    // fixed edge list to isolate the builder cost
+    let edges: Vec<(u32, u32)> = (0..200_000u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h % 16_384) as u32, ((h >> 20) % 16_384) as u32)
+        })
+        .collect();
+    let mut g = c.benchmark_group("builder");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.bench_function("counting_sort_200k", |b| {
+        b.iter(|| {
+            let mut bld = GraphBuilder::with_capacity(16_384, edges.len());
+            for &(u, v) in &edges {
+                bld.add_edge(u, v);
+            }
+            black_box(bld.build())
+        })
+    });
+    g.bench_function("sort_dedup_200k", |b| {
+        b.iter(|| {
+            let mut bld = GraphBuilder::with_capacity(16_384, edges.len()).dedup(true);
+            for &(u, v) in &edges {
+                bld.add_edge(u, v);
+            }
+            black_box(bld.build())
+        })
+    });
+    g.bench_function("symmetrize_200k", |b| {
+        b.iter(|| {
+            let mut bld = GraphBuilder::with_capacity(16_384, edges.len()).symmetrize(true);
+            for &(u, v) in &edges {
+                bld.add_edge(u, v);
+            }
+            black_box(bld.build())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, generators, builder);
+criterion_main!(benches);

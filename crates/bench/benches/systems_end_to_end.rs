@@ -1,0 +1,46 @@
+//! End-to-end wall-clock benchmarks of the four systems on one workload.
+//!
+//! These measure the *host* cost of driving the simulation (useful for
+//! keeping the framework itself fast); the paper-facing *simulated* numbers
+//! come from the `table*`/`fig*` binaries instead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ascetic_algos::Bfs;
+use ascetic_baselines::{PtSystem, SubwaySystem, UvmSystem};
+use ascetic_core::{AsceticConfig, AsceticSystem, OutOfCoreSystem};
+use ascetic_graph::datasets::{Dataset, DatasetId, PAPER_GPU_MEM_BYTES};
+use ascetic_sim::DeviceConfig;
+
+fn systems(c: &mut Criterion) {
+    let scale = 8_000;
+    let ds = Dataset::build(DatasetId::Fk, scale);
+    let g = &ds.graph;
+    let mut dev = DeviceConfig::p100(PAPER_GPU_MEM_BYTES / scale);
+    dev.uvm.page_bytes = 8192;
+    let chunk = 8192;
+
+    let mut grp = c.benchmark_group("end_to_end_bfs_fk");
+    grp.sample_size(10);
+    grp.bench_function("ascetic", |b| {
+        b.iter(|| {
+            black_box(
+                AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(chunk))
+                    .run(g, &Bfs::new(0)),
+            )
+        })
+    });
+    grp.bench_function("subway", |b| {
+        b.iter(|| black_box(SubwaySystem::new(dev).run(g, &Bfs::new(0))))
+    });
+    grp.bench_function("pt", |b| {
+        b.iter(|| black_box(PtSystem::new(dev).run(g, &Bfs::new(0))))
+    });
+    grp.bench_function("uvm", |b| {
+        b.iter(|| black_box(UvmSystem::new(dev).run(g, &Bfs::new(0))))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, systems);
+criterion_main!(benches);

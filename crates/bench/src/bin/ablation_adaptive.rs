@@ -1,0 +1,121 @@
+//! Ablation — the Eq (3) adaptive re-partitioning rule.
+//!
+//! The paper's default configuration never triggers the rule ("no
+//! partition adjustment is monitored", §4.1), so its value only shows when
+//! the static region is deliberately oversized for a high-activity
+//! workload: the on-demand region is then too small, batches fragment, and
+//! Eq (3) should claw memory back. We force that regime with a large
+//! static-ratio override on PR (the densest workload) and compare adaptive
+//! on vs off.
+
+use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::run::PreparedDataset;
+use ascetic_bench::setup::{run_algo, Algo, Env};
+use ascetic_core::AsceticSystem;
+use ascetic_graph::datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!(
+        "Ablation: Eq (3) adaptive re-partitioning (scale 1/{})",
+        env.scale
+    );
+    let pd = PreparedDataset::build(&env, DatasetId::Fk);
+
+    let mut table = Table::new(vec![
+        "Algo",
+        "Forced R",
+        "Adaptive off",
+        "Adaptive on",
+        "Improvement",
+    ]);
+    let mut csv = Table::new(vec![
+        "algo",
+        "ratio",
+        "off_seconds",
+        "on_seconds",
+        "improvement_pct",
+    ]);
+    for algo in [Algo::Pr, Algo::Cc] {
+        let g = pd.graph(algo);
+        for ratio in [0.97, 0.99] {
+            let base = env.ascetic_cfg().with_static_ratio(ratio);
+            let off = run_algo(&AsceticSystem::new(base.with_adaptive(false)), g, algo);
+            let on = run_algo(&AsceticSystem::new(base.with_adaptive(true)), g, algo);
+            assert_eq!(off.output, on.output, "adaptivity must not change results");
+            let improvement = (off.seconds() / on.seconds() - 1.0) * 100.0;
+            table.row(vec![
+                algo.name().to_string(),
+                format!("{ratio:.2}"),
+                format!("{:.4}s", off.seconds()),
+                format!("{:.4}s", on.seconds()),
+                format!("{improvement:+.1}%"),
+            ]);
+            csv.row(vec![
+                algo.name().to_string(),
+                format!("{ratio:.2}"),
+                format!("{:.6}", off.seconds()),
+                format!("{:.6}", on.seconds()),
+                format!("{improvement:.2}"),
+            ]);
+        }
+        // default Eq (2) sizing for reference: adaptivity should be a no-op
+        let off = run_algo(
+            &AsceticSystem::new(env.ascetic_cfg().with_adaptive(false)),
+            g,
+            algo,
+        );
+        let on = run_algo(&AsceticSystem::new(env.ascetic_cfg()), g, algo);
+        table.row(vec![
+            algo.name().to_string(),
+            "Eq(2)".to_string(),
+            format!("{:.4}s", off.seconds()),
+            format!("{:.4}s", on.seconds()),
+            format!("{:+.1}%", (off.seconds() / on.seconds() - 1.0) * 100.0),
+        ]);
+    }
+    // The rule demands *both* an on-demand overflow and an under-used
+    // static region — with the paper's near-uniform access that second
+    // condition never holds, which is exactly why the paper reports "no
+    // partition adjustment is monitored". To show the mechanism works at
+    // all, stage a pathological case: a rear-filled, oversized static
+    // region against BFS on the web graph, whose early frontiers are
+    // localized near the (front-resident) source — the region holds cold
+    // data while the 1-chunk on-demand region fragments badly.
+    let uk = PreparedDataset::build(&env, DatasetId::Uk);
+    let g = uk.graph(Algo::Bfs);
+    let bad = env
+        .ascetic_cfg()
+        .with_static_ratio(0.995)
+        .with_fill(ascetic_core::FillPolicy::Rear);
+    let off = run_algo(&AsceticSystem::new(bad.with_adaptive(false)), g, Algo::Bfs);
+    let on = run_algo(&AsceticSystem::new(bad.with_adaptive(true)), g, Algo::Bfs);
+    assert_eq!(off.output, on.output);
+    let improvement = (off.seconds() / on.seconds() - 1.0) * 100.0;
+    eprintln!(
+        "staged scenario: Eq (3) fired {} times (0 with adaptivity off: {})",
+        on.repartitions, off.repartitions
+    );
+    table.row(vec![
+        "BFS-UK(rear)".to_string(),
+        "1.00".to_string(),
+        format!("{:.4}s", off.seconds()),
+        format!("{:.4}s", on.seconds()),
+        format!("{improvement:+.1}%"),
+    ]);
+    csv.row(vec![
+        "BFS-UK-rear".to_string(),
+        "1.00".to_string(),
+        format!("{:.6}", off.seconds()),
+        format!("{:.6}", on.seconds()),
+        format!("{improvement:.2}"),
+    ]);
+
+    println!("\n{}", table.to_markdown());
+    println!(
+        "Expectation: ~0% in well-sized or uniformly-accessed configurations (the\n\
+         paper saw no triggers at its defaults); a real gain only in the staged\n\
+         cold-static scenario where Eq (3)'s two conditions actually hold."
+    );
+    maybe_write_csv("ablation_adaptive.csv", &csv.to_csv());
+}

@@ -1,0 +1,72 @@
+//! Ablation — static-region chunk size.
+//!
+//! The paper fixes 16 KiB chunks ("amenable to the PCI-e burst transfer
+//! mechanism", §3.4) without studying alternatives. This ablation sweeps
+//! the chunk size: small chunks track vertex boundaries tightly (fewer
+//! partially-covered vertices → higher static hit rate) but cost more
+//! replacement DMAs per byte; large chunks amortize DMA latency but strand
+//! coverage on boundary-straddling vertices.
+
+use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::run::PreparedDataset;
+use ascetic_bench::setup::{run_algo, Algo, Env};
+use ascetic_core::AsceticSystem;
+use ascetic_graph::datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!("Ablation: chunk size on FK (scale 1/{})", env.scale);
+    let pd = PreparedDataset::build(&env, DatasetId::Fk);
+
+    let mut csv = Table::new(vec![
+        "algo",
+        "chunk_bytes",
+        "seconds",
+        "static_hit_pct",
+        "xfer_bytes",
+    ]);
+    for algo in [Algo::Bfs, Algo::Pr] {
+        let g = pd.graph(algo);
+        let mut table = Table::new(vec![
+            "Chunk",
+            "Time",
+            "Static hit",
+            "Steady transfer",
+            "Prestore",
+        ]);
+        for chunk in [
+            2 * 1024usize,
+            4 * 1024,
+            8 * 1024,
+            16 * 1024,
+            32 * 1024,
+            64 * 1024,
+        ] {
+            let cfg = env.ascetic_cfg().with_chunk_bytes(chunk);
+            let rep = run_algo(&AsceticSystem::new(cfg), g, algo);
+            let static_edges: u64 = rep.per_iter.iter().map(|i| i.static_edges).sum();
+            let total: u64 = rep.per_iter.iter().map(|i| i.active_edges).sum();
+            let hit = static_edges as f64 / total.max(1) as f64 * 100.0;
+            table.row(vec![
+                format!("{}KB", chunk / 1024),
+                format!("{:.4}s", rep.seconds()),
+                format!("{hit:.1}%"),
+                format!("{:.2}MB", rep.steady_bytes() as f64 / 1e6),
+                format!("{:.2}MB", rep.prestore_bytes as f64 / 1e6),
+            ]);
+            csv.row(vec![
+                algo.name().to_string(),
+                chunk.to_string(),
+                format!("{:.6}", rep.seconds()),
+                format!("{hit:.2}"),
+                rep.steady_bytes().to_string(),
+            ]);
+        }
+        println!("\n### {}\n\n{}", algo.name(), table.to_markdown());
+    }
+    println!(
+        "Expectation: mild sensitivity — the paper's 16 KiB sits on the flat part of\n\
+         the curve (hit-rate loss only matters once chunks approach hub adjacency sizes)."
+    );
+    maybe_write_csv("ablation_chunk_size.csv", &csv.to_csv());
+}

@@ -1,0 +1,99 @@
+//! Ablation — sensitivity of the headline result to the cost model.
+//!
+//! The simulated substrate uses P100-class constants (DESIGN.md §1). A fair
+//! question for any simulation study: does the Ascetic-over-Subway result
+//! survive if the constants are off? This sweep varies the two most
+//! influential knobs — host gather bandwidth (Subway's bottleneck) and GPU
+//! kernel throughput — across generous ranges and reports the speedup at
+//! each point.
+
+use ascetic_baselines::SubwaySystem;
+use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::run::PreparedDataset;
+use ascetic_bench::setup::{run_algo, Algo, Env};
+use ascetic_core::{AsceticConfig, AsceticSystem};
+use ascetic_graph::datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!(
+        "Ablation: cost-model sensitivity on FK (scale 1/{})",
+        env.scale
+    );
+    let pd = PreparedDataset::build(&env, DatasetId::Fk);
+    let g = pd.graph(Algo::Pr);
+
+    let mut csv = Table::new(vec![
+        "gather_gbps",
+        "kernel_gedges",
+        "subway_s",
+        "ascetic_s",
+        "speedup",
+    ]);
+
+    println!("\n### gather bandwidth sweep (kernel fixed at 4 G edges/s)\n");
+    let mut t1 = Table::new(vec!["Gather BW", "Subway", "Ascetic", "Ascetic/Subway"]);
+    for gather_gbps in [4u64, 6, 10, 16, 24] {
+        let mut dev = env.device();
+        dev.gather.bandwidth_bps = gather_gbps * 1_000_000_000;
+        let sw = run_algo(&SubwaySystem::new(dev), g, Algo::Pr);
+        let asc = run_algo(
+            &AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(env.chunk_bytes())),
+            g,
+            Algo::Pr,
+        );
+        assert_eq!(sw.output, asc.output);
+        let x = sw.seconds() / asc.seconds();
+        t1.row(vec![
+            format!("{gather_gbps} GB/s"),
+            format!("{:.4}s", sw.seconds()),
+            format!("{:.4}s", asc.seconds()),
+            format!("{x:.2}X"),
+        ]);
+        csv.row(vec![
+            gather_gbps.to_string(),
+            "4".to_string(),
+            format!("{:.6}", sw.seconds()),
+            format!("{:.6}", asc.seconds()),
+            format!("{x:.3}"),
+        ]);
+    }
+    println!("{}", t1.to_markdown());
+
+    println!("\n### kernel throughput sweep (gather fixed at 10 GB/s)\n");
+    let mut t2 = Table::new(vec!["Kernel rate", "Subway", "Ascetic", "Ascetic/Subway"]);
+    for gedges in [1u64, 2, 4, 8, 16] {
+        let mut dev = env.device();
+        dev.kernel.edge_fs = 1_000_000 / gedges; // fs per edge at G edges/s
+        let sw = run_algo(&SubwaySystem::new(dev), g, Algo::Pr);
+        let asc = run_algo(
+            &AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(env.chunk_bytes())),
+            g,
+            Algo::Pr,
+        );
+        assert_eq!(sw.output, asc.output);
+        let x = sw.seconds() / asc.seconds();
+        t2.row(vec![
+            format!("{gedges} Gedge/s"),
+            format!("{:.4}s", sw.seconds()),
+            format!("{:.4}s", asc.seconds()),
+            format!("{x:.2}X"),
+        ]);
+        csv.row(vec![
+            "10".to_string(),
+            gedges.to_string(),
+            format!("{:.6}", sw.seconds()),
+            format!("{:.6}", asc.seconds()),
+            format!("{x:.3}"),
+        ]);
+    }
+    println!("{}", t2.to_markdown());
+    println!(
+        "Expectation: Ascetic stays ahead across the whole grid — the win is\n\
+         structural (moving less data, overlapping what remains), not an artifact\n\
+         of one calibration point. The margin narrows as kernels slow (compute-\n\
+         bound regimes leave less transfer time to hide) and widens as gather\n\
+         slows (Subway's serial bottleneck grows)."
+    );
+    maybe_write_csv("ablation_cost_model.csv", &csv.to_csv());
+}

@@ -1,0 +1,62 @@
+//! Ablation — sensitivity to the K parameter of Eq (2).
+//!
+//! The paper picks K = 10 % ("the percentage of active edges in the data
+//! set in each iteration is mostly around 10%, except PR") and claims the
+//! resulting split is near-optimal. This ablation sweeps K and reports the
+//! resulting static share and runtime per algorithm, quantifying how
+//! forgiving the formula is to misestimating the workload's true activity.
+
+use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::run::PreparedDataset;
+use ascetic_bench::setup::{run_algo, run_algo_in_memory, Algo, Env};
+use ascetic_core::ratio::static_share;
+use ascetic_core::system::{edge_budget_bytes, reserve_vertex_arrays};
+use ascetic_core::AsceticSystem;
+use ascetic_graph::datasets::DatasetId;
+use ascetic_sim::Gpu;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!("Ablation: K sweep on FK (scale 1/{})", env.scale);
+    let pd = PreparedDataset::build(&env, DatasetId::Fk);
+
+    let mut csv = Table::new(vec!["algo", "k", "share", "seconds", "true_activity"]);
+    for algo in [Algo::Bfs, Algo::Cc, Algo::Pr] {
+        let g = pd.graph(algo);
+        let truth = run_algo_in_memory(g, algo).avg_active_edge_fraction(g);
+        let mut table = Table::new(vec!["K", "Eq(2) share", "Time"]);
+        for k in [0.02, 0.05, 0.10, 0.20, 0.30, 0.45] {
+            let cfg = env.ascetic_cfg().with_k(k);
+            let rep = run_algo(&AsceticSystem::new(cfg), g, algo);
+            let share = {
+                let mut gpu = Gpu::new(env.device());
+                let _v = reserve_vertex_arrays(&mut gpu, g);
+                static_share(k, g.edge_bytes(), edge_budget_bytes(&gpu))
+            };
+            table.row(vec![
+                format!("{:.0}%", k * 100.0),
+                format!("{share:.2}"),
+                format!("{:.4}s", rep.seconds()),
+            ]);
+            csv.row(vec![
+                algo.name().to_string(),
+                format!("{k:.2}"),
+                format!("{share:.4}"),
+                format!("{:.6}", rep.seconds()),
+                format!("{truth:.4}"),
+            ]);
+        }
+        println!(
+            "\n### {} (measured avg activity: {:.1}%)\n\n{}",
+            algo.name(),
+            truth * 100.0,
+            table.to_markdown()
+        );
+    }
+    println!(
+        "Expectation: runtimes vary only mildly across K — Eq (2)'s share moves\n\
+         slowly in K when D/M is moderate, which is why the paper's fixed 10%\n\
+         works across algorithms with very different true activity."
+    );
+    maybe_write_csv("ablation_k_sweep.csv", &csv.to_csv());
+}

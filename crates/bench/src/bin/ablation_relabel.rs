@@ -1,0 +1,65 @@
+//! Ablation — degree-ordered relabeling × fill policy (extension).
+//!
+//! The paper fills the static region with the *front* chunks and observes
+//! (§5) that placement barely matters because chunk access is near-uniform.
+//! That premise is a property of the vertex numbering: if the graph is
+//! relabeled so hubs come first, the front of the edge array concentrates
+//! the most-touched adjacency lists and a front fill pins exactly the hot
+//! data. This ablation measures static-region hit rate and runtime with and
+//! without [`ascetic_graph::transform::relabel_by_degree`].
+
+use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::run::PreparedDataset;
+use ascetic_bench::setup::{run_algo, Algo, Env};
+use ascetic_core::AsceticSystem;
+use ascetic_graph::datasets::DatasetId;
+use ascetic_graph::transform::relabel_by_degree;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!("Ablation: degree relabeling on FK (scale 1/{})", env.scale);
+    let pd = PreparedDataset::build(&env, DatasetId::Fk);
+
+    let mut table = Table::new(vec!["Algo", "Order", "Time", "Static hit", "Steady xfer"]);
+    let mut csv = Table::new(vec![
+        "algo",
+        "order",
+        "seconds",
+        "static_hit_pct",
+        "steady_bytes",
+    ]);
+    for algo in [Algo::Cc, Algo::Pr] {
+        let natural = pd.graph(algo).clone();
+        let (relabeled, _map) = relabel_by_degree(&natural);
+        for (order, g) in [("natural", &natural), ("degree-desc", &relabeled)] {
+            let rep = run_algo(&AsceticSystem::new(env.ascetic_cfg()), g, algo);
+            let static_edges: u64 = rep.per_iter.iter().map(|i| i.static_edges).sum();
+            let total: u64 = rep.per_iter.iter().map(|i| i.active_edges).sum();
+            let hit = static_edges as f64 / total.max(1) as f64 * 100.0;
+            table.row(vec![
+                algo.name().to_string(),
+                order.to_string(),
+                format!("{:.4}s", rep.seconds()),
+                format!("{hit:.1}%"),
+                format!("{:.2}MB", rep.steady_bytes() as f64 / 1e6),
+            ]);
+            csv.row(vec![
+                algo.name().to_string(),
+                order.to_string(),
+                format!("{:.6}", rep.seconds()),
+                format!("{hit:.2}"),
+                rep.steady_bytes().to_string(),
+            ]);
+        }
+    }
+    println!("\n{}", table.to_markdown());
+    println!(
+        "Expectation: with hubs front-loaded, the front-filled static region covers\n\
+         a larger share of the *touched* edges, cutting steady transfer — the gain\n\
+         is bounded by how skewed the degree distribution is.\n\
+         Caveat: CC is confounded — min-label propagation converges faster when\n\
+         the hub holds label 0, a separate (also classic) benefit of relabeling;\n\
+         PR isolates the locality effect (same iterations, less transfer)."
+    );
+    maybe_write_csv("ablation_relabel.csv", &csv.to_csv());
+}

@@ -1,0 +1,84 @@
+//! §5 discussion — static-region fill-policy study.
+//!
+//! Paper: "We have conducted a serial of experiments by filling up the
+//! Static Region with the front portion, the rear portion, and randomly
+//! selected data chunks... the initial dataset in Static Region has
+//! negligible impact on the performance (less than 5%)", which validates
+//! the near-uniform chunk-access observation behind Figure 2.
+
+use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::run::PreparedDataset;
+use ascetic_bench::setup::{run_algo, Algo, Env};
+use ascetic_core::{AsceticSystem, FillPolicy};
+use ascetic_graph::datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!(
+        "Discussion: fill-policy study on FK (scale 1/{})",
+        env.scale
+    );
+    let pd = PreparedDataset::build(&env, DatasetId::Fk);
+
+    let policies = [
+        ("front", FillPolicy::Front),
+        ("rear", FillPolicy::Rear),
+        ("random", FillPolicy::Random { seed: 42 }),
+        ("lazy", FillPolicy::Lazy),
+    ];
+    let mut table = Table::new(vec![
+        "Algo",
+        "Front",
+        "Rear",
+        "Random",
+        "Spread(3)",
+        "Lazy",
+        "Lazy xfer",
+    ]);
+    let mut csv = Table::new(vec!["algo", "policy", "seconds", "total_bytes"]);
+    for algo in [Algo::Bfs, Algo::Cc, Algo::Pr] {
+        let g = pd.graph(algo);
+        let mut secs = Vec::new();
+        let mut lazy_bytes = 0u64;
+        for (name, policy) in policies {
+            let rep = run_algo(
+                &AsceticSystem::new(env.ascetic_cfg().with_fill(policy)),
+                g,
+                algo,
+            );
+            csv.row(vec![
+                algo.name().to_string(),
+                name.to_string(),
+                format!("{:.6}", rep.seconds()),
+                rep.total_bytes_with_prestore().to_string(),
+            ]);
+            if name == "lazy" {
+                lazy_bytes = rep.total_bytes_with_prestore();
+            }
+            secs.push(rep.seconds());
+        }
+        // spread over the three prefill placements (the paper's experiment)
+        let spread = (secs[..3].iter().cloned().fold(f64::MIN, f64::max)
+            / secs[..3].iter().cloned().fold(f64::MAX, f64::min)
+            - 1.0)
+            * 100.0;
+        table.row(vec![
+            algo.name().to_string(),
+            format!("{:.4}s", secs[0]),
+            format!("{:.4}s", secs[1]),
+            format!("{:.4}s", secs[2]),
+            format!("{spread:.1}%"),
+            format!("{:.4}s", secs[3]),
+            format!("{:.2}X data", lazy_bytes as f64 / g.edge_bytes() as f64),
+        ]);
+    }
+    println!("\n{}", table.to_markdown());
+    println!(
+        "Paper: initial fill placement changes performance by < 5%. The extra 'lazy'\n\
+         column is this reproduction's extension (no prestore, chunks adopted on\n\
+         demand): at these high-coverage workloads the eager prestore wins —\n\
+         lazy pays repeated on-demand shipping while the window-rationed warming\n\
+         catches up. It pays off only when the touched working set is small."
+    );
+    maybe_write_csv("disc_fill_policy.csv", &csv.to_csv());
+}

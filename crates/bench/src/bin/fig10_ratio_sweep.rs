@@ -1,0 +1,92 @@
+//! Figure 10 — "The impact of Static Region ratio on the execution time".
+//!
+//! Paper: for BFS / CC / PageRank on FK, sweep the static-region share R
+//! from 0 to 1 and report total time plus the component times
+//! (Tsr = static compute, Tfilling = CPU gather, Ttransfer = on-demand
+//! H2D, Tondemand = on-demand compute), with Subway as a horizontal
+//! reference and Eq (2)'s chosen ratio as a vertical marker. The optimum
+//! sits around R ≈ 0.95 and the Eq (2) choice lands close to it.
+
+use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::run::PreparedDataset;
+use ascetic_bench::setup::{run_algo, Algo, Env};
+use ascetic_core::ratio::static_share;
+use ascetic_core::system::{edge_budget_bytes, reserve_vertex_arrays};
+use ascetic_core::AsceticSystem;
+use ascetic_graph::datasets::DatasetId;
+use ascetic_sim::Gpu;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!(
+        "Figure 10: static-ratio sweep on FK (scale 1/{})",
+        env.scale
+    );
+    let pd = PreparedDataset::build(&env, DatasetId::Fk);
+
+    let mut csv = Table::new(vec![
+        "algo",
+        "ratio",
+        "total_s",
+        "tsr_s",
+        "tfilling_s",
+        "ttransfer_s",
+        "tondemand_s",
+        "subway_s",
+        "eq2_ratio",
+    ]);
+    for algo in [Algo::Bfs, Algo::Cc, Algo::Pr] {
+        let g = pd.graph(algo);
+        let subway = run_algo(&env.subway(), g, algo).seconds();
+
+        // the Eq (2) choice for this workload (marker in the paper's plot)
+        let eq2 = {
+            let mut gpu = Gpu::new(env.device());
+            let _v = reserve_vertex_arrays(&mut gpu, g);
+            static_share(0.10, g.edge_bytes(), edge_budget_bytes(&gpu))
+        };
+
+        let mut table = Table::new(vec![
+            "R",
+            "Total",
+            "Tsr",
+            "Tfilling",
+            "Ttransfer",
+            "Tondemand",
+            "Subway",
+        ]);
+        for step in 0..=10 {
+            let r = step as f64 / 10.0;
+            let cfg = env.ascetic_cfg().with_static_ratio(r);
+            let rep = run_algo(&AsceticSystem::new(cfg), g, algo);
+            let b = &rep.breakdown;
+            table.row(vec![
+                format!("{r:.1}"),
+                format!("{:.4}s", rep.seconds()),
+                format!("{:.4}s", b.static_compute_ns as f64 / 1e9),
+                format!("{:.4}s", b.gather_ns as f64 / 1e9),
+                format!("{:.4}s", b.transfer_ns as f64 / 1e9),
+                format!("{:.4}s", b.ondemand_compute_ns as f64 / 1e9),
+                format!("{subway:.4}s"),
+            ]);
+            csv.row(vec![
+                algo.name().to_string(),
+                format!("{r:.2}"),
+                format!("{:.6}", rep.seconds()),
+                format!("{:.6}", b.static_compute_ns as f64 / 1e9),
+                format!("{:.6}", b.gather_ns as f64 / 1e9),
+                format!("{:.6}", b.transfer_ns as f64 / 1e9),
+                format!("{:.6}", b.ondemand_compute_ns as f64 / 1e9),
+                format!("{subway:.6}"),
+                format!("{eq2:.4}"),
+            ]);
+        }
+        println!("\n### {} (Eq (2) chooses R = {eq2:.2})\n", algo.name());
+        println!("{}", table.to_markdown());
+    }
+    println!(
+        "Paper: optimum near R = 0.95 for all three; Eq (2)'s choice sits close to it;\n\
+         larger R grows Tsr and shrinks Ttransfer/Tondemand."
+    );
+    maybe_write_csv("fig10_ratio_sweep.csv", &csv.to_csv());
+}

@@ -1,0 +1,56 @@
+//! Figure 7 — "Performance and data transfer comparison with Subway".
+//!
+//! Paper: per (algorithm × dataset) bars of Ascetic's speedup over Subway
+//! (avg 2.0×) and Ascetic's transfer volume relative to Subway (avg ≈ 39 %,
+//! prestore *excluded*: "The data transfer is not contain the static
+//! prestore data").
+
+use ascetic_bench::fmt::{geomean, maybe_write_csv, Table};
+use ascetic_bench::run::{run_grid, Sys};
+use ascetic_bench::setup::{Algo, Env};
+use ascetic_graph::datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!("Figure 7: Ascetic vs Subway (scale 1/{})", env.scale);
+    let cells = run_grid(
+        &env,
+        &Algo::TABLE4_ORDER,
+        &DatasetId::ALL,
+        &[Sys::Subway, Sys::Ascetic],
+    );
+
+    let mut table = Table::new(vec![
+        "Workload",
+        "Speedup over Subway",
+        "Transfer vs Subway",
+    ]);
+    let mut speeds = Vec::new();
+    let mut ratios = Vec::new();
+    let mut csv = Table::new(vec!["workload", "speedup", "transfer_ratio"]);
+    for c in &cells {
+        let sw = &c.reports[0];
+        let asc = &c.reports[1];
+        let speed = sw.seconds() / asc.seconds();
+        let ratio = asc.steady_bytes() as f64 / sw.steady_bytes() as f64;
+        speeds.push(speed);
+        ratios.push(ratio.max(1e-6));
+        let label = format!("{}-{}", c.algo.name(), c.dataset.abbr());
+        table.row(vec![
+            label.clone(),
+            format!("{speed:.2}X"),
+            format!("{:.1}%", ratio * 100.0),
+        ]);
+        csv.row(vec![label, format!("{speed:.4}"), format!("{ratio:.4}")]);
+    }
+    println!("\n{}", table.to_markdown());
+    let avg_speed = speeds.iter().sum::<f64>() / speeds.len() as f64;
+    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!(
+        "Average: speedup {avg_speed:.2}X (geomean {:.2}X), transfer {:.0}% of Subway.\n\
+         Paper: 2.0X average speedup; transfer ~39% of Subway.",
+        geomean(&speeds),
+        avg_ratio * 100.0
+    );
+    maybe_write_csv("fig7_vs_subway.csv", &csv.to_csv());
+}

@@ -1,0 +1,46 @@
+//! Figure 9 — "Performance and data transfer comparison with the UVM-based
+//! scheme".
+//!
+//! Paper: UVM is 6.2× slower than Ascetic on average, and moves 12–16×
+//! more data on some workloads (the y-axis of the figure is Ascetic's
+//! volume relative to UVM, mostly well under 1.0).
+
+use ascetic_bench::fmt::{geomean, maybe_write_csv, Table};
+use ascetic_bench::run::{run_grid, Sys};
+use ascetic_bench::setup::{Algo, Env};
+use ascetic_graph::datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!("Figure 9: Ascetic vs UVM (scale 1/{})", env.scale);
+    let cells = run_grid(
+        &env,
+        &Algo::TABLE4_ORDER,
+        &DatasetId::ALL,
+        &[Sys::Uvm, Sys::Ascetic],
+    );
+
+    let mut table = Table::new(vec!["Workload", "Speedup over UVM", "Transfer vs UVM"]);
+    let mut speeds = Vec::new();
+    let mut csv = Table::new(vec!["workload", "speedup", "transfer_ratio"]);
+    for c in &cells {
+        let uvm = &c.reports[0];
+        let asc = &c.reports[1];
+        let speed = uvm.seconds() / asc.seconds();
+        let ratio = asc.total_bytes_with_prestore() as f64 / uvm.steady_bytes() as f64;
+        speeds.push(speed);
+        let label = format!("{}-{}", c.algo.name(), c.dataset.abbr());
+        table.row(vec![
+            label.clone(),
+            format!("{speed:.2}X"),
+            format!("{ratio:.2}"),
+        ]);
+        csv.row(vec![label, format!("{speed:.4}"), format!("{ratio:.4}")]);
+    }
+    println!("\n{}", table.to_markdown());
+    println!(
+        "Geomean speedup over UVM: {:.2}X.\nPaper: UVM 6.2X slower than Ascetic on average; Ascetic moves a small fraction of UVM's bytes.",
+        geomean(&speeds)
+    );
+    maybe_write_csv("fig9_vs_uvm.csv", &csv.to_csv());
+}

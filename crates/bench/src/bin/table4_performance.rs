@@ -1,0 +1,75 @@
+//! Table 4 — "Performance results".
+//!
+//! Paper: absolute runtime for PT, speedups (×) for Subway and Ascetic
+//! normalized to PT, per algorithm × dataset, with a GEOMEAN row. The
+//! paper reports Subway 5.6× / Ascetic 11.4× geomean over PT, i.e. Ascetic
+//! ≈ 2.0× over Subway.
+
+use ascetic_bench::fmt::{geomean, human_secs, maybe_write_csv, Table};
+use ascetic_bench::run::{run_grid, Sys};
+use ascetic_bench::setup::{Algo, Env};
+use ascetic_graph::datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    eprintln!("Table 4: performance (scale 1/{})", env.scale);
+    let cells = run_grid(
+        &env,
+        &Algo::TABLE4_ORDER,
+        &DatasetId::ALL,
+        &[Sys::Pt, Sys::Subway, Sys::Ascetic],
+    );
+
+    let mut table = Table::new(vec!["Algo", "Dataset", "PT", "Subway", "Ascetic"]);
+    let mut subway_speedups = Vec::new();
+    let mut ascetic_speedups = Vec::new();
+    let mut csv = Table::new(vec![
+        "algo",
+        "dataset",
+        "pt_s",
+        "subway_s",
+        "ascetic_s",
+        "subway_x",
+        "ascetic_x",
+    ]);
+    for c in &cells {
+        let pt = c.reports[0].seconds();
+        let sw = c.reports[1].seconds();
+        let asc = c.reports[2].seconds();
+        let sw_x = pt / sw;
+        let asc_x = pt / asc;
+        subway_speedups.push(sw_x);
+        ascetic_speedups.push(asc_x);
+        table.row(vec![
+            c.algo.name().to_string(),
+            c.dataset.abbr().to_string(),
+            human_secs(pt),
+            format!("{sw_x:.1}X"),
+            format!("{asc_x:.1}X"),
+        ]);
+        csv.row(vec![
+            c.algo.name().to_string(),
+            c.dataset.abbr().to_string(),
+            format!("{pt:.6}"),
+            format!("{sw:.6}"),
+            format!("{asc:.6}"),
+            format!("{sw_x:.3}"),
+            format!("{asc_x:.3}"),
+        ]);
+    }
+    table.row(vec![
+        "GEOMEAN".to_string(),
+        "".to_string(),
+        "1.0X".to_string(),
+        format!("{:.1}X", geomean(&subway_speedups)),
+        format!("{:.1}X", geomean(&ascetic_speedups)),
+    ]);
+    println!("\n{}", table.to_markdown());
+    println!(
+        "Paper: Subway 5.6X, Ascetic 11.4X geomean over PT (Ascetic/Subway ~2.0X).\nHere:  Subway {:.1}X, Ascetic {:.1}X (Ascetic/Subway {:.2}X).",
+        geomean(&subway_speedups),
+        geomean(&ascetic_speedups),
+        geomean(&ascetic_speedups) / geomean(&subway_speedups)
+    );
+    maybe_write_csv("table4_performance.csv", &csv.to_csv());
+}

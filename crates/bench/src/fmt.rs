@@ -1,0 +1,164 @@
+//! Table formatting and small statistics helpers.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Geometric mean of positive values (the paper's Table 4/5 GEOMEAN rows).
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of nothing");
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive values");
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// A simple markdown table builder.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(width)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", body.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Write `content` to `<ASCETIC_RESULTS>/<name>` when the env var is set;
+/// returns the path written.
+pub fn maybe_write_csv(name: &str, content: &str) -> Option<PathBuf> {
+    let dir = std::env::var("ASCETIC_RESULTS").ok()?;
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).ok()?;
+    f.write_all(content.as_bytes()).ok()?;
+    eprintln!("wrote {}", path.display());
+    Some(path)
+}
+
+/// Human-readable byte count.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.2}{}", UNITS[u])
+    }
+}
+
+/// Seconds with adaptive precision.
+pub fn human_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 10.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn table_renders_markdown_and_csv() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333", "4"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a   | bb |"));
+        assert!(md.lines().count() == 4);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,bb\n1,2\n333,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_checks_row_width() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn humanized_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.00KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00MB");
+        assert_eq!(human_secs(2.5), "2.500s");
+        assert_eq!(human_secs(0.0025), "2.500ms");
+        assert_eq!(human_secs(2.5e-6), "2.5us");
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # ascetic-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 for the
+//! index). This library holds what they share:
+//!
+//! * [`setup`] — the scaled experimental environment: datasets, device,
+//!   system constructors, all derived from one scale divisor so the
+//!   paper's ratios (dataset : GPU memory, K) are preserved;
+//! * [`fmt`] — markdown/CSV table printers and geometric means;
+//! * [`run`] — uniform "run algorithm X on dataset Y under system Z"
+//!   drivers used by most experiments.
+//!
+//! Every binary prints a markdown table shaped like the paper's, and (when
+//! `ASCETIC_RESULTS` is set) writes raw CSVs for plotting.
+
+pub mod fmt;
+pub mod run;
+pub mod setup;

@@ -1,0 +1,156 @@
+//! Uniform experiment drivers.
+//!
+//! Most experiments need "run all four algorithms on some datasets under
+//! some systems and compare"; this module provides that grid runner with
+//! result caching of the built datasets (building FK' once, not once per
+//! algorithm).
+
+use ascetic_core::RunReport;
+use ascetic_graph::datasets::{Dataset, DatasetId};
+use ascetic_graph::Csr;
+
+use crate::setup::{run_algo, Algo, Env};
+
+/// One grid cell result.
+pub struct Cell {
+    /// Algorithm.
+    pub algo: Algo,
+    /// Dataset.
+    pub dataset: DatasetId,
+    /// Reports per system, in the order requested.
+    pub reports: Vec<RunReport>,
+}
+
+/// Which systems to include in a grid run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sys {
+    /// Partition-based baseline.
+    Pt,
+    /// Subway baseline.
+    Subway,
+    /// UVM baseline.
+    Uvm,
+    /// Ascetic (paper defaults).
+    Ascetic,
+}
+
+impl Sys {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sys::Pt => "PT",
+            Sys::Subway => "Subway",
+            Sys::Uvm => "UVM",
+            Sys::Ascetic => "Ascetic",
+        }
+    }
+}
+
+/// Materialized dataset with both graph variants (unweighted + weighted),
+/// so the weighted build happens once.
+pub struct PreparedDataset {
+    /// Dataset identity.
+    pub id: DatasetId,
+    /// Unweighted graph.
+    pub unweighted: Csr,
+    /// Weighted variant (SSSP).
+    pub weighted: Csr,
+}
+
+impl PreparedDataset {
+    /// Build from the environment.
+    pub fn build(env: &Env, id: DatasetId) -> PreparedDataset {
+        let ds: Dataset = env.dataset(id);
+        let weighted = ds.weighted();
+        PreparedDataset {
+            id,
+            unweighted: ds.graph,
+            weighted,
+        }
+    }
+
+    /// The variant `algo` needs.
+    pub fn graph(&self, algo: Algo) -> &Csr {
+        if algo.weighted() {
+            &self.weighted
+        } else {
+            &self.unweighted
+        }
+    }
+}
+
+/// Run the full (algo × dataset × system) grid, with progress to stderr.
+pub fn run_grid(env: &Env, algos: &[Algo], datasets: &[DatasetId], systems: &[Sys]) -> Vec<Cell> {
+    let prepared: Vec<PreparedDataset> = datasets
+        .iter()
+        .map(|&id| PreparedDataset::build(env, id))
+        .collect();
+    let mut cells = Vec::new();
+    for &algo in algos {
+        for pd in &prepared {
+            let g = pd.graph(algo);
+            let mut reports = Vec::new();
+            for &sys in systems {
+                eprintln!(
+                    "  running {} / {} / {} ...",
+                    sys.name(),
+                    algo.name(),
+                    pd.id.abbr()
+                );
+                let rep = match sys {
+                    Sys::Pt => run_algo(&env.pt(), g, algo),
+                    Sys::Subway => run_algo(&env.subway(), g, algo),
+                    Sys::Uvm => run_algo(&env.uvm(), g, algo),
+                    Sys::Ascetic => run_algo(&env.ascetic(), g, algo),
+                };
+                reports.push(rep);
+            }
+            // cross-check: all systems must agree on the answer
+            for r in &reports[1..] {
+                assert!(
+                    r.output.first_mismatch(&reports[0].output, 1e-6).is_none(),
+                    "{} and {} disagree on {} / {}",
+                    r.system,
+                    reports[0].system,
+                    algo.name(),
+                    pd.id.abbr()
+                );
+            }
+            cells.push(Cell {
+                algo,
+                dataset: pd.id,
+                reports,
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_runs_and_cross_checks() {
+        let env = Env::with_scale(50_000);
+        let cells = run_grid(
+            &env,
+            &[Algo::Bfs],
+            &[DatasetId::Gs],
+            &[Sys::Subway, Sys::Ascetic],
+        );
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].reports.len(), 2);
+        assert_eq!(cells[0].reports[0].system, "Subway");
+        assert_eq!(cells[0].reports[1].system, "Ascetic");
+    }
+
+    #[test]
+    fn prepared_dataset_shares_structure() {
+        let env = Env::with_scale(50_000);
+        let pd = PreparedDataset::build(&env, DatasetId::Fk);
+        assert_eq!(pd.unweighted.num_edges(), pd.weighted.num_edges());
+        assert!(pd.graph(Algo::Sssp).is_weighted());
+        assert!(!pd.graph(Algo::Pr).is_weighted());
+    }
+}

@@ -1,0 +1,233 @@
+//! The scaled experimental environment.
+//!
+//! The paper's testbed (§4.1): P100 capped to 10 GB, datasets of 7–28 GB
+//! (Table 3), K = 10 %, 16 KiB chunks, UVM with 64 KiB pages. All
+//! experiments here run the same configuration divided by one scale factor
+//! (default 1000; override with `ASCETIC_SCALE`), which preserves every
+//! ratio the results depend on. Chunk and page sizes are *not* scaled —
+//! at 1/1000 the chunk count per dataset (≈650 for FK) matches the order
+//! of magnitude of the paper's Figure 2 chunking.
+
+use ascetic_baselines::{PtSystem, SubwaySystem, UvmSystem};
+use ascetic_core::{AsceticConfig, AsceticSystem};
+use ascetic_graph::datasets::{Dataset, DatasetId, PAPER_GPU_MEM_BYTES};
+use ascetic_graph::{Csr, VertexId};
+use ascetic_sim::DeviceConfig;
+
+/// Default scale divisor for benchmark binaries.
+pub const DEFAULT_BENCH_SCALE: u64 = 1000;
+
+/// The four algorithms of the evaluation, in the paper's table order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Single-source shortest path (weighted).
+    Sssp,
+    /// PageRank (residual).
+    Pr,
+    /// Connected components.
+    Cc,
+    /// Breadth-first search.
+    Bfs,
+}
+
+impl Algo {
+    /// Table 4 row order: SSSP, PR, CC, BFS.
+    pub const TABLE4_ORDER: [Algo; 4] = [Algo::Sssp, Algo::Pr, Algo::Cc, Algo::Bfs];
+    /// Table 1 column order: BFS, SSSP, CC, PR.
+    pub const TABLE1_ORDER: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Cc, Algo::Pr];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Bfs => "BFS",
+            Algo::Sssp => "SSSP",
+            Algo::Cc => "CC",
+            Algo::Pr => "PR",
+        }
+    }
+
+    /// Whether the algorithm needs edge weights (doubling edge bytes).
+    pub fn weighted(self) -> bool {
+        matches!(self, Algo::Sssp)
+    }
+}
+
+/// The experimental environment.
+pub struct Env {
+    /// Scale divisor relative to the paper's setup.
+    pub scale: u64,
+}
+
+impl Env {
+    /// Environment with the default (or `ASCETIC_SCALE`-overridden) scale.
+    pub fn from_env() -> Env {
+        let scale = std::env::var("ASCETIC_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_BENCH_SCALE);
+        Env { scale }
+    }
+
+    /// Environment with an explicit scale.
+    pub fn with_scale(scale: u64) -> Env {
+        Env { scale }
+    }
+
+    /// Build one dataset stand-in.
+    pub fn dataset(&self, id: DatasetId) -> Dataset {
+        Dataset::build(id, self.scale)
+    }
+
+    /// The graph variant an algorithm runs on.
+    pub fn graph_for(&self, ds: &Dataset, algo: Algo) -> Csr {
+        if algo.weighted() {
+            ds.weighted()
+        } else {
+            ds.graph.clone()
+        }
+    }
+
+    /// Simulated device with the paper's (scaled) 10 GB cap.
+    pub fn device(&self) -> DeviceConfig {
+        self.device_with_mem(PAPER_GPU_MEM_BYTES / self.scale)
+    }
+
+    /// Simulated device with an explicit memory capacity (Figure 11 sweep).
+    pub fn device_with_mem(&self, mem_bytes: u64) -> DeviceConfig {
+        let mut d = DeviceConfig::p100(mem_bytes);
+        // keep page/chunk granularity proportionate under extreme scaling
+        if self.scale > 4000 {
+            d.uvm.page_bytes = (d.uvm.page_bytes * 4000 / self.scale).max(512);
+        }
+        d
+    }
+
+    /// Chunk size: the paper's 16 KiB, shrunk proportionally when the
+    /// scale is extreme (tests) so chunk counts stay meaningful.
+    pub fn chunk_bytes(&self) -> usize {
+        if self.scale > 4000 {
+            (16 * 1024 * 4000 / self.scale as usize).max(256)
+        } else {
+            16 * 1024
+        }
+    }
+
+    /// Paper-default Ascetic configuration on this environment's device.
+    pub fn ascetic_cfg(&self) -> AsceticConfig {
+        AsceticConfig::new(self.device()).with_chunk_bytes(self.chunk_bytes())
+    }
+
+    /// The Ascetic system under paper defaults.
+    pub fn ascetic(&self) -> AsceticSystem {
+        AsceticSystem::new(self.ascetic_cfg())
+    }
+
+    /// The Subway baseline.
+    pub fn subway(&self) -> SubwaySystem {
+        SubwaySystem::new(self.device())
+    }
+
+    /// The PT baseline.
+    pub fn pt(&self) -> PtSystem {
+        PtSystem::new(self.device())
+    }
+
+    /// The UVM baseline.
+    pub fn uvm(&self) -> UvmSystem {
+        UvmSystem::new(self.device())
+    }
+}
+
+/// Deterministic source vertex for BFS/SSSP: the highest-out-degree vertex
+/// (a hub, so traversals cover the graph; ties break to the lowest id).
+pub fn source_vertex(g: &Csr) -> VertexId {
+    (0..g.num_vertices() as VertexId)
+        .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+        .unwrap_or(0)
+}
+
+/// Run `algo` on `g` (already weighted if needed) under a system, via the
+/// common trait.
+pub fn run_algo<S: ascetic_core::OutOfCoreSystem>(
+    sys: &S,
+    g: &Csr,
+    algo: Algo,
+) -> ascetic_core::RunReport {
+    match algo {
+        Algo::Bfs => sys.run(g, &ascetic_algos::Bfs::new(source_vertex(g))),
+        Algo::Sssp => sys.run(g, &ascetic_algos::Sssp::new(source_vertex(g))),
+        Algo::Cc => sys.run(g, &ascetic_algos::Cc::new()),
+        Algo::Pr => sys.run(g, &ascetic_algos::PageRank::new()),
+    }
+}
+
+/// Run `algo` in memory (oracle + activity log).
+pub fn run_algo_in_memory(g: &Csr, algo: Algo) -> ascetic_algos::InMemoryResult {
+    match algo {
+        Algo::Bfs => {
+            ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::Bfs::new(source_vertex(g)))
+        }
+        Algo::Sssp => {
+            ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::Sssp::new(source_vertex(g)))
+        }
+        Algo::Cc => ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::Cc::new()),
+        Algo::Pr => ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::PageRank::new()),
+    }
+}
+
+/// Instantiate the program for `algo` (for custom drivers).
+pub fn program_names() -> [&'static str; 4] {
+    ["BFS", "SSSP", "CC", "PR"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascetic_core::OutOfCoreSystem;
+
+    #[test]
+    fn env_scaling_is_consistent() {
+        let env = Env::with_scale(20_000);
+        let ds = env.dataset(DatasetId::Fk);
+        let dev = env.device();
+        // dataset oversubscribes the device for SSSP like the paper
+        assert!(ds.weighted().edge_bytes() > dev.mem_bytes);
+        assert!(env.chunk_bytes() >= 256);
+    }
+
+    #[test]
+    fn source_vertex_is_a_hub() {
+        let env = Env::with_scale(50_000);
+        let g = env.dataset(DatasetId::Fk).graph;
+        let s = source_vertex(&g);
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.degree(s) as f64 > avg, "source should be a hub");
+    }
+
+    #[test]
+    fn all_systems_agree_on_a_small_dataset() {
+        let env = Env::with_scale(50_000);
+        let ds = env.dataset(DatasetId::Gs);
+        for algo in Algo::TABLE4_ORDER {
+            let g = env.graph_for(&ds, algo);
+            let oracle = run_algo_in_memory(&g, algo);
+            let asc = run_algo(&env.ascetic(), &g, algo);
+            assert_eq!(asc.output, oracle.output, "Ascetic {}", algo.name());
+            let sw = run_algo(&env.subway(), &g, algo);
+            assert_eq!(sw.output, oracle.output, "Subway {}", algo.name());
+            let pt = run_algo(&env.pt(), &g, algo);
+            assert_eq!(pt.output, oracle.output, "PT {}", algo.name());
+            let uv = run_algo(&env.uvm(), &g, algo);
+            assert_eq!(uv.output, oracle.output, "UVM {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn system_names() {
+        let env = Env::with_scale(50_000);
+        assert_eq!(env.ascetic().name(), "Ascetic");
+        assert_eq!(env.subway().name(), "Subway");
+        assert_eq!(env.pt().name(), "PT");
+        assert_eq!(env.uvm().name(), "UVM");
+    }
+}

@@ -1,0 +1,210 @@
+//! Ascetic configuration.
+
+use ascetic_sim::DeviceConfig;
+
+/// How the static region is filled before iteration 0 (paper §5 studies
+/// front / rear / random and finds < 5 % spread).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Chunks from the front of the edge array (default).
+    Front,
+    /// Chunks from the rear of the edge array.
+    Rear,
+    /// Uniformly random chunks (deterministic given `seed`).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// No prestore: the region starts empty and *adopts* chunks that show
+    /// on-demand activity, loading them into free slots during the
+    /// on-demand compute window (the replacement server's transfer budget).
+    /// Only chunks the run actually demands are ever loaded — a win when
+    /// the touched working set is a small fraction of the dataset (short
+    /// traversals, selective queries). When most chunks end up touched,
+    /// the eager bulk prestore is cheaper: warming is rationed by the
+    /// overlap window, so early iterations keep re-shipping data the
+    /// region has not adopted yet (measured in `disc_fill_policy`).
+    Lazy,
+}
+
+/// Static-region chunk replacement policy (paper §3.4, Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Never replace (initial fill persists for the whole run).
+    Disabled,
+    /// A chunk is stale once its cumulative access count exceeds the
+    /// threshold — the paper's suggestion for one-shot traversals like BFS
+    /// ("the counter in BFS can record the number of accesses in all of the
+    /// past iterations to determine if the chunk is stale").
+    Cumulative {
+        /// Accesses after which a resident chunk is considered consumed.
+        stale_threshold: u32,
+    },
+    /// A chunk is stale if it was not accessed in the previous iteration —
+    /// the paper's suggestion for PageRank ("determines the status of chunk
+    /// by the number of accesses in the last iteration").
+    LastIteration,
+}
+
+/// Full Ascetic configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AsceticConfig {
+    /// Simulated device (capacity + cost models).
+    pub device: DeviceConfig,
+    /// Expected per-iteration active-edge fraction K (Eq (2) input).
+    /// Paper default: 0.10.
+    pub k: f64,
+    /// Override the Eq (2) static share with a fixed ratio in `[0, 1]`
+    /// (used by the Figure 10 sweep).
+    pub static_ratio_override: Option<f64>,
+    /// Overlap static-region compute with on-demand gather/transfer
+    /// (Figure 5). Disabled for the Figure 8 ablation.
+    pub overlap: bool,
+    /// Initial fill policy.
+    pub fill: FillPolicy,
+    /// Static-region replacement policy.
+    pub replacement: ReplacementPolicy,
+    /// Enable the Eq (3) adaptive re-partition check.
+    pub adaptive: bool,
+    /// Edge-chunk size in bytes (paper: 16 KiB).
+    pub chunk_bytes: usize,
+    /// Record every engine span for Chrome-trace export
+    /// ([`ascetic_sim::chrome_trace_json`] on the report's `trace`).
+    pub tracing: bool,
+    /// Number of buffers the on-demand region is split into (≥ 1). With
+    /// more than one, batch `i+1`'s H2D transfer can run while batch `i`
+    /// computes — classic double buffering. The paper's design has a
+    /// single region (its overlap is static-compute vs gather/transfer),
+    /// so 1 is the default; higher values are an extension studied in
+    /// `ablation_double_buffer`.
+    pub od_buffers: usize,
+}
+
+impl AsceticConfig {
+    /// Paper-default configuration on the given device.
+    pub fn new(device: DeviceConfig) -> Self {
+        AsceticConfig {
+            device,
+            k: 0.10,
+            static_ratio_override: None,
+            overlap: true,
+            fill: FillPolicy::Front,
+            replacement: ReplacementPolicy::LastIteration,
+            adaptive: true,
+            chunk_bytes: 16 * 1024,
+            tracing: false,
+            od_buffers: 1,
+        }
+    }
+
+    /// Builder: set K.
+    pub fn with_k(mut self, k: f64) -> Self {
+        assert!((0.0..1.0).contains(&k), "K must be in [0, 1)");
+        self.k = k;
+        self
+    }
+
+    /// Builder: force a fixed static share.
+    pub fn with_static_ratio(mut self, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r), "ratio must be in [0, 1]");
+        self.static_ratio_override = Some(r);
+        self
+    }
+
+    /// Builder: toggle overlap.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Builder: set the fill policy.
+    pub fn with_fill(mut self, fill: FillPolicy) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Builder: set the replacement policy.
+    pub fn with_replacement(mut self, r: ReplacementPolicy) -> Self {
+        self.replacement = r;
+        self
+    }
+
+    /// Builder: toggle Eq (3) adaptivity.
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Builder: toggle span tracing.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Builder: split the on-demand region into `n` buffers (double
+    /// buffering and beyond).
+    pub fn with_od_buffers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one on-demand buffer");
+        self.od_buffers = n;
+        self
+    }
+
+    /// Builder: override the chunk size (must hold at least one edge; tests
+    /// and heavily-scaled runs use chunks smaller than the paper's 16 KiB
+    /// so that chunk counts stay proportionate).
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 8, "chunk must hold at least one weighted edge");
+        self.chunk_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AsceticConfig::new(DeviceConfig::p100(1 << 30));
+        assert_eq!(c.k, 0.10);
+        assert!(c.overlap);
+        assert_eq!(c.chunk_bytes, 16 * 1024);
+        assert_eq!(c.fill, FillPolicy::Front);
+        assert!(c.static_ratio_override.is_none());
+        assert_eq!(c.od_buffers, 1);
+    }
+
+    #[test]
+    fn od_buffer_builder() {
+        let c = AsceticConfig::new(DeviceConfig::p100(1 << 20)).with_od_buffers(2);
+        assert_eq!(c.od_buffers, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_buffers() {
+        AsceticConfig::new(DeviceConfig::p100(1 << 20)).with_od_buffers(0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = AsceticConfig::new(DeviceConfig::p100(1 << 20))
+            .with_k(0.25)
+            .with_static_ratio(0.5)
+            .with_overlap(false)
+            .with_fill(FillPolicy::Random { seed: 9 })
+            .with_replacement(ReplacementPolicy::Cumulative { stale_threshold: 3 })
+            .with_adaptive(false);
+        assert_eq!(c.k, 0.25);
+        assert_eq!(c.static_ratio_override, Some(0.5));
+        assert!(!c.overlap);
+        assert_eq!(c.fill, FillPolicy::Random { seed: 9 });
+        assert!(!c.adaptive);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn rejects_ratio_above_one() {
+        AsceticConfig::new(DeviceConfig::p100(1 << 20)).with_static_ratio(1.5);
+    }
+}

@@ -1,0 +1,299 @@
+//! The Ascetic Manager: per-iteration orchestration (paper Figures 3–6).
+//!
+//! Iteration structure (overlap enabled, the default):
+//!
+//! ```text
+//! GPU compute :  [GenDataMap][ Static Region compute ][ OD compute b0 ][ b1 ]...
+//! GPU copy    :                 [ H2D b0 ][ H2D b1 ]...        [refresh swaps]
+//! CPU         :                 [ gather b0 ][ gather b1 ]...
+//! ```
+//!
+//! * `GenDataMap` splits the frontier against the `StaticBitmap`
+//!   ([`crate::maps::DataMaps`]), optionally re-partitioning per Eq (3) first.
+//! * Static-region compute runs on the COMPUTE engine while the On-demand
+//!   Engine gathers and the COPY engine ships batches (Figure 5's
+//!   "Overlapping savings"); with `overlap = false` every phase chains
+//!   after the previous one (the Figure 8 ablation).
+//! * On-demand batches cycle through the available region buffers; a batch
+//!   can transfer while the previous one computes.
+//! * While the GPU chews on-demand batches, the replacement server swaps
+//!   stale static chunks for hot ones within that window's PCIe budget
+//!   (Figure 6).
+//!
+//! All kernel *work* really executes on host threads against device-arena
+//! data; all *times* come from the virtual clock, so reports are exact and
+//! reproducible.
+
+use ascetic_algos::{AlgoOutput, VertexProgram};
+use ascetic_graph::Csr;
+use ascetic_sim::{Engine, Gpu};
+
+use crate::config::AsceticConfig;
+use crate::report::{Breakdown, IterReport, RunReport};
+use crate::session::AsceticSession;
+use crate::system::OutOfCoreSystem;
+
+/// The Ascetic out-of-core system.
+///
+/// ```
+/// use ascetic_core::{AsceticConfig, AsceticSystem, OutOfCoreSystem};
+/// use ascetic_algos::Bfs;
+/// use ascetic_graph::generators::uniform_graph;
+/// use ascetic_sim::DeviceConfig;
+///
+/// let g = uniform_graph(2_000, 16_000, false, 7);
+/// // a device holding ~40% of the edge data (plus vertex arrays)
+/// let dev = DeviceConfig::p100(2_000 * 24 + g.edge_bytes() * 2 / 5);
+/// let sys = AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(1024));
+/// let report = sys.run(&g, &Bfs::new(0));
+/// assert!(report.iterations > 0);
+/// assert!(report.prestore_bytes > 0); // static region was pre-filled
+/// ```
+pub struct AsceticSystem {
+    /// Configuration (device, K, policies).
+    pub cfg: AsceticConfig,
+}
+
+impl AsceticSystem {
+    /// An Ascetic instance with the given configuration.
+    pub fn new(cfg: AsceticConfig) -> Self {
+        AsceticSystem { cfg }
+    }
+}
+
+impl OutOfCoreSystem for AsceticSystem {
+    fn name(&self) -> &'static str {
+        "Ascetic"
+    }
+
+    fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {
+        // One-shot = a single-run session (see `crate::session` for the
+        // multi-run amortization API).
+        AsceticSession::new(self.cfg, g).run(prog)
+    }
+}
+
+/// Assemble a [`RunReport`] from the final device state (shared with the
+/// baselines crate).
+#[allow(clippy::too_many_arguments)]
+pub fn finish_report(
+    system: &'static str,
+    algorithm: &'static str,
+    iterations: u32,
+    gpu: &mut Gpu,
+    prestore_bytes: u64,
+    prestore_ns: u64,
+    refresh_bytes: u64,
+    breakdown: Breakdown,
+    per_iter: Vec<IterReport>,
+    output: AlgoOutput,
+) -> RunReport {
+    let peak = per_iter.iter().map(|i| i.payload_bytes).max().unwrap_or(0);
+    let avg = if per_iter.is_empty() {
+        0
+    } else {
+        per_iter.iter().map(|i| i.payload_bytes).sum::<u64>() / per_iter.len() as u64
+    };
+    RunReport {
+        system,
+        algorithm,
+        iterations,
+        sim_time_ns: gpu.elapsed().0,
+        xfer: gpu.xfer,
+        prestore_bytes,
+        prestore_ns,
+        refresh_bytes,
+        kernels: gpu.kernels,
+        breakdown,
+        gpu_idle_ns: gpu.timeline.idle_ns(Engine::Compute),
+        repartitions: 0,
+        trace: gpu.timeline.take_trace(),
+        peak_iteration_payload_bytes: peak,
+        avg_iteration_payload_bytes: avg,
+        output,
+        per_iter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FillPolicy, ReplacementPolicy};
+    use ascetic_algos::inmemory::run_in_memory;
+    use ascetic_algos::{Bfs, Cc, PageRank, Sssp};
+    use ascetic_graph::datasets::weighted_variant;
+    use ascetic_graph::generators::{rmat_graph, uniform_graph, RmatConfig};
+    use ascetic_sim::DeviceConfig;
+
+    /// A device sized so the test graph heavily oversubscribes it.
+    fn small_device_for(g: &Csr) -> DeviceConfig {
+        // vertex arrays + ~40% of the edge bytes
+        let vertex = g.num_vertices() as u64 * 24;
+        DeviceConfig::p100(vertex + g.edge_bytes() * 2 / 5)
+    }
+
+    fn cfg_for(g: &Csr) -> AsceticConfig {
+        // test graphs are ~100 KB, so scale the chunk down with them
+        AsceticConfig::new(small_device_for(g))
+            .with_k(0.10)
+            .with_chunk_bytes(1024)
+    }
+
+    #[test]
+    fn bfs_matches_oracle_under_oversubscription() {
+        let g = rmat_graph(&RmatConfig::new(11, 30_000, 5).undirected(true));
+        let sys = AsceticSystem::new(cfg_for(&g));
+        let rep = sys.run(&g, &Bfs::new(0));
+        let oracle = run_in_memory(&g, &Bfs::new(0));
+        assert_eq!(rep.output, oracle.output);
+        assert_eq!(rep.iterations, oracle.iterations);
+    }
+
+    #[test]
+    fn cc_matches_oracle() {
+        let g = uniform_graph(3_000, 20_000, true, 2);
+        let sys = AsceticSystem::new(cfg_for(&g));
+        let rep = sys.run(&g, &Cc::new());
+        assert_eq!(rep.output, run_in_memory(&g, &Cc::new()).output);
+    }
+
+    #[test]
+    fn sssp_matches_oracle() {
+        let g = weighted_variant(&uniform_graph(2_000, 14_000, false, 3));
+        let sys = AsceticSystem::new(cfg_for(&g));
+        let rep = sys.run(&g, &Sssp::new(0));
+        assert_eq!(rep.output, run_in_memory(&g, &Sssp::new(0)).output);
+    }
+
+    #[test]
+    fn pr_matches_oracle_exactly() {
+        // fixed-point PR is bit-deterministic: out-of-core == in-memory
+        let g = uniform_graph(2_000, 16_000, false, 4);
+        let sys = AsceticSystem::new(cfg_for(&g));
+        let rep = sys.run(&g, &PageRank::new());
+        assert_eq!(rep.output, run_in_memory(&g, &PageRank::new()).output);
+    }
+
+    #[test]
+    fn static_region_serves_most_bfs_edges() {
+        let g = rmat_graph(&RmatConfig::new(11, 30_000, 7).undirected(true));
+        let sys = AsceticSystem::new(cfg_for(&g));
+        let rep = sys.run(&g, &Bfs::new(0));
+        let static_edges: u64 = rep.per_iter.iter().map(|i| i.static_edges).sum();
+        let total: u64 = rep.per_iter.iter().map(|i| i.active_edges).sum();
+        assert!(total > 0);
+        assert!(
+            static_edges * 100 / total > 20,
+            "static region should serve a solid share: {static_edges}/{total}"
+        );
+        // steady transfers must undercut shipping every active edge
+        assert!(rep.xfer.h2d_bytes < total * g.bytes_per_edge() as u64);
+    }
+
+    #[test]
+    fn overlap_speeds_up_the_run() {
+        let g = uniform_graph(4_000, 40_000, false, 6);
+        let on = AsceticSystem::new(cfg_for(&g).with_overlap(true)).run(&g, &PageRank::new());
+        let off = AsceticSystem::new(cfg_for(&g).with_overlap(false)).run(&g, &PageRank::new());
+        assert_eq!(on.output, off.output, "overlap must not change results");
+        assert!(
+            on.sim_time_ns < off.sim_time_ns,
+            "overlap on: {} ns, off: {} ns",
+            on.sim_time_ns,
+            off.sim_time_ns
+        );
+    }
+
+    #[test]
+    fn fill_policies_do_not_change_results() {
+        let g = uniform_graph(2_000, 15_000, true, 8);
+        let base = cfg_for(&g);
+        let front = AsceticSystem::new(base.with_fill(FillPolicy::Front)).run(&g, &Cc::new());
+        let rear = AsceticSystem::new(base.with_fill(FillPolicy::Rear)).run(&g, &Cc::new());
+        let rand =
+            AsceticSystem::new(base.with_fill(FillPolicy::Random { seed: 3 })).run(&g, &Cc::new());
+        assert_eq!(front.output, rear.output);
+        assert_eq!(front.output, rand.output);
+    }
+
+    #[test]
+    fn replacement_policies_preserve_results() {
+        let g = uniform_graph(2_000, 15_000, false, 9);
+        let base = cfg_for(&g);
+        let off = AsceticSystem::new(base.with_replacement(ReplacementPolicy::Disabled))
+            .run(&g, &PageRank::new());
+        let last = AsceticSystem::new(base.with_replacement(ReplacementPolicy::LastIteration))
+            .run(&g, &PageRank::new());
+        let cum = AsceticSystem::new(
+            base.with_replacement(ReplacementPolicy::Cumulative { stale_threshold: 2 }),
+        )
+        .run(&g, &PageRank::new());
+        assert_eq!(off.output, last.output);
+        assert_eq!(off.output, cum.output);
+        assert_eq!(off.refresh_bytes, 0);
+    }
+
+    #[test]
+    fn lazy_fill_ships_no_prestore_and_warms_up() {
+        use crate::config::FillPolicy;
+        let g = uniform_graph(2_500, 20_000, false, 21);
+        let cfg = cfg_for(&g).with_fill(FillPolicy::Lazy);
+        let rep = AsceticSystem::new(cfg).run(&g, &PageRank::new());
+        assert_eq!(rep.output, run_in_memory(&g, &PageRank::new()).output);
+        assert_eq!(rep.prestore_bytes, 0, "lazy fill has no prestore");
+        // warming must eventually serve edges from the static region
+        let static_edges: u64 = rep.per_iter.iter().map(|i| i.static_edges).sum();
+        assert!(
+            static_edges > 0,
+            "adopted chunks must serve later iterations"
+        );
+        // and total traffic must stay at or below the eager variant's
+        let eager = AsceticSystem::new(cfg_for(&g)).run(&g, &PageRank::new());
+        assert_eq!(rep.output, eager.output);
+        assert!(
+            rep.total_bytes_with_prestore() <= eager.total_bytes_with_prestore() + g.edge_bytes(),
+            "lazy {} vs eager {}",
+            rep.total_bytes_with_prestore(),
+            eager.total_bytes_with_prestore()
+        );
+    }
+
+    #[test]
+    fn prestore_accounted_separately() {
+        let g = uniform_graph(2_000, 15_000, false, 10);
+        let rep = AsceticSystem::new(cfg_for(&g)).run(&g, &Bfs::new(0));
+        assert!(rep.prestore_bytes > 0, "static region must be prefilled");
+        assert!(rep.total_bytes_with_prestore() >= rep.steady_bytes() + rep.prestore_bytes);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = uniform_graph(1_500, 12_000, false, 11);
+        let a = AsceticSystem::new(cfg_for(&g)).run(&g, &PageRank::new());
+        let b = AsceticSystem::new(cfg_for(&g)).run(&g, &PageRank::new());
+        assert_eq!(a.sim_time_ns, b.sim_time_ns);
+        assert_eq!(a.xfer, b.xfer);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn whole_dataset_fits_means_no_ondemand_traffic() {
+        let g = uniform_graph(500, 3_000, false, 12);
+        // device holds everything comfortably
+        let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() * 4);
+        let rep = AsceticSystem::new(AsceticConfig::new(dev)).run(&g, &Bfs::new(0));
+        assert_eq!(rep.output, run_in_memory(&g, &Bfs::new(0)).output);
+        assert_eq!(rep.xfer.h2d_bytes, 0, "everything is static");
+        assert_eq!(rep.prestore_bytes, g.edge_bytes());
+    }
+
+    #[test]
+    fn forced_tiny_static_ratio_still_correct() {
+        let g = uniform_graph(1_000, 8_000, false, 13);
+        let rep = AsceticSystem::new(cfg_for(&g).with_static_ratio(0.0)).run(&g, &Bfs::new(0));
+        assert_eq!(rep.output, run_in_memory(&g, &Bfs::new(0)).output);
+        assert_eq!(rep.prestore_bytes, 0);
+        let static_edges: u64 = rep.per_iter.iter().map(|i| i.static_edges).sum();
+        assert_eq!(static_edges, 0, "R=0 must serve everything on demand");
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-chunk hotness tracking and replacement planning (paper §3.4, Fig 6).
+//!
+//! "For each chunk, a counter is assigned to record the number of accesses
+//! in the earlier iterations. If the counter exceeds a threshold, it means
+//! the chunk is stale." The paper sketches two policy flavors — cumulative
+//! counting for one-shot traversals (BFS) and last-iteration recency for
+//! iterative ranking (PageRank) — both implemented here behind
+//! [`ReplacementPolicy`]. A server thread in the On-demand Engine performs
+//! the swaps while the GPU processes the on-demand region; the Manager
+//! bounds the swap volume by that overlap window's transfer budget
+//! (§5: "only about 2% of the total data transfer can be completed during
+//! that time").
+
+use ascetic_graph::chunks::{ChunkGeometry, ChunkId};
+use ascetic_graph::{Csr, VertexId};
+
+use crate::config::ReplacementPolicy;
+use crate::static_region::StaticRegion;
+
+/// Per-chunk access statistics.
+pub struct HotnessTable {
+    policy: ReplacementPolicy,
+    /// Cumulative access count per chunk.
+    counts: Vec<u32>,
+    /// Last iteration (1-based; 0 = never) each chunk was accessed.
+    last_access: Vec<u32>,
+}
+
+impl HotnessTable {
+    /// A table over `num_chunks` chunks.
+    pub fn new(num_chunks: usize, policy: ReplacementPolicy) -> Self {
+        HotnessTable {
+            policy,
+            counts: vec![0; num_chunks],
+            last_access: vec![0; num_chunks],
+        }
+    }
+
+    /// Record that `chunk` was accessed during `iteration` (0-based).
+    pub fn record(&mut self, chunk: ChunkId, iteration: u32) {
+        self.counts[chunk as usize] = self.counts[chunk as usize].saturating_add(1);
+        self.last_access[chunk as usize] = iteration + 1;
+    }
+
+    /// Record accesses for every chunk covering the edges of `nodes`.
+    pub fn record_vertices(
+        &mut self,
+        g: &Csr,
+        geo: &ChunkGeometry,
+        nodes: &[VertexId],
+        iteration: u32,
+    ) {
+        for &v in nodes {
+            if let Some(chunks) = geo.chunks_of_vertex(g, v) {
+                for c in chunks {
+                    self.record(c, iteration);
+                }
+            }
+        }
+    }
+
+    /// Whether `chunk` is stale per the policy, judged at `iteration`.
+    pub fn is_stale(&self, chunk: ChunkId, iteration: u32) -> bool {
+        match self.policy {
+            ReplacementPolicy::Disabled => false,
+            ReplacementPolicy::Cumulative { stale_threshold } => {
+                self.counts[chunk as usize] >= stale_threshold
+            }
+            ReplacementPolicy::LastIteration => self.last_access[chunk as usize] != iteration + 1,
+        }
+    }
+
+    /// Whether `chunk` is hot (worth loading) at `iteration`: it was
+    /// demanded this iteration and is not itself stale.
+    pub fn is_hot(&self, chunk: ChunkId, iteration: u32) -> bool {
+        self.last_access[chunk as usize] == iteration + 1 && !self.is_stale(chunk, iteration)
+    }
+
+    /// Plan up to `max_loads` chunk adoptions into free slots (lazy fill):
+    /// non-resident chunks that were demanded at `iteration`, ascending.
+    pub fn plan_loads(
+        &self,
+        region: &StaticRegion,
+        iteration: u32,
+        max_loads: usize,
+    ) -> Vec<ChunkId> {
+        let max_loads = max_loads.min(region.free_slots());
+        if max_loads == 0 {
+            return Vec::new();
+        }
+        (0..self.counts.len() as ChunkId)
+            .filter(|&c| !region.is_resident(c) && self.last_access[c as usize] == iteration + 1)
+            .take(max_loads)
+            .collect()
+    }
+
+    /// Plan up to `max_swaps` (evict, load) pairs: stale resident chunks
+    /// replaced by hot non-resident ones, both in ascending chunk order
+    /// (deterministic).
+    pub fn plan_swaps(
+        &self,
+        region: &StaticRegion,
+        iteration: u32,
+        max_swaps: usize,
+    ) -> Vec<(ChunkId, ChunkId)> {
+        if matches!(self.policy, ReplacementPolicy::Disabled) || max_swaps == 0 {
+            return Vec::new();
+        }
+        let mut evictable = region
+            .resident_chunk_ids()
+            .into_iter()
+            .filter(|&c| self.is_stale(c, iteration));
+        let loadable = (0..self.counts.len() as ChunkId)
+            .filter(|&c| !region.is_resident(c) && self.is_hot(c, iteration));
+        let mut plan = Vec::new();
+        for load in loadable {
+            let Some(evict) = evictable.next() else { break };
+            plan.push((evict, load));
+            if plan.len() >= max_swaps {
+                break;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FillPolicy;
+    use ascetic_graph::GraphBuilder;
+    use ascetic_sim::{DeviceConfig, Gpu};
+
+    fn line_graph(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_edge(v as u32, v as u32 + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cumulative_policy_marks_consumed_chunks_stale() {
+        let mut t = HotnessTable::new(4, ReplacementPolicy::Cumulative { stale_threshold: 2 });
+        t.record(0, 0);
+        assert!(!t.is_stale(0, 0));
+        t.record(0, 1);
+        assert!(t.is_stale(0, 1));
+        assert!(!t.is_stale(1, 1), "untouched chunk is fresh");
+    }
+
+    #[test]
+    fn last_iteration_policy_tracks_recency() {
+        let mut t = HotnessTable::new(2, ReplacementPolicy::LastIteration);
+        t.record(0, 3);
+        assert!(!t.is_stale(0, 3));
+        assert!(t.is_stale(0, 4), "not touched in iteration 4");
+        assert!(t.is_hot(0, 3));
+        assert!(!t.is_hot(0, 4));
+    }
+
+    #[test]
+    fn disabled_policy_never_plans() {
+        let g = line_graph(33);
+        let geo = ChunkGeometry::with_chunk_bytes(&g, 16);
+        let mut gpu = Gpu::new(DeviceConfig::p100(1 << 20));
+        let mut sr = StaticRegion::new(&mut gpu, &g, geo, 2 * 16);
+        let plan = sr.plan_fill(FillPolicy::Front, 2);
+        sr.fill(&mut gpu, &g, &plan);
+        let mut t = HotnessTable::new(geo.num_chunks(), ReplacementPolicy::Disabled);
+        t.record(5, 0);
+        assert!(t.plan_swaps(&sr, 0, 10).is_empty());
+        assert!(!t.is_stale(0, 9));
+    }
+
+    #[test]
+    fn record_vertices_touches_their_chunks() {
+        let g = line_graph(33); // 32 edges; 4-edge chunks
+        let geo = ChunkGeometry::with_chunk_bytes(&g, 16);
+        let mut t = HotnessTable::new(geo.num_chunks(), ReplacementPolicy::LastIteration);
+        // vertex 9's edge index is 9 -> chunk 2
+        t.record_vertices(&g, &geo, &[9], 0);
+        assert!(t.is_hot(2, 0));
+        assert!(!t.is_hot(1, 0));
+        // zero-degree tail vertex touches nothing
+        t.record_vertices(&g, &geo, &[32], 0);
+    }
+
+    #[test]
+    fn plan_swaps_pairs_stale_with_hot() {
+        let g = line_graph(33);
+        let geo = ChunkGeometry::with_chunk_bytes(&g, 16); // 8 chunks
+        let mut gpu = Gpu::new(DeviceConfig::p100(1 << 20));
+        let mut sr = StaticRegion::new(&mut gpu, &g, geo, 2 * 16);
+        sr.fill(&mut gpu, &g, &[0, 1]); // resident: 0, 1
+        let mut t = HotnessTable::new(8, ReplacementPolicy::LastIteration);
+        // iteration 5: chunks 4 and 5 demanded (on-demand), residents idle
+        t.record(4, 5);
+        t.record(5, 5);
+        let plan = t.plan_swaps(&sr, 5, 10);
+        assert_eq!(plan, vec![(0, 4), (1, 5)]);
+        // budget of one swap
+        let plan1 = t.plan_swaps(&sr, 5, 1);
+        assert_eq!(plan1, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn plan_swaps_keeps_fresh_residents() {
+        let g = line_graph(33);
+        let geo = ChunkGeometry::with_chunk_bytes(&g, 16);
+        let mut gpu = Gpu::new(DeviceConfig::p100(1 << 20));
+        let mut sr = StaticRegion::new(&mut gpu, &g, geo, 2 * 16);
+        sr.fill(&mut gpu, &g, &[0, 1]);
+        let mut t = HotnessTable::new(8, ReplacementPolicy::LastIteration);
+        t.record(0, 2); // resident 0 is fresh at iter 2
+        t.record(6, 2); // chunk 6 demanded
+        let plan = t.plan_swaps(&sr, 2, 10);
+        // only chunk 1 (stale) may be evicted
+        assert_eq!(plan, vec![(1, 6)]);
+    }
+}

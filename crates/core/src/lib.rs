@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # ascetic-core — the Ascetic framework
+//!
+//! The paper's contribution: GPU memory is split into a **Static Region**
+//! that pins graph chunks across iterations (exploiting the very long reuse
+//! distances of iterative graph analytics) and an **On-demand Region** that
+//! receives exactly the active edges the static region does not cover,
+//! gathered by the CPU-side On-demand Engine — with the static-region
+//! compute overlapped against the gather + transfer (Figure 5) and a
+//! hotness-driven chunk-replacement server refreshing the static region
+//! during on-demand compute (Figure 6).
+//!
+//! Module map (paper reference in parentheses):
+//!
+//! * [`config`] — framework configuration: K, fill policy, overlap toggle,
+//!   replacement policy, adaptive re-partitioning (§4.1 defaults).
+//! * [`ratio`] — the partition-ratio math: Equations (1)–(3) (§3.3).
+//! * [`maps`] — `ActiveBitmap`/`StaticBitmap` → `StaticMap`/`OndemandMap`
+//!   dataflow and node-list generation (Figure 4).
+//! * [`static_region`] — the chunk-slotted static region store and its
+//!   vertex-residency bitmap (§3.1, §3.4).
+//! * [`ondemand`] — the On-demand Engine: multi-threaded CPU gather into a
+//!   compact Subway-style subgraph, batched to the region capacity (§3.1).
+//! * [`hotness`] — the per-chunk hotness table and replacement policies
+//!   (Figure 6, §3.4).
+//! * [`session`] — the Manager: per-iteration orchestration with overlap
+//!   (Figure 5) over the simulated device, reusable across multiple
+//!   algorithm runs (the paper's prestore-amortization point, §4.3).
+//! * [`engine`] — the one-shot `OutOfCoreSystem` wrapper and report
+//!   assembly shared with the baselines.
+//! * [`report`] — run reports: time breakdown (Tsr, Tfilling, Ttransfer,
+//!   Tondemand — Figure 10), transfer volumes (Table 5), idle accounting.
+//! * [`system`] — the `OutOfCoreSystem` trait shared with the baselines.
+
+pub mod config;
+pub mod engine;
+pub mod hotness;
+pub mod maps;
+pub mod ondemand;
+pub mod ratio;
+pub mod report;
+pub mod session;
+pub mod static_region;
+pub mod system;
+
+pub use config::{AsceticConfig, FillPolicy, ReplacementPolicy};
+pub use engine::AsceticSystem;
+pub use report::{Breakdown, IterReport, RunReport};
+pub use session::AsceticSession;
+pub use system::OutOfCoreSystem;

@@ -1,0 +1,172 @@
+//! GPU-memory partition-ratio math (paper §3.3, Equations (1)–(3)).
+//!
+//! Let `K` be the fraction of edges active per iteration, `M` the edge
+//! budget of GPU memory, `D` the dataset size, `M_static` the static-region
+//! size. To avoid fragmenting the on-demand data, Eq (1) requires
+//!
+//! ```text
+//! (D − M_static) · K + M_static ≤ M                                   (1)
+//! ```
+//!
+//! which, maximized for the static share `R = M_static / M`, gives
+//!
+//! ```text
+//! R = (1 − K·D/M) / (1 − K)                                           (2)
+//! ```
+//!
+//! At runtime, after the data map is generated, if the on-demand volume
+//! `V_ondemand` overflows the on-demand region while the static region is
+//! under-used (`V_static/M_static < 0.5 · V/D`), the static region shrinks
+//! by `M_static · V/D` (Eq (3)) and the maps are regenerated.
+
+/// Static-region share per Eq (2), clamped to `[0, 1]`.
+///
+/// * `k` — expected active-edge fraction (paper default 0.10),
+/// * `dataset_bytes` — `D`,
+/// * `mem_bytes` — `M` (edge budget after vertex arrays).
+///
+/// When the dataset fits entirely (`D ≤ M`) the share is capped so that
+/// `M_static = D` (pinning more than the dataset is pointless).
+pub fn static_share(k: f64, dataset_bytes: u64, mem_bytes: u64) -> f64 {
+    assert!((0.0..1.0).contains(&k), "K must be in [0, 1)");
+    assert!(mem_bytes > 0, "empty memory budget");
+    let d = dataset_bytes as f64;
+    let m = mem_bytes as f64;
+    if d <= m {
+        return (d / m).min(1.0);
+    }
+    let r = (1.0 - k * d / m) / (1.0 - k);
+    r.clamp(0.0, 1.0)
+}
+
+/// Eq (1) feasibility check: does a static region of `m_static` bytes leave
+/// enough on-demand room for `k · (D − M_static)` without fragmenting?
+pub fn satisfies_eq1(k: f64, dataset_bytes: u64, mem_bytes: u64, m_static: u64) -> bool {
+    let spill = (dataset_bytes.saturating_sub(m_static)) as f64 * k;
+    spill + m_static as f64 <= mem_bytes as f64 + 0.5
+}
+
+/// Decision of the Eq (3) adaptive re-partitioning check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Repartition {
+    /// Keep the current split.
+    Keep,
+    /// Shrink the static region by this many bytes (grow on-demand).
+    ShrinkStaticBy(u64),
+}
+
+/// Eq (3): evaluate the re-partition rule for one iteration.
+///
+/// * `v_ondemand` — bytes the on-demand region must receive this iteration,
+/// * `v_static` — bytes of static-region data accessed this iteration,
+/// * `v_total` — all bytes accessed this iteration (`V`),
+/// * `m_static` / `m_ondemand` — current region sizes,
+/// * `dataset_bytes` — `D`.
+pub fn repartition_check(
+    v_ondemand: u64,
+    v_static: u64,
+    v_total: u64,
+    m_static: u64,
+    m_ondemand: u64,
+    dataset_bytes: u64,
+) -> Repartition {
+    if m_static == 0 || dataset_bytes == 0 {
+        return Repartition::Keep;
+    }
+    let overflow = v_ondemand > m_ondemand;
+    // "Vstatic/Mstatic < 0.5 × V/D" — static region significantly
+    // under-utilized relative to the overall touch rate.
+    let static_util = v_static as f64 / m_static as f64;
+    let touch_rate = v_total as f64 / dataset_bytes as f64;
+    if overflow && static_util < 0.5 * touch_rate {
+        // Shrink by Mstatic × V/D (Eq (3)), at least one byte, at most all.
+        let shrink = ((m_static as f64 * touch_rate) as u64).clamp(1, m_static);
+        Repartition::ShrinkStaticBy(shrink)
+    } else {
+        Repartition::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_configuration() {
+        // K=10%, D twice the memory: R = (1 - 0.1*2) / 0.9 = 0.888...
+        let r = static_share(0.10, 2_000, 1_000);
+        assert!((r - 0.888_888).abs() < 1e-3, "r={r}");
+        // the chosen split satisfies Eq (1)
+        let m_static = (r * 1_000.0) as u64;
+        assert!(satisfies_eq1(0.10, 2_000, 1_000, m_static));
+        // but a slightly bigger static region violates it
+        assert!(!satisfies_eq1(0.10, 2_000, 1_000, m_static + 30));
+    }
+
+    #[test]
+    fn dataset_fits_entirely() {
+        // D=800, M=1000: pin exactly the dataset (share 0.8).
+        let r = static_share(0.10, 800, 1_000);
+        assert!((r - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_dataset_forces_zero_static() {
+        // K·D/M >= 1 → no static region can satisfy Eq (1).
+        let r = static_share(0.10, 20_000, 1_000);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn k_zero_pins_everything() {
+        let r = static_share(0.0, 5_000, 1_000);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn share_monotone_decreasing_in_k() {
+        let d = 3_000;
+        let m = 1_000;
+        let mut last = f64::INFINITY;
+        for k in [0.01, 0.05, 0.1, 0.2, 0.3] {
+            let r = static_share(k, d, m);
+            assert!(r <= last, "share must shrink as K grows");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn repartition_triggers_only_on_overflow_and_underuse() {
+        // overflow + underused static -> shrink
+        let r = repartition_check(600, 10, 1_000, 800, 500, 10_000);
+        assert_eq!(r, Repartition::ShrinkStaticBy(80)); // 800 * 0.1
+                                                        // overflow but static well-used -> keep
+        let r = repartition_check(600, 700, 1_000, 800, 500, 10_000);
+        assert_eq!(r, Repartition::Keep);
+        // no overflow -> keep
+        let r = repartition_check(100, 10, 1_000, 800, 500, 10_000);
+        assert_eq!(r, Repartition::Keep);
+    }
+
+    #[test]
+    fn repartition_shrink_is_bounded() {
+        // touch rate ~ 1.0: shrink everything but never more than m_static
+        let r = repartition_check(600, 0, 10_000, 800, 500, 10_000);
+        match r {
+            Repartition::ShrinkStaticBy(s) => assert!((1..=800).contains(&s)),
+            _ => panic!("expected shrink"),
+        }
+    }
+
+    #[test]
+    fn repartition_degenerate_inputs() {
+        assert_eq!(repartition_check(1, 0, 1, 0, 0, 100), Repartition::Keep);
+        assert_eq!(repartition_check(1, 0, 1, 10, 0, 0), Repartition::Keep);
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be")]
+    fn rejects_k_one() {
+        static_share(1.0, 100, 100);
+    }
+}

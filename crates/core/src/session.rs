@@ -1,0 +1,466 @@
+//! Multi-run sessions: reuse the static region across algorithm runs.
+//!
+//! The paper (§4.3): *"In practice, the Static Region can be reused
+//! throughout the graph processing and benefits the reduction in data
+//! transfer"* — the prestore is a one-time cost, not a per-algorithm one.
+//! An [`AsceticSession`] owns the device, the prestored static region, the
+//! on-demand buffers and the hotness state, and runs any number of
+//! [`VertexProgram`]s over the same graph. The first run pays the prestore;
+//! subsequent runs start with a warm region (possibly *warmer* than the
+//! initial fill, if the replacement server adapted it).
+//!
+//! [`super::engine::AsceticSystem`] is a thin one-shot wrapper around this
+//! type.
+
+use ascetic_algos::{EdgeSlice, VertexProgram};
+use ascetic_graph::chunks::ChunkGeometry;
+use ascetic_graph::Csr;
+use ascetic_par::{parallel_for, AtomicBitmap};
+use ascetic_sim::{DevPtr, Engine, Gpu, SimTime};
+
+use crate::config::{AsceticConfig, FillPolicy, ReplacementPolicy};
+use crate::engine::finish_report;
+use crate::hotness::HotnessTable;
+use crate::maps::DataMaps;
+use crate::ondemand::{gather, plan_batches};
+use crate::ratio::{repartition_check, static_share, Repartition};
+use crate::report::{Breakdown, IterReport, RunReport};
+use crate::static_region::StaticRegion;
+use crate::system::{edge_budget_bytes, reserve_vertex_arrays};
+
+/// A prepared Ascetic device bound to one graph, reusable across runs.
+pub struct AsceticSession<'g> {
+    cfg: AsceticConfig,
+    g: &'g Csr,
+    geo: ChunkGeometry,
+    gpu: Gpu,
+    region: StaticRegion,
+    od_buffers: Vec<DevPtr>,
+    hotness: HotnessTable,
+    prestore_bytes: u64,
+    prestore_ns: u64,
+    runs: u32,
+}
+
+impl<'g> AsceticSession<'g> {
+    /// Set up the device for `g`: reserve vertex arrays, size the regions
+    /// per Eq (2), allocate the on-demand buffers and perform the prestore.
+    pub fn new(cfg: AsceticConfig, g: &'g Csr) -> AsceticSession<'g> {
+        let mut gpu = if cfg.tracing {
+            Gpu::new_traced(cfg.device)
+        } else {
+            Gpu::new(cfg.device)
+        };
+        let _vertex_slab = reserve_vertex_arrays(&mut gpu, g);
+        let m_edge = edge_budget_bytes(&gpu);
+        let geo = ChunkGeometry::with_chunk_bytes(g, cfg.chunk_bytes);
+        let d = g.edge_bytes();
+        assert!(
+            m_edge >= 2 * cfg.chunk_bytes as u64,
+            "edge budget ({m_edge} B) below two chunks"
+        );
+
+        // --- Region sizing: Eq (2) (or the Figure 10 override). ---
+        let share = cfg
+            .static_ratio_override
+            .unwrap_or_else(|| static_share(cfg.k, d, m_edge));
+        let full_cover = (geo.num_chunks() * cfg.chunk_bytes) as u64;
+        let mut static_target = (share * m_edge as f64) as u64;
+        if static_target >= d && full_cover <= m_edge {
+            // The whole dataset fits: pin every chunk (round the Eq (2)
+            // byte target up to whole chunks).
+            static_target = full_cover;
+        }
+        if static_target < full_cover {
+            // Data will spill on demand: leave the on-demand region at
+            // least one chunk of room.
+            static_target = static_target.min(m_edge - cfg.chunk_bytes as u64);
+        }
+        let mut region = StaticRegion::new(&mut gpu, g, geo, static_target);
+        let od_words = gpu.mem.available();
+        let od_slab = gpu.alloc(od_words).expect("on-demand region allocation");
+        // split the on-demand slab into cfg.od_buffers equal pieces (each
+        // must still hold at least one edge entry)
+        let nbuf = cfg
+            .od_buffers
+            .max(1)
+            .min((od_words / g.words_per_edge()).max(1));
+        let per = od_words / nbuf / g.words_per_edge() * g.words_per_edge();
+        let mut od_buffers: Vec<DevPtr> = (0..nbuf).map(|i| od_slab.slice(i * per, per)).collect();
+        if nbuf == 1 {
+            od_buffers[0] = od_slab; // use the whole slab when not splitting
+        }
+
+        // --- Prestore: one bulk fill of the static region. ---
+        let plan = region.plan_fill(cfg.fill, region.slots());
+        let prestore_bytes = region.fill(&mut gpu, g, &plan);
+        let prestore_ns = gpu.config.pcie.transfer_ns(prestore_bytes);
+        gpu.timeline
+            .schedule_labeled(Engine::Copy, SimTime::ZERO, prestore_ns, || {
+                format!("prestore {prestore_bytes}B")
+            });
+        gpu.sync();
+
+        let hotness = HotnessTable::new(geo.num_chunks(), cfg.replacement);
+        AsceticSession {
+            cfg,
+            g,
+            geo,
+            gpu,
+            region,
+            od_buffers,
+            hotness,
+            prestore_bytes,
+            prestore_ns,
+            runs: 0,
+        }
+    }
+
+    /// Number of runs executed so far.
+    pub fn runs(&self) -> u32 {
+        self.runs
+    }
+
+    /// Fraction of the graph's chunks currently resident in the static
+    /// region.
+    pub fn resident_fraction(&self) -> f64 {
+        self.region.resident_chunks() as f64 / self.geo.num_chunks().max(1) as f64
+    }
+
+    /// Execute one program over the session's graph. The first run's report
+    /// carries the prestore cost; later runs report zero prestore (the
+    /// region is already resident — the paper's amortization point).
+    pub fn run<P: VertexProgram>(&mut self, prog: &P) -> RunReport {
+        let g = self.g;
+        let cfg = self.cfg;
+        assert_eq!(
+            g.is_weighted(),
+            prog.needs_weights(),
+            "graph weighting must match the program"
+        );
+        let n = g.num_vertices();
+        let geo = self.geo;
+
+        // per-run baselines for delta accounting
+        let run_start = self.gpu.sync();
+        let xfer0 = self.gpu.xfer;
+        let kernels0 = self.gpu.kernels;
+        let compute_busy0 = self.gpu.timeline.busy_ns(Engine::Compute);
+
+        let state = prog.new_state(g);
+        let mut active = prog.initial_frontier(g);
+        let weighted = g.is_weighted();
+        let bpe = g.bytes_per_edge() as u64;
+        let d = g.edge_bytes();
+        let mut breakdown = Breakdown::default();
+        let mut per_iter: Vec<IterReport> = Vec::new();
+        let mut refresh_bytes = 0u64;
+        let mut repartitions = 0u32;
+        let mut iter = 0u32;
+        let lazy_fill = matches!(cfg.fill, FillPolicy::Lazy);
+        // per-buffer "compute that last read this buffer" fences
+        let mut buffer_free_at: Vec<SimTime> = vec![SimTime::ZERO; self.od_buffers.len()];
+
+        while !active.is_all_zero() && iter < prog.max_iterations() {
+            let iter_start = self.gpu.sync();
+            prog.begin_iteration(iter, &active, &state);
+
+            // ➊ GenDataMap (cheap bitmap kernel over |V| bits).
+            let mut maps = DataMaps::generate(g, &active, self.region.vertex_bitmap());
+            let genmap = self.gpu.kernel_at(0, (n as u64).div_ceil(64), iter_start);
+            breakdown.gen_map_ns += genmap.duration();
+
+            // Eq (3): adaptive re-partition when the on-demand volume
+            // overflows an under-used static region. Under lazy fill the
+            // region is *supposed* to look under-used until warming
+            // completes, so the check waits for a full region.
+            if cfg.adaptive && !(lazy_fill && self.region.free_slots() > 0) {
+                let od_capacity: u64 = self.od_buffers.iter().map(|b| b.len_bytes()).sum();
+                let decision = repartition_check(
+                    maps.ondemand_bytes(bpe),
+                    maps.static_bytes(bpe),
+                    maps.active_edges() * bpe,
+                    self.region.capacity_bytes(),
+                    od_capacity,
+                    d,
+                );
+                if let Repartition::ShrinkStaticBy(bytes) = decision {
+                    let slots = (bytes as usize).div_ceil(cfg.chunk_bytes).max(1);
+                    if let Some(tail) = self.region.release_tail_slots(g, slots) {
+                        self.od_buffers.push(tail);
+                        buffer_free_at.push(SimTime::ZERO);
+                        repartitions += 1;
+                        // bitmap changed: regenerate the data maps
+                        maps = DataMaps::generate(g, &active, self.region.vertex_bitmap());
+                    }
+                }
+            }
+
+            let next = AtomicBitmap::new(n);
+
+            // ➌ Static-region compute (overlaps the on-demand pipeline).
+            let static_ready = genmap.end;
+            let static_span = if maps.static_nodes.is_empty() {
+                None
+            } else {
+                let span = self.gpu.kernel_at(
+                    maps.static_edges,
+                    maps.static_nodes.len() as u64,
+                    static_ready,
+                );
+                breakdown.static_compute_ns += span.duration();
+                Some(span)
+            };
+            if !maps.static_nodes.is_empty() {
+                let mem = &self.gpu.mem;
+                let region_ref = &self.region;
+                parallel_for(maps.static_nodes.len(), |i| {
+                    let v = maps.static_nodes[i];
+                    region_ref.for_each_vertex_slice(mem, g, v, |words| {
+                        prog.process_vertex(v, EdgeSlice::new(words, weighted), &state, &next);
+                    });
+                });
+            }
+
+            // ➋➍➎ On-demand pipeline: gather → transfer → compute, batched.
+            let min_buffer_words = self.od_buffers.iter().map(|b| b.len).min().unwrap_or(0);
+            let mut od_payload = 0u64;
+            let mut od_compute_window = 0u64;
+            let mut first_od_compute_start: Option<SimTime> = None;
+            if !maps.ondemand_nodes.is_empty() {
+                assert!(
+                    min_buffer_words > 0,
+                    "no on-demand buffer but on-demand data exists"
+                );
+                // In no-overlap mode the whole pipeline waits for the
+                // static compute (the Figure 8 "Baseline" lane layout).
+                let pipeline_ready = if cfg.overlap {
+                    genmap.end
+                } else {
+                    static_span.map_or(genmap.end, |s| s.end)
+                };
+                let batches = plan_batches(g, &maps.ondemand_nodes, min_buffer_words);
+                let mut gather_ready = pipeline_ready;
+                for (bi, entries) in batches.into_iter().enumerate() {
+                    let buf_idx = bi % self.od_buffers.len();
+                    let buffer = self.od_buffers[buf_idx];
+                    let batch = gather(g, entries);
+
+                    // CPU gather
+                    let g_span = self.gpu.gather_at(
+                        batch.payload_bytes(),
+                        batch.entries.len() as u64,
+                        gather_ready,
+                    );
+                    breakdown.gather_ns += g_span.duration();
+                    gather_ready = g_span.end; // CPU engine serializes anyway
+
+                    // H2D transfer of payload + index, into this batch's buffer
+                    let dst = buffer.slice(0, batch.words.len());
+                    let ready = g_span.end.max(buffer_free_at[buf_idx]);
+                    let t_span = self.gpu.h2d_at(dst, &batch.words, ready);
+                    // account the subgraph index bytes on the same DMA op
+                    self.gpu.xfer.h2d_bytes += batch.index_bytes();
+                    breakdown.transfer_ns += t_span.duration();
+                    od_payload += batch.payload_bytes() + batch.index_bytes();
+
+                    // OD compute (serializes on the COMPUTE engine after the
+                    // static kernel automatically)
+                    let c_span =
+                        self.gpu
+                            .kernel_at(batch.edges, batch.entries.len() as u64, t_span.end);
+                    breakdown.ondemand_compute_ns += c_span.duration();
+                    od_compute_window += c_span.duration();
+                    first_od_compute_start.get_or_insert(c_span.start);
+                    buffer_free_at[buf_idx] = c_span.end;
+
+                    // host execution of the batch
+                    let mem = &self.gpu.mem;
+                    let batch_ref = &batch;
+                    parallel_for(batch_ref.entries.len(), |i| {
+                        let e = &batch_ref.entries[i];
+                        let words = &mem.words(dst)[batch_ref.entry_words(i)];
+                        prog.process_vertex(
+                            e.vertex,
+                            EdgeSlice::new(words, weighted),
+                            &state,
+                            &next,
+                        );
+                    });
+                }
+            }
+
+            // Hotness accounting for this iteration's touched chunks
+            // (needed by both the replacement server and lazy warming).
+            if lazy_fill || !matches!(cfg.replacement, ReplacementPolicy::Disabled) {
+                self.hotness
+                    .record_vertices(g, &geo, &maps.static_nodes, iter);
+                self.hotness
+                    .record_vertices(g, &geo, &maps.ondemand_nodes, iter);
+
+                // ➎ Replacement server window: chunk DMAs issued while the
+                // GPU chews the on-demand region, within its PCIe budget.
+                if od_compute_window > 0 {
+                    // each op is one chunk-sized DMA including its fixed
+                    // latency; the server only issues what fits the window
+                    let per_op_ns = self
+                        .gpu
+                        .config
+                        .pcie
+                        .transfer_ns(cfg.chunk_bytes as u64)
+                        .max(1);
+                    let mut ops_left = (od_compute_window / per_op_ns) as usize;
+                    let ready = first_od_compute_start.unwrap_or(iter_start);
+
+                    // lazy warming first: adopt demanded chunks into free
+                    // slots (counted as steady transfer, not prestore)
+                    if lazy_fill && ops_left > 0 {
+                        for chunk in self.hotness.plan_loads(&self.region, iter, ops_left) {
+                            let bytes = self.region.load_chunk(&mut self.gpu, g, chunk);
+                            self.gpu.xfer.h2d_bytes += bytes;
+                            self.gpu.xfer.h2d_ops += 1;
+                            let span = self.gpu.timeline.schedule_labeled(
+                                Engine::Copy,
+                                ready,
+                                self.gpu.config.pcie.transfer_ns(bytes),
+                                || format!("lazy-load {bytes}B"),
+                            );
+                            breakdown.update_ns += span.duration();
+                            ops_left -= 1;
+                        }
+                    }
+
+                    // then stale-for-hot swaps
+                    if !matches!(cfg.replacement, ReplacementPolicy::Disabled) && ops_left > 0 {
+                        let swaps = self.hotness.plan_swaps(&self.region, iter, ops_left);
+                        for (evict, load) in swaps {
+                            let bytes = self.region.swap_chunk(&mut self.gpu, g, evict, load);
+                            refresh_bytes += bytes;
+                            let span = self.gpu.timeline.schedule_labeled(
+                                Engine::Copy,
+                                ready,
+                                self.gpu.config.pcie.transfer_ns(bytes),
+                                || format!("refresh {bytes}B"),
+                            );
+                            breakdown.update_ns += span.duration();
+                        }
+                    }
+                }
+            }
+
+            let iter_end = self.gpu.sync();
+            per_iter.push(IterReport {
+                active_vertices: maps.active_vertices(),
+                active_edges: maps.active_edges(),
+                payload_bytes: od_payload,
+                time_ns: iter_end.since(iter_start),
+                static_edges: maps.static_edges,
+            });
+            active = next.snapshot();
+            iter += 1;
+        }
+
+        // Per-run delta accounting against the session baselines.
+        let run_end = self.gpu.sync();
+        let mut report = finish_report(
+            "Ascetic",
+            prog.name(),
+            iter,
+            &mut self.gpu,
+            if self.runs == 0 {
+                self.prestore_bytes
+            } else {
+                0
+            },
+            if self.runs == 0 { self.prestore_ns } else { 0 },
+            refresh_bytes,
+            breakdown,
+            per_iter,
+            prog.output(&state),
+        );
+        report.repartitions = repartitions;
+        // convert cumulative device counters into this run's share
+        report.xfer.h2d_bytes -= xfer0.h2d_bytes;
+        report.xfer.d2h_bytes -= xfer0.d2h_bytes;
+        report.xfer.h2d_ops -= xfer0.h2d_ops;
+        report.xfer.d2h_ops -= xfer0.d2h_ops;
+        report.kernels.launches -= kernels0.launches;
+        report.kernels.edges -= kernels0.edges;
+        report.kernels.vertices -= kernels0.vertices;
+        report.kernels.time_ns -= kernels0.time_ns;
+        let run_ns = run_end.since(run_start) + if self.runs == 0 { run_start.0 } else { 0 }; // first run owns the prestore time
+        report.sim_time_ns = run_ns;
+        let busy_delta = self.gpu.timeline.busy_ns(Engine::Compute) - compute_busy0;
+        report.gpu_idle_ns = run_ns.saturating_sub(busy_delta);
+        self.runs += 1;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascetic_algos::inmemory::run_in_memory;
+    use ascetic_algos::{Bfs, Cc, PageRank};
+    use ascetic_graph::generators::uniform_graph;
+    use ascetic_sim::DeviceConfig;
+
+    fn cfg_for(g: &Csr) -> AsceticConfig {
+        let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() * 2 / 5);
+        AsceticConfig::new(dev).with_chunk_bytes(1024)
+    }
+
+    #[test]
+    fn session_amortizes_the_prestore() {
+        let g = uniform_graph(2_500, 20_000, false, 31);
+        let mut session = AsceticSession::new(cfg_for(&g), &g);
+        let first = session.run(&Bfs::new(0));
+        let second = session.run(&Cc::new());
+        let third = session.run(&PageRank::new());
+        assert!(first.prestore_bytes > 0, "first run pays the prestore");
+        assert_eq!(second.prestore_bytes, 0, "later runs reuse the region");
+        assert_eq!(third.prestore_bytes, 0);
+        assert_eq!(session.runs(), 3);
+        assert!(session.resident_fraction() > 0.0);
+    }
+
+    #[test]
+    fn session_runs_match_oracles() {
+        let g = uniform_graph(2_000, 16_000, false, 32);
+        let mut session = AsceticSession::new(cfg_for(&g), &g);
+        let bfs = session.run(&Bfs::new(0));
+        assert_eq!(bfs.output, run_in_memory(&g, &Bfs::new(0)).output);
+        let cc = session.run(&Cc::new());
+        assert_eq!(cc.output, run_in_memory(&g, &Cc::new()).output);
+        let pr = session.run(&PageRank::new());
+        assert_eq!(pr.output, run_in_memory(&g, &PageRank::new()).output);
+    }
+
+    #[test]
+    fn per_run_counters_are_deltas() {
+        let g = uniform_graph(2_000, 16_000, false, 33);
+        let mut session = AsceticSession::new(cfg_for(&g), &g);
+        let a = session.run(&Bfs::new(0));
+        let b = session.run(&Bfs::new(0));
+        // identical workloads with a warm region: the second run's counters
+        // must be its own, not cumulative
+        assert!(b.xfer.h2d_bytes <= a.xfer.h2d_bytes + g.edge_bytes() / 10);
+        assert!(b.kernels.launches <= a.kernels.launches * 2);
+        // and it runs at least as fast (no prestore time)
+        assert!(b.sim_time_ns <= a.sim_time_ns);
+    }
+
+    #[test]
+    fn session_matches_one_shot_system() {
+        use crate::engine::AsceticSystem;
+        use crate::system::OutOfCoreSystem;
+        let g = uniform_graph(1_500, 12_000, false, 34);
+        let one_shot = AsceticSystem::new(cfg_for(&g)).run(&g, &PageRank::new());
+        let mut session = AsceticSession::new(cfg_for(&g), &g);
+        let first = session.run(&PageRank::new());
+        assert_eq!(one_shot.output, first.output);
+        assert_eq!(one_shot.xfer, first.xfer);
+        assert_eq!(one_shot.sim_time_ns, first.sim_time_ns);
+        assert_eq!(one_shot.prestore_bytes, first.prestore_bytes);
+    }
+}

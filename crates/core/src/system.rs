@@ -1,0 +1,72 @@
+//! The common system interface and shared device-budget helpers.
+//!
+//! Ascetic and all three baselines implement [`OutOfCoreSystem`], so the
+//! benchmark harness, the integration tests and the examples drive them
+//! uniformly and compare like-for-like.
+
+use ascetic_algos::traits::DEVICE_BYTES_PER_VERTEX;
+use ascetic_algos::VertexProgram;
+use ascetic_graph::Csr;
+use ascetic_sim::{DevPtr, Gpu};
+
+use crate::report::RunReport;
+
+/// An out-of-GPU-memory graph-processing system.
+pub trait OutOfCoreSystem {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Execute `prog` over `g`, returning the full report. The graph must
+    /// be weighted iff the program needs weights.
+    fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport;
+}
+
+/// Reserve the device-resident vertex arrays (values, offsets/degrees and
+/// the two bitmaps — the paper keeps "all vertices in the GPU memory") and
+/// return the reservation. The remaining arena capacity is the *edge
+/// budget* every system partitions.
+///
+/// # Panics
+/// Panics if the vertex arrays alone exceed device memory — the paper's
+/// setting assumes vertices always fit.
+pub fn reserve_vertex_arrays(gpu: &mut Gpu, g: &Csr) -> DevPtr {
+    let words = (g.num_vertices() as u64 * DEVICE_BYTES_PER_VERTEX / 4) as usize;
+    match gpu.alloc(words) {
+        Ok(p) => p,
+        Err(e) => panic!(
+            "vertex arrays ({} words) do not fit in device memory: {e}",
+            words
+        ),
+    }
+}
+
+/// The edge budget in bytes left after the vertex reservation.
+pub fn edge_budget_bytes(gpu: &Gpu) -> u64 {
+    gpu.mem.available() as u64 * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascetic_graph::generators::uniform_graph;
+    use ascetic_sim::DeviceConfig;
+
+    #[test]
+    fn vertex_reservation_shrinks_edge_budget() {
+        let g = uniform_graph(1_000, 5_000, false, 1);
+        let mut gpu = Gpu::new(DeviceConfig::p100(1 << 20)); // 1 MiB
+        let before = edge_budget_bytes(&gpu);
+        let p = reserve_vertex_arrays(&mut gpu, &g);
+        let after = edge_budget_bytes(&gpu);
+        assert_eq!(before - after, p.len_bytes());
+        assert_eq!(p.len_bytes(), 1_000 * DEVICE_BYTES_PER_VERTEX);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn oversized_vertex_set_panics() {
+        let g = uniform_graph(100_000, 10, false, 1);
+        let mut gpu = Gpu::new(DeviceConfig::p100(1 << 10));
+        reserve_vertex_arrays(&mut gpu, &g);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests of the static region's residency invariants under random
+//! operation sequences (fills, swaps, tail releases).
+//!
+//! Invariant under test: at every point, the vertex `StaticBitmap` is
+//! exactly "every chunk covering the vertex's edge range is resident", and
+//! the region's device data for a resident chunk equals the host CSR's
+//! serialization of that chunk.
+
+use proptest::prelude::*;
+
+use ascetic_core::config::FillPolicy;
+use ascetic_core::static_region::StaticRegion;
+use ascetic_graph::chunks::ChunkGeometry;
+use ascetic_graph::generators::uniform_graph;
+use ascetic_graph::Csr;
+use ascetic_sim::{DeviceConfig, Gpu};
+
+/// Exhaustively recompute what the vertex bitmap should be.
+fn expected_static(g: &Csr, geo: &ChunkGeometry, region: &StaticRegion) -> Vec<bool> {
+    (0..g.num_vertices() as u32)
+        .map(|v| match geo.chunks_of_vertex(g, v) {
+            None => true,
+            Some(chunks) => chunks.clone().all(|c| region.is_resident(c)),
+        })
+        .collect()
+}
+
+fn check_invariants(g: &Csr, geo: &ChunkGeometry, region: &StaticRegion, gpu: &Gpu) {
+    // 1. bitmap correctness
+    let expect = expected_static(g, geo, region);
+    for (v, &e) in expect.iter().enumerate() {
+        assert_eq!(
+            region.is_vertex_static(v as u32),
+            e,
+            "bitmap wrong at vertex {v}"
+        );
+    }
+    // 2. resident data correctness: every static vertex's slices match the
+    // host serialization
+    for v in 0..g.num_vertices() as u32 {
+        if !region.is_vertex_static(v) || g.degree(v) == 0 {
+            continue;
+        }
+        let mut words = Vec::new();
+        region.for_each_vertex_slice(&gpu.mem, g, v, |w| words.extend_from_slice(w));
+        let mut expect = Vec::new();
+        g.write_edge_words(g.edge_range(v), &mut expect);
+        assert_eq!(words, expect, "device data wrong for vertex {v}");
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Swap { evict_idx: usize, load_idx: usize },
+    ReleaseTail { n: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(e, l)| Op::Swap {
+            evict_idx: e,
+            load_idx: l
+        }),
+        (1usize..4).prop_map(|n| Op::ReleaseTail { n }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn residency_invariants_hold_under_random_ops(
+        seed in 0u64..50,
+        slots in 2usize..12,
+        ops in proptest::collection::vec(arb_op(), 0..20),
+    ) {
+        let g = uniform_graph(200, 1_500, false, seed);
+        let geo = ChunkGeometry::with_chunk_bytes(&g, 64); // 16 edges per chunk
+        let mut gpu = Gpu::new(DeviceConfig::p100(1 << 20));
+        let mut region = StaticRegion::new(&mut gpu, &g, geo, (slots * 64) as u64);
+        let plan = region.plan_fill(FillPolicy::Random { seed }, region.slots());
+        region.fill(&mut gpu, &g, &plan);
+        check_invariants(&g, &geo, &region, &gpu);
+
+        for op in ops {
+            match op {
+                Op::Swap { evict_idx, load_idx } => {
+                    let resident = region.resident_chunk_ids();
+                    if resident.is_empty() {
+                        continue;
+                    }
+                    let evict = resident[evict_idx % resident.len()];
+                    let absent: Vec<u32> = (0..geo.num_chunks() as u32)
+                        .filter(|&c| !region.is_resident(c))
+                        .collect();
+                    if absent.is_empty() {
+                        continue;
+                    }
+                    let load = absent[load_idx % absent.len()];
+                    region.swap_chunk(&mut gpu, &g, evict, load);
+                }
+                Op::ReleaseTail { n } => {
+                    let _ = region.release_tail_slots(&g, n.min(region.slots()));
+                }
+            }
+            check_invariants(&g, &geo, &region, &gpu);
+        }
+    }
+
+    #[test]
+    fn lazy_loads_preserve_invariants(
+        seed in 0u64..50,
+        loads in proptest::collection::vec(any::<usize>(), 1..10),
+    ) {
+        let g = uniform_graph(150, 1_000, false, seed);
+        let geo = ChunkGeometry::with_chunk_bytes(&g, 64);
+        let mut gpu = Gpu::new(DeviceConfig::p100(1 << 20));
+        let mut region = StaticRegion::new(&mut gpu, &g, geo, 8 * 64);
+        check_invariants(&g, &geo, &region, &gpu);
+        for pick in loads {
+            if region.free_slots() == 0 {
+                break;
+            }
+            let absent: Vec<u32> = (0..geo.num_chunks() as u32)
+                .filter(|&c| !region.is_resident(c))
+                .collect();
+            if absent.is_empty() {
+                break;
+            }
+            region.load_chunk(&mut gpu, &g, absent[pick % absent.len()]);
+            check_invariants(&g, &geo, &region, &gpu);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Delta–varint compression of adjacency lists.
+//!
+//! Out-of-core systems are bandwidth-bound, so compressing edge payloads
+//! before they cross PCIe is a classic lever (the WebGraph framework the
+//! paper's UK/GS datasets come from is itself a compressed format). This
+//! module provides the standard scheme: per adjacency list, sort targets,
+//! delta-encode (first value zig-zag against the source id, subsequent
+//! values as gaps) and write LEB128 varints.
+//!
+//! The scheme is exposed as a substrate (plus an ablation benchmark
+//! estimating the transfer savings it would buy each dataset); wiring it
+//! into the simulated DMA path is left out deliberately — the paper's
+//! systems all ship raw 4-byte targets, and the reproduction matches that.
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// Zig-zag encode a signed value into an unsigned one.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Zig-zag decode.
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a LEB128 varint.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint; returns `(value, bytes_consumed)` or `None` on
+/// truncated/overlong input.
+#[inline]
+pub fn read_varint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Encode the (sorted) adjacency list of `src` into `out`; returns the
+/// encoded byte length. Format: `degree, zigzag(first - src), gap, gap...`
+pub fn encode_adjacency(src: VertexId, targets: &[VertexId], out: &mut Vec<u8>) -> usize {
+    debug_assert!(
+        targets.windows(2).all(|w| w[0] <= w[1]),
+        "targets must be sorted"
+    );
+    let start = out.len();
+    write_varint(out, targets.len() as u64);
+    let mut prev: i64 = src as i64;
+    for (i, &t) in targets.iter().enumerate() {
+        if i == 0 {
+            write_varint(out, zigzag(t as i64 - prev));
+        } else {
+            write_varint(out, (t as i64 - prev) as u64);
+        }
+        prev = t as i64;
+    }
+    out.len() - start
+}
+
+/// Decode one adjacency list; returns `(targets, bytes_consumed)`.
+pub fn decode_adjacency(src: VertexId, buf: &[u8]) -> Option<(Vec<VertexId>, usize)> {
+    let (deg, mut pos) = read_varint(buf)?;
+    let mut targets = Vec::with_capacity(deg as usize);
+    let mut prev: i64 = src as i64;
+    for i in 0..deg {
+        let (raw, used) = read_varint(&buf[pos..])?;
+        pos += used;
+        let t = if i == 0 {
+            prev + unzigzag(raw)
+        } else {
+            prev + raw as i64
+        };
+        if t < 0 || t > u32::MAX as i64 {
+            return None;
+        }
+        targets.push(t as VertexId);
+        prev = t;
+    }
+    Some((targets, pos))
+}
+
+/// Compress every adjacency list of `g` (unweighted graphs only — weights
+/// would ride along uncompressed). Returns the byte stream plus per-vertex
+/// offsets.
+pub fn compress_graph(g: &Csr) -> (Vec<u8>, Vec<u64>) {
+    assert!(!g.is_weighted(), "compression covers unweighted payloads");
+    let mut bytes = Vec::new();
+    let mut offsets = Vec::with_capacity(g.num_vertices() + 1);
+    offsets.push(0u64);
+    for v in 0..g.num_vertices() as VertexId {
+        encode_adjacency(v, g.neighbors(v), &mut bytes);
+        offsets.push(bytes.len() as u64);
+    }
+    (bytes, offsets)
+}
+
+/// Compression statistics for a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompressionStats {
+    /// Raw payload bytes (4 per edge).
+    pub raw_bytes: u64,
+    /// Compressed payload bytes.
+    pub compressed_bytes: u64,
+}
+
+impl CompressionStats {
+    /// Compression ratio (raw / compressed).
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+}
+
+/// Measure how much delta–varint coding would shrink `g`'s edge payload.
+pub fn compression_stats(g: &Csr) -> CompressionStats {
+    let (bytes, _) = compress_graph(g);
+    CompressionStats {
+        raw_bytes: g.num_edges() * 4,
+        compressed_bytes: bytes.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{social_graph, uniform_graph, web_graph, SocialConfig, WebConfig};
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &values {
+            buf.clear();
+            write_varint(&mut buf, v);
+            let (got, used) = read_varint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000_000);
+        buf.pop();
+        assert!(read_varint(&buf).is_none());
+        assert!(read_varint(&[]).is_none());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-1_000_000i64, -1, 0, 1, 7, 1_000_000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn adjacency_roundtrip() {
+        let mut buf = Vec::new();
+        let targets = [3u32, 10, 11, 500, 10_000];
+        let n = encode_adjacency(100, &targets, &mut buf);
+        assert_eq!(n, buf.len());
+        let (got, used) = decode_adjacency(100, &buf).unwrap();
+        assert_eq!(got, targets);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn empty_adjacency() {
+        let mut buf = Vec::new();
+        encode_adjacency(5, &[], &mut buf);
+        let (got, used) = decode_adjacency(5, &buf).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn whole_graph_roundtrip() {
+        let g = uniform_graph(500, 5_000, false, 3);
+        let (bytes, offsets) = compress_graph(&g);
+        assert_eq!(offsets.len(), g.num_vertices() + 1);
+        for v in 0..g.num_vertices() as u32 {
+            let lo = offsets[v as usize] as usize;
+            let (targets, used) = decode_adjacency(v, &bytes[lo..]).unwrap();
+            assert_eq!(&targets[..], g.neighbors(v), "vertex {v}");
+            assert_eq!(lo + used, offsets[v as usize + 1] as usize);
+        }
+    }
+
+    #[test]
+    fn locality_compresses_better_than_random() {
+        // web graphs have tiny gaps (host locality) -> much better ratio
+        let web = web_graph(&WebConfig::new(20_000, 160_000, 1));
+        let soc = social_graph(&SocialConfig::new(20_000, 80_000, 1));
+        let rw = compression_stats(&web).ratio();
+        let rs = compression_stats(&soc).ratio();
+        assert!(rw > 2.0, "web ratio {rw:.2}");
+        assert!(rw > rs, "web {rw:.2} should beat social {rs:.2}");
+    }
+
+    #[test]
+    fn compression_never_explodes() {
+        // worst case per edge: 5 varint bytes + degree header; sanity-bound it
+        let g = uniform_graph(1_000, 8_000, false, 9);
+        let s = compression_stats(&g);
+        assert!(s.compressed_bytes < s.raw_bytes * 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Walker alias method for O(1) sampling from a discrete distribution.
+//!
+//! The Chung–Lu social generator draws both endpoints of every edge from a
+//! power-law weight distribution; with millions of edges an O(log n)
+//! binary-search per draw dominates generation time, so we use the classic
+//! alias table: O(n) build, O(1) sample.
+
+use rand::Rng;
+
+/// Pre-processed discrete distribution supporting O(1) sampling.
+pub struct AliasTable {
+    /// Acceptance probability of each bucket's "own" outcome.
+    prob: Vec<f64>,
+    /// Fallback outcome of each bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights. Panics if `weights` is empty, any
+    /// weight is negative/non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        // Scale so the average bucket holds probability 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Large bucket donates the deficit of the small one.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining takes its own outcome.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let expect = draws as f64 / 8.0;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "count {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let t = AliasTable::new(&[9.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut c0 = 0u32;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if t.sample(&mut rng) == 0 {
+                c0 += 1;
+            }
+        }
+        let frac = c0 as f64 / draws as f64;
+        assert!((frac - 0.9).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

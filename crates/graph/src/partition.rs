@@ -1,0 +1,176 @@
+//! Contiguous vertex-range edge partitions.
+//!
+//! The PT baseline (GraphReduce-style; paper Figure 1) splits the graph into
+//! partitions that each fit in GPU memory, then streams active partitions
+//! through the device every iteration. Partitions are contiguous vertex
+//! ranges so each one's edge data is one contiguous CSR slice — a single
+//! bulk PCIe transfer.
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// A contiguous vertex-range partition of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Vertices whose adjacency lists live in this partition.
+    pub vertices: std::ops::Range<VertexId>,
+    /// Edge-index range (into the CSR edge array).
+    pub edges: std::ops::Range<u64>,
+}
+
+impl Partition {
+    /// Number of edges in the partition.
+    pub fn num_edges(&self) -> u64 {
+        self.edges.end - self.edges.start
+    }
+}
+
+/// Split `g` into contiguous partitions whose edge payload each fits in
+/// `max_bytes`. A single vertex whose adjacency list alone exceeds the
+/// budget gets its own (oversized) partition — the PT runner then streams
+/// it in slices.
+///
+/// # Panics
+/// Panics if `max_bytes` is smaller than one edge entry.
+pub fn partition_by_bytes(g: &Csr, max_bytes: u64) -> Vec<Partition> {
+    let bpe = g.bytes_per_edge() as u64;
+    assert!(max_bytes >= bpe, "partition budget below one edge");
+    let max_edges = max_bytes / bpe;
+    let n = g.num_vertices();
+    let mut parts = Vec::new();
+    let mut vstart: usize = 0;
+    while vstart < n {
+        let estart = g.offsets()[vstart];
+        // furthest vend with offsets[vend] - estart <= max_edges
+        let limit = estart + max_edges;
+        // furthest end vertex whose cumulative edge offset stays within the
+        // budget: count the offsets in (vstart, n] that are <= limit
+        let tail = &g.offsets()[vstart + 1..=n];
+        let mut vend = vstart + tail.partition_point(|&o| o <= limit);
+        if vend == vstart {
+            vend = vstart + 1; // oversized single-vertex partition
+        }
+        vend = vend.min(n);
+        parts.push(Partition {
+            vertices: vstart as VertexId..vend as VertexId,
+            edges: g.offsets()[vstart]..g.offsets()[vend],
+        });
+        vstart = vend;
+    }
+    parts
+}
+
+/// Validate that `parts` exactly tile `g` (used by tests and debug builds).
+pub fn validate_partitions(g: &Csr, parts: &[Partition]) -> Result<(), String> {
+    let n = g.num_vertices() as VertexId;
+    let mut expect_v: VertexId = 0;
+    let mut expect_e: u64 = 0;
+    for (i, p) in parts.iter().enumerate() {
+        if p.vertices.start != expect_v {
+            return Err(format!("partition {i}: vertex gap at {expect_v}"));
+        }
+        if p.edges.start != expect_e {
+            return Err(format!("partition {i}: edge gap at {expect_e}"));
+        }
+        if p.vertices.is_empty() {
+            return Err(format!("partition {i}: empty vertex range"));
+        }
+        if g.offsets()[p.vertices.start as usize] != p.edges.start
+            || g.offsets()[p.vertices.end as usize] != p.edges.end
+        {
+            return Err(format!("partition {i}: edge range disagrees with offsets"));
+        }
+        expect_v = p.vertices.end;
+        expect_e = p.edges.end;
+    }
+    if expect_v != n {
+        return Err(format!(
+            "partitions end at vertex {expect_v}, graph has {n}"
+        ));
+    }
+    if expect_e != g.num_edges() {
+        return Err("partitions do not cover all edges".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{rmat_graph, RmatConfig};
+
+    fn star(n: usize) -> Csr {
+        // vertex 0 points at everyone else
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(0, v as VertexId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partitions_tile_the_graph() {
+        let g = rmat_graph(&RmatConfig::new(10, 20_000, 5));
+        for budget in [256u64, 1024, 4096, 1 << 20] {
+            let parts = partition_by_bytes(&g, budget);
+            validate_partitions(&g, &parts).unwrap();
+            // every non-oversized partition respects the budget
+            for p in &parts {
+                if p.vertices.len() > 1 {
+                    assert!(p.num_edges() * 4 <= budget, "budget {budget} violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_vertex_gets_own_partition() {
+        let g = star(10_000); // vertex 0 has 9_999 edges = ~40 KB
+        let parts = partition_by_bytes(&g, 1024);
+        validate_partitions(&g, &parts).unwrap();
+        assert_eq!(parts[0].vertices, 0..1);
+        assert_eq!(parts[0].num_edges(), 9_999);
+    }
+
+    #[test]
+    fn single_partition_when_budget_is_large() {
+        let g = star(100);
+        let parts = partition_by_bytes(&g, 1 << 30);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].vertices, 0..100);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_partitions_only_for_zero_vertices() {
+        let g = Csr::empty(0);
+        assert!(partition_by_bytes(&g, 1024).is_empty());
+        // vertices but no edges: still tiled (zero-edge partitions)
+        let g2 = Csr::empty(10);
+        let parts = partition_by_bytes(&g2, 1024);
+        validate_partitions(&g2, &parts).unwrap();
+    }
+
+    #[test]
+    fn exact_fit_boundary() {
+        // 4 vertices with degree 2 each (8 edges, 32 bytes); budget = 16 bytes
+        // must yield exactly 2 partitions of 2 vertices.
+        let mut b = GraphBuilder::new(4);
+        for v in 0..4u32 {
+            b.add_edge(v, (v + 1) % 4);
+            b.add_edge(v, (v + 2) % 4);
+        }
+        let g = b.build();
+        let parts = partition_by_bytes(&g, 16);
+        validate_partitions(&g, &parts).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].vertices, 0..2);
+        assert_eq!(parts[1].vertices, 2..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "below one edge")]
+    fn rejects_tiny_budget() {
+        partition_by_bytes(&star(4), 2);
+    }
+}

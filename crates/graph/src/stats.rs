@@ -1,0 +1,136 @@
+//! Degree statistics and distribution summaries.
+//!
+//! Used by the dataset catalog to sanity-check that the synthetic stand-ins
+//! have the right structural class (heavy-tailed vs regular, directed
+//! locality), and by EXPERIMENTS.md to document the generated workloads.
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edge entries.
+    pub num_edges: u64,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Maximum out-degree.
+    pub max: u64,
+    /// Number of vertices with no out-edges.
+    pub isolated: usize,
+    /// Gini coefficient of the degree distribution (0 = perfectly equal,
+    /// → 1 = extremely skewed). Social graphs land around 0.5–0.8; uniform
+    /// graphs near 0.1.
+    pub gini: f64,
+}
+
+/// Compute [`DegreeStats`] for `g`.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut degs: Vec<u64> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    let max = degs.iter().copied().max().unwrap_or(0);
+    let isolated = degs.iter().filter(|&&d| d == 0).count();
+    let m = g.num_edges();
+    let mean = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+    degs.sort_unstable();
+    // Gini via the sorted-sum formula: G = (2*Σ i*x_i)/(n*Σ x_i) - (n+1)/n.
+    let total: f64 = m as f64;
+    let gini = if n == 0 || total == 0.0 {
+        0.0
+    } else {
+        let weighted: f64 = degs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+    };
+    DegreeStats {
+        num_vertices: n,
+        num_edges: m,
+        mean,
+        max,
+        isolated,
+        gini,
+    }
+}
+
+/// Log2-bucketed degree histogram: `hist[k]` counts vertices with
+/// out-degree in `[2^k, 2^(k+1))`; `hist[0]` also counts degree-0 vertices
+/// separately via [`DegreeStats::isolated`].
+pub fn degree_histogram(g: &Csr) -> Vec<u64> {
+    let mut hist = Vec::new();
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.degree(v);
+        if d == 0 {
+            continue;
+        }
+        let bucket = 63 - d.leading_zeros() as usize;
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{social_graph, uniform_graph, SocialConfig};
+
+    #[test]
+    fn stats_on_tiny_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(1, 0);
+        let g = b.build();
+        let s = degree_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.isolated, 2);
+        assert!((s.mean - 1.0).abs() < 1e-9);
+        assert!(s.gini > 0.0 && s.gini < 1.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::empty(3);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.isolated, 3);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn social_is_more_skewed_than_uniform() {
+        let social = social_graph(&SocialConfig::new(2_000, 10_000, 1));
+        let uni = uniform_graph(2_000, 20_000, false, 1);
+        let gs = degree_stats(&social).gini;
+        let gu = degree_stats(&uni).gini;
+        assert!(gs > gu + 0.15, "social gini {gs:.2} vs uniform {gu:.2}");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut b = GraphBuilder::new(4);
+        // degrees: v0=1, v1=2, v2=5
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        for t in [0, 1, 3, 0, 1] {
+            b.add_edge(2, t);
+        }
+        let g = b.build();
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 1); // degree 1
+        assert_eq!(h[1], 1); // degree 2-3
+        assert_eq!(h[2], 1); // degree 4-7
+    }
+}

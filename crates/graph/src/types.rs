@@ -1,0 +1,42 @@
+//! Fundamental scalar types shared across the workspace.
+
+/// Vertex identifier. The paper's graphs have up to ~125 M vertices, which
+/// fits `u32`; using 32 bits halves vertex-array traffic, matching the
+/// original CUDA implementation.
+pub type VertexId = u32;
+
+/// Edge weight for weighted algorithms (SSSP). The paper notes "the size of
+/// the edge data is doubled for SSSP because there is an additional data
+/// field for the weight" — i.e. a 4-byte weight next to the 4-byte target.
+pub type Weight = u32;
+
+/// Edge count / edge-array index. Edge arrays can exceed `u32::MAX` at paper
+/// scale, so offsets are 64-bit.
+pub type EdgeCount = u64;
+
+/// "Unreached" distance marker for BFS/SSSP.
+pub const INF_DIST: u32 = u32::MAX;
+
+/// Bytes occupied by one CSR edge entry without weights (just the target id).
+pub const BYTES_PER_EDGE_UNWEIGHTED: usize = 4;
+
+/// Bytes occupied by one CSR edge entry with a weight (target id + weight).
+pub const BYTES_PER_EDGE_WEIGHTED: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_entry_sizes_match_paper() {
+        // Table 5: PR on GSH is 7.2 GB over 1.8 B edges => 4 bytes/edge;
+        // SSSP on GSH is 13.7 GB => ~8 bytes/edge ("doubled for SSSP").
+        assert_eq!(BYTES_PER_EDGE_UNWEIGHTED, 4);
+        assert_eq!(BYTES_PER_EDGE_WEIGHTED, 2 * BYTES_PER_EDGE_UNWEIGHTED);
+        assert_eq!(std::mem::size_of::<VertexId>(), BYTES_PER_EDGE_UNWEIGHTED);
+        assert_eq!(
+            std::mem::size_of::<VertexId>() + std::mem::size_of::<Weight>(),
+            BYTES_PER_EDGE_WEIGHTED
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Atomic reduction helpers built from compare-exchange loops.
+//!
+//! Push-based vertex programs update destination vertex values from many
+//! threads at once: SSSP/BFS need an atomic `min`, CC needs an atomic `min`
+//! over labels, and delta-PageRank needs an atomic floating-point add.
+//! `std::sync::atomic` provides `fetch_min` for integers but nothing for
+//! floats, so both live here behind one consistent API.
+//!
+//! All loops use `Relaxed` ordering: vertex values are only read between
+//! kernel phases (after the thread join, which synchronizes), never used to
+//! publish other memory.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Atomically `dst = min(dst, val)`. Returns `true` when `val` lowered the
+/// stored value (the caller then activates the destination vertex).
+#[inline]
+pub fn atomic_min_u32(dst: &AtomicU32, val: u32) -> bool {
+    let prev = dst.fetch_min(val, Ordering::Relaxed);
+    val < prev
+}
+
+/// Atomically `dst = max(dst, val)`. Returns `true` when `val` raised it.
+#[inline]
+pub fn atomic_max_u32(dst: &AtomicU32, val: u32) -> bool {
+    let prev = dst.fetch_max(val, Ordering::Relaxed);
+    val > prev
+}
+
+/// Atomically add `val` to an `f32` stored as the bits of an [`AtomicU32`].
+///
+/// Returns the value held *before* the addition. This mirrors CUDA's
+/// `atomicAdd(float*)`, which PageRank's scatter uses.
+#[inline]
+pub fn atomic_add_f32(dst: &AtomicU32, val: f32) -> f32 {
+    let mut cur = dst.load(Ordering::Relaxed);
+    loop {
+        let old = f32::from_bits(cur);
+        let new = (old + val).to_bits();
+        match dst.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return old,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Atomically add `val` to an `f64` stored as the bits of an [`AtomicU64`].
+#[inline]
+pub fn atomic_add_f64(dst: &AtomicU64, val: f64) -> f64 {
+    let mut cur = dst.load(Ordering::Relaxed);
+    loop {
+        let old = f64::from_bits(cur);
+        let new = (old + val).to_bits();
+        match dst.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return old,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Atomically exchange an `f64` (bit-stored) with `val`, returning the old
+/// value. Delta-PageRank uses this to claim a vertex's accumulated residual.
+#[inline]
+pub fn atomic_swap_f64(dst: &AtomicU64, val: f64) -> f64 {
+    f64::from_bits(dst.swap(val.to_bits(), Ordering::Relaxed))
+}
+
+/// Load an `f64` stored as bits.
+#[inline]
+pub fn load_f64(src: &AtomicU64) -> f64 {
+    f64::from_bits(src.load(Ordering::Relaxed))
+}
+
+/// Store an `f64` as bits.
+#[inline]
+pub fn store_f64(dst: &AtomicU64, val: f64) {
+    dst.store(val.to_bits(), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::parallel_for;
+
+    #[test]
+    fn min_reports_improvement() {
+        let a = AtomicU32::new(10);
+        assert!(atomic_min_u32(&a, 5));
+        assert!(!atomic_min_u32(&a, 5));
+        assert!(!atomic_min_u32(&a, 7));
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn max_reports_improvement() {
+        let a = AtomicU32::new(10);
+        assert!(atomic_max_u32(&a, 20));
+        assert!(!atomic_max_u32(&a, 15));
+        assert_eq!(a.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn concurrent_min_finds_global_min() {
+        let a = AtomicU32::new(u32::MAX);
+        parallel_for(100_000, |i| {
+            atomic_min_u32(&a, (i as u32).wrapping_mul(2_654_435_761) % 1_000_000);
+        });
+        // The minimum over i*h mod 1e6 for 100k distinct i's: recompute serially.
+        let expect = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 1_000_000)
+            .min()
+            .unwrap();
+        assert_eq!(a.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn f32_add_accumulates() {
+        let a = AtomicU32::new(0f32.to_bits());
+        let n = 10_000;
+        parallel_for(n, |_| {
+            atomic_add_f32(&a, 1.0);
+        });
+        assert_eq!(f32::from_bits(a.load(Ordering::Relaxed)), n as f32);
+    }
+
+    #[test]
+    fn f64_add_accumulates_exactly_for_integers() {
+        let a = AtomicU64::new(0f64.to_bits());
+        let n = 50_000;
+        parallel_for(n, |i| {
+            atomic_add_f64(&a, (i % 7) as f64);
+        });
+        let expect: f64 = (0..n).map(|i| (i % 7) as f64).sum();
+        assert_eq!(load_f64(&a), expect);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let a = AtomicU64::new(3.5f64.to_bits());
+        assert_eq!(atomic_swap_f64(&a, 0.0), 3.5);
+        assert_eq!(load_f64(&a), 0.0);
+        store_f64(&a, -1.25);
+        assert_eq!(load_f64(&a), -1.25);
+    }
+
+    #[test]
+    fn f32_add_returns_old_value() {
+        let a = AtomicU32::new(2.0f32.to_bits());
+        let old = atomic_add_f32(&a, 3.0);
+        assert_eq!(old, 2.0);
+        assert_eq!(f32::from_bits(a.load(Ordering::Relaxed)), 5.0);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # ascetic-par — parallelism substrate
+//!
+//! Small, dependency-light building blocks used by every other crate in the
+//! Ascetic workspace:
+//!
+//! * [`parallel_for`] / [`parallel_for_with`] — a chunked, work-stealing
+//!   parallel loop over an index range built on scoped threads, used to run
+//!   the "GPU kernels" of the simulated device on host cores.
+//! * [`AtomicBitmap`] / [`Bitmap`] — the bitmap machinery behind the paper's
+//!   `ActiveBitmap` / `StaticBitmap` / `StaticMap` / `OndemandMap` dataflow
+//!   (Figure 4 of the paper): concurrent set/test plus bulk word-level
+//!   AND / XOR / AND-NOT combinators.
+//! * [`atomics`] — CAS-loop atomic min / max / float-add reductions used by
+//!   the push-based vertex programs (SSSP relaxations, PageRank scatter).
+//! * [`scan`] — exclusive prefix sums (serial and parallel) used to build
+//!   compact on-demand subgraphs (`OndemandNodes` → edge offsets).
+//!
+//! Everything here is safe Rust; concurrency uses `std::sync::atomic` and
+//! scoped threads, following the "Rust Atomics and Locks" idioms.
+
+pub mod atomics;
+pub mod bitmap;
+pub mod pool;
+pub mod scan;
+
+pub use atomics::{
+    atomic_add_f32, atomic_add_f64, atomic_max_u32, atomic_min_u32, atomic_swap_f64, load_f64,
+    store_f64,
+};
+pub use bitmap::{AtomicBitmap, Bitmap};
+pub use pool::{
+    current_num_threads, parallel_for, parallel_for_with, parallel_map_fixed_blocks,
+    parallel_ranges, set_num_threads,
+};
+pub use scan::{exclusive_scan_in_place, parallel_exclusive_scan};

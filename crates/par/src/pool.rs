@@ -1,0 +1,283 @@
+//! Chunked parallel-for over an index range.
+//!
+//! The simulated GPU executes its "kernels" on host cores. A kernel is a loop
+//! over work items (active vertices, edge chunks, bitmap words); this module
+//! provides the loop. Work is handed out in fixed-size chunks through a single
+//! shared atomic cursor, which gives dynamic load balancing (important for
+//! power-law graphs where one vertex can own millions of edges) without any
+//! per-item synchronization.
+//!
+//! The thread count defaults to the machine's available parallelism and can
+//! be overridden globally with [`set_num_threads`] (used by tests and by the
+//! deterministic benchmark harness; note that simulated *time* never depends
+//! on the host thread count — only wall time does).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global override for the worker thread count. `0` means "not set".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Minimum number of items each chunk grab should cover. Small enough to
+/// balance skewed work, big enough that cursor contention is negligible.
+const MIN_CHUNK: usize = 64;
+
+/// Set the number of worker threads used by [`parallel_for`].
+///
+/// Passing `0` restores the default (machine parallelism).
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads [`parallel_for`] will use right now.
+pub fn current_num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pick a chunk size for a loop of `len` items on `threads` workers.
+///
+/// Aims for ~8 chunks per thread so stealing can smooth out skew, with a
+/// floor of [`MIN_CHUNK`] to keep the shared cursor cold.
+fn chunk_size(len: usize, threads: usize) -> usize {
+    let target = len / (threads * 8).max(1);
+    target.max(MIN_CHUNK).min(len.max(1))
+}
+
+/// Run `body(i)` for every `i in 0..len`, in parallel.
+///
+/// `body` must be safe to call concurrently from multiple threads
+/// (`Sync + Send` closure over shared state — typically atomics or disjoint
+/// indexed writes through interior mutability).
+///
+/// Degenerates to a plain serial loop when `len` is small or only one thread
+/// is configured, so it is safe to use in cold paths too.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// let sum = AtomicU64::new(0);
+/// ascetic_par::parallel_for(1_000, |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 999 * 1_000 / 2);
+/// ```
+pub fn parallel_for<F>(len: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_with(len, |_, i| body(i));
+}
+
+/// Like [`parallel_for`] but the body also receives the worker index
+/// (`0..current_num_threads()`), for per-thread scratch buffers.
+pub fn parallel_for_with<F>(len: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(len).max(1);
+    if threads == 1 || len <= MIN_CHUNK {
+        for i in 0..len {
+            body(0, i);
+        }
+        return;
+    }
+    let chunk = chunk_size(len, threads);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let cursor = &cursor;
+            let body = &body;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                for i in start..end {
+                    body(worker, i);
+                }
+            });
+        }
+    });
+}
+
+/// Split `0..len` into per-worker ranges, run `body(worker, range)` on each
+/// worker thread, and collect the return values in worker order.
+///
+/// Unlike [`parallel_for`], the split is static (one contiguous range per
+/// worker); use this when the body needs to produce an owned result per
+/// thread (e.g. per-thread gather buffers that are later concatenated).
+pub fn parallel_ranges<T, F>(len: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    let threads = current_num_threads().min(len.max(1)).max(1);
+    if threads == 1 {
+        return vec![body(0, 0..len)];
+    }
+    let per = len.div_ceil(threads);
+    let mut out: Vec<Option<T>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (worker, slot) in out.iter_mut().enumerate() {
+            let body = &body;
+            scope.spawn(move || {
+                let start = (worker * per).min(len);
+                let end = ((worker + 1) * per).min(len);
+                *slot = Some(body(worker, start..end));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker completed"))
+        .collect()
+}
+
+/// Map fixed-size blocks of `0..len` to values, in parallel, returning the
+/// results in block order.
+///
+/// Unlike [`parallel_ranges`], the work decomposition is **independent of
+/// the thread count**: block `i` always covers
+/// `i*block_size .. min((i+1)*block_size, len)`. Use this whenever the
+/// per-block computation is seeded by its block (e.g. deterministic
+/// parallel RNG streams in the graph generators) so that results are
+/// reproducible on any machine.
+pub fn parallel_map_fixed_blocks<T, F>(len: usize, block_size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    assert!(block_size > 0, "block size must be positive");
+    let nblocks = len.div_ceil(block_size);
+    let nested = parallel_ranges(nblocks, |_, brange| {
+        brange
+            .map(|b| f(b, b * block_size..((b + 1) * block_size).min(len)))
+            .collect::<Vec<T>>()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Tests that mutate the global thread override serialize on this.
+    static THREAD_OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        parallel_for(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_item() {
+        let sum = AtomicU64::new(0);
+        parallel_for(1, |i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sums_match_serial() {
+        let n = 123_457;
+        let sum = AtomicU64::new(0);
+        parallel_for(n, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        let expect = (n as u64 - 1) * n as u64 / 2;
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn worker_ids_are_in_range() {
+        let _g = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(4);
+        let bad = AtomicUsize::new(0);
+        parallel_for_with(50_000, |w, _| {
+            if w >= 4 {
+                bad.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        set_num_threads(0);
+        assert_eq!(bad.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn respects_thread_override() {
+        let _g = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(1);
+        assert_eq!(current_num_threads(), 1);
+        // Serial path must still cover everything.
+        let sum = AtomicU64::new(0);
+        parallel_for(1000, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        set_num_threads(0);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_ranges_partition_the_domain() {
+        let n = 100_001;
+        let parts = parallel_ranges(n, |_, r| r);
+        let mut all: Vec<usize> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), n);
+        assert!(all.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn parallel_ranges_empty() {
+        let parts = parallel_ranges(0, |_, r| r.len());
+        assert_eq!(parts.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn fixed_blocks_are_thread_count_independent() {
+        let _g = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        let run = || parallel_map_fixed_blocks(1000, 64, |b, r| (b, r.start, r.end));
+        set_num_threads(1);
+        let serial = run();
+        set_num_threads(7);
+        let par = run();
+        set_num_threads(0);
+        assert_eq!(serial, par);
+        assert_eq!(serial.len(), 16);
+        assert_eq!(serial[0], (0, 0, 64));
+        assert_eq!(serial[15], (15, 960, 1000));
+    }
+
+    #[test]
+    fn fixed_blocks_empty_input() {
+        let out = parallel_map_fixed_blocks(0, 64, |b, _| b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_size_has_floor() {
+        assert_eq!(chunk_size(10, 4), 10);
+        assert!(chunk_size(1_000_000, 8) >= MIN_CHUNK);
+        assert_eq!(chunk_size(0, 4), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Device descriptor and cost models.
+//!
+//! One [`DeviceConfig`] bundles everything timing-related about the
+//! simulated platform. The defaults are calibrated to the paper's testbed —
+//! an NVIDIA Tesla P100 (16 GB, capped to 10 GB), PCIe 3.0 ×16, and an Intel
+//! Xeon Silver 4210 10-core host — at the granularity that matters for the
+//! reproduced experiments: *ratios* between transfer, gather and compute
+//! time, not absolute seconds.
+
+use crate::time::ns_for_bytes;
+
+/// PCIe link model: fixed per-transfer latency plus bandwidth-limited
+/// payload time. Effective bandwidth ~12 GB/s matches measured P100 PCIe
+/// 3.0 ×16 host-to-device throughput for pinned memory.
+#[derive(Clone, Copy, Debug)]
+pub struct PcieModel {
+    /// Sustained bandwidth, bytes per second.
+    pub bandwidth_bps: u64,
+    /// Fixed cost per DMA operation (driver + doorbell + setup), ns.
+    pub latency_ns: u64,
+}
+
+impl PcieModel {
+    /// Time to move `bytes` in one DMA operation.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.latency_ns + ns_for_bytes(bytes, self.bandwidth_bps)
+    }
+}
+
+/// GPU kernel cost model: launch overhead plus linear per-edge and
+/// per-vertex work. Graph kernels on a P100 are memory-bound; ~4 G
+/// traversed-edges/s (0.25 ns/edge) is in line with published
+/// Subway/Gunrock numbers for irregular frontiers.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelModel {
+    /// Fixed launch + sync overhead per kernel, ns.
+    pub launch_ns: u64,
+    /// Cost per traversed edge, femtoseconds (fs keeps integer math exact
+    /// for sub-ns rates: 0.25 ns/edge = 250_000 fs/edge).
+    pub edge_fs: u64,
+    /// Cost per processed vertex, femtoseconds.
+    pub vertex_fs: u64,
+}
+
+impl KernelModel {
+    /// Time for a kernel touching `edges` edges and `vertices` vertices.
+    #[inline]
+    pub fn kernel_ns(&self, edges: u64, vertices: u64) -> u64 {
+        let work_fs =
+            edges as u128 * self.edge_fs as u128 + vertices as u128 * self.vertex_fs as u128;
+        self.launch_ns + (work_fs.div_ceil(1_000_000)) as u64
+    }
+}
+
+/// Host-side gather model: the On-demand Engine / Subway step (b) where CPU
+/// threads collect the active vertices' edges from main memory into a
+/// pinned staging buffer. Multi-threaded gather on a 10-core Xeon sustains
+/// roughly 10 GB/s aggregate (Subway reports similar rates); per-vertex
+/// bookkeeping adds a few ns each.
+#[derive(Clone, Copy, Debug)]
+pub struct GatherModel {
+    /// Aggregate gather throughput of the host threads, bytes per second.
+    pub bandwidth_bps: u64,
+    /// Per-gathered-vertex overhead (offset lookup, size calc), ns.
+    pub vertex_ns: u64,
+    /// Fixed cost to kick off a gather batch (thread wake-up etc.), ns.
+    pub batch_ns: u64,
+}
+
+impl GatherModel {
+    /// Time for the host to gather `bytes` of edge data spread over
+    /// `vertices` adjacency lists.
+    #[inline]
+    pub fn gather_ns(&self, bytes: u64, vertices: u64) -> u64 {
+        if bytes == 0 && vertices == 0 {
+            return 0;
+        }
+        self.batch_ns + ns_for_bytes(bytes, self.bandwidth_bps) + vertices * self.vertex_ns
+    }
+}
+
+/// Unified Virtual Memory model. Page-fault servicing on Pascal costs tens
+/// of microseconds per fault (20-50 us in published measurements) and
+/// migrations under oversubscription run far below peak PCIe bandwidth
+/// (fault-ordered, small pages, eviction interference).
+#[derive(Clone, Copy, Debug)]
+pub struct UvmModel {
+    /// Page size, bytes (Pascal migrates 64 KiB basic blocks by default).
+    pub page_bytes: u64,
+    /// Cost to service one page fault (GPU stall + OS + driver), ns.
+    pub fault_ns: u64,
+    /// Migration bandwidth, bytes per second (below raw PCIe).
+    pub bandwidth_bps: u64,
+}
+
+impl UvmModel {
+    /// Time to fault-in one page.
+    #[inline]
+    pub fn fault_in_ns(&self) -> u64 {
+        self.fault_ns + ns_for_bytes(self.page_bytes, self.bandwidth_bps)
+    }
+}
+
+/// Full device + host descriptor used by every system implementation.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceConfig {
+    /// Device memory capacity, bytes (the paper caps the P100 at 10 GB).
+    pub mem_bytes: u64,
+    /// PCIe link model.
+    pub pcie: PcieModel,
+    /// Kernel cost model.
+    pub kernel: KernelModel,
+    /// Host gather model.
+    pub gather: GatherModel,
+    /// UVM model.
+    pub uvm: UvmModel,
+}
+
+impl DeviceConfig {
+    /// P100-class defaults with the given memory capacity.
+    pub fn p100(mem_bytes: u64) -> Self {
+        DeviceConfig {
+            mem_bytes,
+            pcie: PcieModel {
+                bandwidth_bps: 12_000_000_000,
+                latency_ns: 10_000,
+            },
+            kernel: KernelModel {
+                launch_ns: 8_000,
+                edge_fs: 250_000,
+                vertex_fs: 1_000_000,
+            },
+            gather: GatherModel {
+                bandwidth_bps: 10_000_000_000,
+                vertex_ns: 4,
+                batch_ns: 20_000,
+            },
+            uvm: UvmModel {
+                page_bytes: 64 * 1024,
+                fault_ns: 35_000,
+                bandwidth_bps: 4_000_000_000,
+            },
+        }
+    }
+
+    /// Device memory capacity in u32 words (the arena's unit).
+    pub fn mem_words(&self) -> usize {
+        (self.mem_bytes / 4) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_latency_dominates_small_transfers() {
+        let p = DeviceConfig::p100(1 << 30).pcie;
+        let small = p.transfer_ns(64);
+        let big = p.transfer_ns(64 * 1024 * 1024);
+        assert!(small >= p.latency_ns);
+        assert!(small < 2 * p.latency_ns);
+        // 64 MiB at 12 GB/s ≈ 5.6 ms >> latency
+        assert!(big > 5_000_000);
+        assert_eq!(p.transfer_ns(0), 0);
+    }
+
+    #[test]
+    fn kernel_scales_with_work() {
+        let k = DeviceConfig::p100(1 << 30).kernel;
+        let t0 = k.kernel_ns(0, 0);
+        assert_eq!(t0, k.launch_ns);
+        // 4M edges at 0.25 ns/edge = 1 ms
+        let t = k.kernel_ns(4_000_000, 0);
+        assert!((t as i64 - (k.launch_ns as i64 + 1_000_000)).abs() <= 1);
+        // vertices cost more per item than edges
+        assert!(k.kernel_ns(0, 1_000) > k.kernel_ns(1_000, 0));
+    }
+
+    #[test]
+    fn gather_accounts_bytes_and_vertices() {
+        let g = DeviceConfig::p100(1 << 30).gather;
+        assert_eq!(g.gather_ns(0, 0), 0);
+        let t = g.gather_ns(10_000_000, 1_000);
+        // 10 MB at 10 GB/s = 1 ms, plus batch + 4 us vertex cost
+        assert!(t >= 1_000_000 + g.batch_ns + 4_000);
+    }
+
+    #[test]
+    fn uvm_fault_cost_exceeds_bulk_transfer_per_byte() {
+        let cfg = DeviceConfig::p100(1 << 30);
+        // Moving 64 KiB via one UVM fault must cost more than moving it as
+        // part of a big bulk PCIe transfer — the inefficiency the paper's
+        // §4.4 attributes to page-grained migration.
+        let uvm_per_byte = cfg.uvm.fault_in_ns() as f64 / cfg.uvm.page_bytes as f64;
+        let bulk = cfg.pcie.transfer_ns(256 << 20) as f64 / (256u64 << 20) as f64;
+        assert!(uvm_per_byte > 2.0 * bulk);
+    }
+
+    #[test]
+    fn word_capacity() {
+        assert_eq!(DeviceConfig::p100(4096).mem_words(), 1024);
+    }
+}

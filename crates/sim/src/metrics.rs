@@ -1,0 +1,108 @@
+//! Transfer and kernel counters.
+//!
+//! Tables 4/5 and Figures 7–9 are built from exactly these numbers: bytes
+//! moved per direction, number of DMA operations, kernel launches and the
+//! work they performed. Counters are plain (non-atomic) because all systems
+//! drive the simulated device from a single orchestration thread.
+
+/// PCIe transfer counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XferStats {
+    /// Host→device payload bytes.
+    pub h2d_bytes: u64,
+    /// Device→host payload bytes.
+    pub d2h_bytes: u64,
+    /// Number of H2D DMA operations.
+    pub h2d_ops: u64,
+    /// Number of D2H DMA operations.
+    pub d2h_ops: u64,
+}
+
+impl XferStats {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &XferStats) {
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+        self.h2d_ops += other.h2d_ops;
+        self.d2h_ops += other.d2h_ops;
+    }
+}
+
+/// Kernel-launch counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Total edges traversed across launches.
+    pub edges: u64,
+    /// Total vertices processed across launches.
+    pub vertices: u64,
+    /// Total simulated kernel time, ns.
+    pub time_ns: u64,
+}
+
+impl KernelStats {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.launches += other.launches;
+        self.edges += other.edges;
+        self.vertices += other.vertices;
+        self.time_ns += other.time_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xfer_totals_and_merge() {
+        let mut a = XferStats {
+            h2d_bytes: 10,
+            d2h_bytes: 2,
+            h2d_ops: 1,
+            d2h_ops: 1,
+        };
+        let b = XferStats {
+            h2d_bytes: 5,
+            d2h_bytes: 0,
+            h2d_ops: 2,
+            d2h_ops: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.h2d_bytes, 15);
+        assert_eq!(a.h2d_ops, 3);
+        assert_eq!(a.total_bytes(), 17);
+    }
+
+    #[test]
+    fn kernel_merge() {
+        let mut a = KernelStats {
+            launches: 1,
+            edges: 100,
+            vertices: 10,
+            time_ns: 500,
+        };
+        a.merge(&KernelStats {
+            launches: 2,
+            edges: 50,
+            vertices: 5,
+            time_ns: 100,
+        });
+        assert_eq!(a.launches, 3);
+        assert_eq!(a.edges, 150);
+        assert_eq!(a.vertices, 15);
+        assert_eq!(a.time_ns, 600);
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(XferStats::default().total_bytes(), 0);
+        assert_eq!(KernelStats::default().launches, 0);
+    }
+}

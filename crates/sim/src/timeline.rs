@@ -1,0 +1,339 @@
+//! Engine timeline: CUDA-stream-like scheduling on the virtual clock.
+//!
+//! The P100 has independent DMA (copy) and compute engines, so a kernel can
+//! execute while the next batch of data streams in — the mechanism behind
+//! the paper's overlap optimization (Figure 5). We model three serially-
+//! exclusive resources:
+//!
+//! * [`Engine::Copy`] — the H2D/D2H DMA engine,
+//! * [`Engine::Compute`] — the SMs (one kernel at a time, as in a stream),
+//! * [`Engine::Cpu`] — the host threads doing gather / on-demand work.
+//!
+//! An operation is scheduled with a *ready time* (its dependencies' latest
+//! finish); it starts at `max(ready, engine_free)` and occupies the engine
+//! for its duration. Baseline systems chain every op after the previous one
+//! (no overlap); Ascetic hands independent ready-times to different engines
+//! and the timeline computes the concurrency automatically.
+
+use crate::time::SimTime;
+
+/// A serially-exclusive hardware resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// PCIe DMA engine.
+    Copy,
+    /// GPU compute (kernel) engine.
+    Compute,
+    /// Host CPU worker pool.
+    Cpu,
+}
+
+const NUM_ENGINES: usize = 3;
+
+impl Engine {
+    fn index(self) -> usize {
+        match self {
+            Engine::Copy => 0,
+            Engine::Compute => 1,
+            Engine::Cpu => 2,
+        }
+    }
+}
+
+/// The executed interval of a scheduled operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// When the operation began executing.
+    pub start: SimTime,
+    /// When it finished.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// An empty span at `t` (zero-duration operations).
+    pub fn empty_at(t: SimTime) -> Span {
+        Span { start: t, end: t }
+    }
+
+    /// Duration in nanoseconds.
+    pub fn duration(&self) -> u64 {
+        self.end.since(self.start)
+    }
+}
+
+/// A labeled executed span, recorded when tracing is enabled — exported as
+/// a Chrome trace (`chrome://tracing` / Perfetto) via
+/// [`chrome_trace_json`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Engine the operation ran on.
+    pub engine: Engine,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+    /// Human-readable label ("H2D 64KB", "kernel e=12000 v=800", ...).
+    pub label: String,
+}
+
+/// Per-run scheduling state plus busy-time accounting.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// Earliest instant each engine is free.
+    free_at: [SimTime; NUM_ENGINES],
+    /// Total busy nanoseconds per engine.
+    busy_ns: [u64; NUM_ENGINES],
+    /// Latest finish time seen so far (the makespan).
+    horizon: SimTime,
+    /// Recorded spans, when tracing is on.
+    trace: Option<Vec<TraceSpan>>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timeline {
+    /// A fresh timeline at time zero.
+    pub fn new() -> Self {
+        Timeline {
+            free_at: [SimTime::ZERO; NUM_ENGINES],
+            busy_ns: [0; NUM_ENGINES],
+            horizon: SimTime::ZERO,
+            trace: None,
+        }
+    }
+
+    /// Start recording every scheduled span (for Chrome-trace export).
+    pub fn enable_tracing(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded spans, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[TraceSpan]> {
+        self.trace.as_deref()
+    }
+
+    /// Take ownership of the recorded spans (used when assembling reports).
+    pub fn take_trace(&mut self) -> Option<Vec<TraceSpan>> {
+        self.trace.take()
+    }
+
+    /// Schedule an operation of `dur_ns` on `engine`, not before `ready`.
+    /// Returns the executed span.
+    pub fn schedule(&mut self, engine: Engine, ready: SimTime, dur_ns: u64) -> Span {
+        self.schedule_labeled(engine, ready, dur_ns, String::new)
+    }
+
+    /// [`Timeline::schedule`] with a lazily-built label recorded when
+    /// tracing is enabled (the closure never runs otherwise).
+    pub fn schedule_labeled(
+        &mut self,
+        engine: Engine,
+        ready: SimTime,
+        dur_ns: u64,
+        label: impl FnOnce() -> String,
+    ) -> Span {
+        let i = engine.index();
+        let start = self.free_at[i].max(ready);
+        let end = start.after(dur_ns);
+        self.free_at[i] = end;
+        self.busy_ns[i] += dur_ns;
+        self.horizon = self.horizon.max(end);
+        if let Some(t) = self.trace.as_mut() {
+            if dur_ns > 0 {
+                t.push(TraceSpan {
+                    engine,
+                    start,
+                    end,
+                    label: label(),
+                });
+            }
+        }
+        Span { start, end }
+    }
+
+    /// The instant `engine` next becomes free.
+    pub fn engine_free_at(&self, engine: Engine) -> SimTime {
+        self.free_at[engine.index()]
+    }
+
+    /// Latest finish over all engines (current makespan).
+    pub fn now(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Total busy time of `engine`, ns.
+    pub fn busy_ns(&self, engine: Engine) -> u64 {
+        self.busy_ns[engine.index()]
+    }
+
+    /// Idle time of `engine` relative to the makespan, ns. For the GPU
+    /// compute engine this is the paper's "GPU idle" metric (§2.2 reports
+    /// 68 % idle for Subway BFS on friendster-konect).
+    pub fn idle_ns(&self, engine: Engine) -> u64 {
+        self.horizon.0.saturating_sub(self.busy_ns(engine))
+    }
+
+    /// Fast-forward every engine to at least `t` (an iteration barrier —
+    /// the driver synchronizes all streams between iterations).
+    pub fn barrier(&mut self, t: SimTime) {
+        for f in &mut self.free_at {
+            *f = (*f).max(t);
+        }
+        self.horizon = self.horizon.max(t);
+    }
+
+    /// Barrier at the current makespan; returns it. Called at the end of
+    /// each iteration (`cudaDeviceSynchronize` equivalent).
+    pub fn sync_all(&mut self) -> SimTime {
+        let t = self.horizon;
+        self.barrier(t);
+        t
+    }
+}
+
+impl Engine {
+    /// Display name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Copy => "PCIe copy engine",
+            Engine::Compute => "GPU compute engine",
+            Engine::Cpu => "Host CPU",
+        }
+    }
+}
+
+/// Render recorded spans as Chrome trace-event JSON (load in
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Timestamps are in
+/// microseconds of simulated time; each engine appears as its own thread.
+pub fn chrome_trace_json(spans: &[TraceSpan]) -> String {
+    let mut out = String::from("[\n");
+    for e in [Engine::Copy, Engine::Compute, Engine::Cpu] {
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},\n",
+            e.index(),
+            e.name()
+        ));
+    }
+    for (i, s) in spans.iter().enumerate() {
+        let label = s.label.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"cat\":\"sim\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            if label.is_empty() { "op" } else { &label },
+            s.engine.index(),
+            s.start.0 as f64 / 1_000.0,
+            s.end.since(s.start) as f64 / 1_000.0,
+        ));
+        out.push_str(if i + 1 == spans.len() { "\n" } else { ",\n" });
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_accumulates() {
+        let mut tl = Timeline::new();
+        let a = tl.schedule(Engine::Cpu, SimTime::ZERO, 100);
+        let b = tl.schedule(Engine::Copy, a.end, 50);
+        let c = tl.schedule(Engine::Compute, b.end, 200);
+        assert_eq!(a.start, SimTime(0));
+        assert_eq!(b.start, SimTime(100));
+        assert_eq!(c.start, SimTime(150));
+        assert_eq!(tl.now(), SimTime(350));
+    }
+
+    #[test]
+    fn overlap_across_engines() {
+        let mut tl = Timeline::new();
+        // Kernel and copy issued with the same ready time run concurrently.
+        let k = tl.schedule(Engine::Compute, SimTime::ZERO, 300);
+        let x = tl.schedule(Engine::Copy, SimTime::ZERO, 200);
+        assert_eq!(k.start, x.start);
+        assert_eq!(tl.now(), SimTime(300), "makespan = max, not sum");
+    }
+
+    #[test]
+    fn same_engine_serializes() {
+        let mut tl = Timeline::new();
+        let a = tl.schedule(Engine::Compute, SimTime::ZERO, 100);
+        // ready earlier than engine-free: starts when the engine frees
+        let b = tl.schedule(Engine::Compute, SimTime::ZERO, 100);
+        assert_eq!(a.end, b.start);
+        assert_eq!(tl.now(), SimTime(200));
+    }
+
+    #[test]
+    fn idle_accounting_matches_overlap() {
+        let mut tl = Timeline::new();
+        // Baseline-style: gather 300 then compute 100 -> compute idle 300.
+        let g = tl.schedule(Engine::Cpu, SimTime::ZERO, 300);
+        tl.schedule(Engine::Compute, g.end, 100);
+        assert_eq!(tl.idle_ns(Engine::Compute), 300);
+        assert_eq!(tl.busy_ns(Engine::Compute), 100);
+        assert_eq!(tl.busy_ns(Engine::Cpu), 300);
+    }
+
+    #[test]
+    fn barrier_advances_engines() {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::Copy, SimTime::ZERO, 100);
+        tl.barrier(SimTime(500));
+        let k = tl.schedule(Engine::Compute, SimTime::ZERO, 10);
+        assert_eq!(k.start, SimTime(500), "barrier holds later ops");
+        assert_eq!(tl.now(), SimTime(510));
+    }
+
+    #[test]
+    fn sync_all_is_iteration_boundary() {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::Compute, SimTime::ZERO, 120);
+        tl.schedule(Engine::Copy, SimTime::ZERO, 80);
+        let t = tl.sync_all();
+        assert_eq!(t, SimTime(120));
+        let next = tl.schedule(Engine::Copy, SimTime::ZERO, 10);
+        assert_eq!(next.start, SimTime(120));
+    }
+
+    #[test]
+    fn tracing_records_labeled_spans() {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::Copy, SimTime::ZERO, 10); // before tracing: not recorded
+        tl.enable_tracing();
+        tl.schedule_labeled(Engine::Compute, SimTime::ZERO, 100, || "kernel".into());
+        tl.schedule_labeled(Engine::Copy, SimTime::ZERO, 0, || "empty".into()); // zero-dur skipped
+        let spans = tl.trace().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label, "kernel");
+        assert_eq!(spans[0].engine, Engine::Compute);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut tl = Timeline::new();
+        tl.enable_tracing();
+        tl.schedule_labeled(Engine::Cpu, SimTime::ZERO, 2_000, || "gather \"x\"".into());
+        tl.schedule_labeled(Engine::Copy, SimTime(2_000), 1_000, || "H2D".into());
+        let json = chrome_trace_json(tl.trace().unwrap());
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("Host CPU"));
+        assert!(json.contains("gather \\\"x\\\"")); // quotes escaped
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn zero_duration_span() {
+        let mut tl = Timeline::new();
+        let s = tl.schedule(Engine::Cpu, SimTime(42), 0);
+        assert_eq!(s.duration(), 0);
+        assert_eq!(s, Span::empty_at(SimTime(42)));
+    }
+}

@@ -1,0 +1,71 @@
+//! Tuning the static/on-demand split (a miniature of the paper's Fig. 10).
+//!
+//! ```text
+//! cargo run --release --example ratio_tuning
+//! ```
+//!
+//! Sweeps the static-region ratio for Connected Components on an R-MAT
+//! graph, prints the time curve with its Tsr/Tfilling/Ttransfer/Tondemand
+//! breakdown, and compares the Eq (2) automatic choice against the sweep's
+//! best point.
+
+use ascetic::algos::Cc;
+use ascetic::core::ratio::static_share;
+use ascetic::core::system::{edge_budget_bytes, reserve_vertex_arrays};
+use ascetic::core::{AsceticConfig, AsceticSystem, OutOfCoreSystem};
+use ascetic::graph::generators::{rmat_graph, RmatConfig};
+use ascetic::sim::{DeviceConfig, Gpu};
+
+fn main() {
+    println!("building R-MAT graph ...");
+    let g = rmat_graph(&RmatConfig::new(17, 1_500_000, 3).undirected(true));
+    println!(
+        "graph: {} vertices, {} edges ({:.1} MB)",
+        g.num_vertices(),
+        g.num_edges(),
+        g.edge_bytes() as f64 / 1e6
+    );
+    let device = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    println!("device: {:.1} MB\n", device.mem_bytes as f64 / 1e6);
+
+    println!(
+        "{:>5} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "R", "total", "Tsr", "Tfill", "Ttransfer", "Tondemand"
+    );
+    let mut best = (0.0f64, f64::INFINITY);
+    for step in 0..=10 {
+        let r = step as f64 / 10.0;
+        let cfg = AsceticConfig::new(device).with_static_ratio(r);
+        let rep = AsceticSystem::new(cfg).run(&g, &Cc::new());
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!(
+            "{:>5.1} {:>8.2}ms {:>7.2}ms {:>7.2}ms {:>8.2}ms {:>8.2}ms",
+            r,
+            rep.sim_time_ns as f64 / 1e6,
+            ms(rep.breakdown.static_compute_ns),
+            ms(rep.breakdown.gather_ns),
+            ms(rep.breakdown.transfer_ns),
+            ms(rep.breakdown.ondemand_compute_ns),
+        );
+        if rep.seconds() < best.1 {
+            best = (r, rep.seconds());
+        }
+    }
+
+    // What Eq (2) would pick automatically (K = 10%):
+    let eq2 = {
+        let mut gpu = Gpu::new(device);
+        let _v = reserve_vertex_arrays(&mut gpu, &g);
+        static_share(0.10, g.edge_bytes(), edge_budget_bytes(&gpu))
+    };
+    let auto = AsceticSystem::new(AsceticConfig::new(device)).run(&g, &Cc::new());
+    println!(
+        "\nsweep best: R = {:.1} at {:.2} ms; Eq (2) picks R = {:.2} giving {:.2} ms \
+         ({:+.1}% off the sweep best)",
+        best.0,
+        best.1 * 1e3,
+        eq2,
+        auto.seconds() * 1e3,
+        (auto.seconds() / best.1 - 1.0) * 100.0
+    );
+}

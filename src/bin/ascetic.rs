@@ -1,0 +1,546 @@
+//! `ascetic` — command-line driver for the out-of-core graph framework.
+//!
+//! ```text
+//! ascetic generate --kind social --vertices 100000 --edges 2000000 -o g.beg
+//! ascetic info g.beg
+//! ascetic run g.beg --algo bfs --system ascetic --mem-frac 0.4
+//! ascetic run fk@2000 --algo pr --system subway
+//! ascetic compare g.beg --algo cc --mem-frac 0.4
+//! ```
+//!
+//! Graphs are file paths (binary `.beg` from `generate`, or whitespace
+//! `src dst [w]` text) or builtin dataset specs `gs|fk|fs|uk@SCALE`
+//! (stand-ins for the paper's Table 3 datasets at `1/SCALE` size).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use ascetic::algos::{Bfs, Cc, Closeness, KCore, MsBfs, PageRank, Sssp};
+use ascetic::baselines::{PtSystem, SubwaySystem, UvmSystem};
+use ascetic::core::{AsceticConfig, AsceticSystem, FillPolicy, OutOfCoreSystem, RunReport};
+use ascetic::graph::datasets::{weighted_variant, Dataset, DatasetId};
+use ascetic::graph::generators::{
+    rmat_graph, social_graph, uniform_graph, web_graph, RmatConfig, SocialConfig, WebConfig,
+};
+use ascetic::graph::stats::{degree_histogram, degree_stats};
+use ascetic::graph::{edgelist, Csr};
+use ascetic::sim::DeviceConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let r = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "info" => cmd_info(rest),
+        "run" => cmd_run(rest),
+        "pipeline" => cmd_pipeline(rest),
+        "compare" => cmd_compare(rest),
+        "-h" | "--help" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "ascetic — out-of-GPU-memory graph processing (Ascetic, ICPP'21 reproduction)
+
+USAGE:
+  ascetic generate --kind social|web|rmat|uniform --vertices N --edges M
+                   [--seed S] [--undirected] [--weighted] -o FILE
+  ascetic info GRAPH
+  ascetic run GRAPH --algo bfs|sssp|cc|pr|kcore|msbfs|closeness [--system ascetic|subway|pt|uvm|memory]
+                   [--mem BYTES | --mem-frac F] [--source V] [--k-param F] [--kcore-k K]
+                   [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
+                   [--chunk BYTES] [--no-adaptive] [--iter-csv FILE] [--trace FILE.json]
+  ascetic pipeline GRAPH --algos bfs,cc,pr [--mem BYTES | --mem-frac F]
+                   (one Ascetic session: the static region is prestored once
+                    and reused by every algorithm — paper §4.3)
+  ascetic compare GRAPH --algo ALGO [--mem BYTES | --mem-frac F]
+
+GRAPH: a file path (.beg binary or 'src dst [w]' text), or a builtin
+       dataset spec gs|fk|fs|uk@SCALE (e.g. fk@2000 = friendster-konect
+       stand-in at 1/2000 of the paper's size)."
+    );
+    ExitCode::FAILURE
+}
+
+/// Minimal flag parser: positionals plus `--key value` / `--bool-flag`.
+struct Opts {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+const BOOL_FLAGS: [&str; 5] = [
+    "undirected",
+    "weighted",
+    "no-overlap",
+    "no-adaptive",
+    "quiet",
+];
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        flags: HashMap::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                o.flags.insert(name.to_string(), "true".to_string());
+            } else {
+                let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                o.flags.insert(name.to_string(), v.clone());
+            }
+        } else if let Some(name) = a.strip_prefix("-") {
+            let v = it.next().ok_or_else(|| format!("-{name} needs a value"))?;
+            o.flags.insert(name.to_string(), v.clone());
+        } else {
+            o.positional.push(a.clone());
+        }
+    }
+    Ok(o)
+}
+
+impl Opts {
+    fn get(&self, k: &str) -> Option<&str> {
+        self.flags.get(k).map(|s| s.as_str())
+    }
+    fn parse<T: std::str::FromStr>(&self, k: &str) -> Result<Option<T>, String> {
+        match self.get(k) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value for --{k}: {v}")),
+        }
+    }
+    fn require<T: std::str::FromStr>(&self, k: &str) -> Result<T, String> {
+        self.parse(k)?.ok_or_else(|| format!("missing --{k}"))
+    }
+    fn has(&self, k: &str) -> bool {
+        self.flags.contains_key(k)
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let kind: String = o.require("kind")?;
+    let n: usize = o.require("vertices")?;
+    let m: u64 = o.require("edges")?;
+    let seed: u64 = o.parse("seed")?.unwrap_or(42);
+    let out: String = o
+        .parse::<String>("o")?
+        .or(o.parse::<String>("out")?)
+        .ok_or("missing -o FILE")?;
+    let undirected = o.has("undirected");
+
+    eprintln!("generating {kind} graph: {n} vertices, {m} edges, seed {seed} ...");
+    let mut g = match kind.as_str() {
+        "social" => social_graph(&SocialConfig::new(n, m / 2, seed)),
+        "web" => web_graph(&WebConfig::new(n, m, seed)),
+        "rmat" => {
+            let scale = 64 - (n.max(2) as u64 - 1).leading_zeros();
+            rmat_graph(&RmatConfig::new(scale, m, seed).undirected(undirected))
+        }
+        "uniform" => uniform_graph(n, m, undirected, seed),
+        other => return Err(format!("unknown --kind {other}")),
+    };
+    if o.has("weighted") {
+        g = weighted_variant(&g);
+    }
+    write_graph(&g, &out)?;
+    eprintln!(
+        "wrote {} ({} vertices, {} edges, {:.1} MB of edge data)",
+        out,
+        g.num_vertices(),
+        g.num_edges(),
+        g.edge_bytes() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn write_graph(g: &Csr, path: &str) -> Result<(), String> {
+    if path.ends_with(".txt") || path.ends_with(".el") {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        edgelist::write_text(g, f).map_err(|e| e.to_string())
+    } else {
+        edgelist::save_binary(g, path).map_err(|e| e.to_string())
+    }
+}
+
+/// Load a graph argument: builtin `name@scale` or a file path.
+fn load_graph(spec: &str) -> Result<Csr, String> {
+    if let Some((name, scale)) = spec.split_once('@') {
+        let id = match name.to_lowercase().as_str() {
+            "gs" => DatasetId::Gs,
+            "fk" => DatasetId::Fk,
+            "fs" => DatasetId::Fs,
+            "uk" => DatasetId::Uk,
+            other => return Err(format!("unknown builtin dataset '{other}'")),
+        };
+        let scale: u64 = scale
+            .parse()
+            .map_err(|_| format!("bad scale in '{spec}'"))?;
+        eprintln!("building {} stand-in at scale 1/{scale} ...", id.name());
+        return Ok(Dataset::build(id, scale).graph);
+    }
+    if spec.ends_with(".txt") || spec.ends_with(".el") {
+        Ok(edgelist::load_text(spec, None)
+            .map_err(|e| e.to_string())?
+            .build())
+    } else {
+        edgelist::load_binary(spec).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let spec = o.positional.first().ok_or("missing GRAPH")?;
+    let g = load_graph(spec)?;
+    let s = degree_stats(&g);
+    println!("graph:        {spec}");
+    println!("vertices:     {}", s.num_vertices);
+    println!("edges:        {}", s.num_edges);
+    println!("weighted:     {}", g.is_weighted());
+    println!("edge data:    {:.2} MB", g.edge_bytes() as f64 / 1e6);
+    println!("mean degree:  {:.2}", s.mean);
+    println!("max degree:   {}", s.max);
+    println!("isolated:     {}", s.isolated);
+    println!("degree gini:  {:.3}", s.gini);
+    let hist = degree_histogram(&g);
+    if !hist.is_empty() {
+        println!("degree histogram (log2 buckets):");
+        let max = *hist.iter().max().unwrap() as f64;
+        for (k, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((count as f64 / max) * 40.0).ceil() as usize);
+            println!("  2^{k:<2} {count:>8} {bar}");
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic evenly-spread source sample for msbfs/closeness.
+fn sample_sources(g: &Csr, k: usize) -> Vec<u32> {
+    let n = g.num_vertices() as u32;
+    let mut s: Vec<u32> = (0..k as u32).map(|i| i.wrapping_mul(2_654_435_761) % n.max(1)).collect();
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+/// Resolve the device from `--mem` / `--mem-frac` (default: 40% of the
+/// dataset's edge bytes, which oversubscribes like the paper's setup).
+fn device_from(o: &Opts, g: &Csr) -> Result<DeviceConfig, String> {
+    let mem = if let Some(m) = o.parse::<u64>("mem")? {
+        m
+    } else {
+        let frac: f64 = o.parse("mem-frac")?.unwrap_or(0.4);
+        if !(0.01..=100.0).contains(&frac) {
+            return Err("--mem-frac out of range".into());
+        }
+        g.num_vertices() as u64 * 24 + (g.edge_bytes() as f64 * frac) as u64
+    };
+    Ok(DeviceConfig::p100(mem))
+}
+
+fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> {
+    let mut cfg = AsceticConfig::new(dev);
+    if let Some(k) = o.parse::<f64>("k-param")? {
+        cfg = cfg.with_k(k);
+    }
+    if let Some(r) = o.parse::<f64>("static-ratio")? {
+        cfg = cfg.with_static_ratio(r);
+    }
+    if let Some(c) = o.parse::<usize>("chunk")? {
+        cfg = cfg.with_chunk_bytes(c);
+    }
+    if o.has("no-overlap") {
+        cfg = cfg.with_overlap(false);
+    }
+    if o.has("no-adaptive") {
+        cfg = cfg.with_adaptive(false);
+    }
+    if let Some(f) = o.get("fill") {
+        cfg = cfg.with_fill(match f {
+            "front" => FillPolicy::Front,
+            "rear" => FillPolicy::Rear,
+            "random" => FillPolicy::Random { seed: 7 },
+            "lazy" => FillPolicy::Lazy,
+            other => return Err(format!("unknown --fill {other}")),
+        });
+    }
+    // default chunk scaled sensibly for small inputs
+    if o.get("chunk").is_none() {
+        let budget = dev.mem_bytes;
+        if budget < 64 * (16 * 1024) {
+            cfg = cfg.with_chunk_bytes(((budget / 64).next_multiple_of(8) as usize).max(64));
+        }
+    }
+    Ok(cfg)
+}
+
+fn run_system(o: &Opts, system: &str, g: &Csr, algo: &str) -> Result<RunReport, String> {
+    let dev = device_from(o, g)?;
+    let source: u32 = o.parse("source")?.unwrap_or(0);
+    let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
+    macro_rules! dispatch {
+        ($sys:expr) => {
+            match algo {
+                "bfs" => Ok($sys.run(g, &Bfs::new(source))),
+                "sssp" => {
+                    if !g.is_weighted() {
+                        let wg = weighted_variant(g);
+                        Ok($sys.run(&wg, &Sssp::new(source)))
+                    } else {
+                        Ok($sys.run(g, &Sssp::new(source)))
+                    }
+                }
+                "cc" => Ok($sys.run(g, &Cc::new())),
+                "pr" => Ok($sys.run(g, &PageRank::new())),
+                "kcore" => Ok($sys.run(g, &KCore::new(kk))),
+                "msbfs" => {
+                    let sources = sample_sources(g, 64);
+                    Ok($sys.run(g, &MsBfs::new(sources)))
+                }
+                "closeness" => {
+                    let sources = sample_sources(g, 16);
+                    Ok($sys.run(g, &Closeness::new(sources)))
+                }
+                other => Err(format!("unknown --algo {other}")),
+            }
+        };
+    }
+    let tracing = o.has("trace-flag") || o.get("trace").is_some();
+    match system {
+        "ascetic" => {
+            let cfg = ascetic_config(o, dev)?.with_tracing(tracing);
+            dispatch!(AsceticSystem::new(cfg))
+        }
+        "subway" => dispatch!(SubwaySystem::new(dev).with_tracing(tracing)),
+        "pt" => dispatch!(PtSystem::new(dev).with_tracing(tracing)),
+        "uvm" => dispatch!(UvmSystem::new(dev).with_tracing(tracing)),
+        other => Err(format!("unknown --system {other}")),
+    }
+}
+
+/// Eight-level unicode sparkline of per-iteration activity.
+fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    // downsample to at most 60 columns
+    let cols = values.len().min(60);
+    let mut out = String::with_capacity(cols * 3);
+    for c in 0..cols {
+        let lo = c * values.len() / cols;
+        let hi = ((c + 1) * values.len() / cols).max(lo + 1);
+        let v = values[lo..hi].iter().copied().max().unwrap_or(0);
+        let idx = ((v as u128 * 7) / max as u128) as usize;
+        out.push(BARS[idx]);
+    }
+    out
+}
+
+fn write_iter_csv(r: &RunReport, path: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    writeln!(
+        f,
+        "iteration,active_vertices,active_edges,static_edges,payload_bytes,time_ns"
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, it) in r.per_iter.iter().enumerate() {
+        writeln!(
+            f,
+            "{},{},{},{},{},{}",
+            i, it.active_vertices, it.active_edges, it.static_edges, it.payload_bytes, it.time_ns
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn print_report(r: &RunReport, g: &Csr) {
+    println!("system:            {}", r.system);
+    println!("algorithm:         {}", r.algorithm);
+    println!("iterations:        {}", r.iterations);
+    println!("simulated time:    {:.3} ms", r.sim_time_ns as f64 / 1e6);
+    println!(
+        "transferred:       {:.2} MB steady + {:.2} MB prestore ({:.2}x dataset)",
+        r.steady_bytes() as f64 / 1e6,
+        r.prestore_bytes as f64 / 1e6,
+        r.total_bytes_with_prestore() as f64 / g.edge_bytes() as f64
+    );
+    println!(
+        "kernels:           {} launches, {} edges",
+        r.kernels.launches, r.kernels.edges
+    );
+    println!("GPU idle:          {:.1} %", r.gpu_idle_fraction() * 100.0);
+    let static_edges: u64 = r.per_iter.iter().map(|i| i.static_edges).sum();
+    let total: u64 = r.per_iter.iter().map(|i| i.active_edges).sum();
+    if total > 0 {
+        println!(
+            "static region hit: {:.1} % of traversed edges",
+            static_edges as f64 / total as f64 * 100.0
+        );
+    }
+    if r.per_iter.len() > 1 {
+        let activity: Vec<u64> = r.per_iter.iter().map(|i| i.active_edges).collect();
+        println!("activity/iter:     {}", sparkline(&activity));
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let spec = o.positional.first().ok_or("missing GRAPH")?;
+    let algo: String = o.require("algo")?;
+    let system = o.get("system").unwrap_or("ascetic").to_string();
+    let g = load_graph(spec)?;
+    if system == "memory" {
+        let source: u32 = o.parse("source")?.unwrap_or(0);
+        let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
+        let res = match algo.as_str() {
+            "bfs" => ascetic::algos::inmemory::run_in_memory(&g, &Bfs::new(source)),
+            "sssp" => {
+                let wg = if g.is_weighted() {
+                    g.clone()
+                } else {
+                    weighted_variant(&g)
+                };
+                ascetic::algos::inmemory::run_in_memory(&wg, &Sssp::new(source))
+            }
+            "cc" => ascetic::algos::inmemory::run_in_memory(&g, &Cc::new()),
+            "pr" => ascetic::algos::inmemory::run_in_memory(&g, &PageRank::new()),
+            "kcore" => ascetic::algos::inmemory::run_in_memory(&g, &KCore::new(kk)),
+            other => return Err(format!("unknown --algo {other}")),
+        };
+        println!("system:            memory (oracle)");
+        println!("iterations:        {}", res.iterations);
+        println!("edges traversed:   {}", res.total_edges);
+        println!(
+            "avg active edges:  {:.2} % per iteration",
+            res.avg_active_edge_fraction(&g) * 100.0
+        );
+        return Ok(());
+    }
+    let rep = run_system(&o, &system, &g, &algo)?;
+    print_report(&rep, &g);
+    if let Some(path) = o.get("iter-csv") {
+        write_iter_csv(&rep, path)?;
+        eprintln!("wrote per-iteration log to {path}");
+    }
+    if let Some(path) = o.get("trace") {
+        match &rep.trace {
+            Some(spans) => {
+                std::fs::write(path, ascetic::sim::chrome_trace_json(spans))
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "wrote {} spans to {path} (open in chrome://tracing or ui.perfetto.dev)",
+                    spans.len()
+                );
+            }
+            None => eprintln!("note: this system ran without tracing"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(args: &[String]) -> Result<(), String> {
+    use ascetic::core::session::AsceticSession;
+    let o = parse_opts(args)?;
+    let spec = o.positional.first().ok_or("missing GRAPH")?;
+    let algos: String = o.require("algos")?;
+    let g = load_graph(spec)?;
+    if g.is_weighted() {
+        return Err("pipeline runs unweighted algorithms; use an unweighted graph".into());
+    }
+    let dev = device_from(&o, &g)?;
+    let cfg = ascetic_config(&o, dev)?;
+    let source: u32 = o.parse("source")?.unwrap_or(0);
+    let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
+
+    let mut session = AsceticSession::new(cfg, &g);
+    println!(
+        "{:<10} {:>10} {:>8} {:>12} {:>11} {:>11}",
+        "step", "time", "iters", "steady xfer", "prestore", "static hit"
+    );
+    for name in algos.split(',') {
+        let rep = match name.trim() {
+            "bfs" => session.run(&Bfs::new(source)),
+            "cc" => session.run(&Cc::new()),
+            "pr" => session.run(&PageRank::new()),
+            "kcore" => session.run(&KCore::new(kk)),
+            other => return Err(format!("unknown pipeline algo '{other}'")),
+        };
+        let static_edges: u64 = rep.per_iter.iter().map(|i| i.static_edges).sum();
+        let total: u64 = rep.per_iter.iter().map(|i| i.active_edges).sum();
+        println!(
+            "{:<10} {:>8.2}ms {:>8} {:>10.2}MB {:>9.2}MB {:>10.1}%",
+            name.trim(),
+            rep.sim_time_ns as f64 / 1e6,
+            rep.iterations,
+            rep.steady_bytes() as f64 / 1e6,
+            rep.prestore_bytes as f64 / 1e6,
+            static_edges as f64 / total.max(1) as f64 * 100.0
+        );
+    }
+    println!(
+        "\n{} runs over one prestored static region ({:.0}% of chunks resident)",
+        session.runs(),
+        session.resident_fraction() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let spec = o.positional.first().ok_or("missing GRAPH")?;
+    let algo: String = o.require("algo")?;
+    let g = load_graph(spec)?;
+    println!(
+        "{:<8} {:>12} {:>9} {:>14} {:>10} {:>9}",
+        "system", "time", "speedup", "transferred", "xfer/data", "GPU idle"
+    );
+    let mut base: Option<f64> = None;
+    let mut outputs: Vec<RunReport> = Vec::new();
+    for system in ["pt", "uvm", "subway", "ascetic"] {
+        let rep = run_system(&o, system, &g, &algo)?;
+        let t = rep.seconds();
+        let b = *base.get_or_insert(t);
+        println!(
+            "{:<8} {:>10.3}ms {:>8.2}X {:>12.2}MB {:>9.2}X {:>8.1}%",
+            rep.system,
+            t * 1e3,
+            b / t,
+            rep.total_bytes_with_prestore() as f64 / 1e6,
+            rep.total_bytes_with_prestore() as f64 / g.edge_bytes() as f64,
+            rep.gpu_idle_fraction() * 100.0
+        );
+        outputs.push(rep);
+    }
+    for r in &outputs[1..] {
+        if r.output.first_mismatch(&outputs[0].output, 1e-6).is_some() {
+            return Err(format!("{} and {} disagree!", r.system, outputs[0].system));
+        }
+    }
+    println!("\nall systems agree on the result ✓");
+    Ok(())
+}

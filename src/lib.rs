@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # ascetic — facade crate
+//!
+//! Reproduction of *"Ascetic: Enhancing Cross-Iterations Data Efficiency in
+//! Out-of-Memory Graph Processing on GPUs"* (Tang et al., ICPP 2021).
+//!
+//! This crate re-exports the workspace members under one roof so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — CSR graphs, generators, chunking, the scaled dataset catalog.
+//! * [`par`] — parallel-for, atomic bitmaps, atomic reductions, scans.
+//! * [`sim`] — the simulated GPU: device memory, PCIe, streams, UVM.
+//! * [`algos`] — push-based vertex programs: BFS, SSSP, CC, PageRank.
+//! * [`core`] — the Ascetic framework itself (static + on-demand regions).
+//! * [`baselines`] — PT, UVM and Subway comparison systems.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use ascetic_algos as algos;
+pub use ascetic_baselines as baselines;
+pub use ascetic_core as core;
+pub use ascetic_graph as graph;
+pub use ascetic_par as par;
+pub use ascetic_sim as sim;

@@ -1,0 +1,151 @@
+//! End-to-end tests of the `ascetic` command-line tool: generate a graph,
+//! inspect it, run algorithms under each system, and drive a session
+//! pipeline — all through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ascetic"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ascetic-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_info_run_roundtrip() {
+    let path = tmpfile("g.beg");
+    let out = bin()
+        .args([
+            "generate",
+            "--kind",
+            "web",
+            "--vertices",
+            "20000",
+            "--edges",
+            "150000",
+            "--seed",
+            "5",
+            "-o",
+        ])
+        .arg(&path)
+        .output()
+        .expect("generate runs");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin().arg("info").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices:     20000"), "info output:\n{text}");
+    assert!(text.contains("degree histogram"));
+
+    for system in ["ascetic", "subway", "pt", "uvm", "memory"] {
+        let out = bin()
+            .arg("run")
+            .arg(&path)
+            .args(["--algo", "bfs", "--system", system, "--mem-frac", "0.4"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "run --system {system} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn run_builtin_dataset_with_trace_and_csv() {
+    let trace = tmpfile("trace.json");
+    let csv = tmpfile("iters.csv");
+    let out = bin()
+        .args(["run", "fk@20000", "--algo", "pr", "--mem-frac", "0.4"])
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--iter-csv")
+        .arg(&csv)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulated time"), "{text}");
+    assert!(text.contains("activity/iter"), "{text}");
+
+    let trace_json = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(trace_json.starts_with('[') && trace_json.trim_end().ends_with(']'));
+    assert!(trace_json.contains("GPU compute engine"));
+
+    let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(csv_text.starts_with("iteration,active_vertices"));
+    assert!(csv_text.lines().count() > 2);
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn pipeline_amortizes() {
+    let out = bin()
+        .args([
+            "pipeline",
+            "fk@20000",
+            "--algos",
+            "bfs,cc,pr",
+            "--mem-frac",
+            "0.4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("3 runs over one prestored static region"),
+        "{text}"
+    );
+}
+
+#[test]
+fn compare_agrees() {
+    let out = bin()
+        .args(["compare", "gs@20000", "--algo", "cc", "--mem-frac", "0.4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("all systems agree"), "{text}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = bin().args(["run", "fk@1000"]).output().unwrap(); // missing --algo
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --algo"));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["run", "nosuchfile.beg", "--algo", "bfs"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,69 @@
+//! Reproducibility guarantees: simulated results must be bit-identical
+//! across repeated runs and across host thread counts (the virtual clock
+//! and the fixed-point/monotone algorithms make this possible).
+
+use ascetic::algos::{Bfs, Cc, PageRank, Sssp};
+use ascetic::core::{AsceticConfig, AsceticSystem, OutOfCoreSystem, RunReport};
+use ascetic::graph::datasets::{Dataset, DatasetId};
+use ascetic::par::set_num_threads;
+use ascetic::sim::DeviceConfig;
+
+const SCALE: u64 = 30_000;
+
+fn run_fk<P: ascetic::algos::VertexProgram>(prog: &P, weighted: bool) -> RunReport {
+    let ds = Dataset::build(DatasetId::Fk, SCALE);
+    let g = if weighted {
+        ds.weighted()
+    } else {
+        ds.graph.clone()
+    };
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(1024)).run(&g, prog)
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.output, b.output, "outputs differ");
+    assert_eq!(a.iterations, b.iterations, "iteration counts differ");
+    assert_eq!(a.sim_time_ns, b.sim_time_ns, "simulated times differ");
+    assert_eq!(a.xfer, b.xfer, "transfer stats differ");
+    assert_eq!(a.kernels, b.kernels, "kernel stats differ");
+    assert_eq!(a.prestore_bytes, b.prestore_bytes);
+    assert_eq!(a.refresh_bytes, b.refresh_bytes);
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let a = run_fk(&PageRank::new(), false);
+    let b = run_fk(&PageRank::new(), false);
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    // Simulated time comes from the cost model, not the wall clock; the
+    // algorithms are monotone/fixed-point — so 1 host thread and many host
+    // threads must agree exactly.
+    set_num_threads(1);
+    let serial_bfs = run_fk(&Bfs::new(0), false);
+    let serial_pr = run_fk(&PageRank::new(), false);
+    let serial_cc = run_fk(&Cc::new(), false);
+    let serial_sssp = run_fk(&Sssp::new(0), true);
+    set_num_threads(8);
+    let par_bfs = run_fk(&Bfs::new(0), false);
+    let par_pr = run_fk(&PageRank::new(), false);
+    let par_cc = run_fk(&Cc::new(), false);
+    let par_sssp = run_fk(&Sssp::new(0), true);
+    set_num_threads(0);
+    assert_identical(&serial_bfs, &par_bfs);
+    assert_identical(&serial_pr, &par_pr);
+    assert_identical(&serial_cc, &par_cc);
+    assert_identical(&serial_sssp, &par_sssp);
+}
+
+#[test]
+fn dataset_builds_are_reproducible() {
+    let a = Dataset::build(DatasetId::Gs, SCALE);
+    let b = Dataset::build(DatasetId::Gs, SCALE);
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.weighted(), b.weighted());
+}
