@@ -143,12 +143,8 @@ impl VertexProgram for Closeness {
                 if merged == cur {
                     break;
                 }
-                match cell.compare_exchange_weak(
-                    cur,
-                    merged,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
+                match cell.compare_exchange_weak(cur, merged, Ordering::Relaxed, Ordering::Relaxed)
+                {
                     Ok(_) => {
                         next.set(t as usize);
                         break;
@@ -192,7 +188,11 @@ pub fn closeness_reference(g: &Csr, sources: &[VertexId]) -> Vec<u32> {
             }
         }
         for (sum, &d) in sums.iter_mut().zip(&dist) {
-            *sum += if d == u32::MAX { SAT as u32 } else { d.min(SAT as u32) };
+            *sum += if d == u32::MAX {
+                SAT as u32
+            } else {
+                d.min(SAT as u32)
+            };
         }
     }
     sums
@@ -278,7 +278,10 @@ mod tests {
         }
         let g = b.build();
         let res = run_in_memory(&g, &Closeness::new(vec![0]));
-        assert_eq!(res.output, AlgoOutput::Labels(closeness_reference(&g, &[0])));
+        assert_eq!(
+            res.output,
+            AlgoOutput::Labels(closeness_reference(&g, &[0]))
+        );
         if let AlgoOutput::Labels(l) = &res.output {
             assert_eq!(l[39], SAT as u32, "distance 39 saturates to 15");
         }

@@ -12,6 +12,7 @@
 use ascetic_algos::{EdgeSlice, VertexProgram};
 use ascetic_graph::partition::partition_by_bytes;
 use ascetic_graph::Csr;
+use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap};
 use ascetic_sim::{DeviceConfig, Gpu};
 
@@ -25,6 +26,9 @@ pub struct PtSystem {
     pub device: DeviceConfig,
     /// Record engine spans for Chrome-trace export.
     pub tracing: bool,
+    /// Record a structured event log on the report (comparable with
+    /// Ascetic's stream).
+    pub events: bool,
 }
 
 impl PtSystem {
@@ -33,12 +37,19 @@ impl PtSystem {
         PtSystem {
             device,
             tracing: false,
+            events: false,
         }
     }
 
     /// Enable Chrome-trace span recording.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable structured event logging.
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
         self
     }
 }
@@ -56,6 +67,9 @@ impl OutOfCoreSystem for PtSystem {
         } else {
             Gpu::new(self.device)
         };
+        if self.events {
+            gpu.obs.enable_events(DEFAULT_EVENT_CAPACITY);
+        }
         let _vertex_slab = reserve_vertex_arrays(&mut gpu, g);
         let budget = edge_budget_bytes(&gpu);
         assert!(budget >= g.bytes_per_edge() as u64, "no room for edge data");
@@ -73,6 +87,7 @@ impl OutOfCoreSystem for PtSystem {
 
         while !active.is_all_zero() && iter < prog.max_iterations() {
             let iter_start = gpu.sync();
+            gpu.obs.record(iter_start.0, Event::IterStart { iter });
             prog.begin_iteration(iter, &active, &state);
             let next = AtomicBitmap::new(n);
             let mut payload = 0u64;
@@ -149,6 +164,7 @@ impl OutOfCoreSystem for PtSystem {
             }
 
             let iter_end = gpu.sync();
+            gpu.obs.record(iter_end.0, Event::IterEnd { iter });
             per_iter.push(IterReport {
                 active_vertices,
                 active_edges,

@@ -17,6 +17,7 @@
 
 use ascetic_algos::{EdgeSlice, VertexProgram};
 use ascetic_graph::Csr;
+use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap};
 use ascetic_sim::{DeviceConfig, Gpu};
 
@@ -31,6 +32,9 @@ pub struct SubwaySystem {
     pub device: DeviceConfig,
     /// Record engine spans for Chrome-trace export.
     pub tracing: bool,
+    /// Record a structured event log on the report (comparable with
+    /// Ascetic's stream).
+    pub events: bool,
 }
 
 impl SubwaySystem {
@@ -39,12 +43,19 @@ impl SubwaySystem {
         SubwaySystem {
             device,
             tracing: false,
+            events: false,
         }
     }
 
     /// Enable Chrome-trace span recording.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable structured event logging.
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
         self
     }
 }
@@ -62,6 +73,9 @@ impl OutOfCoreSystem for SubwaySystem {
         } else {
             Gpu::new(self.device)
         };
+        if self.events {
+            gpu.obs.enable_events(DEFAULT_EVENT_CAPACITY);
+        }
         let _vertex_slab = reserve_vertex_arrays(&mut gpu, g);
         assert!(
             edge_budget_bytes(&gpu) >= g.bytes_per_edge() as u64,
@@ -79,6 +93,7 @@ impl OutOfCoreSystem for SubwaySystem {
 
         while !active.is_all_zero() && iter < prog.max_iterations() {
             let iter_start = gpu.sync();
+            gpu.obs.record(iter_start.0, Event::IterStart { iter });
             prog.begin_iteration(iter, &active, &state);
             let nodes = active.to_indices();
             let active_edges: u64 = nodes.iter().map(|&v| g.degree(v)).sum();
@@ -118,6 +133,7 @@ impl OutOfCoreSystem for SubwaySystem {
             }
 
             let iter_end = gpu.sync();
+            gpu.obs.record(iter_end.0, Event::IterEnd { iter });
             per_iter.push(IterReport {
                 active_vertices: nodes.len() as u64,
                 active_edges,
@@ -209,6 +225,33 @@ mod tests {
         assert!(sw.xfer.h2d_bytes < pt.xfer.h2d_bytes / 2);
         // (time ordering is asserted at realistic scale in the
         // integration tests; at this micro scale fixed overheads dominate)
+    }
+
+    #[test]
+    fn event_stream_is_comparable_with_ascetic() {
+        let g = uniform_graph(2_000, 16_000, false, 8);
+        let rep = SubwaySystem::new(small_device(&g))
+            .with_events(true)
+            .run(&g, &Bfs::new(0));
+        let events = rep.events.as_ref().expect("events enabled");
+        let starts = events
+            .iter()
+            .filter(|e| e.event.kind() == "iter_start")
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.event.kind() == "iter_end")
+            .count();
+        assert_eq!(starts as u32, rep.iterations);
+        assert_eq!(ends as u32, rep.iterations);
+        assert!(events.iter().any(|e| e.event.kind() == "dma"));
+        assert_eq!(
+            rep.metrics.counter("xfer.h2d_bytes"),
+            Some(rep.xfer.h2d_bytes)
+        );
+        // off by default
+        let quiet = SubwaySystem::new(small_device(&g)).run(&g, &Bfs::new(0));
+        assert!(quiet.events.is_none());
     }
 
     #[test]

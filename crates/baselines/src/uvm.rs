@@ -16,6 +16,7 @@
 
 use ascetic_algos::{EdgeSlice, VertexProgram};
 use ascetic_graph::Csr;
+use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap};
 use ascetic_sim::{AccessTracer, DeviceConfig, Engine, Gpu, SimTime, Uvm};
 
@@ -31,6 +32,9 @@ pub struct UvmSystem {
     pub prefetch: bool,
     /// Record engine spans for Chrome-trace export.
     pub tracing: bool,
+    /// Record a structured event log on the report (comparable with
+    /// Ascetic's stream; includes per-page faults and evictions).
+    pub events: bool,
 }
 
 impl UvmSystem {
@@ -40,12 +44,19 @@ impl UvmSystem {
             device,
             prefetch: false,
             tracing: false,
+            events: false,
         }
     }
 
     /// Enable Chrome-trace span recording.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable structured event logging.
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
         self
     }
 
@@ -81,6 +92,9 @@ impl UvmSystem {
         } else {
             Gpu::new(self.device)
         };
+        if self.events {
+            gpu.obs.enable_events(DEFAULT_EVENT_CAPACITY);
+        }
         let _vertex_slab = reserve_vertex_arrays(&mut gpu, g);
         let capacity = edge_budget_bytes(&gpu);
         let mut uvm = Uvm::new(self.device.uvm, capacity);
@@ -94,12 +108,14 @@ impl UvmSystem {
 
         while !active.is_all_zero() && iter < prog.max_iterations() {
             let iter_start = gpu.sync();
+            gpu.obs.record(iter_start.0, Event::IterStart { iter });
             prog.begin_iteration(iter, &active, &state);
             let nodes = active.to_indices();
             let active_edges: u64 = nodes.iter().map(|&v| g.degree(v)).sum();
             let next = AtomicBitmap::new(n);
             let migrated_before = uvm.stats.migrated_bytes;
             let faults_before = uvm.stats.faults;
+            let evictions_before = uvm.stats.evictions;
 
             // Page traffic: walk active vertices in id order (the GPU's
             // thread blocks sweep the frontier array, producing the
@@ -114,10 +130,31 @@ impl UvmSystem {
                 let first_page = er.start * bpe / uvm.page_bytes();
                 let last_page = (er.end * bpe - 1) / uvm.page_bytes();
                 for p in first_page..=last_page {
-                    if self.prefetch {
-                        fault_ns += uvm.prefetch(p..p + 1);
+                    let faults_b = uvm.stats.faults;
+                    let evicts_b = uvm.stats.evictions;
+                    let ns = if self.prefetch {
+                        uvm.prefetch(p..p + 1)
                     } else {
-                        fault_ns += uvm.touch(p);
+                        uvm.touch(p)
+                    };
+                    fault_ns += ns;
+                    if uvm.stats.faults > faults_b {
+                        gpu.obs.registry.observe("uvm.fault_ns", ns);
+                        gpu.obs.record(
+                            iter_start.0 + fault_ns,
+                            Event::UvmFault {
+                                page: p,
+                                dur_ns: ns,
+                            },
+                        );
+                    }
+                    if uvm.stats.evictions > evicts_b {
+                        gpu.obs.record(
+                            iter_start.0 + fault_ns,
+                            Event::UvmEvict {
+                                pages: uvm.stats.evictions - evicts_b,
+                            },
+                        );
                     }
                     if let Some((tracer, cb)) = trace.as_mut() {
                         let chunk = (p * uvm.page_bytes() / *cb) as u32;
@@ -139,6 +176,12 @@ impl UvmSystem {
             let migrated = uvm.stats.migrated_bytes - migrated_before;
             gpu.xfer.h2d_bytes += migrated;
             gpu.xfer.h2d_ops += uvm.stats.faults - faults_before; // one DMA per fault
+            gpu.obs
+                .registry
+                .counter_add("uvm.faults", uvm.stats.faults - faults_before);
+            gpu.obs
+                .registry
+                .counter_add("uvm.evictions", uvm.stats.evictions - evictions_before);
 
             // Execute on host data (the UVM mapping *is* host memory).
             let weights = g.weights();
@@ -151,6 +194,7 @@ impl UvmSystem {
             });
 
             let iter_end = gpu.sync();
+            gpu.obs.record(iter_end.0, Event::IterEnd { iter });
             per_iter.push(IterReport {
                 active_vertices: nodes.len() as u64,
                 active_edges,
@@ -271,6 +315,29 @@ mod tests {
             .run(&g, &PageRank::new());
         assert_eq!(demand.output, pref.output);
         assert!(pref.sim_time_ns < demand.sim_time_ns);
+    }
+
+    #[test]
+    fn fault_counters_and_events_track_paging() {
+        let g = uniform_graph(2_000, 16_000, false, 9);
+        let rep = UvmSystem::new(small_device(&g))
+            .with_events(true)
+            .run(&g, &PageRank::new());
+        let faults = rep.metrics.counter("uvm.faults").expect("faults counted");
+        let evictions = rep
+            .metrics
+            .counter("uvm.evictions")
+            .expect("evictions counted");
+        assert!(faults > 0, "oversubscribed PR must fault");
+        assert!(evictions > 0, "oversubscribed PR must evict");
+        // one DMA op per fault: the counter agrees with the xfer stats
+        assert_eq!(faults, rep.xfer.h2d_ops);
+        let h = rep.metrics.histogram("uvm.fault_ns").expect("fault hist");
+        assert_eq!(h.count(), faults, "one sample per fault");
+        let events = rep.events.as_ref().expect("events enabled");
+        assert!(events.iter().any(|e| e.event.kind() == "uvm_fault"));
+        assert!(events.iter().any(|e| e.event.kind() == "uvm_evict"));
+        assert_eq!(rep.metrics.label("system"), Some("UVM"));
     }
 
     #[test]

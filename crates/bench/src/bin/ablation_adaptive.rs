@@ -8,7 +8,8 @@
 //! static-ratio override on PR (the densest workload) and compare adaptive
 //! on vs off.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::AsceticSystem;
@@ -111,11 +112,10 @@ fn main() {
         format!("{improvement:.2}"),
     ]);
 
-    println!("\n{}", table.to_markdown());
+    emit("ablation_adaptive", &table, &csv);
     println!(
         "Expectation: ~0% in well-sized or uniformly-accessed configurations (the\n\
          paper saw no triggers at its defaults); a real gain only in the staged\n\
          cold-static scenario where Eq (3)'s two conditions actually hold."
     );
-    maybe_write_csv("ablation_adaptive.csv", &csv.to_csv());
 }

@@ -7,7 +7,8 @@
 //! replacement DMAs per byte; large chunks amortize DMA latency but strand
 //! coverage on boundary-straddling vertices.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::{section, write_raw};
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::AsceticSystem;
@@ -62,11 +63,11 @@ fn main() {
                 rep.steady_bytes().to_string(),
             ]);
         }
-        println!("\n### {}\n\n{}", algo.name(), table.to_markdown());
+        section(algo.name(), &table);
     }
+    write_raw("ablation_chunk_size", &csv);
     println!(
         "Expectation: mild sensitivity — the paper's 16 KiB sits on the flat part of\n\
          the curve (hit-rate loss only matters once chunks approach hub adjacency sizes)."
     );
-    maybe_write_csv("ablation_chunk_size.csv", &csv.to_csv());
 }

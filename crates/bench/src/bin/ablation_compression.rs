@@ -6,7 +6,8 @@
 //! would see if its H2D payloads were compressed at that ratio
 //! (decompression on the GPU assumed free — an upper bound).
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
 use ascetic_graph::compress::compression_stats;
@@ -51,11 +52,10 @@ fn main() {
             asc.to_string(),
         ]);
     }
-    println!("\n{}", table.to_markdown());
+    emit("ablation_compression", &table, &csv);
     println!(
         "Web crawls (GS/UK) compress far better than social graphs — their id\n\
          locality is the same property the paper's chunk model exploits. A real\n\
          integration would need a GPU-side decoder; this bounds the win."
     );
-    maybe_write_csv("ablation_compression.csv", &csv.to_csv());
 }

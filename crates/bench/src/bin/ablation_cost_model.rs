@@ -8,7 +8,8 @@
 //! each point.
 
 use ascetic_baselines::SubwaySystem;
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::write_raw;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::{AsceticConfig, AsceticSystem};
@@ -95,5 +96,5 @@ fn main() {
          bound regimes leave less transfer time to hide) and widens as gather\n\
          slows (Subway's serial bottleneck grows)."
     );
-    maybe_write_csv("ablation_cost_model.csv", &csv.to_csv());
+    write_raw("ablation_cost_model", &csv);
 }

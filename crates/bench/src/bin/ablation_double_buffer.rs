@@ -7,7 +7,8 @@
 //! workloads with many on-demand batches per iteration (SSSP/PR at low
 //! static coverage), and not at all when an iteration fits one batch.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::{section, write_raw};
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::AsceticSystem;
@@ -49,17 +50,13 @@ fn main() {
                     format!("{:.6}", rep.seconds()),
                 ]);
             }
-            println!(
-                "\n### {} at R = {ratio}\n\n{}",
-                algo.name(),
-                table.to_markdown()
-            );
+            section(&format!("{} at R = {ratio}", algo.name()), &table);
         }
     }
+    write_raw("ablation_double_buffer", &csv);
     println!(
         "Expectation: a few percent from pipelining transfer under compute when\n\
          iterations span many batches; negligible once the static region absorbs\n\
          most of the traffic."
     );
-    maybe_write_csv("ablation_double_buffer.csv", &csv.to_csv());
 }

@@ -6,7 +6,8 @@
 //! resulting static share and runtime per algorithm, quantifying how
 //! forgiving the formula is to misestimating the workload's true activity.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::{section, write_raw};
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, run_algo_in_memory, Algo, Env};
 use ascetic_core::ratio::static_share;
@@ -46,17 +47,19 @@ fn main() {
                 format!("{truth:.4}"),
             ]);
         }
-        println!(
-            "\n### {} (measured avg activity: {:.1}%)\n\n{}",
-            algo.name(),
-            truth * 100.0,
-            table.to_markdown()
+        section(
+            &format!(
+                "{} (measured avg activity: {:.1}%)",
+                algo.name(),
+                truth * 100.0
+            ),
+            &table,
         );
     }
+    write_raw("ablation_k_sweep", &csv);
     println!(
         "Expectation: runtimes vary only mildly across K — Eq (2)'s share moves\n\
          slowly in K when D/M is moderate, which is why the paper's fixed 10%\n\
          works across algorithms with very different true activity."
     );
-    maybe_write_csv("ablation_k_sweep.csv", &csv.to_csv());
 }

@@ -8,7 +8,8 @@
 //! data. This ablation measures static-region hit rate and runtime with and
 //! without [`ascetic_graph::transform::relabel_by_degree`].
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::AsceticSystem;
@@ -52,7 +53,7 @@ fn main() {
             ]);
         }
     }
-    println!("\n{}", table.to_markdown());
+    emit("ablation_relabel", &table, &csv);
     println!(
         "Expectation: with hubs front-loaded, the front-filled static region covers\n\
          a larger share of the *touched* edges, cutting steady transfer — the gain\n\
@@ -61,5 +62,4 @@ fn main() {
          the hub holds label 0, a separate (also classic) benefit of relabeling;\n\
          PR isolates the locality effect (same iterations, less transfer)."
     );
-    maybe_write_csv("ablation_relabel.csv", &csv.to_csv());
 }

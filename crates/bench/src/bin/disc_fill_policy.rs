@@ -6,7 +6,8 @@
 //! negligible impact on the performance (less than 5%)", which validates
 //! the near-uniform chunk-access observation behind Figure 2.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::{AsceticSystem, FillPolicy};
@@ -72,7 +73,7 @@ fn main() {
             format!("{:.2}X data", lazy_bytes as f64 / g.edge_bytes() as f64),
         ]);
     }
-    println!("\n{}", table.to_markdown());
+    emit("disc_fill_policy", &table, &csv);
     println!(
         "Paper: initial fill placement changes performance by < 5%. The extra 'lazy'\n\
          column is this reproduction's extension (no prestore, chunks adopted on\n\
@@ -80,5 +81,4 @@ fn main() {
          lazy pays repeated on-demand shipping while the window-rationed warming\n\
          catches up. It pays off only when the touched working set is small."
     );
-    maybe_write_csv("disc_fill_policy.csv", &csv.to_csv());
 }

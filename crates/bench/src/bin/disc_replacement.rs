@@ -7,7 +7,8 @@
 //! and only about 2% of the total data transfer can be completed during
 //! that time." This experiment measures exactly those three quantities.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::{AsceticSystem, ReplacementPolicy};
@@ -87,10 +88,9 @@ fn main() {
             ]);
         }
     }
-    println!("\n{}", table.to_markdown());
+    emit("disc_replacement", &table, &csv);
     println!(
         "Paper: replacement gains are small — only ~28.4% of time is on-demand\n\
          compute and only ~2% of the total transfer fits in that window."
     );
-    maybe_write_csv("disc_replacement.csv", &csv.to_csv());
 }

@@ -7,7 +7,8 @@
 //! reference and Eq (2)'s chosen ratio as a vertical marker. The optimum
 //! sits around R ≈ 0.95 and the Eq (2) choice lands close to it.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::{section, write_raw};
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::ratio::static_share;
@@ -81,12 +82,14 @@ fn main() {
                 format!("{eq2:.4}"),
             ]);
         }
-        println!("\n### {} (Eq (2) chooses R = {eq2:.2})\n", algo.name());
-        println!("{}", table.to_markdown());
+        section(
+            &format!("{} (Eq (2) chooses R = {eq2:.2})", algo.name()),
+            &table,
+        );
     }
+    write_raw("fig10_ratio_sweep", &csv);
     println!(
         "Paper: optimum near R = 0.95 for all three; Eq (2)'s choice sits close to it;\n\
          larger R grows Tsr and shrinks Ttransfer/Tondemand."
     );
-    maybe_write_csv("fig10_ratio_sweep.csv", &csv.to_csv());
 }

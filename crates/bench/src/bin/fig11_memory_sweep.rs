@@ -7,7 +7,8 @@
 //! memory-to-dataset fractions at scale.
 
 use ascetic_baselines::SubwaySystem;
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::{AsceticConfig, AsceticSystem};
@@ -56,10 +57,9 @@ fn main() {
             ]);
         }
     }
-    println!("\n{}", table.to_markdown());
+    emit("fig11_memory_sweep", &table, &csv);
     println!(
         "Paper: the benefit shrinks with memory, but at 35% of the dataset size\n\
          Ascetic still improves on Subway by ~24.6%."
     );
-    maybe_write_csv("fig11_memory_sweep.csv", &csv.to_csv());
 }

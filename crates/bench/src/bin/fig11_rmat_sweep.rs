@@ -8,7 +8,8 @@
 //! because transfer time dominates.
 
 use ascetic_baselines::SubwaySystem;
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::AsceticSystem;
 use ascetic_graph::datasets::rmat_dataset;
@@ -75,10 +76,9 @@ fn main() {
             ]);
         }
     }
-    println!("\n{}", table.to_markdown());
+    emit("fig11_rmat_sweep", &table, &csv);
     println!(
         "Paper: speedup decays with dataset size but stays >= ~1.5X even when the\n\
          static region covers only ~20% of the input."
     );
-    maybe_write_csv("fig11_rmat_sweep.csv", &csv.to_csv());
 }

@@ -11,6 +11,7 @@
 
 use ascetic_algos::{Cc, PageRank, Sssp};
 use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{source_vertex, Algo, Env};
 use ascetic_graph::datasets::DatasetId;
@@ -75,7 +76,7 @@ fn main() {
             &tracer.iteration_counts_csv(),
         );
     }
-    println!("\n{}", summary.to_markdown());
+    emit("fig2_access_patterns", &summary, &summary);
     println!(
         "Paper's observations to check: (1) accesses sweep chunk ids in order per\n\
          iteration (see *_timeline.csv); (2) per-chunk counts within one iteration\n\

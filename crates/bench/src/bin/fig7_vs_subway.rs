@@ -5,7 +5,8 @@
 //! prestore *excluded*: "The data transfer is not contain the static
 //! prestore data").
 
-use ascetic_bench::fmt::{geomean, maybe_write_csv, Table};
+use ascetic_bench::fmt::{geomean, Table};
+use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
 use ascetic_graph::datasets::DatasetId;
@@ -43,7 +44,7 @@ fn main() {
         ]);
         csv.row(vec![label, format!("{speed:.4}"), format!("{ratio:.4}")]);
     }
-    println!("\n{}", table.to_markdown());
+    emit("fig7_vs_subway", &table, &csv);
     let avg_speed = speeds.iter().sum::<f64>() / speeds.len() as f64;
     let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!(
@@ -52,5 +53,4 @@ fn main() {
         geomean(&speeds),
         avg_ratio * 100.0
     );
-    maybe_write_csv("fig7_vs_subway.csv", &csv.to_csv());
 }

@@ -8,7 +8,8 @@
 //! CC/GS reaches 82.7 % Static savings; BFS gets ~6.5 % from Static even
 //! with no reuse (data already resident needs no transfer).
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_core::AsceticSystem;
@@ -80,7 +81,7 @@ fn main() {
             ]);
         }
     }
-    println!("\n{}", table.to_markdown());
+    emit("fig8_breakdown", &table, &csv);
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
         "Average savings vs Subway: static {:.1}%, overlapping {:.1}%.\n\
@@ -88,5 +89,4 @@ fn main() {
         avg(&static_savings_all),
         avg(&overlap_savings_all)
     );
-    maybe_write_csv("fig8_breakdown.csv", &csv.to_csv());
 }

@@ -5,7 +5,8 @@
 //! more data on some workloads (the y-axis of the figure is Ascetic's
 //! volume relative to UVM, mostly well under 1.0).
 
-use ascetic_bench::fmt::{geomean, maybe_write_csv, Table};
+use ascetic_bench::fmt::{geomean, Table};
+use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
 use ascetic_graph::datasets::DatasetId;
@@ -37,10 +38,9 @@ fn main() {
         ]);
         csv.row(vec![label, format!("{speed:.4}"), format!("{ratio:.4}")]);
     }
-    println!("\n{}", table.to_markdown());
+    emit("fig9_vs_uvm", &table, &csv);
     println!(
         "Geomean speedup over UVM: {:.2}X.\nPaper: UVM 6.2X slower than Ascetic on average; Ascetic moves a small fraction of UVM's bytes.",
         geomean(&speeds)
     );
-    maybe_write_csv("fig9_vs_uvm.csv", &csv.to_csv());
 }

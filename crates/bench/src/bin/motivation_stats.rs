@@ -11,7 +11,8 @@
 //! 2. *Subway GPU idle*: "Our study shows that 68% of GPU time is idle in
 //!    BFS algorithm on Friendster-konect dataset."
 
-use ascetic_bench::fmt::{human_bytes, maybe_write_csv, Table};
+use ascetic_bench::fmt::{human_bytes, Table};
+use ascetic_bench::output::write_raw;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, Algo, Env};
 use ascetic_graph::datasets::DatasetId;
@@ -77,5 +78,5 @@ fn main() {
         "ascetic_pr_steady_bytes".to_string(),
         asc.steady_bytes().to_string(),
     ]);
-    maybe_write_csv("motivation_stats.csv", &csv.to_csv());
+    write_raw("motivation_stats", &csv);
 }

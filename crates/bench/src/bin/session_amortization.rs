@@ -6,7 +6,8 @@
 //! [`AsceticSession`] (prestore paid once) versus three independent
 //! one-shot runs (prestore paid three times).
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::run::PreparedDataset;
 use ascetic_bench::setup::{run_algo, source_vertex, Algo, Env};
 use ascetic_core::session::AsceticSession;
@@ -79,12 +80,11 @@ fn main() {
             o_bytes.to_string(),
         ]);
     }
-    println!("\n{}", table.to_markdown());
+    emit("session_amortization", &table, &csv);
     println!(
         "The time saving approximates two prestores — §4.3's point that the\n\
          prestore is a per-graph cost, not a per-algorithm one. Byte savings can\n\
          be offset when the persistent hotness state drives extra replacement\n\
          traffic in later runs (visible on UK)."
     );
-    maybe_write_csv("session_amortization.csv", &csv.to_csv());
 }

@@ -12,7 +12,8 @@
 //! sparsest, PR is densest, and the web graph (UK) is sparser than the
 //! social graph (FK) for traversals.
 
-use ascetic_bench::fmt::{maybe_write_csv, Table};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
 use ascetic_bench::setup::{run_algo_in_memory, Algo, Env};
 use ascetic_graph::datasets::DatasetId;
 
@@ -45,7 +46,6 @@ fn main() {
         }
         table.row(cells);
     }
-    println!("\n{}", table.to_markdown());
+    emit("table1_active_edges", &table, &csv);
     println!("Paper: FK 4.5/3.1/14.1/28.7%; UK 0.8/3.1/3.0/25.1% (BFS/SSSP/CC/PR).");
-    maybe_write_csv("table1_active_edges.csv", &csv.to_csv());
 }

@@ -12,7 +12,8 @@
 //! We report the same metric from the Subway runs: the mean per-iteration
 //! device payload, alongside the device capacity.
 
-use ascetic_bench::fmt::{human_bytes, maybe_write_csv, Table};
+use ascetic_bench::fmt::{human_bytes, Table};
+use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
 use ascetic_graph::datasets::DatasetId;
@@ -58,12 +59,11 @@ fn main() {
         }
         table.row(cells_row);
     }
-    println!("\n{}", table.to_markdown());
+    emit("table2_memory_usage", &table, &csv);
     println!(
         "Device capacity (scaled): {} — the paper's point: per-iteration \
          usage is a small fraction of it.\nPaper: FK 0.45/0.64/1.64/2.97 GB; \
          UK 0.11/0.94/0.46/3.80 GB of 10-16 GB (BFS/SSSP/CC/PR).",
         human_bytes(device)
     );
-    maybe_write_csv("table2_memory_usage.csv", &csv.to_csv());
 }

@@ -4,7 +4,8 @@
 //! generated, with structural statistics so the substitution is auditable
 //! (directedness, degree skew, dataset sizes per algorithm family).
 
-use ascetic_bench::fmt::{human_bytes, maybe_write_csv, Table};
+use ascetic_bench::fmt::{human_bytes, Table};
+use ascetic_bench::output::emit;
 use ascetic_bench::setup::Env;
 use ascetic_graph::datasets::DatasetId;
 use ascetic_graph::stats::degree_stats;
@@ -60,10 +61,9 @@ fn main() {
             format!("{:.4}", s.gini),
         ]);
     }
-    println!("\n{}", table.to_markdown());
+    emit("table3_datasets", &table, &csv);
     println!(
         "Scaled GPU memory cap: {} (paper: 10 GB).",
         human_bytes(ascetic_graph::datasets::PAPER_GPU_MEM_BYTES / env.scale)
     );
-    maybe_write_csv("table3_datasets.csv", &csv.to_csv());
 }

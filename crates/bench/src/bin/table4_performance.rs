@@ -5,7 +5,8 @@
 //! paper reports Subway 5.6× / Ascetic 11.4× geomean over PT, i.e. Ascetic
 //! ≈ 2.0× over Subway.
 
-use ascetic_bench::fmt::{geomean, human_secs, maybe_write_csv, Table};
+use ascetic_bench::fmt::{geomean, human_secs, Table};
+use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
 use ascetic_graph::datasets::DatasetId;
@@ -64,12 +65,11 @@ fn main() {
         format!("{:.1}X", geomean(&subway_speedups)),
         format!("{:.1}X", geomean(&ascetic_speedups)),
     ]);
-    println!("\n{}", table.to_markdown());
+    emit("table4_performance", &table, &csv);
     println!(
         "Paper: Subway 5.6X, Ascetic 11.4X geomean over PT (Ascetic/Subway ~2.0X).\nHere:  Subway {:.1}X, Ascetic {:.1}X (Ascetic/Subway {:.2}X).",
         geomean(&subway_speedups),
         geomean(&ascetic_speedups),
         geomean(&ascetic_speedups) / geomean(&subway_speedups)
     );
-    maybe_write_csv("table4_performance.csv", &csv.to_csv());
 }

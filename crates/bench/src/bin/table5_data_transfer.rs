@@ -6,7 +6,8 @@
 //! shape: PT ≫ Subway > Ascetic everywhere, with Ascetic below 1× on BFS
 //! (the static region covers the few edges BFS ever touches).
 
-use ascetic_bench::fmt::{geomean, human_bytes, maybe_write_csv, Table};
+use ascetic_bench::fmt::{geomean, human_bytes, Table};
+use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
 use ascetic_graph::datasets::DatasetId;
@@ -83,9 +84,8 @@ fn main() {
         format!("{:.1}X", geomean(&g_sw)),
         format!("{:.1}X", geomean(&g_asc)),
     ]);
-    println!("\n{}", table.to_markdown());
+    emit("table5_data_transfer", &table, &csv);
     println!(
         "Paper geomeans: PT 32.5X, Subway 3.6X, Ascetic 1.4X (of dataset size, prestore included)."
     );
-    maybe_write_csv("table5_data_transfer.csv", &csv.to_csv());
 }

@@ -10,6 +10,8 @@
 //!   system constructors, all derived from one scale divisor so the
 //!   paper's ratios (dataset : GPU memory, K) are preserved;
 //! * [`fmt`] — markdown/CSV table printers and geometric means;
+//! * [`output`] — the emission path every binary shares: markdown to
+//!   stdout, one `<bin>.csv` per binary under `$ASCETIC_RESULTS`;
 //! * [`run`] — uniform "run algorithm X on dataset Y under system Z"
 //!   drivers used by most experiments.
 //!
@@ -17,5 +19,6 @@
 //! `ASCETIC_RESULTS` is set) writes raw CSVs for plotting.
 
 pub mod fmt;
+pub mod output;
 pub mod run;
 pub mod setup;

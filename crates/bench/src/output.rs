@@ -1,0 +1,56 @@
+//! The shared emission path for the bench binaries.
+//!
+//! Every binary produces the same two artifacts: a human-readable markdown
+//! table on stdout and (when `$ASCETIC_RESULTS` is set) a machine-readable
+//! CSV named after the binary. Centralising the pair keeps the file-naming
+//! convention (`<bin>.csv`) and the stdout layout identical across all of
+//! them.
+
+use crate::fmt::{maybe_write_csv, Table};
+use std::path::PathBuf;
+
+/// Print `display` as markdown and write `raw` as `<bin>.csv`.
+///
+/// `display` carries humanised units for the terminal; `raw` carries full
+/// precision for plotting. Binaries with a single table pass it as both.
+/// Returns the CSV path when `$ASCETIC_RESULTS` routed it to disk.
+pub fn emit(bin: &str, display: &Table, raw: &Table) -> Option<PathBuf> {
+    println!("\n{}", display.to_markdown());
+    write_raw(bin, raw)
+}
+
+/// Print `table` as a markdown section under a `### title` heading — the
+/// per-algorithm view the sweep binaries use, with one shared CSV written
+/// separately via [`write_raw`] once all sections are out.
+pub fn section(title: &str, table: &Table) {
+    println!("\n### {title}\n\n{}", table.to_markdown());
+}
+
+/// The CSV half of [`emit`]: write `raw` as `<bin>.csv` under
+/// `$ASCETIC_RESULTS` when the variable is set.
+pub fn write_raw(bin: &str, raw: &Table) -> Option<PathBuf> {
+    maybe_write_csv(&format!("{bin}.csv"), &raw.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_raw_names_the_file_after_the_binary() {
+        // Serial by construction: this is the only test in the crate that
+        // touches ASCETIC_RESULTS.
+        std::env::remove_var("ASCETIC_RESULTS");
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        assert!(write_raw("some_bench", &t).is_none());
+
+        let dir = std::env::temp_dir().join(format!("ascetic-output-{}", std::process::id()));
+        std::env::set_var("ASCETIC_RESULTS", &dir);
+        let path = write_raw("some_bench", &t).expect("env set, should write");
+        std::env::remove_var("ASCETIC_RESULTS");
+        assert_eq!(path, dir.join("some_bench.csv"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -71,6 +71,10 @@ pub struct AsceticConfig {
     /// Record every engine span for Chrome-trace export
     /// ([`ascetic_sim::chrome_trace_json`] on the report's `trace`).
     pub tracing: bool,
+    /// Record a structured [`ascetic_obs::EventLog`] (iteration boundaries,
+    /// DMAs, kernels, repartitions, …) on the report's `events`. Off by
+    /// default; enabling costs one `Vec` push per event.
+    pub events: bool,
     /// Number of buffers the on-demand region is split into (≥ 1). With
     /// more than one, batch `i+1`'s H2D transfer can run while batch `i`
     /// computes — classic double buffering. The paper's design has a
@@ -93,6 +97,7 @@ impl AsceticConfig {
             adaptive: true,
             chunk_bytes: 16 * 1024,
             tracing: false,
+            events: false,
             od_buffers: 1,
         }
     }
@@ -141,6 +146,12 @@ impl AsceticConfig {
         self
     }
 
+    /// Builder: toggle structured event logging.
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
+        self
+    }
+
     /// Builder: split the on-demand region into `n` buffers (double
     /// buffering and beyond).
     pub fn with_od_buffers(mut self, n: usize) -> Self {
@@ -172,6 +183,13 @@ mod tests {
         assert_eq!(c.fill, FillPolicy::Front);
         assert!(c.static_ratio_override.is_none());
         assert_eq!(c.od_buffers, 1);
+        assert!(!c.events, "event logging is opt-in");
+    }
+
+    #[test]
+    fn events_builder() {
+        let c = AsceticConfig::new(DeviceConfig::p100(1 << 20)).with_events(true);
+        assert!(c.events);
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn finish_report(
     } else {
         per_iter.iter().map(|i| i.payload_bytes).sum::<u64>() / per_iter.len() as u64
     };
-    RunReport {
+    let mut report = RunReport {
         system,
         algorithm,
         iterations,
@@ -108,11 +108,15 @@ pub fn finish_report(
         gpu_idle_ns: gpu.timeline.idle_ns(Engine::Compute),
         repartitions: 0,
         trace: gpu.timeline.take_trace(),
+        metrics: gpu.obs.registry.snapshot(),
+        events: gpu.obs.take_events(),
         peak_iteration_payload_bytes: peak,
         avg_iteration_payload_bytes: avg,
         output,
         per_iter,
-    }
+    };
+    report.sync_metrics();
+    report
 }
 
 #[cfg(test)]

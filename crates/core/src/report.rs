@@ -13,6 +13,7 @@
 //!   time is idle"), Table 2 — [`RunReport::peak_iteration_payload_bytes`].
 
 use ascetic_algos::AlgoOutput;
+use ascetic_obs::{json, EventLog, MetricsSnapshot};
 use ascetic_sim::{KernelStats, TraceSpan, XferStats};
 
 /// Per-iteration record.
@@ -70,8 +71,9 @@ pub struct RunReport {
     pub algorithm: &'static str,
     /// Iterations until convergence.
     pub iterations: u32,
-    /// Total simulated run time, ns (excluding one-time prestore when
-    /// `prestore_overlapped` — see `prestore_ns`).
+    /// Total simulated run time, ns. On a session's first run this
+    /// includes the one-time static prestore (see `prestore_ns`); later
+    /// runs over the same session start from a warm region and exclude it.
     pub sim_time_ns: u64,
     /// Steady-state transfers (excludes the static-region prestore).
     pub xfer: XferStats,
@@ -98,6 +100,15 @@ pub struct RunReport {
     /// Recorded engine spans, when the system ran with tracing enabled
     /// (export with [`ascetic_sim::chrome_trace_json`]).
     pub trace: Option<Vec<TraceSpan>>,
+    /// Metrics snapshot for this run. Canonical counters (`xfer.*`,
+    /// `kernel.*`, `prestore.bytes`, …) are synced from the report fields
+    /// by [`RunReport::sync_metrics`], so they agree exactly with
+    /// [`RunReport::xfer`]/[`RunReport::kernels`]; histograms and
+    /// subsystem counters come from the live device registry.
+    pub metrics: MetricsSnapshot,
+    /// Structured event log, when the system ran with event logging
+    /// enabled (`AsceticConfig::with_events` / baseline `with_events`).
+    pub events: Option<EventLog>,
     /// Final algorithm output (validated against the in-memory oracle).
     pub output: AlgoOutput,
     /// Per-iteration details.
@@ -118,18 +129,220 @@ impl RunReport {
         self.xfer.total_bytes() + self.refresh_bytes
     }
 
-    /// Simulated seconds.
+    /// The run's makespan in simulated seconds (`sim_time_ns / 1e9`; the
+    /// virtual clock, not host wall time).
     pub fn seconds(&self) -> f64 {
         self.sim_time_ns as f64 / 1e9
     }
 
-    /// GPU idle fraction of the makespan (paper §2.2: 68 % for Subway BFS
-    /// on friendster-konect).
+    /// Fraction of the makespan the COMPUTE engine sat idle, in `[0, 1]`
+    /// (paper §2.2: 68 % for Subway BFS on friendster-konect). Returns 0.0
+    /// for a zero-length run.
     pub fn gpu_idle_fraction(&self) -> f64 {
         if self.sim_time_ns == 0 {
             return 0.0;
         }
         self.gpu_idle_ns as f64 / self.sim_time_ns as f64
+    }
+
+    /// Of the traversed edges, the fraction served from the static region
+    /// (always 0.0 for baselines, which have no static region).
+    pub fn static_edge_fraction(&self) -> f64 {
+        let total: u64 = self.per_iter.iter().map(|i| i.active_edges).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let stat: u64 = self.per_iter.iter().map(|i| i.static_edges).sum();
+        stat as f64 / total as f64
+    }
+
+    /// Overwrite the snapshot's canonical metrics with this report's
+    /// authoritative fields and stamp the `system`/`algo` labels.
+    ///
+    /// The live registry counts every DMA the device issues, but systems
+    /// also adjust `XferStats` directly (index bytes ride along on payload
+    /// DMAs; sessions subtract earlier runs' traffic), so the report
+    /// fields — not the registry — are the source of truth. Calling this
+    /// pins the exported snapshot to them exactly.
+    pub fn sync_metrics(&mut self) {
+        self.metrics.set_label("system", self.system);
+        self.metrics.set_label("algo", self.algorithm);
+        self.metrics
+            .set_counter("xfer.h2d_bytes", self.xfer.h2d_bytes);
+        self.metrics
+            .set_counter("xfer.d2h_bytes", self.xfer.d2h_bytes);
+        self.metrics.set_counter("xfer.h2d_ops", self.xfer.h2d_ops);
+        self.metrics.set_counter("xfer.d2h_ops", self.xfer.d2h_ops);
+        self.metrics
+            .set_counter("kernel.launches", self.kernels.launches);
+        self.metrics.set_counter("kernel.edges", self.kernels.edges);
+        self.metrics
+            .set_counter("kernel.vertices", self.kernels.vertices);
+        self.metrics
+            .set_counter("kernel.time_ns", self.kernels.time_ns);
+        self.metrics
+            .set_counter("prestore.bytes", self.prestore_bytes);
+        self.metrics
+            .set_counter("refresh.bytes", self.refresh_bytes);
+        self.metrics
+            .set_counter("iterations", self.iterations as u64);
+        self.metrics
+            .set_counter("repartitions", self.repartitions as u64);
+        self.metrics.set_gauge("sim_time_ns", self.sim_time_ns);
+        self.metrics.set_gauge("gpu.idle_ns", self.gpu_idle_ns);
+        self.metrics
+            .set_gauge("payload.peak_bytes", self.peak_iteration_payload_bytes);
+        self.metrics
+            .set_gauge("payload.avg_bytes", self.avg_iteration_payload_bytes);
+    }
+
+    /// Header line matching [`RunReport::summary_csv_row`].
+    pub fn summary_csv_header() -> &'static str {
+        "system,algorithm,iterations,sim_time_ns,h2d_bytes,d2h_bytes,h2d_ops,d2h_ops,\
+         prestore_bytes,refresh_bytes,kernel_launches,kernel_edges,gpu_idle_ns,\
+         repartitions,peak_payload_bytes"
+    }
+
+    /// One CSV row of the headline scalars (no trailing newline).
+    pub fn summary_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.system,
+            self.algorithm,
+            self.iterations,
+            self.sim_time_ns,
+            self.xfer.h2d_bytes,
+            self.xfer.d2h_bytes,
+            self.xfer.h2d_ops,
+            self.xfer.d2h_ops,
+            self.prestore_bytes,
+            self.refresh_bytes,
+            self.kernels.launches,
+            self.kernels.edges,
+            self.gpu_idle_ns,
+            self.repartitions,
+            self.peak_iteration_payload_bytes,
+        )
+    }
+
+    /// Header + row CSV document.
+    pub fn summary_csv(&self) -> String {
+        format!(
+            "{}\n{}\n",
+            Self::summary_csv_header(),
+            self.summary_csv_row()
+        )
+    }
+
+    /// Two-column markdown table of the headline numbers.
+    pub fn summary_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} / {}\n\n", self.system, self.algorithm));
+        out.push_str("| metric | value |\n|---|---|\n");
+        let rows: [(&str, String); 9] = [
+            ("iterations", self.iterations.to_string()),
+            (
+                "simulated time",
+                format!("{:.3} ms", self.sim_time_ns as f64 / 1e6),
+            ),
+            (
+                "steady transfer",
+                format!("{:.2} MB", self.steady_bytes() as f64 / 1e6),
+            ),
+            (
+                "prestore",
+                format!("{:.2} MB", self.prestore_bytes as f64 / 1e6),
+            ),
+            (
+                "DMA ops",
+                (self.xfer.h2d_ops + self.xfer.d2h_ops).to_string(),
+            ),
+            ("kernel launches", self.kernels.launches.to_string()),
+            (
+                "GPU idle",
+                format!("{:.1} %", self.gpu_idle_fraction() * 100.0),
+            ),
+            ("repartitions", self.repartitions.to_string()),
+            (
+                "static-region hit",
+                format!("{:.1} %", self.static_edge_fraction() * 100.0),
+            ),
+        ];
+        for (k, v) in rows {
+            out.push_str(&format!("| {k} | {v} |\n"));
+        }
+        out
+    }
+
+    /// One JSON object: headline scalars plus the full metrics snapshot.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{");
+        json::key_into("system", &mut out);
+        json::string_into(self.system, &mut out);
+        out.push(',');
+        json::key_into("algorithm", &mut out);
+        json::string_into(self.algorithm, &mut out);
+        for (k, v) in [
+            ("iterations", self.iterations as u64),
+            ("sim_time_ns", self.sim_time_ns),
+            ("prestore_bytes", self.prestore_bytes),
+            ("refresh_bytes", self.refresh_bytes),
+            ("steady_bytes", self.steady_bytes()),
+            (
+                "total_bytes_with_prestore",
+                self.total_bytes_with_prestore(),
+            ),
+            ("gpu_idle_ns", self.gpu_idle_ns),
+            ("repartitions", self.repartitions as u64),
+        ] {
+            out.push(',');
+            json::key_into(k, &mut out);
+            out.push_str(&v.to_string());
+        }
+        out.push(',');
+        json::key_into("metrics", &mut out);
+        out.push_str(&self.metrics.to_json());
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    /// The human-readable summary the CLI prints by default.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "system:            {}", self.system)?;
+        writeln!(f, "algorithm:         {}", self.algorithm)?;
+        writeln!(f, "iterations:        {}", self.iterations)?;
+        writeln!(
+            f,
+            "simulated time:    {:.3} ms",
+            self.sim_time_ns as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "transferred:       {:.2} MB steady + {:.2} MB prestore",
+            self.steady_bytes() as f64 / 1e6,
+            self.prestore_bytes as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "kernels:           {} launches, {} edges",
+            self.kernels.launches, self.kernels.edges
+        )?;
+        writeln!(
+            f,
+            "GPU idle:          {:.1} %",
+            self.gpu_idle_fraction() * 100.0
+        )?;
+        let total: u64 = self.per_iter.iter().map(|i| i.active_edges).sum();
+        if total > 0 {
+            writeln!(
+                f,
+                "static region hit: {:.1} % of traversed edges",
+                self.static_edge_fraction() * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -166,6 +379,8 @@ mod tests {
             peak_iteration_payload_bytes: 64,
             avg_iteration_payload_bytes: 32,
             trace: None,
+            metrics: MetricsSnapshot::new(),
+            events: None,
             output: AlgoOutput::Distances(vec![]),
             per_iter: vec![],
         }
@@ -188,5 +403,51 @@ mod tests {
         let r = dummy();
         assert!((r.gpu_idle_fraction() - 0.4).abs() < 1e-12);
         assert_eq!(r.seconds(), 1e-6);
+    }
+
+    #[test]
+    fn sync_metrics_pins_canonical_counters() {
+        let mut r = dummy();
+        r.metrics.set_counter("xfer.h2d_bytes", 999_999); // stale registry value
+        r.sync_metrics();
+        assert_eq!(r.metrics.counter("xfer.h2d_bytes"), Some(r.xfer.h2d_bytes));
+        assert_eq!(r.metrics.counter("xfer.d2h_ops"), Some(r.xfer.d2h_ops));
+        assert_eq!(r.metrics.counter("prestore.bytes"), Some(200));
+        assert_eq!(r.metrics.counter("iterations"), Some(3));
+        assert_eq!(r.metrics.gauge("sim_time_ns"), Some(1_000));
+        assert_eq!(r.metrics.gauge("gpu.idle_ns"), Some(400));
+        assert_eq!(r.metrics.label("system"), Some("X"));
+        assert_eq!(r.metrics.label("algo"), Some("BFS"));
+    }
+
+    #[test]
+    fn display_and_summaries_are_well_formed() {
+        let mut r = dummy();
+        r.sync_metrics();
+        let text = r.to_string();
+        assert!(text.contains("system:            X"));
+        assert!(text.contains("iterations:        3"));
+        let md = r.summary_markdown();
+        assert!(md.contains("| iterations | 3 |"));
+        assert!(md.contains("### X / BFS"));
+        let csv = r.summary_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(row.starts_with("X,BFS,3,1000,500,100,5,1,200,30,"));
+        ascetic_obs::json::validate(&r.summary_json()).expect("summary JSON validates");
+    }
+
+    #[test]
+    fn static_edge_fraction_counts_per_iter() {
+        let mut r = dummy();
+        assert_eq!(r.static_edge_fraction(), 0.0, "no iterations yet");
+        r.per_iter.push(IterReport {
+            active_edges: 100,
+            static_edges: 75,
+            ..IterReport::default()
+        });
+        assert!((r.static_edge_fraction() - 0.75).abs() < 1e-12);
     }
 }

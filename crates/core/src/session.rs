@@ -15,6 +15,7 @@
 use ascetic_algos::{EdgeSlice, VertexProgram};
 use ascetic_graph::chunks::ChunkGeometry;
 use ascetic_graph::Csr;
+use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap};
 use ascetic_sim::{DevPtr, Engine, Gpu, SimTime};
 
@@ -51,6 +52,9 @@ impl<'g> AsceticSession<'g> {
         } else {
             Gpu::new(cfg.device)
         };
+        if cfg.events {
+            gpu.obs.enable_events(DEFAULT_EVENT_CAPACITY);
+        }
         let _vertex_slab = reserve_vertex_arrays(&mut gpu, g);
         let m_edge = edge_budget_bytes(&gpu);
         let geo = ChunkGeometry::with_chunk_bytes(g, cfg.chunk_bytes);
@@ -99,6 +103,16 @@ impl<'g> AsceticSession<'g> {
             .schedule_labeled(Engine::Copy, SimTime::ZERO, prestore_ns, || {
                 format!("prestore {prestore_bytes}B")
             });
+        gpu.obs
+            .registry
+            .counter_add("prestore.bytes", prestore_bytes);
+        gpu.obs.record(
+            0,
+            Event::Prestore {
+                bytes: prestore_bytes,
+                dur_ns: prestore_ns,
+            },
+        );
         gpu.sync();
 
         let hotness = HotnessTable::new(geo.num_chunks(), cfg.replacement);
@@ -146,6 +160,7 @@ impl<'g> AsceticSession<'g> {
         let xfer0 = self.gpu.xfer;
         let kernels0 = self.gpu.kernels;
         let compute_busy0 = self.gpu.timeline.busy_ns(Engine::Compute);
+        let obs0 = self.gpu.obs.registry.snapshot();
 
         let state = prog.new_state(g);
         let mut active = prog.initial_frontier(g);
@@ -163,6 +178,7 @@ impl<'g> AsceticSession<'g> {
 
         while !active.is_all_zero() && iter < prog.max_iterations() {
             let iter_start = self.gpu.sync();
+            self.gpu.obs.record(iter_start.0, Event::IterStart { iter });
             prog.begin_iteration(iter, &active, &state);
 
             // ➊ GenDataMap (cheap bitmap kernel over |V| bits).
@@ -190,6 +206,14 @@ impl<'g> AsceticSession<'g> {
                         self.od_buffers.push(tail);
                         buffer_free_at.push(SimTime::ZERO);
                         repartitions += 1;
+                        self.gpu.obs.registry.counter_add("repartitions", 1);
+                        self.gpu.obs.record(
+                            iter_start.0,
+                            Event::Repartition {
+                                iter,
+                                static_bytes: self.region.capacity_bytes(),
+                            },
+                        );
                         // bitmap changed: regenerate the data maps
                         maps = DataMaps::generate(g, &active, self.region.vertex_bitmap());
                     }
@@ -325,6 +349,8 @@ impl<'g> AsceticSession<'g> {
                                 self.gpu.config.pcie.transfer_ns(bytes),
                                 || format!("lazy-load {bytes}B"),
                             );
+                            self.gpu.obs.registry.counter_add("lazy.loads", 1);
+                            self.gpu.obs.record(span.start.0, Event::LazyLoad { bytes });
                             breakdown.update_ns += span.duration();
                             ops_left -= 1;
                         }
@@ -342,6 +368,10 @@ impl<'g> AsceticSession<'g> {
                                 self.gpu.config.pcie.transfer_ns(bytes),
                                 || format!("refresh {bytes}B"),
                             );
+                            self.gpu.obs.registry.counter_add("hotness.swaps", 1);
+                            self.gpu
+                                .obs
+                                .record(span.start.0, Event::HotSwap { chunks: 1, bytes });
                             breakdown.update_ns += span.duration();
                         }
                     }
@@ -349,6 +379,7 @@ impl<'g> AsceticSession<'g> {
             }
 
             let iter_end = self.gpu.sync();
+            self.gpu.obs.record(iter_end.0, Event::IterEnd { iter });
             per_iter.push(IterReport {
                 active_vertices: maps.active_vertices(),
                 active_edges: maps.active_edges(),
@@ -378,6 +409,11 @@ impl<'g> AsceticSession<'g> {
             per_iter,
             prog.output(&state),
         );
+        // the report took ownership of the event log; arm a fresh one so
+        // later runs over this session keep recording
+        if cfg.events {
+            self.gpu.obs.enable_events(DEFAULT_EVENT_CAPACITY);
+        }
         report.repartitions = repartitions;
         // convert cumulative device counters into this run's share
         report.xfer.h2d_bytes -= xfer0.h2d_bytes;
@@ -392,6 +428,11 @@ impl<'g> AsceticSession<'g> {
         report.sim_time_ns = run_ns;
         let busy_delta = self.gpu.timeline.busy_ns(Engine::Compute) - compute_busy0;
         report.gpu_idle_ns = run_ns.saturating_sub(busy_delta);
+        // metrics: subtract the session baseline (histograms, subsystem
+        // counters), then re-pin the canonical counters to this run's
+        // delta-corrected fields
+        report.metrics = report.metrics.diff(&obs0);
+        report.sync_metrics();
         self.runs += 1;
         report
     }
@@ -448,6 +489,40 @@ mod tests {
         assert!(b.kernels.launches <= a.kernels.launches * 2);
         // and it runs at least as fast (no prestore time)
         assert!(b.sim_time_ns <= a.sim_time_ns);
+    }
+
+    #[test]
+    fn metrics_and_events_are_per_run() {
+        let g = uniform_graph(2_000, 16_000, false, 35);
+        let mut session = AsceticSession::new(cfg_for(&g).with_events(true), &g);
+        let a = session.run(&Bfs::new(0));
+        // canonical counters agree exactly with the trusted report fields
+        assert_eq!(a.metrics.counter("xfer.h2d_bytes"), Some(a.xfer.h2d_bytes));
+        assert_eq!(a.metrics.counter("xfer.h2d_ops"), Some(a.xfer.h2d_ops));
+        assert_eq!(
+            a.metrics.counter("kernel.launches"),
+            Some(a.kernels.launches)
+        );
+        assert_eq!(a.metrics.counter("prestore.bytes"), Some(a.prestore_bytes));
+        assert_eq!(a.metrics.label("system"), Some("Ascetic"));
+        let kinds: Vec<&str> = a
+            .events
+            .as_ref()
+            .expect("events enabled")
+            .iter()
+            .map(|e| e.event.kind())
+            .collect();
+        assert!(kinds.contains(&"prestore"), "first run owns the prestore");
+        assert!(kinds.contains(&"iter_start"));
+        assert!(kinds.contains(&"iter_end"));
+        assert!(kinds.contains(&"dma"));
+
+        let b = session.run(&Cc::new());
+        assert_eq!(b.metrics.counter("xfer.h2d_bytes"), Some(b.xfer.h2d_bytes));
+        assert_eq!(b.metrics.counter("prestore.bytes"), Some(0));
+        let b_events = b.events.as_ref().expect("log re-armed per run");
+        assert!(b_events.iter().all(|e| e.event.kind() != "prestore"));
+        assert!(b_events.iter().any(|e| e.event.kind() == "iter_start"));
     }
 
     #[test]

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # ascetic-obs — unified telemetry
+//!
+//! The paper's entire argument is observational: Tables 4/5 and Figures 7–10
+//! are byte counters and time breakdowns. This crate is the one place those
+//! signals are collected, so every system (Ascetic and the baselines) emits
+//! a *comparable* stream and every experiment reads the same names:
+//!
+//! * [`registry`] — a [`Registry`] of named counters, gauges and
+//!   log2-bucketed [`Histogram`]s with labels (system/algo/dataset), merge
+//!   and diff support, and deterministic (sorted) export ordering.
+//! * [`event`] — a structured [`EventLog`] stamped by the **virtual clock**
+//!   (iteration boundaries, kernel launches, DMA ops, UVM faults and
+//!   evictions, hotness-table replacements, Eq (3) re-partitions, allocator
+//!   high-water marks) with bounded capacity and a JSONL sink.
+//! * [`json`] — hand-rolled JSON escaping, number formatting and a small
+//!   validating parser (no serde; the whole workspace stays
+//!   dependency-free).
+//!
+//! Determinism: nothing here reads wall-clock time. Timestamps are supplied
+//! by the caller from the simulated clock (`ascetic-sim`), so two runs of
+//! the same workload produce byte-identical snapshots and event streams.
+
+pub mod event;
+pub mod json;
+pub mod registry;
+
+pub use event::{Event, EventLog, TimedEvent, XferDir, DEFAULT_EVENT_CAPACITY};
+pub use registry::{Histogram, MetricValue, MetricsSnapshot, Obs, Registry};

@@ -20,6 +20,7 @@ use crate::memory::{DevPtr, DeviceMemory, OutOfDeviceMemory};
 use crate::metrics::{KernelStats, XferStats};
 use crate::time::SimTime;
 use crate::timeline::{Engine, Span, Timeline};
+use ascetic_obs::{Event, Obs, XferDir};
 
 /// A simulated GPU with its host-side engines.
 ///
@@ -45,6 +46,9 @@ pub struct Gpu {
     pub xfer: XferStats,
     /// Kernel counters.
     pub kernels: KernelStats,
+    /// Telemetry bundle: live metric registry plus optional event log
+    /// (enable with `obs.enable_events`; off by default).
+    pub obs: Obs,
 }
 
 impl Gpu {
@@ -62,13 +66,23 @@ impl Gpu {
             timeline: Timeline::new(),
             xfer: XferStats::default(),
             kernels: KernelStats::default(),
+            obs: Obs::new(),
             config,
         }
     }
 
-    /// Allocate device words.
+    /// Allocate device words, advancing the allocator high-water telemetry
+    /// when the peak rises.
     pub fn alloc(&mut self, words: usize) -> Result<DevPtr, OutOfDeviceMemory> {
-        self.mem.alloc(words)
+        let before = self.mem.high_water();
+        let ptr = self.mem.alloc(words)?;
+        if self.mem.high_water() > before {
+            let bytes = self.mem.high_water() as u64 * 4;
+            self.obs.registry.gauge_max("mem.high_water_bytes", bytes);
+            let now = self.timeline.now().0;
+            self.obs.record(now, Event::HighWater { bytes });
+        }
+        Ok(ptr)
     }
 
     /// Free a device allocation.
@@ -83,12 +97,22 @@ impl Gpu {
         let bytes = (src.len() * 4) as u64;
         self.xfer.h2d_bytes += bytes;
         self.xfer.h2d_ops += 1;
-        self.timeline.schedule_labeled(
+        self.obs.registry.observe("h2d.op_bytes", bytes);
+        let span = self.timeline.schedule_labeled(
             Engine::Copy,
             ready,
             self.config.pcie.transfer_ns(bytes),
             || format!("H2D {bytes}B"),
-        )
+        );
+        self.obs.record(
+            span.start.0,
+            Event::Dma {
+                dir: XferDir::H2d,
+                bytes,
+                dur_ns: span.duration(),
+            },
+        );
+        span
     }
 
     /// H2D copy chained after everything scheduled so far.
@@ -103,12 +127,22 @@ impl Gpu {
         let bytes = (dst.len() * 4) as u64;
         self.xfer.d2h_bytes += bytes;
         self.xfer.d2h_ops += 1;
-        self.timeline.schedule_labeled(
+        self.obs.registry.observe("d2h.op_bytes", bytes);
+        let span = self.timeline.schedule_labeled(
             Engine::Copy,
             ready,
             self.config.pcie.transfer_ns(bytes),
             || format!("D2H {bytes}B"),
-        )
+        );
+        self.obs.record(
+            span.start.0,
+            Event::Dma {
+                dir: XferDir::D2h,
+                bytes,
+                dur_ns: span.duration(),
+            },
+        );
+        span
     }
 
     /// Charge a kernel of `edges`/`vertices` work on the COMPUTE engine,
@@ -120,19 +154,41 @@ impl Gpu {
         self.kernels.edges += edges;
         self.kernels.vertices += vertices;
         self.kernels.time_ns += dur;
-        self.timeline
+        self.obs.registry.observe("kernel.ns", dur);
+        let span = self
+            .timeline
             .schedule_labeled(Engine::Compute, ready, dur, || {
                 format!("kernel e={edges} v={vertices}")
-            })
+            });
+        if self.obs.events_enabled() {
+            self.obs.record(
+                span.start.0,
+                Event::Kernel {
+                    label: format!("e={edges} v={vertices}"),
+                    edges,
+                    dur_ns: span.duration(),
+                },
+            );
+        }
+        span
     }
 
     /// Charge a host gather of `bytes` over `vertices` adjacency lists on
     /// the CPU engine, ready at `ready`.
     pub fn gather_at(&mut self, bytes: u64, vertices: u64, ready: SimTime) -> Span {
         let dur = self.config.gather.gather_ns(bytes, vertices);
-        self.timeline.schedule_labeled(Engine::Cpu, ready, dur, || {
+        self.obs.registry.observe("gather.ns", dur);
+        let span = self.timeline.schedule_labeled(Engine::Cpu, ready, dur, || {
             format!("gather {bytes}B / {vertices} vertices")
-        })
+        });
+        self.obs.record(
+            span.start.0,
+            Event::Gather {
+                bytes,
+                dur_ns: span.duration(),
+            },
+        );
+        span
     }
 
     /// End-of-iteration barrier; returns the iteration finish time.
@@ -210,6 +266,47 @@ mod tests {
         assert!(cp.end <= k.start);
         let idle = g.timeline.idle_ns(Engine::Compute);
         assert_eq!(idle, g.elapsed().0 - k.duration());
+    }
+
+    #[test]
+    fn obs_histograms_track_xfer_counters() {
+        let mut g = small_gpu();
+        let p = g.alloc(8).unwrap();
+        g.h2d(p, &[0; 8]);
+        g.h2d(p, &[1; 8]);
+        let mut out = [0u32; 8];
+        g.d2h_at(p, &mut out, g.elapsed());
+        let snap = g.obs.registry.snapshot();
+        let h2d = snap.histogram("h2d.op_bytes").unwrap();
+        assert_eq!(h2d.count(), g.xfer.h2d_ops);
+        assert_eq!(h2d.sum(), g.xfer.h2d_bytes);
+        let d2h = snap.histogram("d2h.op_bytes").unwrap();
+        assert_eq!(d2h.count(), g.xfer.d2h_ops);
+        assert_eq!(d2h.sum(), g.xfer.d2h_bytes);
+    }
+
+    #[test]
+    fn obs_events_record_dma_and_high_water() {
+        let mut g = small_gpu();
+        g.obs.enable_events(64);
+        let p = g.alloc(8).unwrap();
+        g.h2d(p, &[0; 8]);
+        let events = g.obs.events().unwrap();
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"high_water"));
+        assert!(kinds.contains(&"dma"));
+        assert_eq!(
+            g.obs.registry.snapshot().gauge("mem.high_water_bytes"),
+            Some(32)
+        );
+    }
+
+    #[test]
+    fn obs_events_off_by_default() {
+        let mut g = small_gpu();
+        let p = g.alloc(8).unwrap();
+        g.h2d(p, &[0; 8]);
+        assert!(g.obs.events().is_none());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub struct DeviceMemory {
     /// Free blocks as (offset, len), kept sorted by offset and coalesced.
     free: Vec<(usize, usize)>,
     used_words: usize,
+    high_water_words: usize,
 }
 
 impl DeviceMemory {
@@ -72,6 +73,7 @@ impl DeviceMemory {
                 vec![]
             },
             used_words: 0,
+            high_water_words: 0,
         }
     }
 
@@ -88,6 +90,11 @@ impl DeviceMemory {
     /// Currently free words (may be fragmented).
     pub fn available(&self) -> usize {
         self.capacity() - self.used()
+    }
+
+    /// Peak concurrently-allocated words over the arena's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water_words
     }
 
     /// Largest single free block, in words.
@@ -110,6 +117,7 @@ impl DeviceMemory {
                     self.free[i] = (off + words, len - words);
                 }
                 self.used_words += words;
+                self.high_water_words = self.high_water_words.max(self.used_words);
                 return Ok(DevPtr {
                     offset: off,
                     len: words,
@@ -259,6 +267,19 @@ mod tests {
         let err = m.alloc(50).unwrap_err();
         assert_eq!(err.largest_free, 40);
         assert_eq!(err.requested, 50);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut m = DeviceMemory::new(100);
+        let a = m.alloc(60).unwrap();
+        assert_eq!(m.high_water(), 60);
+        m.free(a);
+        assert_eq!(m.high_water(), 60, "peak survives frees");
+        let _b = m.alloc(30).unwrap();
+        assert_eq!(m.high_water(), 60, "smaller re-alloc keeps peak");
+        let _c = m.alloc(40).unwrap();
+        assert_eq!(m.high_water(), 70);
     }
 
     #[test]

@@ -211,15 +211,23 @@ impl Engine {
 /// microseconds of simulated time; each engine appears as its own thread.
 pub fn chrome_trace_json(spans: &[TraceSpan]) -> String {
     let mut out = String::from("[\n");
-    for e in [Engine::Copy, Engine::Compute, Engine::Cpu] {
+    for (i, e) in [Engine::Copy, Engine::Compute, Engine::Cpu]
+        .into_iter()
+        .enumerate()
+    {
+        let sep = if spans.is_empty() && i == 2 {
+            "\n"
+        } else {
+            ",\n"
+        };
         out.push_str(&format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},\n",
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}{sep}",
             e.index(),
             e.name()
         ));
     }
     for (i, s) in spans.iter().enumerate() {
-        let label = s.label.replace('\\', "\\\\").replace('"', "\\\"");
+        let label = ascetic_obs::json::escape(&s.label);
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"ph\":\"X\",\"cat\":\"sim\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
             if label.is_empty() { "op" } else { &label },
@@ -327,6 +335,25 @@ mod tests {
         assert!(json.contains("Host CPU"));
         assert!(json.contains("gather \\\"x\\\"")); // quotes escaped
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        ascetic_obs::json::validate(&json).expect("trace JSON validates");
+    }
+
+    #[test]
+    fn chrome_json_escapes_control_characters() {
+        let mut tl = Timeline::new();
+        tl.enable_tracing();
+        tl.schedule_labeled(Engine::Copy, SimTime::ZERO, 100, || {
+            "line\nbreak\ttab \\ \u{01}".into()
+        });
+        let json = chrome_trace_json(tl.trace().unwrap());
+        assert!(json.contains("line\\nbreak\\ttab \\\\ \\u0001"));
+        ascetic_obs::json::validate(&json).expect("control chars must be escaped");
+    }
+
+    #[test]
+    fn chrome_json_empty_trace_validates() {
+        let json = chrome_trace_json(&[]);
+        ascetic_obs::json::validate(&json).expect("metadata-only trace validates");
     }
 
     #[test]

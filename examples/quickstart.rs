@@ -43,34 +43,18 @@ fn main() {
     );
     println!("\nresult verified against in-memory oracle ✓");
 
-    // 5. Inspect the report.
+    // 5. Inspect the report: `RunReport` implements `Display` (the same
+    //    summary the CLI prints), and embeds a `MetricsSnapshot` with the
+    //    full counter/gauge/histogram state of the run.
     println!("\n== run report ==");
-    println!("iterations:          {}", report.iterations);
+    print!("{report}");
     println!(
-        "simulated time:      {:.3} ms",
-        report.sim_time_ns as f64 / 1e6
+        "DMA ops:           {} ({:.2} MB steady payload)",
+        report.xfer.h2d_ops + report.xfer.d2h_ops,
+        report.xfer.total_bytes() as f64 / 1e6
     );
     println!(
-        "static prestore:     {:.2} MB (one-time)",
-        report.prestore_bytes as f64 / 1e6
-    );
-    println!(
-        "steady transfers:    {:.2} MB over {} DMA ops",
-        report.xfer.total_bytes() as f64 / 1e6,
-        report.xfer.h2d_ops + report.xfer.d2h_ops
-    );
-    println!(
-        "kernel work:         {} launches, {} edges traversed",
-        report.kernels.launches, report.kernels.edges
-    );
-    println!(
-        "GPU idle:            {:.1} %",
-        report.gpu_idle_fraction() * 100.0
-    );
-    let static_edges: u64 = report.per_iter.iter().map(|i| i.static_edges).sum();
-    let total_edges: u64 = report.per_iter.iter().map(|i| i.active_edges).sum();
-    println!(
-        "static region served {:.1} % of all traversed edges",
-        static_edges as f64 / total_edges.max(1) as f64 * 100.0
+        "metrics snapshot:  {} series (try report.metrics.to_json())",
+        report.metrics.len()
     );
 }

@@ -64,6 +64,7 @@ USAGE:
                    [--mem BYTES | --mem-frac F] [--source V] [--k-param F] [--kcore-k K]
                    [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
                    [--chunk BYTES] [--no-adaptive] [--iter-csv FILE] [--trace FILE.json]
+                   [--metrics-out FILE.jsonl] [--summary text|json|csv|md]
   ascetic pipeline GRAPH --algos bfs,cc,pr [--mem BYTES | --mem-frac F]
                    (one Ascetic session: the static region is prestored once
                     and reused by every algorithm — paper §4.3)
@@ -238,7 +239,9 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 /// Deterministic evenly-spread source sample for msbfs/closeness.
 fn sample_sources(g: &Csr, k: usize) -> Vec<u32> {
     let n = g.num_vertices() as u32;
-    let mut s: Vec<u32> = (0..k as u32).map(|i| i.wrapping_mul(2_654_435_761) % n.max(1)).collect();
+    let mut s: Vec<u32> = (0..k as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) % n.max(1))
+        .collect();
     s.sort_unstable();
     s.dedup();
     s
@@ -327,14 +330,22 @@ fn run_system(o: &Opts, system: &str, g: &Csr, algo: &str) -> Result<RunReport, 
         };
     }
     let tracing = o.has("trace-flag") || o.get("trace").is_some();
+    // an event log is only worth recording when it will be exported
+    let events = o.get("metrics-out").is_some();
     match system {
         "ascetic" => {
-            let cfg = ascetic_config(o, dev)?.with_tracing(tracing);
+            let cfg = ascetic_config(o, dev)?
+                .with_tracing(tracing)
+                .with_events(events);
             dispatch!(AsceticSystem::new(cfg))
         }
-        "subway" => dispatch!(SubwaySystem::new(dev).with_tracing(tracing)),
-        "pt" => dispatch!(PtSystem::new(dev).with_tracing(tracing)),
-        "uvm" => dispatch!(UvmSystem::new(dev).with_tracing(tracing)),
+        "subway" => dispatch!(SubwaySystem::new(dev)
+            .with_tracing(tracing)
+            .with_events(events)),
+        "pt" => dispatch!(PtSystem::new(dev).with_tracing(tracing).with_events(events)),
+        "uvm" => dispatch!(UvmSystem::new(dev)
+            .with_tracing(tracing)
+            .with_events(events)),
         other => Err(format!("unknown --system {other}")),
     }
 }
@@ -379,33 +390,47 @@ fn write_iter_csv(r: &RunReport, path: &str) -> Result<(), String> {
 }
 
 fn print_report(r: &RunReport, g: &Csr) {
-    println!("system:            {}", r.system);
-    println!("algorithm:         {}", r.algorithm);
-    println!("iterations:        {}", r.iterations);
-    println!("simulated time:    {:.3} ms", r.sim_time_ns as f64 / 1e6);
+    // the stable summary lives on the report's Display impl; the CLI adds
+    // the graph-relative ratio and the activity sparkline
+    print!("{r}");
     println!(
-        "transferred:       {:.2} MB steady + {:.2} MB prestore ({:.2}x dataset)",
-        r.steady_bytes() as f64 / 1e6,
-        r.prestore_bytes as f64 / 1e6,
+        "xfer/dataset:      {:.2}x",
         r.total_bytes_with_prestore() as f64 / g.edge_bytes() as f64
     );
-    println!(
-        "kernels:           {} launches, {} edges",
-        r.kernels.launches, r.kernels.edges
-    );
-    println!("GPU idle:          {:.1} %", r.gpu_idle_fraction() * 100.0);
-    let static_edges: u64 = r.per_iter.iter().map(|i| i.static_edges).sum();
-    let total: u64 = r.per_iter.iter().map(|i| i.active_edges).sum();
-    if total > 0 {
-        println!(
-            "static region hit: {:.1} % of traversed edges",
-            static_edges as f64 / total as f64 * 100.0
-        );
-    }
     if r.per_iter.len() > 1 {
         let activity: Vec<u64> = r.per_iter.iter().map(|i| i.active_edges).collect();
         println!("activity/iter:     {}", sparkline(&activity));
     }
+}
+
+/// Write the `--metrics-out` JSONL document: one meta line, one line per
+/// recorded event, and one final metrics-snapshot line.
+fn write_metrics_jsonl(r: &RunReport, graph: &str, path: &str) -> Result<(), String> {
+    use ascetic::obs::json;
+    let mut out = String::new();
+    out.push_str("{\"kind\":\"meta\",");
+    json::key_into("system", &mut out);
+    json::string_into(r.system, &mut out);
+    out.push(',');
+    json::key_into("algorithm", &mut out);
+    json::string_into(r.algorithm, &mut out);
+    out.push(',');
+    json::key_into("graph", &mut out);
+    json::string_into(graph, &mut out);
+    out.push(',');
+    json::key_into("events", &mut out);
+    out.push_str(&r.events.as_ref().map_or(0, |e| e.len()).to_string());
+    out.push(',');
+    json::key_into("events_dropped", &mut out);
+    out.push_str(&r.events.as_ref().map_or(0, |e| e.dropped()).to_string());
+    out.push_str("}\n");
+    if let Some(events) = &r.events {
+        out.push_str(&events.to_jsonl());
+    }
+    out.push_str("{\"kind\":\"metrics\",\"data\":");
+    out.push_str(&r.metrics.to_json());
+    out.push_str("}\n");
+    std::fs::write(path, out).map_err(|e| e.to_string())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -442,7 +467,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let rep = run_system(&o, &system, &g, &algo)?;
-    print_report(&rep, &g);
+    match o.get("summary").unwrap_or("text") {
+        "text" => print_report(&rep, &g),
+        "json" => println!("{}", rep.summary_json()),
+        "csv" => print!("{}", rep.summary_csv()),
+        "md" | "markdown" => print!("{}", rep.summary_markdown()),
+        other => return Err(format!("unknown --summary {other} (text|json|csv|md)")),
+    }
+    if let Some(path) = o.get("metrics-out") {
+        write_metrics_jsonl(&rep, spec, path)?;
+        eprintln!(
+            "wrote metrics snapshot + {} events to {path}",
+            rep.events.as_ref().map_or(0, |e| e.len())
+        );
+    }
     if let Some(path) = o.get("iter-csv") {
         write_iter_csv(&rep, path)?;
         eprintln!("wrote per-iteration log to {path}");

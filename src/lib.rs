@@ -9,6 +9,7 @@
 //! This crate re-exports the workspace members under one roof so examples
 //! and downstream users can depend on a single crate:
 //!
+//! * [`obs`] — observability: metric registry, event log, JSON helpers.
 //! * [`graph`] — CSR graphs, generators, chunking, the scaled dataset catalog.
 //! * [`par`] — parallel-for, atomic bitmaps, atomic reductions, scans.
 //! * [`sim`] — the simulated GPU: device memory, PCIe, streams, UVM.
@@ -22,5 +23,6 @@ pub use ascetic_algos as algos;
 pub use ascetic_baselines as baselines;
 pub use ascetic_core as core;
 pub use ascetic_graph as graph;
+pub use ascetic_obs as obs;
 pub use ascetic_par as par;
 pub use ascetic_sim as sim;

@@ -95,6 +95,74 @@ fn run_builtin_dataset_with_trace_and_csv() {
 }
 
 #[test]
+fn metrics_out_writes_deterministic_jsonl() {
+    let run = |name: &str| {
+        let path = tmpfile(name);
+        let out = bin()
+            .args(["run", "gs@20000", "--algo", "bfs", "--mem-frac", "0.4"])
+            .args(["--summary", "json"])
+            .arg("--metrics-out")
+            .arg(&path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let summary = String::from_utf8_lossy(&out.stdout).into_owned();
+        let jsonl = std::fs::read_to_string(&path).expect("metrics written");
+        std::fs::remove_file(&path).ok();
+        (summary, jsonl)
+    };
+    let (summary, jsonl) = run("m1.jsonl");
+
+    // The --summary json output is one parseable object embedding the snapshot.
+    ascetic::obs::json::validate(summary.trim()).expect("summary json parses");
+    assert!(summary.contains("\"metrics\":"), "{summary}");
+
+    // Every JSONL line parses; the stream is meta, then events, then metrics.
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(lines.len() > 2, "meta + events + metrics expected");
+    for line in &lines {
+        ascetic::obs::json::validate(line).unwrap_or_else(|e| panic!("bad line {e}: {line}"));
+    }
+    assert!(lines[0].starts_with("{\"kind\":\"meta\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"kind\":\"iter_start\"") || lines[1].contains("\"kind\":"));
+    let last = lines[lines.len() - 1];
+    assert!(last.starts_with("{\"kind\":\"metrics\""), "{last}");
+    assert!(last.contains("xfer.h2d_bytes"), "{last}");
+
+    // Bit-deterministic: a second identical invocation produces identical bytes.
+    let (summary2, jsonl2) = run("m2.jsonl");
+    assert_eq!(summary, summary2);
+    assert_eq!(jsonl, jsonl2);
+}
+
+#[test]
+fn summary_formats_render() {
+    for (fmt, probe) in [("csv", "system,algorithm,"), ("md", "| metric")] {
+        let out = bin()
+            .args(["run", "gs@20000", "--algo", "bfs", "--mem-frac", "0.4"])
+            .args(["--summary", fmt])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(probe), "--summary {fmt}:\n{text}");
+    }
+    let out = bin()
+        .args(["run", "gs@20000", "--algo", "bfs", "--summary", "xml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown summary format must fail");
+}
+
+#[test]
 fn pipeline_amortizes() {
     let out = bin()
         .args([

@@ -1,0 +1,122 @@
+//! Cross-crate observability invariants: the `MetricsSnapshot` embedded in
+//! every `RunReport` must agree *exactly* with the report's own canonical
+//! fields (no drift between the live registry and the accounted totals),
+//! and both the snapshot and the event stream must be bit-deterministic.
+
+use ascetic::algos::{Bfs, PageRank};
+use ascetic::baselines::{PtSystem, SubwaySystem, UvmSystem};
+use ascetic::core::report::RunReport;
+use ascetic::core::{AsceticConfig, AsceticSystem, OutOfCoreSystem};
+use ascetic::graph::datasets::{Dataset, DatasetId, PAPER_GPU_MEM_BYTES};
+use ascetic::sim::DeviceConfig;
+
+const SCALE: u64 = 8_000;
+
+fn env() -> (Dataset, DeviceConfig, usize) {
+    let ds = Dataset::build(DatasetId::Fk, SCALE);
+    let mut dev = DeviceConfig::p100(PAPER_GPU_MEM_BYTES / SCALE);
+    dev.uvm.page_bytes = 8192;
+    (ds, dev, 8192)
+}
+
+/// The snapshot's transfer counters must equal `XferStats` to the byte —
+/// the ISSUE's acceptance bar for the observability layer.
+fn assert_snapshot_matches(rep: &RunReport) {
+    let m = &rep.metrics;
+    let sys = rep.system;
+    assert_eq!(
+        m.counter("xfer.h2d_bytes"),
+        Some(rep.xfer.h2d_bytes),
+        "{sys}"
+    );
+    assert_eq!(
+        m.counter("xfer.d2h_bytes"),
+        Some(rep.xfer.d2h_bytes),
+        "{sys}"
+    );
+    assert_eq!(m.counter("xfer.h2d_ops"), Some(rep.xfer.h2d_ops), "{sys}");
+    assert_eq!(m.counter("xfer.d2h_ops"), Some(rep.xfer.d2h_ops), "{sys}");
+    assert_eq!(
+        m.counter("kernel.launches"),
+        Some(rep.kernels.launches),
+        "{sys}"
+    );
+    assert_eq!(m.counter("kernel.edges"), Some(rep.kernels.edges), "{sys}");
+    assert_eq!(
+        m.counter("iterations"),
+        Some(rep.iterations as u64),
+        "{sys}"
+    );
+    assert_eq!(m.gauge("sim_time_ns"), Some(rep.sim_time_ns), "{sys}");
+    assert_eq!(m.gauge("gpu.idle_ns"), Some(rep.gpu_idle_ns), "{sys}");
+    assert_eq!(m.label("system"), Some(rep.system), "{sys}");
+    assert_eq!(m.label("algo"), Some(rep.algorithm), "{sys}");
+}
+
+#[test]
+fn snapshot_equals_xferstats_on_every_system() {
+    let (ds, dev, chunk) = env();
+    let g = &ds.graph;
+    assert_snapshot_matches(
+        &AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(chunk)).run(g, &Bfs::new(0)),
+    );
+    assert_snapshot_matches(&SubwaySystem::new(dev).run(g, &Bfs::new(0)));
+    assert_snapshot_matches(&PtSystem::new(dev).run(g, &Bfs::new(0)));
+    assert_snapshot_matches(&UvmSystem::new(dev).run(g, &PageRank::new()));
+}
+
+#[test]
+fn snapshot_and_events_are_bit_deterministic() {
+    let (ds, dev, chunk) = env();
+    let g = &ds.graph;
+    let cfg = AsceticConfig::new(dev)
+        .with_chunk_bytes(chunk)
+        .with_events(true);
+    let a = AsceticSystem::new(cfg).run(g, &PageRank::new());
+    let b = AsceticSystem::new(cfg).run(g, &PageRank::new());
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    assert_eq!(a.metrics.to_csv(), b.metrics.to_csv());
+    let (ea, eb) = (a.events.expect("events on"), b.events.expect("events on"));
+    assert_eq!(ea.to_jsonl(), eb.to_jsonl());
+    assert!(!ea.is_empty(), "an Ascetic run must produce events");
+    assert_eq!(ea.dropped(), 0, "capacity must cover a small run");
+}
+
+#[test]
+fn event_stream_is_clock_ordered_and_valid_json() {
+    let (ds, dev, chunk) = env();
+    let g = &ds.graph;
+    let rep = AsceticSystem::new(
+        AsceticConfig::new(dev)
+            .with_chunk_bytes(chunk)
+            .with_events(true),
+    )
+    .run(g, &Bfs::new(0));
+    let events = rep.events.expect("events on");
+    for line in events.to_jsonl().lines() {
+        ascetic::obs::json::validate(line).unwrap_or_else(|e| panic!("bad JSON {e}: {line}"));
+    }
+    // Virtual-clock stamps never exceed the run's makespan.
+    assert!(events.iter().all(|e| e.t_ns <= rep.sim_time_ns));
+    // One iter_start / iter_end pair per iteration.
+    let starts = events
+        .iter()
+        .filter(|e| e.event.kind() == "iter_start")
+        .count();
+    assert_eq!(starts as u32, rep.iterations);
+}
+
+#[test]
+fn summary_json_embeds_the_snapshot() {
+    let (ds, dev, chunk) = env();
+    let g = &ds.graph;
+    let rep =
+        AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(chunk)).run(g, &Bfs::new(0));
+    let json = rep.summary_json();
+    ascetic::obs::json::validate(&json).expect("summary_json is valid JSON");
+    assert!(json.contains("\"metrics\":"));
+    assert!(json.contains(&format!("\"sim_time_ns\":{}", rep.sim_time_ns)));
+    let csv = rep.summary_csv();
+    assert!(csv.starts_with(RunReport::summary_csv_header()));
+    assert_eq!(csv.lines().count(), 2);
+}

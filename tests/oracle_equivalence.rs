@@ -109,12 +109,17 @@ fn closeness_extension_matches_oracle_under_all_systems() {
     let ds = Dataset::build(DatasetId::Fk, SCALE);
     let g = &ds.graph;
     let dev = device_for(g, 2, 5);
-    let sources: Vec<u32> = (0..12u32).map(|i| i * 131 % g.num_vertices() as u32).collect();
+    let sources: Vec<u32> = (0..12u32)
+        .map(|i| i * 131 % g.num_vertices() as u32)
+        .collect();
     let mut sources = sources;
     sources.sort_unstable();
     sources.dedup();
     let expect = AlgoOutput::Labels(closeness_reference(g, &sources));
-    assert_eq!(run_in_memory(g, &Closeness::new(sources.clone())).output, expect);
+    assert_eq!(
+        run_in_memory(g, &Closeness::new(sources.clone())).output,
+        expect
+    );
     let asc = AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(1024))
         .run(g, &Closeness::new(sources.clone()));
     assert_eq!(asc.output, expect, "Ascetic closeness");
