@@ -23,6 +23,9 @@
 //!   vertex-residency bitmap (§3.1, §3.4).
 //! * [`ondemand`] — the On-demand Engine: multi-threaded CPU gather into a
 //!   compact Subway-style subgraph, batched to the region capacity (§3.1).
+//! * [`pool_metrics`] — bridge from the `ascetic-par` persistent worker
+//!   pool's counters to a labelled (non-deterministic, wall-clock)
+//!   metrics snapshot.
 //! * [`hotness`] — the per-chunk hotness table and replacement policies
 //!   (Figure 6, §3.4).
 //! * [`session`] — the Manager: per-iteration orchestration with overlap
@@ -39,6 +42,7 @@ pub mod engine;
 pub mod hotness;
 pub mod maps;
 pub mod ondemand;
+pub mod pool_metrics;
 pub mod ratio;
 pub mod report;
 pub mod session;
@@ -47,6 +51,7 @@ pub mod system;
 
 pub use config::{AsceticConfig, FillPolicy, ReplacementPolicy};
 pub use engine::AsceticSystem;
+pub use pool_metrics::pool_metrics_snapshot;
 pub use report::{Breakdown, IterReport, RunReport};
 pub use session::AsceticSession;
 pub use system::OutOfCoreSystem;

@@ -18,7 +18,9 @@
 //! gather/transfer costs and moves staging into device memory.
 
 use ascetic_graph::{Csr, VertexId};
-use ascetic_par::{exclusive_scan_in_place, parallel_exclusive_scan, parallel_ranges};
+use ascetic_par::{
+    exclusive_scan_in_place, parallel_exclusive_scan, parallel_parts, parallel_ranges, with_scratch,
+};
 
 /// One gather request: a vertex and the sub-range of its edges to deliver.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -123,34 +125,36 @@ pub fn gather(g: &Csr, entries: Vec<GatherEntry>) -> GatherBatch {
 
     let mut words = vec![0u32; total_words as usize];
     // Static split of entries over workers; each worker fills a disjoint,
-    // contiguous window of `words` (entry payloads are contiguous).
+    // contiguous window of `words` (entry payloads are contiguous). The
+    // windows are dispatched on the persistent pool, and each worker's
+    // per-entry serialization buffer comes from its thread-local scratch
+    // arena — reused across batches and iterations instead of re-allocated.
     let ranges = parallel_ranges(entries.len(), |_, r| r);
     {
+        let mut parts: Vec<(&mut [u32], &[GatherEntry])> = Vec::with_capacity(ranges.len());
         let mut rest: &mut [u32] = &mut words;
         let mut consumed = 0usize;
-        std::thread::scope(|scope| {
-            for er in &ranges {
-                if er.is_empty() {
-                    continue;
+        for er in &ranges {
+            let start_w = offsets[er.start] as usize;
+            let end_w = offsets[er.end] as usize;
+            debug_assert_eq!(start_w, consumed);
+            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(end_w - start_w);
+            rest = tail;
+            consumed = end_w;
+            parts.push((mine, &entries[er.clone()]));
+        }
+        parallel_parts(parts, |_, (mine, entries)| {
+            with_scratch(|scratch| {
+                let mut buf = scratch.take_u32();
+                let mut w = 0usize;
+                for e in entries {
+                    buf.clear();
+                    g.write_edge_words(e.edges.clone(), &mut buf);
+                    mine[w..w + buf.len()].copy_from_slice(&buf);
+                    w += buf.len();
                 }
-                let start_w = offsets[er.start] as usize;
-                let end_w = offsets[er.end] as usize;
-                debug_assert_eq!(start_w, consumed);
-                let (mine, tail) = std::mem::take(&mut rest).split_at_mut(end_w - start_w);
-                rest = tail;
-                consumed = end_w;
-                let entries = &entries[er.clone()];
-                scope.spawn(move || {
-                    let mut buf = Vec::new();
-                    let mut w = 0usize;
-                    for e in entries {
-                        buf.clear();
-                        g.write_edge_words(e.edges.clone(), &mut buf);
-                        mine[w..w + buf.len()].copy_from_slice(&buf);
-                        w += buf.len();
-                    }
-                });
-            }
+                scratch.put_u32(buf);
+            });
         });
     }
     GatherBatch {

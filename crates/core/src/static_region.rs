@@ -17,7 +17,7 @@
 
 use ascetic_graph::chunks::{ChunkGeometry, ChunkId};
 use ascetic_graph::{Csr, VertexId};
-use ascetic_par::Bitmap;
+use ascetic_par::{with_scratch, Bitmap};
 use ascetic_sim::{DevPtr, DeviceMemory, Gpu};
 
 use crate::config::FillPolicy;
@@ -127,14 +127,19 @@ impl StaticRegion {
             .iter()
             .position(|c| c.is_none())
             .expect("no free slot for lazy load");
-        let mut staging = Vec::with_capacity(self.words_per_chunk);
-        g.write_edge_words(self.geo.edge_range(chunk), &mut staging);
-        let dst = self.slot_ptr(slot).slice(0, staging.len());
-        gpu.mem.write(dst, &staging);
+        let bytes = with_scratch(|scratch| {
+            let mut staging = scratch.take_u32();
+            g.write_edge_words(self.geo.edge_range(chunk), &mut staging);
+            let dst = self.slot_ptr(slot).slice(0, staging.len());
+            gpu.mem.write(dst, &staging);
+            let bytes = (staging.len() * 4) as u64;
+            scratch.put_u32(staging);
+            bytes
+        });
         self.chunk_of_slot[slot] = Some(chunk);
         self.slot_of_chunk[chunk as usize] = slot as u32;
         self.update_vertices_overlapping(g, chunk);
-        (staging.len() * 4) as u64
+        bytes
     }
 
     /// Chunk ids chosen by `policy` for an initial fill of `n` chunks.
@@ -165,21 +170,29 @@ impl StaticRegion {
     /// operation in the paper's accounting).
     pub fn fill(&mut self, gpu: &mut Gpu, g: &Csr, chunks: &[ChunkId]) -> u64 {
         assert!(chunks.len() <= self.slot_count, "more chunks than slots");
-        let mut staging = Vec::with_capacity(self.words_per_chunk);
-        let mut bytes = 0u64;
-        for (slot, &c) in chunks.iter().enumerate() {
-            assert!(
-                self.chunk_of_slot[slot].is_none(),
-                "fill into occupied slot"
-            );
-            staging.clear();
-            g.write_edge_words(self.geo.edge_range(c), &mut staging);
-            let dst = self.slot_ptr(slot).slice(0, staging.len());
-            gpu.mem.write(dst, &staging);
-            self.chunk_of_slot[slot] = Some(c);
-            self.slot_of_chunk[c as usize] = slot as u32;
-            bytes += (staging.len() * 4) as u64;
-        }
+        // The staging buffer comes from the thread-local scratch arena so
+        // repeated fills (sessions, lazy adoption, Eq (3) re-partitions)
+        // reuse one allocation instead of re-growing a fresh Vec each time.
+        let bytes = with_scratch(|scratch| {
+            let mut staging = scratch.take_u32();
+            staging.reserve(self.words_per_chunk);
+            let mut bytes = 0u64;
+            for (slot, &c) in chunks.iter().enumerate() {
+                assert!(
+                    self.chunk_of_slot[slot].is_none(),
+                    "fill into occupied slot"
+                );
+                staging.clear();
+                g.write_edge_words(self.geo.edge_range(c), &mut staging);
+                let dst = self.slot_ptr(slot).slice(0, staging.len());
+                gpu.mem.write(dst, &staging);
+                self.chunk_of_slot[slot] = Some(c);
+                self.slot_of_chunk[c as usize] = slot as u32;
+                bytes += (staging.len() * 4) as u64;
+            }
+            scratch.put_u32(staging);
+            bytes
+        });
         self.rebuild_vertex_bitmap(g);
         bytes
     }
@@ -200,14 +213,21 @@ impl StaticRegion {
         self.slot_of_chunk[evict as usize] = NO_SLOT;
         self.update_vertices_overlapping(g, evict);
 
-        let mut staging = Vec::with_capacity(self.words_per_chunk);
-        g.write_edge_words(self.geo.edge_range(load), &mut staging);
-        let dst = self.slot_ptr(slot as usize).slice(0, staging.len());
-        gpu.mem.write(dst, &staging);
+        // Hotness replacement swaps one chunk per iteration — the scratch
+        // arena makes the steady state allocation-free.
+        let bytes = with_scratch(|scratch| {
+            let mut staging = scratch.take_u32();
+            g.write_edge_words(self.geo.edge_range(load), &mut staging);
+            let dst = self.slot_ptr(slot as usize).slice(0, staging.len());
+            gpu.mem.write(dst, &staging);
+            let bytes = (staging.len() * 4) as u64;
+            scratch.put_u32(staging);
+            bytes
+        });
         self.chunk_of_slot[slot as usize] = Some(load);
         self.slot_of_chunk[load as usize] = slot;
         self.update_vertices_overlapping(g, load);
-        (staging.len() * 4) as u64
+        bytes
     }
 
     /// Shrink by releasing the trailing `n` slots (evicting their chunks),

@@ -28,4 +28,4 @@ pub mod json;
 pub mod registry;
 
 pub use event::{Event, EventLog, TimedEvent, XferDir, DEFAULT_EVENT_CAPACITY};
-pub use registry::{Histogram, MetricValue, MetricsSnapshot, Obs, Registry};
+pub use registry::{Histogram, MetricValue, MetricsSnapshot, Obs, Registry, NUM_BUCKETS};

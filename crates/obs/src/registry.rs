@@ -42,6 +42,22 @@ impl Histogram {
         Self::default()
     }
 
+    /// Rebuild a histogram from raw parts — the import path for external
+    /// log2-bucketed counters that share this layout (e.g. the
+    /// `ascetic-par` worker-pool job wall-time buckets).
+    ///
+    /// # Panics
+    /// Panics if `count` does not equal the bucket total.
+    pub fn from_parts(count: u64, sum: u64, buckets: [u64; NUM_BUCKETS]) -> Histogram {
+        let total: u64 = buckets.iter().sum();
+        assert_eq!(count, total, "histogram count must match bucket total");
+        Histogram {
+            count,
+            sum,
+            buckets,
+        }
+    }
+
     /// The bucket index `value` falls into.
     pub fn bucket_index(value: u64) -> usize {
         if value == 0 {
@@ -335,6 +351,13 @@ impl MetricsSnapshot {
             .insert(name.to_string(), MetricValue::Gauge(value));
     }
 
+    /// Overwrite (or create) histogram `name` with an externally built
+    /// distribution (see [`Histogram::from_parts`]).
+    pub fn set_histogram(&mut self, name: &str, h: Histogram) {
+        self.metrics
+            .insert(name.to_string(), MetricValue::Histogram(Box::new(h)));
+    }
+
     /// All metrics, sorted by name.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
         self.metrics.iter().map(|(k, v)| (k.as_str(), v))
@@ -594,6 +617,25 @@ mod tests {
         assert!(csv.starts_with("metric,kind,value,count,sum\n"));
         assert!(csv.contains("xfer.h2d_bytes,counter,4096,,"));
         assert!(csv.contains("h2d.op_bytes,histogram,,1,4096"));
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let mut h = Histogram::new();
+        h.observe(3);
+        h.observe(1024);
+        let rebuilt = Histogram::from_parts(h.count(), h.sum(), *h.buckets());
+        assert_eq!(rebuilt, h);
+        let mut s = MetricsSnapshot::new();
+        s.set_histogram("pool.job_wall_ns", rebuilt);
+        assert_eq!(s.histogram("pool.job_wall_ns").unwrap().count(), 2);
+        crate::json::validate(&s.to_json()).expect("snapshot JSON validates");
+    }
+
+    #[test]
+    #[should_panic(expected = "count must match bucket total")]
+    fn histogram_from_parts_rejects_mismatch() {
+        Histogram::from_parts(3, 0, [0; NUM_BUCKETS]);
     }
 
     #[test]

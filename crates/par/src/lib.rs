@@ -1,5 +1,5 @@
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 //! # ascetic-par — parallelism substrate
 //!
@@ -7,8 +7,18 @@
 //! Ascetic workspace:
 //!
 //! * [`parallel_for`] / [`parallel_for_with`] — a chunked, work-stealing
-//!   parallel loop over an index range built on scoped threads, used to run
-//!   the "GPU kernels" of the simulated device on host cores.
+//!   parallel loop over an index range, used to run the "GPU kernels" of
+//!   the simulated device on host cores. Jobs execute on a
+//!   lazily-initialized **persistent worker pool** ([`workers`]): workers
+//!   are spawned once, park on a condvar between jobs, and are woken per
+//!   job — eliminating the per-call thread spawn/join that used to sit on
+//!   the per-iteration hot path. The spawn-per-call baseline survives as
+//!   [`DispatchMode::Spawn`] (`ASCETIC_POOL=spawn`) for A/B measurement.
+//! * [`parallel_ranges`] / [`parallel_parts`] — static decompositions for
+//!   per-worker owned results and disjoint `&mut` windows.
+//! * [`with_scratch`] — per-thread scratch arenas ([`scratch`]) whose
+//!   buffer capacities persist across jobs and iterations on the pool's
+//!   long-lived workers.
 //! * [`AtomicBitmap`] / [`Bitmap`] — the bitmap machinery behind the paper's
 //!   `ActiveBitmap` / `StaticBitmap` / `StaticMap` / `OndemandMap` dataflow
 //!   (Figure 4 of the paper): concurrent set/test plus bulk word-level
@@ -18,13 +28,18 @@
 //! * [`scan`] — exclusive prefix sums (serial and parallel) used to build
 //!   compact on-demand subgraphs (`OndemandNodes` → edge offsets).
 //!
-//! Everything here is safe Rust; concurrency uses `std::sync::atomic` and
-//! scoped threads, following the "Rust Atomics and Locks" idioms.
+//! Concurrency uses `std::sync::atomic`, condvars and the "Rust Atomics and
+//! Locks" idioms. The crate contains exactly one audited `unsafe` block —
+//! the type-erased job pointer in [`workers`] that lets persistent threads
+//! borrow the submitter's closure; everything else is safe Rust
+//! (`#![deny(unsafe_code)]` with a scoped allow in that module).
 
 pub mod atomics;
 pub mod bitmap;
 pub mod pool;
 pub mod scan;
+pub mod scratch;
+pub mod workers;
 
 pub use atomics::{
     atomic_add_f32, atomic_add_f64, atomic_max_u32, atomic_min_u32, atomic_swap_f64, load_f64,
@@ -33,6 +48,10 @@ pub use atomics::{
 pub use bitmap::{AtomicBitmap, Bitmap};
 pub use pool::{
     current_num_threads, parallel_for, parallel_for_with, parallel_map_fixed_blocks,
-    parallel_ranges, set_num_threads,
+    parallel_parts, parallel_ranges, set_num_threads,
 };
 pub use scan::{exclusive_scan_in_place, parallel_exclusive_scan};
+pub use scratch::{with_scratch, Scratch};
+pub use workers::{
+    dispatch_mode, pool_stats, reset_pool_stats, set_dispatch_mode, DispatchMode, PoolStats,
+};

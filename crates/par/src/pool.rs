@@ -7,12 +7,30 @@
 //! power-law graphs where one vertex can own millions of edges) without any
 //! per-item synchronization.
 //!
+//! Jobs are executed by the **persistent worker pool** in [`crate::workers`]
+//! (workers spawned once and parked between jobs) rather than by spawning
+//! fresh scoped threads per call; the old behaviour survives as
+//! [`crate::DispatchMode::Spawn`] for A/B measurement.
+//!
 //! The thread count defaults to the machine's available parallelism and can
 //! be overridden globally with [`set_num_threads`] (used by tests and by the
 //! deterministic benchmark harness; note that simulated *time* never depends
 //! on the host thread count — only wall time does).
+//!
+//! # `set_num_threads` contract
+//!
+//! The override is a relaxed global: it takes effect at the **next job
+//! boundary**. Every parallel primitive reads the count exactly once, at
+//! dispatch, and latches it for the whole job — a concurrent
+//! `set_num_threads` therefore never changes the worker-index range
+//! (`0..threads`) or the decomposition of a job already in flight, and the
+//! persistent pool only grows between jobs (while holding the submit lock),
+//! never mid-job.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::workers::{note_inline_job, run_on_workers, CHUNKS_SERVED};
 
 /// Global override for the worker thread count. `0` means "not set".
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -23,7 +41,9 @@ const MIN_CHUNK: usize = 64;
 
 /// Set the number of worker threads used by [`parallel_for`].
 ///
-/// Passing `0` restores the default (machine parallelism).
+/// Passing `0` restores the default (machine parallelism). Takes effect at
+/// the next job boundary; jobs already in flight keep the count they
+/// latched at dispatch (see the module docs).
 pub fn set_num_threads(n: usize) {
     NUM_THREADS.store(n, Ordering::Relaxed);
 }
@@ -83,6 +103,7 @@ where
     }
     let threads = current_num_threads().min(len).max(1);
     if threads == 1 || len <= MIN_CHUNK {
+        note_inline_job();
         for i in 0..len {
             body(0, i);
         }
@@ -90,20 +111,15 @@ where
     }
     let chunk = chunk_size(len, threads);
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let cursor = &cursor;
-            let body = &body;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + chunk).min(len);
-                for i in start..end {
-                    body(worker, i);
-                }
-            });
+    run_on_workers(threads, |worker| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= len {
+            break;
+        }
+        CHUNKS_SERVED.fetch_add(1, Ordering::Relaxed);
+        let end = (start + chunk).min(len);
+        for i in start..end {
+            body(worker, i);
         }
     });
 }
@@ -114,30 +130,74 @@ where
 /// Unlike [`parallel_for`], the split is static (one contiguous range per
 /// worker); use this when the body needs to produce an owned result per
 /// thread (e.g. per-thread gather buffers that are later concatenated).
+///
+/// Every returned range is **non-empty**: when `len` does not divide evenly
+/// across the configured threads, only as many workers as have work are
+/// used — no worker is dispatched on an empty range, and `len == 0` yields
+/// an empty vector.
 pub fn parallel_ranges<T, F>(len: usize, body: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
 {
-    let threads = current_num_threads().min(len.max(1)).max(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(len).max(1);
     if threads == 1 {
         return vec![body(0, 0..len)];
     }
     let per = len.div_ceil(threads);
-    let mut out: Vec<Option<T>> = (0..threads).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (worker, slot) in out.iter_mut().enumerate() {
-            let body = &body;
-            scope.spawn(move || {
-                let start = (worker * per).min(len);
-                let end = ((worker + 1) * per).min(len);
-                *slot = Some(body(worker, start..end));
+    // With `per = ceil(len/threads)`, the trailing workers can end up with
+    // empty ranges (e.g. len=10, threads=8 → per=2 → workers 5..8 idle).
+    // Dispatch only the workers that have work.
+    let nranges = len.div_ceil(per);
+    let slots: Vec<Mutex<Option<T>>> = (0..nranges).map(|_| Mutex::new(None)).collect();
+    run_on_workers(nranges, |worker| {
+        let start = worker * per;
+        let end = ((worker + 1) * per).min(len);
+        *slots[worker].lock().unwrap() = Some(body(worker, start..end));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker completed"))
+        .collect()
+}
+
+/// Run `body(index, part)` for every element of `parts`, one worker per
+/// part, consuming the parts.
+///
+/// This is the primitive behind "each worker fills a disjoint `&mut`
+/// window" patterns (the on-demand gather, the parallel scan's second
+/// pass): split a buffer with `split_at_mut`, push the windows into a
+/// `Vec`, and let each worker take exactly one. Parts run concurrently on
+/// the persistent pool; a single part runs inline on the caller.
+pub fn parallel_parts<T, F>(parts: Vec<T>, body: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    match parts.len() {
+        0 => {}
+        1 => {
+            note_inline_job();
+            for (i, p) in parts.into_iter().enumerate() {
+                body(i, p);
+            }
+        }
+        n => {
+            let slots: Vec<Mutex<Option<T>>> =
+                parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+            run_on_workers(n, |worker| {
+                let part = slots[worker]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each part is taken exactly once");
+                body(worker, part);
             });
         }
-    });
-    out.into_iter()
-        .map(|s| s.expect("worker completed"))
-        .collect()
+    }
 }
 
 /// Map fixed-size blocks of `0..len` to values, in parallel, returning the
@@ -238,6 +298,42 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_change_applies_at_the_next_job_boundary() {
+        // The contract: a concurrent set_num_threads never corrupts an
+        // in-flight job. Hammer the override from one thread while another
+        // runs jobs; every job must still cover each index exactly once
+        // and keep worker ids within the largest configured count.
+        let _g = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        let stop = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let stop_ref = &stop;
+            s.spawn(move || {
+                let mut t = 1;
+                while stop_ref.load(Ordering::Relaxed) == 0 {
+                    set_num_threads(t);
+                    t = t % 8 + 1;
+                    std::hint::spin_loop();
+                }
+            });
+            for _ in 0..50 {
+                let n = 10_000;
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                let bad = AtomicUsize::new(0);
+                parallel_for_with(n, |w, i| {
+                    if w >= 8 {
+                        bad.fetch_add(1, Ordering::Relaxed);
+                    }
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(bad.load(Ordering::Relaxed), 0, "worker id beyond latch");
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        set_num_threads(0);
+    }
+
+    #[test]
     fn parallel_ranges_partition_the_domain() {
         let n = 100_001;
         let parts = parallel_ranges(n, |_, r| r);
@@ -251,6 +347,71 @@ mod tests {
     fn parallel_ranges_empty() {
         let parts = parallel_ranges(0, |_, r| r.len());
         assert_eq!(parts.iter().sum::<usize>(), 0);
+        assert!(parts.is_empty(), "len == 0 dispatches no workers");
+    }
+
+    #[test]
+    fn parallel_ranges_single_item() {
+        let _g = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(8);
+        let parts = parallel_ranges(1, |w, r| (w, r));
+        set_num_threads(0);
+        assert_eq!(parts, vec![(0, 0..1)], "one item → exactly one worker");
+    }
+
+    #[test]
+    fn parallel_ranges_never_yield_empty_ranges() {
+        let _g = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(8);
+        // len=10, threads=8 → per=2 → only 5 workers have work.
+        let parts = parallel_ranges(10, |_, r| r);
+        set_num_threads(0);
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(|r| !r.is_empty()));
+        let covered: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_parts_consumes_each_part_once() {
+        let hits: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+        let parts: Vec<usize> = (0..7).collect();
+        parallel_parts(parts, |worker, part| {
+            assert_eq!(worker, part, "part i goes to worker i");
+            hits[part].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_parts_moves_mutable_borrows() {
+        let mut data = vec![0u32; 100];
+        let mut windows: Vec<(usize, &mut [u32])> = Vec::new();
+        let mut rest: &mut [u32] = &mut data;
+        for i in 0..4 {
+            let (w, tail) = std::mem::take(&mut rest).split_at_mut(25);
+            rest = tail;
+            windows.push((i, w));
+        }
+        parallel_parts(windows, |_, (i, w)| {
+            for x in w.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        for (i, chunk) in data.chunks(25).enumerate() {
+            assert!(chunk.iter().all(|&x| x == i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn parallel_parts_empty_and_single() {
+        parallel_parts(Vec::<u32>::new(), |_, _| panic!("no parts, no calls"));
+        let seen = AtomicUsize::new(0);
+        parallel_parts(vec![41u32], |w, p| {
+            assert_eq!((w, p), (0, 41));
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
     }
 
     #[test]

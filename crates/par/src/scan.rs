@@ -5,7 +5,7 @@
 //! scan. Subway does this with a GPU scan; we provide a serial version for
 //! small frontiers and a two-pass parallel version for large ones.
 
-use crate::pool::{current_num_threads, parallel_ranges};
+use crate::pool::{current_num_threads, parallel_parts, parallel_ranges};
 
 /// In-place exclusive prefix sum; returns the total.
 ///
@@ -49,26 +49,25 @@ pub fn parallel_exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64) {
     let total = acc;
     // Pass 2: write each range with its base. The ranges from
     // `parallel_ranges` are contiguous and in order, so slicing `out` with
-    // `split_at_mut` hands each worker a disjoint `&mut` window.
+    // `split_at_mut` hands each worker a disjoint `&mut` window; the
+    // windows are dispatched back onto the persistent pool.
     let mut out = vec![0u64; n];
     {
+        let mut parts: Vec<(&mut [u64], &[u64], u64)> = Vec::with_capacity(ranges.len());
         let mut rest: &mut [u64] = &mut out;
         let mut consumed = 0usize;
-        std::thread::scope(|scope| {
-            for ((r, _), base) in ranges.iter().zip(bases.iter()) {
-                debug_assert_eq!(r.start, consumed);
-                let (mine, tail) = std::mem::take(&mut rest).split_at_mut(r.len());
-                rest = tail;
-                consumed += r.len();
-                let src = &xs[r.clone()];
-                let base = *base;
-                scope.spawn(move || {
-                    let mut acc = base;
-                    for (o, &x) in mine.iter_mut().zip(src) {
-                        *o = acc;
-                        acc += x;
-                    }
-                });
+        for ((r, _), base) in ranges.iter().zip(bases.iter()) {
+            debug_assert_eq!(r.start, consumed);
+            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(r.len());
+            rest = tail;
+            consumed += r.len();
+            parts.push((mine, &xs[r.clone()], *base));
+        }
+        parallel_parts(parts, |_, (mine, src, base)| {
+            let mut acc = base;
+            for (o, &x) in mine.iter_mut().zip(src) {
+                *o = acc;
+                acc += x;
             }
         });
     }

@@ -65,6 +65,8 @@ USAGE:
                    [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
                    [--chunk BYTES] [--no-adaptive] [--iter-csv FILE] [--trace FILE.json]
                    [--metrics-out FILE.jsonl] [--summary text|json|csv|md]
+                   [--pool-metrics] (append host worker-pool telemetry — wall-clock,
+                    non-deterministic — as an extra JSONL line / stdout object)
   ascetic pipeline GRAPH --algos bfs,cc,pr [--mem BYTES | --mem-frac F]
                    (one Ascetic session: the static region is prestored once
                     and reused by every algorithm — paper §4.3)
@@ -83,12 +85,13 @@ struct Opts {
     flags: HashMap<String, String>,
 }
 
-const BOOL_FLAGS: [&str; 5] = [
+const BOOL_FLAGS: [&str; 6] = [
     "undirected",
     "weighted",
     "no-overlap",
     "no-adaptive",
     "quiet",
+    "pool-metrics",
 ];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -404,8 +407,16 @@ fn print_report(r: &RunReport, g: &Csr) {
 }
 
 /// Write the `--metrics-out` JSONL document: one meta line, one line per
-/// recorded event, and one final metrics-snapshot line.
-fn write_metrics_jsonl(r: &RunReport, graph: &str, path: &str) -> Result<(), String> {
+/// recorded event, and one final metrics-snapshot line. With
+/// `include_pool`, a `{"kind":"pool",...}` line carrying the host
+/// worker-pool telemetry (wall-clock, non-deterministic — deliberately
+/// kept out of the run's deterministic metrics) is appended.
+fn write_metrics_jsonl(
+    r: &RunReport,
+    graph: &str,
+    path: &str,
+    include_pool: bool,
+) -> Result<(), String> {
     use ascetic::obs::json;
     let mut out = String::new();
     out.push_str("{\"kind\":\"meta\",");
@@ -430,6 +441,11 @@ fn write_metrics_jsonl(r: &RunReport, graph: &str, path: &str) -> Result<(), Str
     out.push_str("{\"kind\":\"metrics\",\"data\":");
     out.push_str(&r.metrics.to_json());
     out.push_str("}\n");
+    if include_pool {
+        out.push_str("{\"kind\":\"pool\",\"data\":");
+        out.push_str(&ascetic::core::pool_metrics_snapshot().to_json());
+        out.push_str("}\n");
+    }
     std::fs::write(path, out).map_err(|e| e.to_string())
 }
 
@@ -474,12 +490,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "md" | "markdown" => print!("{}", rep.summary_markdown()),
         other => return Err(format!("unknown --summary {other} (text|json|csv|md)")),
     }
+    let pool_metrics = o.has("pool-metrics");
     if let Some(path) = o.get("metrics-out") {
-        write_metrics_jsonl(&rep, spec, path)?;
+        write_metrics_jsonl(&rep, spec, path, pool_metrics)?;
         eprintln!(
             "wrote metrics snapshot + {} events to {path}",
             rep.events.as_ref().map_or(0, |e| e.len())
         );
+    } else if pool_metrics {
+        println!("{}", ascetic::core::pool_metrics_snapshot().to_json());
     }
     if let Some(path) = o.get("iter-csv") {
         write_iter_csv(&rep, path)?;

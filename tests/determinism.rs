@@ -60,6 +60,60 @@ fn thread_count_does_not_change_results() {
     assert_identical(&serial_sssp, &par_sssp);
 }
 
+/// Satellite of the persistent-pool PR: the pool swap must not perturb a
+/// single bit of any system's results at any host thread count — including
+/// the full metrics snapshot, not just the output vector.
+#[test]
+fn thread_sweep_is_bit_identical_for_all_systems_on_rmat() {
+    use ascetic::baselines::{PtSystem, SubwaySystem, UvmSystem};
+    use ascetic::graph::generators::{rmat_graph, RmatConfig};
+    use ascetic::graph::Csr;
+
+    let g = rmat_graph(&RmatConfig::new(11, 80_000, 42));
+    // Undersized device so every system actually exercises its
+    // out-of-core machinery (gather, staging, eviction) on the pool.
+    let dev = |g: &Csr| DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    assert!(
+        dev(&g).mem_bytes < g.edge_bytes(),
+        "graph must oversubscribe"
+    );
+    let src = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+        .unwrap();
+
+    let run_suite = |threads: usize| -> Vec<RunReport> {
+        set_num_threads(threads);
+        let asc = AsceticSystem::new(AsceticConfig::new(dev(&g)).with_chunk_bytes(1024));
+        let sw = SubwaySystem::new(dev(&g));
+        let pt = PtSystem::new(dev(&g));
+        let uv = UvmSystem::new(dev(&g));
+        vec![
+            asc.run(&g, &PageRank::new()),
+            asc.run(&g, &Bfs::new(src)),
+            sw.run(&g, &PageRank::new()),
+            sw.run(&g, &Bfs::new(src)),
+            pt.run(&g, &PageRank::new()),
+            pt.run(&g, &Bfs::new(src)),
+            uv.run(&g, &PageRank::new()),
+            uv.run(&g, &Bfs::new(src)),
+        ]
+    };
+
+    let base = run_suite(1);
+    for threads in [2, 8] {
+        let sweep = run_suite(threads);
+        for (a, b) in base.iter().zip(&sweep) {
+            assert_identical(a, b);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}/{} metrics must not depend on host threads ({} vs 1)",
+                a.system, a.algorithm, threads
+            );
+        }
+    }
+    set_num_threads(0);
+}
+
 #[test]
 fn dataset_builds_are_reproducible() {
     let a = Dataset::build(DatasetId::Gs, SCALE);
