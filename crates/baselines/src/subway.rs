@@ -16,15 +16,18 @@
 //! an approach to manage the On-demand Region in Ascetic."
 
 use ascetic_algos::{EdgeSlice, VertexProgram};
+use ascetic_graph::compress::{encode_ranges, EncodeEntry};
 use ascetic_graph::Csr;
 use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap};
 use ascetic_sim::{DeviceConfig, Gpu};
 
+use ascetic_core::codec::compress_wins;
 use ascetic_core::engine::finish_report;
 use ascetic_core::ondemand::{gather, plan_batches};
 use ascetic_core::report::{Breakdown, IterReport, RunReport};
 use ascetic_core::system::{edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem};
+use ascetic_core::CompressionMode;
 
 /// The Subway baseline system.
 pub struct SubwaySystem {
@@ -35,6 +38,9 @@ pub struct SubwaySystem {
     /// Record a structured event log on the report (comparable with
     /// Ascetic's stream).
     pub events: bool,
+    /// Ship subgraph payloads delta–varint encoded over the link
+    /// (apples-to-apples with Ascetic's compressed transfer path).
+    pub compression: CompressionMode,
 }
 
 impl SubwaySystem {
@@ -44,6 +50,7 @@ impl SubwaySystem {
             device,
             tracing: false,
             events: false,
+            compression: CompressionMode::Off,
         }
     }
 
@@ -56,6 +63,12 @@ impl SubwaySystem {
     /// Enable structured event logging.
     pub fn with_events(mut self, on: bool) -> Self {
         self.events = on;
+        self
+    }
+
+    /// Select the compressed transfer path for subgraph payloads.
+    pub fn with_compression(mut self, mode: CompressionMode) -> Self {
+        self.compression = mode;
         self
     }
 }
@@ -84,6 +97,9 @@ impl OutOfCoreSystem for SubwaySystem {
         let buffer_words = gpu.mem.available();
         let buffer = gpu.alloc(buffer_words).expect("subgraph buffer");
         let weighted = g.is_weighted();
+        let compressible = self.compression != CompressionMode::Off && !weighted;
+        let mut enc_buf: Vec<u8> = Vec::new();
+        let mut enc_entries: Vec<EncodeEntry> = Vec::new();
 
         let state = prog.new_state(g);
         let mut active = prog.initial_frontier(g);
@@ -114,12 +130,40 @@ impl OutOfCoreSystem for SubwaySystem {
                 breakdown.gather_ns += g_span.duration();
 
                 let dst = buffer.slice(0, batch.words.len());
-                let t_span = gpu.h2d_at(dst, &batch.words, g_span.end);
+                // Subway rebuilds the subgraph every iteration, so the
+                // crossover decides on the actual encoded size: the phases
+                // are strictly sequential, which makes the pure link rule
+                // exact (the compute engine is idle while the copy runs).
+                let mut compressed = None;
+                if compressible && batch.payload_bytes() > 0 {
+                    enc_entries.clear();
+                    enc_entries.extend(batch.entries.iter().map(|e| (e.vertex, e.edges.clone())));
+                    enc_buf.clear();
+                    let wire = encode_ranges(g, &enc_entries, &mut enc_buf) as u64;
+                    let raw = batch.payload_bytes();
+                    let ship = matches!(self.compression, CompressionMode::Always)
+                        || compress_wins(&gpu.config.pcie, &gpu.config.decompress, raw, wire);
+                    if ship {
+                        let (copy, dec) =
+                            gpu.h2d_compressed_at(dst, &batch.words, &enc_buf, g_span.end);
+                        gpu.obs.registry.counter_add("compress.transfers", 1);
+                        gpu.obs.registry.counter_add("compress.raw_bytes", raw);
+                        gpu.obs.registry.counter_add("compress.wire_bytes", wire);
+                        compressed = Some((copy.duration() + dec.duration(), dec.end));
+                    } else {
+                        gpu.obs.registry.counter_add("compress.declined", 1);
+                    }
+                }
+                let (t_ns, payload_at) = compressed.unwrap_or_else(|| {
+                    let t_span = gpu.h2d_at(dst, &batch.words, g_span.end);
+                    (t_span.duration(), t_span.end)
+                });
                 gpu.xfer.h2d_bytes += batch.index_bytes();
-                breakdown.transfer_ns += t_span.duration();
+                gpu.xfer.h2d_wire_bytes += batch.index_bytes();
+                breakdown.transfer_ns += t_ns;
                 payload += batch.payload_bytes() + batch.index_bytes();
 
-                let k_span = gpu.kernel_at(batch.edges, batch.entries.len() as u64, t_span.end);
+                let k_span = gpu.kernel_at(batch.edges, batch.entries.len() as u64, payload_at);
                 breakdown.ondemand_compute_ns += k_span.duration();
                 phase_end = k_span.end; // CPU waits for the GPU before the next gather
 
@@ -252,6 +296,32 @@ mod tests {
         // off by default
         let quiet = SubwaySystem::new(small_device(&g)).run(&g, &Bfs::new(0));
         assert!(quiet.events.is_none());
+    }
+
+    #[test]
+    fn compressed_subway_matches_oracle_and_saves_wire_bytes() {
+        use ascetic_graph::generators::{web_graph, WebConfig};
+        use ascetic_sim::DecompressModel;
+        let g = web_graph(&WebConfig::new(4_000, 60_000, 3));
+        let mut dev = small_device(&g);
+        dev.decompress = DecompressModel {
+            bandwidth_bps: 200_000_000_000,
+            launch_ns: 1_000,
+        };
+        let raw = SubwaySystem::new(dev).run(&g, &Bfs::new(0));
+        let comp = SubwaySystem::new(dev)
+            .with_compression(ascetic_core::CompressionMode::Always)
+            .run(&g, &Bfs::new(0));
+        assert_eq!(raw.output, comp.output);
+        assert_eq!(
+            raw.xfer.h2d_bytes, comp.xfer.h2d_bytes,
+            "same logical payload"
+        );
+        assert!(
+            comp.xfer.h2d_wire_bytes < raw.xfer.h2d_wire_bytes,
+            "encoded payloads must shrink the wire volume"
+        );
+        assert!(comp.metrics.counter("compress.transfers").unwrap_or(0) > 0);
     }
 
     #[test]

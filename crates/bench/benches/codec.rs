@@ -1,0 +1,59 @@
+//! Benchmarks of the delta–varint adjacency codec: encode and decode
+//! throughput (bytes of raw payload per second) on the two locality
+//! regimes that bound the compressed transfer path — social graphs
+//! (scattered targets, poor ratio) and web graphs (clustered targets,
+//! the ~3–4× ratio the crossover banks on).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use ascetic_graph::compress::{decode_ranges, encode_ranges, EncodeEntry};
+use ascetic_graph::generators::{social_graph, web_graph, SocialConfig, WebConfig};
+use ascetic_graph::Csr;
+
+fn full_entries(g: &Csr) -> Vec<EncodeEntry> {
+    (0..g.num_vertices() as u32)
+        .filter(|&v| !g.edge_range(v).is_empty())
+        .map(|v| (v, g.edge_range(v)))
+        .collect()
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let variants: [(&str, Csr); 2] = [
+        (
+            "social",
+            social_graph(&SocialConfig::new(65_536, 1_000_000, 3)),
+        ),
+        ("web", web_graph(&WebConfig::new(65_536, 1_000_000, 3))),
+    ];
+
+    let mut grp = c.benchmark_group("codec");
+    grp.sample_size(20);
+    for (name, g) in &variants {
+        let entries = full_entries(g);
+        let raw_bytes = g.num_edges() * 4;
+        grp.throughput(Throughput::Bytes(raw_bytes));
+
+        grp.bench_function(&format!("encode_{name}"), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                black_box(encode_ranges(g, &entries, &mut buf));
+            })
+        });
+
+        let mut buf = Vec::new();
+        let wire = encode_ranges(g, &entries, &mut buf);
+        let srcs: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        eprintln!(
+            "codec/{name}: ratio {:.2}x ({raw_bytes} raw -> {wire} wire)",
+            raw_bytes as f64 / wire as f64
+        );
+        grp.bench_function(&format!("decode_{name}"), |b| {
+            b.iter(|| black_box(decode_ranges(&srcs, &buf).expect("valid stream")))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, codec_benches);
+criterion_main!(benches);

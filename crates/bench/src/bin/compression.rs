@@ -1,0 +1,213 @@
+//! Compression sweep — the compressed transfer path across the Table 5 grid.
+//!
+//! Runs Ascetic under `CompressionMode::{Off, Always, Adaptive}` over the
+//! full 4 algos × 4 datasets grid and reports, per cell, the simulated
+//! time and the raw vs wire transfer volumes. The acceptance invariants of
+//! the adaptive crossover are checked here:
+//!
+//! * Adaptive puts strictly fewer bytes on the wire than Off over the grid
+//!   (web-locality datasets compress ~3×; the bulk prestore crosses over).
+//! * Adaptive never increases the simulated total time of any cell (the
+//!   chain-aware crossover only ships encoded payloads when the copy +
+//!   decompress chain beats the raw copy).
+//!
+//! Output: markdown on stdout, `compression.csv` under `$ASCETIC_RESULTS`,
+//! and `BENCH_compression.json` recording both deltas. Pass `--smoke` for
+//! the fast CI variant.
+
+use ascetic_bench::fmt::{human_bytes, Table};
+use ascetic_bench::output::emit;
+use ascetic_bench::run::{run_grid, Cell, Sys};
+use ascetic_bench::setup::{Algo, Env};
+use ascetic_core::CompressionMode;
+use ascetic_graph::datasets::DatasetId;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const MODES: [(CompressionMode, &str); 3] = [
+    (CompressionMode::Off, "off"),
+    (CompressionMode::Always, "always"),
+    (CompressionMode::Adaptive, "adaptive"),
+];
+
+fn mode_grid(scale: u64, mode: CompressionMode) -> Vec<Cell> {
+    let env = Env::with_scale(scale).with_compression(mode);
+    run_grid(&env, &Algo::TABLE4_ORDER, &DatasetId::ALL, &[Sys::Ascetic])
+}
+
+fn json_report(smoke: bool, scale: u64, grids: &[Vec<Cell>]) -> String {
+    let (off, always, adaptive) = (&grids[0], &grids[1], &grids[2]);
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"bench\": \"compression\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"cells\": [");
+    let mut off_wire_total = 0u64;
+    let mut adaptive_wire_total = 0u64;
+    let mut regressed = 0usize;
+    for i in 0..off.len() {
+        let (o, al, ad) = (
+            &off[i].reports[0],
+            &always[i].reports[0],
+            &adaptive[i].reports[0],
+        );
+        off_wire_total += o.total_wire_bytes_with_prestore();
+        adaptive_wire_total += ad.total_wire_bytes_with_prestore();
+        if ad.sim_time_ns > o.sim_time_ns {
+            regressed += 1;
+        }
+        let comma = if i + 1 < off.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"algo\": \"{}\", \"dataset\": \"{}\", \
+             \"off\": {{\"sim_ns\": {}, \"bytes\": {}, \"wire\": {}}}, \
+             \"always\": {{\"sim_ns\": {}, \"bytes\": {}, \"wire\": {}}}, \
+             \"adaptive\": {{\"sim_ns\": {}, \"bytes\": {}, \"wire\": {}}}, \
+             \"wire_saved_bytes\": {}, \"time_delta_ns\": {}}}{}",
+            off[i].algo.name(),
+            off[i].dataset.abbr(),
+            o.sim_time_ns,
+            o.total_bytes_with_prestore(),
+            o.total_wire_bytes_with_prestore(),
+            al.sim_time_ns,
+            al.total_bytes_with_prestore(),
+            al.total_wire_bytes_with_prestore(),
+            ad.sim_time_ns,
+            ad.total_bytes_with_prestore(),
+            ad.total_wire_bytes_with_prestore(),
+            o.total_wire_bytes_with_prestore() as i64 - ad.total_wire_bytes_with_prestore() as i64,
+            ad.sim_time_ns as i64 - o.sim_time_ns as i64,
+            comma
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"totals\": {{");
+    let _ = writeln!(j, "    \"off_wire_bytes\": {off_wire_total},");
+    let _ = writeln!(j, "    \"adaptive_wire_bytes\": {adaptive_wire_total},");
+    let _ = writeln!(
+        j,
+        "    \"wire_saved_bytes\": {},",
+        off_wire_total as i64 - adaptive_wire_total as i64
+    );
+    let _ = writeln!(
+        j,
+        "    \"adaptive_saves_wire\": {},",
+        adaptive_wire_total < off_wire_total
+    );
+    let _ = writeln!(j, "    \"cells_time_regressed\": {regressed}");
+    let _ = writeln!(j, "  }}");
+    j.push('}');
+    j.push('\n');
+    j
+}
+
+fn output_path() -> PathBuf {
+    match std::env::var("ASCETIC_RESULTS") {
+        Ok(dir) if !dir.is_empty() => {
+            std::fs::create_dir_all(&dir).expect("create $ASCETIC_RESULTS dir");
+            PathBuf::from(dir).join("BENCH_compression.json")
+        }
+        _ => PathBuf::from("BENCH_compression.json"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 50_000 } else { Env::from_env().scale };
+    eprintln!("Compression sweep (scale 1/{scale})");
+
+    let grids: Vec<Vec<Cell>> = MODES
+        .iter()
+        .map(|&(mode, name)| {
+            eprintln!("mode: {name}");
+            mode_grid(scale, mode)
+        })
+        .collect();
+    // the transfer encoding must be invisible to the algorithms
+    for grid in &grids[1..] {
+        for (a, b) in grids[0].iter().zip(grid.iter()) {
+            assert!(
+                a.reports[0]
+                    .output
+                    .first_mismatch(&b.reports[0].output, 1e-9)
+                    .is_none(),
+                "compression changed the answer on {} / {}",
+                a.algo.name(),
+                a.dataset.abbr()
+            );
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "Algo",
+        "Dataset",
+        "Raw",
+        "Wire (adaptive)",
+        "Saved",
+        "Time delta",
+    ]);
+    let mut csv = Table::new(vec![
+        "mode",
+        "algo",
+        "dataset",
+        "sim_ns",
+        "bytes_with_prestore",
+        "wire_bytes_with_prestore",
+    ]);
+    for (gi, grid) in grids.iter().enumerate() {
+        for c in grid {
+            let r = &c.reports[0];
+            csv.row(vec![
+                MODES[gi].1.to_string(),
+                c.algo.name().to_string(),
+                c.dataset.abbr().to_string(),
+                r.sim_time_ns.to_string(),
+                r.total_bytes_with_prestore().to_string(),
+                r.total_wire_bytes_with_prestore().to_string(),
+            ]);
+        }
+    }
+    for (cell, ad_cell) in grids[0].iter().zip(grids[2].iter()) {
+        let o = &cell.reports[0];
+        let ad = &ad_cell.reports[0];
+        let raw = o.total_wire_bytes_with_prestore();
+        let wire = ad.total_wire_bytes_with_prestore();
+        let saved = 100.0 * (raw as f64 - wire as f64) / raw.max(1) as f64;
+        let dt = ad.sim_time_ns as i64 - o.sim_time_ns as i64;
+        table.row(vec![
+            cell.algo.name().to_string(),
+            cell.dataset.abbr().to_string(),
+            human_bytes(raw),
+            human_bytes(wire),
+            format!("{saved:.1}%"),
+            format!("{:+.2}%", 100.0 * dt as f64 / o.sim_time_ns.max(1) as f64),
+        ]);
+    }
+    emit("compression", &table, &csv);
+
+    let json = json_report(smoke, scale, &grids);
+    let path = output_path();
+    std::fs::write(&path, &json).expect("write BENCH_compression.json");
+    println!("wrote {}", path.display());
+
+    let off_wire: u64 = grids[0]
+        .iter()
+        .map(|c| c.reports[0].total_wire_bytes_with_prestore())
+        .sum();
+    let ad_wire: u64 = grids[2]
+        .iter()
+        .map(|c| c.reports[0].total_wire_bytes_with_prestore())
+        .sum();
+    if ad_wire >= off_wire {
+        eprintln!("warning: adaptive wire bytes ({ad_wire}) did not improve on raw ({off_wire})");
+    }
+    let regressed: Vec<String> = grids[0]
+        .iter()
+        .zip(grids[2].iter())
+        .filter(|(o, a)| a.reports[0].sim_time_ns > o.reports[0].sim_time_ns)
+        .map(|(o, _)| format!("{}/{}", o.algo.name(), o.dataset.abbr()))
+        .collect();
+    if !regressed.is_empty() {
+        eprintln!("warning: adaptive slowed down: {}", regressed.join(", "));
+    }
+}

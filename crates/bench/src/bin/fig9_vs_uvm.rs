@@ -9,11 +9,13 @@ use ascetic_bench::fmt::{geomean, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
+use ascetic_core::CompressionMode;
 use ascetic_graph::datasets::DatasetId;
 
 fn main() {
     let env = Env::from_env();
     eprintln!("Figure 9: Ascetic vs UVM (scale 1/{})", env.scale);
+    let compressed = env.compression != CompressionMode::Off;
     let cells = run_grid(
         &env,
         &Algo::TABLE4_ORDER,
@@ -21,9 +23,15 @@ fn main() {
         &[Sys::Uvm, Sys::Ascetic],
     );
 
-    let mut table = Table::new(vec!["Workload", "Speedup over UVM", "Transfer vs UVM"]);
+    let mut headers = vec!["Workload", "Speedup over UVM", "Transfer vs UVM"];
+    let mut csv_headers = vec!["workload", "speedup", "transfer_ratio"];
+    if compressed {
+        headers.push("Wire vs UVM");
+        csv_headers.push("wire_ratio");
+    }
+    let mut table = Table::new(headers);
     let mut speeds = Vec::new();
-    let mut csv = Table::new(vec!["workload", "speedup", "transfer_ratio"]);
+    let mut csv = Table::new(csv_headers);
     for c in &cells {
         let uvm = &c.reports[0];
         let asc = &c.reports[1];
@@ -31,12 +39,15 @@ fn main() {
         let ratio = asc.total_bytes_with_prestore() as f64 / uvm.steady_bytes() as f64;
         speeds.push(speed);
         let label = format!("{}-{}", c.algo.name(), c.dataset.abbr());
-        table.row(vec![
-            label.clone(),
-            format!("{speed:.2}X"),
-            format!("{ratio:.2}"),
-        ]);
-        csv.row(vec![label, format!("{speed:.4}"), format!("{ratio:.4}")]);
+        let mut row = vec![label.clone(), format!("{speed:.2}X"), format!("{ratio:.2}")];
+        let mut csv_row = vec![label, format!("{speed:.4}"), format!("{ratio:.4}")];
+        if compressed {
+            let wire = asc.total_wire_bytes_with_prestore() as f64 / uvm.steady_bytes() as f64;
+            row.push(format!("{wire:.2}"));
+            csv_row.push(format!("{wire:.4}"));
+        }
+        table.row(row);
+        csv.row(csv_row);
     }
     emit("fig9_vs_uvm", &table, &csv);
     println!(

@@ -10,11 +10,13 @@ use ascetic_bench::fmt::{geomean, human_bytes, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
 use ascetic_bench::setup::{Algo, Env};
+use ascetic_core::CompressionMode;
 use ascetic_graph::datasets::DatasetId;
 
 fn main() {
     let env = Env::from_env();
     eprintln!("Table 5: data transfer (scale 1/{})", env.scale);
+    let compressed = env.compression != CompressionMode::Off;
     let cells = run_grid(
         &env,
         &Algo::TABLE4_ORDER,
@@ -22,11 +24,8 @@ fn main() {
         &[Sys::Pt, Sys::Subway, Sys::Ascetic],
     );
 
-    let mut table = Table::new(vec!["Algo", "Dataset", "Size", "PT", "Subway", "Ascetic"]);
-    let mut g_pt = Vec::new();
-    let mut g_sw = Vec::new();
-    let mut g_asc = Vec::new();
-    let mut csv = Table::new(vec![
+    let mut headers = vec!["Algo", "Dataset", "Size", "PT", "Subway", "Ascetic"];
+    let mut csv_headers = vec![
         "algo",
         "dataset",
         "dataset_bytes",
@@ -34,7 +33,17 @@ fn main() {
         "subway_bytes",
         "ascetic_bytes_with_prestore",
         "ascetic_prestore_bytes",
-    ]);
+    ];
+    if compressed {
+        headers.push("Ascetic wire");
+        csv_headers.push("ascetic_wire_bytes_with_prestore");
+    }
+    let mut table = Table::new(headers);
+    let mut g_pt = Vec::new();
+    let mut g_sw = Vec::new();
+    let mut g_asc = Vec::new();
+    let mut g_wire = Vec::new();
+    let mut csv = Table::new(csv_headers);
     for c in &cells {
         let size = c.reports[0].per_iter.first().map(|_| 0).unwrap_or(0); // placeholder
         let _ = size;
@@ -58,15 +67,15 @@ fn main() {
         g_pt.push(xp);
         g_sw.push(xs);
         g_asc.push(xa);
-        table.row(vec![
+        let mut row = vec![
             c.algo.name().to_string(),
             c.dataset.abbr().to_string(),
             human_bytes(ds_bytes),
             format!("{xp:.1}X"),
             format!("{xs:.1}X"),
             format!("{xa:.2}X"),
-        ]);
-        csv.row(vec![
+        ];
+        let mut csv_row = vec![
             c.algo.name().to_string(),
             c.dataset.abbr().to_string(),
             ds_bytes.to_string(),
@@ -74,16 +83,29 @@ fn main() {
             sw.to_string(),
             asc.to_string(),
             c.reports[2].prestore_bytes.to_string(),
-        ]);
+        ];
+        if compressed {
+            let wire = c.reports[2].total_wire_bytes_with_prestore();
+            let xw = wire as f64 / ds_bytes as f64;
+            g_wire.push(xw);
+            row.push(format!("{xw:.2}X"));
+            csv_row.push(wire.to_string());
+        }
+        table.row(row);
+        csv.row(csv_row);
     }
-    table.row(vec![
+    let mut geo_row = vec![
         "GEOMEAN".to_string(),
         "".to_string(),
         "".to_string(),
         format!("{:.1}X", geomean(&g_pt)),
         format!("{:.1}X", geomean(&g_sw)),
         format!("{:.1}X", geomean(&g_asc)),
-    ]);
+    ];
+    if compressed {
+        geo_row.push(format!("{:.2}X", geomean(&g_wire)));
+    }
+    table.row(geo_row);
     emit("table5_data_transfer", &table, &csv);
     println!(
         "Paper geomeans: PT 32.5X, Subway 3.6X, Ascetic 1.4X (of dataset size, prestore included)."

@@ -9,7 +9,7 @@
 //! of magnitude of the paper's Figure 2 chunking.
 
 use ascetic_baselines::{PtSystem, SubwaySystem, UvmSystem};
-use ascetic_core::{AsceticConfig, AsceticSystem};
+use ascetic_core::{AsceticConfig, AsceticSystem, CompressionMode};
 use ascetic_graph::datasets::{Dataset, DatasetId, PAPER_GPU_MEM_BYTES};
 use ascetic_graph::{Csr, VertexId};
 use ascetic_sim::DeviceConfig;
@@ -56,21 +56,48 @@ impl Algo {
 pub struct Env {
     /// Scale divisor relative to the paper's setup.
     pub scale: u64,
+    /// Compressed transfer path mode (Ascetic and Subway).
+    pub compression: CompressionMode,
+}
+
+/// Parse an `ASCETIC_COMPRESSION`-style mode string.
+pub fn parse_compression(s: &str) -> Option<CompressionMode> {
+    match s {
+        "off" => Some(CompressionMode::Off),
+        "always" => Some(CompressionMode::Always),
+        "adaptive" => Some(CompressionMode::Adaptive),
+        _ => None,
+    }
 }
 
 impl Env {
-    /// Environment with the default (or `ASCETIC_SCALE`-overridden) scale.
+    /// Environment with the default (or `ASCETIC_SCALE`-overridden) scale
+    /// and the `ASCETIC_COMPRESSION`-selected transfer mode
+    /// (`off`/`always`/`adaptive`; default off).
     pub fn from_env() -> Env {
         let scale = std::env::var("ASCETIC_SCALE")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(DEFAULT_BENCH_SCALE);
-        Env { scale }
+        let compression = std::env::var("ASCETIC_COMPRESSION")
+            .ok()
+            .and_then(|s| parse_compression(&s))
+            .unwrap_or(CompressionMode::Off);
+        Env { scale, compression }
     }
 
     /// Environment with an explicit scale.
     pub fn with_scale(scale: u64) -> Env {
-        Env { scale }
+        Env {
+            scale,
+            compression: CompressionMode::Off,
+        }
+    }
+
+    /// Same environment with a different compression mode.
+    pub fn with_compression(mut self, mode: CompressionMode) -> Env {
+        self.compression = mode;
+        self
     }
 
     /// Build one dataset stand-in.
@@ -114,7 +141,9 @@ impl Env {
 
     /// Paper-default Ascetic configuration on this environment's device.
     pub fn ascetic_cfg(&self) -> AsceticConfig {
-        AsceticConfig::new(self.device()).with_chunk_bytes(self.chunk_bytes())
+        AsceticConfig::new(self.device())
+            .with_chunk_bytes(self.chunk_bytes())
+            .with_compression(self.compression)
     }
 
     /// The Ascetic system under paper defaults.
@@ -122,9 +151,10 @@ impl Env {
         AsceticSystem::new(self.ascetic_cfg())
     }
 
-    /// The Subway baseline.
+    /// The Subway baseline (sharing the compressed transfer path setting,
+    /// so transfer comparisons stay apples-to-apples).
     pub fn subway(&self) -> SubwaySystem {
-        SubwaySystem::new(self.device())
+        SubwaySystem::new(self.device()).with_compression(self.compression)
     }
 
     /// The PT baseline.

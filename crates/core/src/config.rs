@@ -27,6 +27,23 @@ pub enum FillPolicy {
     Lazy,
 }
 
+/// Whether H2D edge payloads are delta–varint encoded before crossing the
+/// link (on-demand batches, prestore fills, refreshes and lazy loads).
+/// Weighted payloads always ship raw — weights would ride along
+/// uncompressed and dilute the ratio below usefulness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CompressionMode {
+    /// Ship raw 4-byte targets (the paper's systems all do).
+    #[default]
+    Off,
+    /// Encode every eligible transfer, even where encoding loses time.
+    Always,
+    /// Per-transfer crossover: encode only when
+    /// `wire_bytes/link_bw + decompress_cost < raw_bytes/link_bw`,
+    /// estimated from per-chunk ratios cached in the hotness table.
+    Adaptive,
+}
+
 /// Static-region chunk replacement policy (paper §3.4, Figure 6).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReplacementPolicy {
@@ -82,6 +99,8 @@ pub struct AsceticConfig {
     /// so 1 is the default; higher values are an extension studied in
     /// `ablation_double_buffer`.
     pub od_buffers: usize,
+    /// Compressed transfer path mode (default [`CompressionMode::Off`]).
+    pub compression: CompressionMode,
 }
 
 impl AsceticConfig {
@@ -99,6 +118,7 @@ impl AsceticConfig {
             tracing: false,
             events: false,
             od_buffers: 1,
+            compression: CompressionMode::Off,
         }
     }
 
@@ -160,6 +180,12 @@ impl AsceticConfig {
         self
     }
 
+    /// Builder: set the compressed transfer path mode.
+    pub fn with_compression(mut self, mode: CompressionMode) -> Self {
+        self.compression = mode;
+        self
+    }
+
     /// Builder: override the chunk size (must hold at least one edge; tests
     /// and heavily-scaled runs use chunks smaller than the paper's 16 KiB
     /// so that chunk counts stay proportionate).
@@ -184,6 +210,14 @@ mod tests {
         assert!(c.static_ratio_override.is_none());
         assert_eq!(c.od_buffers, 1);
         assert!(!c.events, "event logging is opt-in");
+        assert_eq!(c.compression, CompressionMode::Off);
+    }
+
+    #[test]
+    fn compression_builder() {
+        let c = AsceticConfig::new(DeviceConfig::p100(1 << 20))
+            .with_compression(CompressionMode::Adaptive);
+        assert_eq!(c.compression, CompressionMode::Adaptive);
     }
 
     #[test]

@@ -101,8 +101,12 @@ pub fn finish_report(
         sim_time_ns: gpu.elapsed().0,
         xfer: gpu.xfer,
         prestore_bytes,
+        // Wire defaults to raw; the session overwrites these (and re-syncs)
+        // when the compressed transfer path shipped encoded payloads.
+        prestore_wire_bytes: prestore_bytes,
         prestore_ns,
         refresh_bytes,
+        refresh_wire_bytes: refresh_bytes,
         kernels: gpu.kernels,
         breakdown,
         gpu_idle_ns: gpu.timeline.idle_ns(Engine::Compute),

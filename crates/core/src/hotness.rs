@@ -17,13 +17,19 @@ use ascetic_graph::{Csr, VertexId};
 use crate::config::ReplacementPolicy;
 use crate::static_region::StaticRegion;
 
-/// Per-chunk access statistics.
+/// Per-chunk access statistics, plus per-chunk metadata reused across
+/// iterations by the compressed transfer path.
 pub struct HotnessTable {
     policy: ReplacementPolicy,
     /// Cumulative access count per chunk.
     counts: Vec<u32>,
     /// Last iteration (1-based; 0 = never) each chunk was accessed.
     last_access: Vec<u32>,
+    /// Cached delta–varint encoded size of each chunk's edge payload
+    /// (0 = not yet measured; a real chunk never encodes to zero bytes).
+    /// The adaptive crossover prices a transfer from these instead of
+    /// re-encoding candidate payloads every iteration.
+    wire_bytes: Vec<u32>,
 }
 
 impl HotnessTable {
@@ -33,7 +39,22 @@ impl HotnessTable {
             policy,
             counts: vec![0; num_chunks],
             last_access: vec![0; num_chunks],
+            wire_bytes: vec![0; num_chunks],
         }
+    }
+
+    /// Cached encoded size of `chunk`'s payload, if measured.
+    pub fn cached_wire_bytes(&self, chunk: ChunkId) -> Option<u64> {
+        match self.wire_bytes[chunk as usize] {
+            0 => None,
+            b => Some(b as u64),
+        }
+    }
+
+    /// Cache the measured encoded size of `chunk`'s payload.
+    pub fn cache_wire_bytes(&mut self, chunk: ChunkId, bytes: u64) {
+        debug_assert!(bytes > 0, "a chunk never encodes to zero bytes");
+        self.wire_bytes[chunk as usize] = bytes.min(u32::MAX as u64) as u32;
     }
 
     /// Record that `chunk` was accessed during `iteration` (0-based).
@@ -184,6 +205,15 @@ mod tests {
         assert!(!t.is_hot(1, 0));
         // zero-degree tail vertex touches nothing
         t.record_vertices(&g, &geo, &[32], 0);
+    }
+
+    #[test]
+    fn wire_byte_cache_round_trips() {
+        let mut t = HotnessTable::new(4, ReplacementPolicy::LastIteration);
+        assert_eq!(t.cached_wire_bytes(2), None);
+        t.cache_wire_bytes(2, 1234);
+        assert_eq!(t.cached_wire_bytes(2), Some(1234));
+        assert_eq!(t.cached_wire_bytes(3), None, "other chunks unaffected");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //!   Tondemand — Figure 10), transfer volumes (Table 5), idle accounting.
 //! * [`system`] — the `OutOfCoreSystem` trait shared with the baselines.
 
+pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod hotness;
@@ -49,7 +50,7 @@ pub mod session;
 pub mod static_region;
 pub mod system;
 
-pub use config::{AsceticConfig, FillPolicy, ReplacementPolicy};
+pub use config::{AsceticConfig, CompressionMode, FillPolicy, ReplacementPolicy};
 pub use engine::AsceticSystem;
 pub use pool_metrics::pool_metrics_snapshot;
 pub use report::{Breakdown, IterReport, RunReport};

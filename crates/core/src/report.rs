@@ -80,10 +80,15 @@ pub struct RunReport {
     /// Bytes moved filling the static region before iteration 0
     /// (Table 5 *includes* this; Figure 7 excludes it).
     pub prestore_bytes: u64,
+    /// Prestore bytes actually on the link (equal to `prestore_bytes`
+    /// unless the fill shipped compressed).
+    pub prestore_wire_bytes: u64,
     /// Time spent on the initial fill, ns (included in `sim_time_ns`).
     pub prestore_ns: u64,
     /// Bytes moved by the replacement server (static refresh).
     pub refresh_bytes: u64,
+    /// Refresh bytes actually on the link.
+    pub refresh_wire_bytes: u64,
     /// Kernel counters.
     pub kernels: KernelStats,
     /// Time breakdown.
@@ -129,6 +134,18 @@ impl RunReport {
         self.xfer.total_bytes() + self.refresh_bytes
     }
 
+    /// Total bytes on the link including the prestore — what PCIe really
+    /// carried. Equal to [`RunReport::total_bytes_with_prestore`] when the
+    /// compressed transfer path is off.
+    pub fn total_wire_bytes_with_prestore(&self) -> u64 {
+        self.xfer.total_wire_bytes() + self.prestore_wire_bytes + self.refresh_wire_bytes
+    }
+
+    /// Steady-state bytes on the link (excludes the prestore).
+    pub fn steady_wire_bytes(&self) -> u64 {
+        self.xfer.total_wire_bytes() + self.refresh_wire_bytes
+    }
+
     /// The run's makespan in simulated seconds (`sim_time_ns / 1e9`; the
     /// virtual clock, not host wall time).
     pub fn seconds(&self) -> f64 {
@@ -170,6 +187,8 @@ impl RunReport {
         self.metrics
             .set_counter("xfer.h2d_bytes", self.xfer.h2d_bytes);
         self.metrics
+            .set_counter("xfer.h2d_wire_bytes", self.xfer.h2d_wire_bytes);
+        self.metrics
             .set_counter("xfer.d2h_bytes", self.xfer.d2h_bytes);
         self.metrics.set_counter("xfer.h2d_ops", self.xfer.h2d_ops);
         self.metrics.set_counter("xfer.d2h_ops", self.xfer.d2h_ops);
@@ -183,7 +202,11 @@ impl RunReport {
         self.metrics
             .set_counter("prestore.bytes", self.prestore_bytes);
         self.metrics
+            .set_counter("prestore.wire_bytes", self.prestore_wire_bytes);
+        self.metrics
             .set_counter("refresh.bytes", self.refresh_bytes);
+        self.metrics
+            .set_counter("refresh.wire_bytes", self.refresh_wire_bytes);
         self.metrics
             .set_counter("iterations", self.iterations as u64);
         self.metrics
@@ -200,13 +223,14 @@ impl RunReport {
     pub fn summary_csv_header() -> &'static str {
         "system,algorithm,iterations,sim_time_ns,h2d_bytes,d2h_bytes,h2d_ops,d2h_ops,\
          prestore_bytes,refresh_bytes,kernel_launches,kernel_edges,gpu_idle_ns,\
-         repartitions,peak_payload_bytes"
+         repartitions,peak_payload_bytes,h2d_wire_bytes,prestore_wire_bytes,\
+         refresh_wire_bytes"
     }
 
     /// One CSV row of the headline scalars (no trailing newline).
     pub fn summary_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.system,
             self.algorithm,
             self.iterations,
@@ -222,6 +246,9 @@ impl RunReport {
             self.gpu_idle_ns,
             self.repartitions,
             self.peak_iteration_payload_bytes,
+            self.xfer.h2d_wire_bytes,
+            self.prestore_wire_bytes,
+            self.refresh_wire_bytes,
         )
     }
 
@@ -239,7 +266,7 @@ impl RunReport {
         let mut out = String::new();
         out.push_str(&format!("### {} / {}\n\n", self.system, self.algorithm));
         out.push_str("| metric | value |\n|---|---|\n");
-        let rows: [(&str, String); 9] = [
+        let mut rows: Vec<(&str, String)> = vec![
             ("iterations", self.iterations.to_string()),
             (
                 "simulated time",
@@ -268,6 +295,19 @@ impl RunReport {
                 format!("{:.1} %", self.static_edge_fraction() * 100.0),
             ),
         ];
+        if self.total_wire_bytes_with_prestore() != self.total_bytes_with_prestore() {
+            rows.insert(
+                3,
+                (
+                    "wire transfer",
+                    format!(
+                        "{:.2} MB steady + {:.2} MB prestore",
+                        self.steady_wire_bytes() as f64 / 1e6,
+                        self.prestore_wire_bytes as f64 / 1e6
+                    ),
+                ),
+            );
+        }
         for (k, v) in rows {
             out.push_str(&format!("| {k} | {v} |\n"));
         }
@@ -291,6 +331,11 @@ impl RunReport {
             (
                 "total_bytes_with_prestore",
                 self.total_bytes_with_prestore(),
+            ),
+            ("steady_wire_bytes", self.steady_wire_bytes()),
+            (
+                "total_wire_bytes_with_prestore",
+                self.total_wire_bytes_with_prestore(),
             ),
             ("gpu_idle_ns", self.gpu_idle_ns),
             ("repartitions", self.repartitions as u64),
@@ -324,6 +369,14 @@ impl std::fmt::Display for RunReport {
             self.steady_bytes() as f64 / 1e6,
             self.prestore_bytes as f64 / 1e6
         )?;
+        if self.total_wire_bytes_with_prestore() != self.total_bytes_with_prestore() {
+            writeln!(
+                f,
+                "on the wire:       {:.2} MB steady + {:.2} MB prestore (compressed)",
+                self.steady_wire_bytes() as f64 / 1e6,
+                self.prestore_wire_bytes as f64 / 1e6
+            )?;
+        }
         writeln!(
             f,
             "kernels:           {} launches, {} edges",
@@ -358,13 +411,16 @@ mod tests {
             sim_time_ns: 1_000,
             xfer: XferStats {
                 h2d_bytes: 500,
+                h2d_wire_bytes: 500,
                 d2h_bytes: 100,
                 h2d_ops: 5,
                 d2h_ops: 1,
             },
             prestore_bytes: 200,
+            prestore_wire_bytes: 200,
             prestore_ns: 50,
             refresh_bytes: 30,
+            refresh_wire_bytes: 30,
             kernels: KernelStats::default(),
             breakdown: Breakdown {
                 gen_map_ns: 1,
@@ -391,6 +447,28 @@ mod tests {
         let r = dummy();
         assert_eq!(r.steady_bytes(), 630);
         assert_eq!(r.total_bytes_with_prestore(), 830);
+        // raw path: wire equals payload everywhere
+        assert_eq!(r.steady_wire_bytes(), 630);
+        assert_eq!(r.total_wire_bytes_with_prestore(), 830);
+    }
+
+    #[test]
+    fn wire_byte_views_track_compressed_transfers() {
+        let mut r = dummy();
+        r.xfer.h2d_wire_bytes = 200; // 500 payload shipped as 200
+        r.prestore_wire_bytes = 80;
+        r.refresh_wire_bytes = 10;
+        assert_eq!(r.steady_wire_bytes(), 200 + 100 + 10);
+        assert_eq!(r.total_wire_bytes_with_prestore(), 200 + 100 + 10 + 80);
+        // payload views are untouched by the wire numbers
+        assert_eq!(r.total_bytes_with_prestore(), 830);
+        r.sync_metrics();
+        assert_eq!(r.metrics.counter("xfer.h2d_wire_bytes"), Some(200));
+        assert_eq!(r.metrics.counter("prestore.wire_bytes"), Some(80));
+        assert_eq!(r.metrics.counter("refresh.wire_bytes"), Some(10));
+        let text = r.to_string();
+        assert!(text.contains("on the wire:"), "{text}");
+        assert!(r.summary_markdown().contains("wire transfer"));
     }
 
     #[test]

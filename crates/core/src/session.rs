@@ -13,13 +13,15 @@
 //! type.
 
 use ascetic_algos::{EdgeSlice, VertexProgram};
-use ascetic_graph::chunks::ChunkGeometry;
+use ascetic_graph::chunks::{ChunkGeometry, ChunkId};
+use ascetic_graph::compress::{encode_ranges, EncodeEntry};
 use ascetic_graph::Csr;
 use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap};
 use ascetic_sim::{DevPtr, Engine, Gpu, SimTime};
 
-use crate::config::{AsceticConfig, FillPolicy, ReplacementPolicy};
+use crate::codec::{chunk_wire_bytes, compress_wins, estimate_batch_wire};
+use crate::config::{AsceticConfig, CompressionMode, FillPolicy, ReplacementPolicy};
 use crate::engine::finish_report;
 use crate::hotness::HotnessTable;
 use crate::maps::DataMaps;
@@ -39,8 +41,33 @@ pub struct AsceticSession<'g> {
     od_buffers: Vec<DevPtr>,
     hotness: HotnessTable,
     prestore_bytes: u64,
+    prestore_wire_bytes: u64,
     prestore_ns: u64,
     runs: u32,
+}
+
+/// Whether `cfg` allows the compressed transfer path for `g` at all.
+/// Weighted payloads interleave 4-byte weights with targets and always
+/// ship raw — the delta–varint codec covers unweighted adjacency only.
+fn compression_eligible(cfg: &AsceticConfig, g: &Csr) -> bool {
+    cfg.compression != CompressionMode::Off && !g.is_weighted()
+}
+
+/// Chain-aware adaptive decision for an on-demand payload: compare when
+/// the consuming kernel could start on each path, given the current engine
+/// frontiers. When the transfer is the bottleneck this reduces to the pure
+/// link crossover (`wire/bw + decompress < raw/bw`); when the compute
+/// engine is, it declines — a decompression launch there would push the
+/// kernel later no matter how many link bytes it saves.
+fn chain_wins(gpu: &Gpu, ready: SimTime, raw: u64, wire: u64) -> bool {
+    let pcie = gpu.config.pcie;
+    let decomp = gpu.config.decompress;
+    let copy_start = ready.max(gpu.timeline.engine_free_at(Engine::Copy)).0;
+    let compute_free = gpu.timeline.engine_free_at(Engine::Compute).0;
+    let raw_kernel_at = (copy_start + pcie.transfer_ns(raw)).max(compute_free);
+    let comp_kernel_at =
+        (copy_start + pcie.transfer_ns(wire)).max(compute_free) + decomp.decompress_ns(raw);
+    comp_kernel_at < raw_kernel_at
 }
 
 impl<'g> AsceticSession<'g> {
@@ -95,17 +122,73 @@ impl<'g> AsceticSession<'g> {
             od_buffers[0] = od_slab; // use the whole slab when not splitting
         }
 
+        // The hotness table exists before the prestore: its per-chunk
+        // encoded-size cache prices the fill's compression crossover, and
+        // the measurements stay warm for every later transfer decision.
+        let mut hotness = HotnessTable::new(geo.num_chunks(), cfg.replacement);
+
         // --- Prestore: one bulk fill of the static region. ---
         let plan = region.plan_fill(cfg.fill, region.slots());
         let prestore_bytes = region.fill(&mut gpu, g, &plan);
-        let prestore_ns = gpu.config.pcie.transfer_ns(prestore_bytes);
-        gpu.timeline
-            .schedule_labeled(Engine::Copy, SimTime::ZERO, prestore_ns, || {
-                format!("prestore {prestore_bytes}B")
-            });
+        // Compression crossover for the fill: price the planned chunks'
+        // encoded payloads (measuring + caching each) and ship encoded
+        // only when the link savings beat the decompression cost.
+        let mut prestore_wire_bytes = prestore_bytes;
+        let mut prestore_ns = gpu.config.pcie.transfer_ns(prestore_bytes);
+        let mut prestore_compressed = false;
+        if compression_eligible(&cfg, g) && prestore_bytes > 0 {
+            let wire: u64 = plan
+                .iter()
+                .map(|&c| chunk_wire_bytes(g, &geo, c, &mut hotness))
+                .sum();
+            let ship = match cfg.compression {
+                CompressionMode::Always => true,
+                CompressionMode::Adaptive => compress_wins(
+                    &gpu.config.pcie,
+                    &gpu.config.decompress,
+                    prestore_bytes,
+                    wire,
+                ),
+                CompressionMode::Off => unreachable!(),
+            };
+            if ship {
+                prestore_compressed = true;
+                prestore_wire_bytes = wire;
+                let copy_ns = gpu.config.pcie.transfer_ns(wire);
+                let dec_ns = gpu.config.decompress.decompress_ns(prestore_bytes);
+                let copy =
+                    gpu.timeline
+                        .schedule_labeled(Engine::Copy, SimTime::ZERO, copy_ns, || {
+                            format!("prestore {wire}B (compressed, {prestore_bytes}B raw)")
+                        });
+                gpu.timeline
+                    .schedule_labeled(Engine::Compute, copy.end, dec_ns, || {
+                        format!("prestore decompress {prestore_bytes}B")
+                    });
+                prestore_ns = copy_ns + dec_ns;
+                gpu.obs.record(
+                    0,
+                    Event::CompressedDma {
+                        raw_bytes: prestore_bytes,
+                        wire_bytes: wire,
+                        dur_ns: copy_ns,
+                        decompress_ns: dec_ns,
+                    },
+                );
+            }
+        }
+        if !prestore_compressed {
+            gpu.timeline
+                .schedule_labeled(Engine::Copy, SimTime::ZERO, prestore_ns, || {
+                    format!("prestore {prestore_bytes}B")
+                });
+        }
         gpu.obs
             .registry
             .counter_add("prestore.bytes", prestore_bytes);
+        gpu.obs
+            .registry
+            .counter_add("prestore.wire_bytes", prestore_wire_bytes);
         gpu.obs.record(
             0,
             Event::Prestore {
@@ -115,7 +198,6 @@ impl<'g> AsceticSession<'g> {
         );
         gpu.sync();
 
-        let hotness = HotnessTable::new(geo.num_chunks(), cfg.replacement);
         AsceticSession {
             cfg,
             g,
@@ -125,6 +207,7 @@ impl<'g> AsceticSession<'g> {
             od_buffers,
             hotness,
             prestore_bytes,
+            prestore_wire_bytes,
             prestore_ns,
             runs: 0,
         }
@@ -133,6 +216,80 @@ impl<'g> AsceticSession<'g> {
     /// Number of runs executed so far.
     pub fn runs(&self) -> u32 {
         self.runs
+    }
+
+    /// Schedule the DMA for one chunk-sized region transfer (lazy load or
+    /// refresh): raw, or — when the crossover favors it — the encoded
+    /// payload on the copy engine plus a decompression launch on the
+    /// compute engine. Returns `(wire_bytes, total_ns)`. Chunk transfers
+    /// are small, so the decompression launch overhead usually keeps them
+    /// raw under `Adaptive`; `Always` forces the encoded path.
+    fn chunk_dma(
+        &mut self,
+        chunk: ChunkId,
+        bytes: u64,
+        ready: SimTime,
+        label: &'static str,
+    ) -> (u64, u64) {
+        let pcie = self.gpu.config.pcie;
+        let decomp = self.gpu.config.decompress;
+        if compression_eligible(&self.cfg, self.g) && bytes > 0 {
+            let wire = chunk_wire_bytes(self.g, &self.geo, chunk, &mut self.hotness);
+            let ship = match self.cfg.compression {
+                CompressionMode::Always => true,
+                CompressionMode::Adaptive => {
+                    // Nothing waits on a refresh, so the crossover alone is
+                    // not enough: the encoded chain — including queueing on
+                    // the busy compute engine — must finish before the raw
+                    // copy would, or the decompression launch could grow
+                    // the iteration's critical path for no latency gain.
+                    let copy_start = ready.max(self.gpu.timeline.engine_free_at(Engine::Copy)).0;
+                    let compute_free = self.gpu.timeline.engine_free_at(Engine::Compute).0;
+                    let raw_copy_end = copy_start + pcie.transfer_ns(bytes);
+                    let dec_end = (copy_start + pcie.transfer_ns(wire)).max(compute_free)
+                        + decomp.decompress_ns(bytes);
+                    compress_wins(&pcie, &decomp, bytes, wire) && dec_end < raw_copy_end
+                }
+                CompressionMode::Off => unreachable!(),
+            };
+            if ship {
+                let copy = self.gpu.timeline.schedule_labeled(
+                    Engine::Copy,
+                    ready,
+                    pcie.transfer_ns(wire),
+                    || format!("{label} {wire}B (compressed, {bytes}B raw)"),
+                );
+                let dec = self.gpu.timeline.schedule_labeled(
+                    Engine::Compute,
+                    copy.end,
+                    decomp.decompress_ns(bytes),
+                    || format!("{label} decompress {bytes}B"),
+                );
+                let reg = &mut self.gpu.obs.registry;
+                reg.counter_add("compress.transfers", 1);
+                reg.counter_add("compress.raw_bytes", bytes);
+                reg.counter_add("compress.wire_bytes", wire);
+                reg.observe("compress.ratio_x100", bytes * 100 / wire.max(1));
+                self.gpu.obs.record(
+                    copy.start.0,
+                    Event::CompressedDma {
+                        raw_bytes: bytes,
+                        wire_bytes: wire,
+                        dur_ns: copy.duration(),
+                        decompress_ns: dec.duration(),
+                    },
+                );
+                return (wire, copy.duration() + dec.duration());
+            }
+            self.gpu.obs.registry.counter_add("compress.declined", 1);
+        }
+        let span = self.gpu.timeline.schedule_labeled(
+            Engine::Copy,
+            ready,
+            pcie.transfer_ns(bytes),
+            || format!("{label} {bytes}B"),
+        );
+        (bytes, span.duration())
     }
 
     /// Fraction of the graph's chunks currently resident in the static
@@ -170,7 +327,14 @@ impl<'g> AsceticSession<'g> {
         let mut breakdown = Breakdown::default();
         let mut per_iter: Vec<IterReport> = Vec::new();
         let mut refresh_bytes = 0u64;
+        let mut refresh_wire_bytes = 0u64;
         let mut repartitions = 0u32;
+        let compressible = compression_eligible(&cfg, g);
+        // reused across batches by the compressed path: the encoded stream
+        // and the entry list handed to the encoder (zero steady-state
+        // allocation once they reach their high-water capacity)
+        let mut enc_buf: Vec<u8> = Vec::new();
+        let mut enc_entries: Vec<EncodeEntry> = Vec::new();
         let mut iter = 0u32;
         let lazy_fill = matches!(cfg.fill, FillPolicy::Lazy);
         // per-buffer "compute that last read this buffer" fences
@@ -282,17 +446,64 @@ impl<'g> AsceticSession<'g> {
                     // H2D transfer of payload + index, into this batch's buffer
                     let dst = buffer.slice(0, batch.words.len());
                     let ready = g_span.end.max(buffer_free_at[buf_idx]);
-                    let t_span = self.gpu.h2d_at(dst, &batch.words, ready);
+                    let raw_bytes = batch.payload_bytes();
+                    // Compression crossover: estimate from the per-chunk
+                    // cache, then (if promising) really encode and re-check
+                    // against the actual byte count before shipping — a bad
+                    // estimate falls back to the raw path.
+                    let mut compressed: Option<(u64, SimTime)> = None;
+                    if compressible && raw_bytes > 0 {
+                        let promising = match cfg.compression {
+                            CompressionMode::Always => true,
+                            CompressionMode::Adaptive => {
+                                let est =
+                                    estimate_batch_wire(g, &geo, &mut self.hotness, &batch.entries);
+                                chain_wins(&self.gpu, ready, raw_bytes, est)
+                            }
+                            CompressionMode::Off => unreachable!(),
+                        };
+                        if promising {
+                            enc_entries.clear();
+                            enc_entries
+                                .extend(batch.entries.iter().map(|e| (e.vertex, e.edges.clone())));
+                            enc_buf.clear();
+                            let wire = encode_ranges(g, &enc_entries, &mut enc_buf) as u64;
+                            // re-check with the actual encoded size: a bad
+                            // chunk-ratio estimate must not ship a loser
+                            let ship = matches!(cfg.compression, CompressionMode::Always)
+                                || chain_wins(&self.gpu, ready, raw_bytes, wire);
+                            if ship {
+                                let (copy, dec) =
+                                    self.gpu
+                                        .h2d_compressed_at(dst, &batch.words, &enc_buf, ready);
+                                let reg = &mut self.gpu.obs.registry;
+                                reg.counter_add("compress.transfers", 1);
+                                reg.counter_add("compress.raw_bytes", raw_bytes);
+                                reg.counter_add("compress.wire_bytes", wire);
+                                reg.observe("compress.ratio_x100", raw_bytes * 100 / wire.max(1));
+                                compressed = Some((copy.duration() + dec.duration(), dec.end));
+                            }
+                        }
+                        if compressed.is_none() {
+                            self.gpu.obs.registry.counter_add("compress.declined", 1);
+                        }
+                    }
+                    let (t_ns, payload_at) = compressed.unwrap_or_else(|| {
+                        let t_span = self.gpu.h2d_at(dst, &batch.words, ready);
+                        (t_span.duration(), t_span.end)
+                    });
                     // account the subgraph index bytes on the same DMA op
+                    // (the index always ships raw, compressed payload or not)
                     self.gpu.xfer.h2d_bytes += batch.index_bytes();
-                    breakdown.transfer_ns += t_span.duration();
+                    self.gpu.xfer.h2d_wire_bytes += batch.index_bytes();
+                    breakdown.transfer_ns += t_ns;
                     od_payload += batch.payload_bytes() + batch.index_bytes();
 
                     // OD compute (serializes on the COMPUTE engine after the
                     // static kernel automatically)
                     let c_span =
                         self.gpu
-                            .kernel_at(batch.edges, batch.entries.len() as u64, t_span.end);
+                            .kernel_at(batch.edges, batch.entries.len() as u64, payload_at);
                     breakdown.ondemand_compute_ns += c_span.duration();
                     od_compute_window += c_span.duration();
                     first_od_compute_start.get_or_insert(c_span.start);
@@ -341,17 +552,13 @@ impl<'g> AsceticSession<'g> {
                     if lazy_fill && ops_left > 0 {
                         for chunk in self.hotness.plan_loads(&self.region, iter, ops_left) {
                             let bytes = self.region.load_chunk(&mut self.gpu, g, chunk);
+                            let (wire, dur) = self.chunk_dma(chunk, bytes, ready, "lazy-load");
                             self.gpu.xfer.h2d_bytes += bytes;
+                            self.gpu.xfer.h2d_wire_bytes += wire;
                             self.gpu.xfer.h2d_ops += 1;
-                            let span = self.gpu.timeline.schedule_labeled(
-                                Engine::Copy,
-                                ready,
-                                self.gpu.config.pcie.transfer_ns(bytes),
-                                || format!("lazy-load {bytes}B"),
-                            );
                             self.gpu.obs.registry.counter_add("lazy.loads", 1);
-                            self.gpu.obs.record(span.start.0, Event::LazyLoad { bytes });
-                            breakdown.update_ns += span.duration();
+                            self.gpu.obs.record(ready.0, Event::LazyLoad { bytes });
+                            breakdown.update_ns += dur;
                             ops_left -= 1;
                         }
                     }
@@ -361,18 +568,14 @@ impl<'g> AsceticSession<'g> {
                         let swaps = self.hotness.plan_swaps(&self.region, iter, ops_left);
                         for (evict, load) in swaps {
                             let bytes = self.region.swap_chunk(&mut self.gpu, g, evict, load);
+                            let (wire, dur) = self.chunk_dma(load, bytes, ready, "refresh");
                             refresh_bytes += bytes;
-                            let span = self.gpu.timeline.schedule_labeled(
-                                Engine::Copy,
-                                ready,
-                                self.gpu.config.pcie.transfer_ns(bytes),
-                                || format!("refresh {bytes}B"),
-                            );
+                            refresh_wire_bytes += wire;
                             self.gpu.obs.registry.counter_add("hotness.swaps", 1);
                             self.gpu
                                 .obs
-                                .record(span.start.0, Event::HotSwap { chunks: 1, bytes });
-                            breakdown.update_ns += span.duration();
+                                .record(ready.0, Event::HotSwap { chunks: 1, bytes });
+                            breakdown.update_ns += dur;
                         }
                     }
                 }
@@ -417,6 +620,7 @@ impl<'g> AsceticSession<'g> {
         report.repartitions = repartitions;
         // convert cumulative device counters into this run's share
         report.xfer.h2d_bytes -= xfer0.h2d_bytes;
+        report.xfer.h2d_wire_bytes -= xfer0.h2d_wire_bytes;
         report.xfer.d2h_bytes -= xfer0.d2h_bytes;
         report.xfer.h2d_ops -= xfer0.h2d_ops;
         report.xfer.d2h_ops -= xfer0.d2h_ops;
@@ -428,6 +632,14 @@ impl<'g> AsceticSession<'g> {
         report.sim_time_ns = run_ns;
         let busy_delta = self.gpu.timeline.busy_ns(Engine::Compute) - compute_busy0;
         report.gpu_idle_ns = run_ns.saturating_sub(busy_delta);
+        // wire bytes: the first run owns the prestore's (possibly encoded)
+        // payload, every run owns its own refresh traffic
+        report.prestore_wire_bytes = if self.runs == 0 {
+            self.prestore_wire_bytes
+        } else {
+            0
+        };
+        report.refresh_wire_bytes = refresh_wire_bytes;
         // metrics: subtract the session baseline (histograms, subsystem
         // counters), then re-pin the canonical counters to this run's
         // delta-corrected fields
@@ -442,13 +654,28 @@ impl<'g> AsceticSession<'g> {
 mod tests {
     use super::*;
     use ascetic_algos::inmemory::run_in_memory;
-    use ascetic_algos::{Bfs, Cc, PageRank};
-    use ascetic_graph::generators::uniform_graph;
-    use ascetic_sim::DeviceConfig;
+    use ascetic_algos::{Bfs, Cc, PageRank, Sssp};
+    use ascetic_graph::generators::{uniform_graph, web_graph, WebConfig};
+    use ascetic_sim::{DecompressModel, DeviceConfig};
 
     fn cfg_for(g: &Csr) -> AsceticConfig {
         let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() * 2 / 5);
         AsceticConfig::new(dev).with_chunk_bytes(1024)
+    }
+
+    /// A device whose decompressor is fast enough for the small test
+    /// payloads to cross over (the p100 calibration needs near-MB
+    /// transfers), but whose launch overhead still declines chunk-sized
+    /// refreshes under `Adaptive`.
+    fn compress_cfg(g: &Csr, mode: CompressionMode) -> AsceticConfig {
+        let mut dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() * 3 / 5);
+        dev.decompress = DecompressModel {
+            bandwidth_bps: 200_000_000_000,
+            launch_ns: 1_000,
+        };
+        AsceticConfig::new(dev)
+            .with_chunk_bytes(2048)
+            .with_compression(mode)
     }
 
     #[test]
@@ -523,6 +750,72 @@ mod tests {
         let b_events = b.events.as_ref().expect("log re-armed per run");
         assert!(b_events.iter().all(|e| e.event.kind() != "prestore"));
         assert!(b_events.iter().any(|e| e.event.kind() == "iter_start"));
+    }
+
+    #[test]
+    fn compressed_runs_match_oracles_and_save_wire_bytes() {
+        let g = web_graph(&WebConfig::new(4_000, 60_000, 3));
+        for mode in [CompressionMode::Always, CompressionMode::Adaptive] {
+            let mut s = AsceticSession::new(compress_cfg(&g, mode), &g);
+            let r = s.run(&Bfs::new(0));
+            assert_eq!(
+                r.output,
+                run_in_memory(&g, &Bfs::new(0)).output,
+                "{mode:?} output"
+            );
+            assert!(
+                r.total_wire_bytes_with_prestore() < r.total_bytes_with_prestore(),
+                "{mode:?} must put fewer bytes on the wire"
+            );
+            assert!(
+                r.prestore_wire_bytes < r.prestore_bytes,
+                "{mode:?} must ship the bulk prestore encoded"
+            );
+            if mode == CompressionMode::Always {
+                assert!(
+                    r.metrics.counter("compress.transfers").unwrap_or(0) > 0,
+                    "Always must ship the on-demand payloads encoded too"
+                );
+            }
+            // the logical payload accounting is mode-independent
+            assert_eq!(r.metrics.counter("xfer.h2d_bytes"), Some(r.xfer.h2d_bytes));
+            assert_eq!(
+                r.metrics.counter("xfer.h2d_wire_bytes"),
+                Some(r.xfer.h2d_wire_bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_compression_never_slows_a_run() {
+        let g = web_graph(&WebConfig::new(4_000, 60_000, 3));
+        let off =
+            AsceticSession::new(compress_cfg(&g, CompressionMode::Off), &g).run(&PageRank::new());
+        let ad = AsceticSession::new(compress_cfg(&g, CompressionMode::Adaptive), &g)
+            .run(&PageRank::new());
+        assert_eq!(off.output, ad.output);
+        assert!(
+            ad.sim_time_ns <= off.sim_time_ns,
+            "adaptive ({}) must not lose to raw ({})",
+            ad.sim_time_ns,
+            off.sim_time_ns
+        );
+        assert!(ad.total_wire_bytes_with_prestore() <= off.total_wire_bytes_with_prestore());
+        // decoded-payload accounting is identical across modes
+        assert_eq!(off.xfer.h2d_bytes, ad.xfer.h2d_bytes);
+        assert_eq!(off.prestore_bytes, ad.prestore_bytes);
+    }
+
+    #[test]
+    fn weighted_payloads_always_ship_raw() {
+        use ascetic_graph::datasets::{Dataset, DatasetId};
+        let g = Dataset::build(DatasetId::Fk, 10_000).weighted();
+        let mut s = AsceticSession::new(compress_cfg(&g, CompressionMode::Always), &g);
+        let r = s.run(&Sssp::new(0));
+        assert_eq!(r.output, run_in_memory(&g, &Sssp::new(0)).output);
+        assert_eq!(r.xfer.h2d_wire_bytes, r.xfer.h2d_bytes);
+        assert_eq!(r.prestore_wire_bytes, r.prestore_bytes);
+        assert_eq!(r.metrics.counter("compress.transfers").unwrap_or(0), 0);
     }
 
     #[test]

@@ -7,13 +7,24 @@
 //! delta-encode (first value zig-zag against the source id, subsequent
 //! values as gaps) and write LEB128 varints.
 //!
-//! The scheme is exposed as a substrate (plus an ablation benchmark
-//! estimating the transfer savings it would buy each dataset); wiring it
-//! into the simulated DMA path is left out deliberately — the paper's
-//! systems all ship raw 4-byte targets, and the reproduction matches that.
+//! The scheme feeds the live compressed transfer path: [`encode_ranges`]
+//! is a streaming encoder over `(vertex, edge-subrange)` entries — the
+//! exact shape of an on-demand gather batch or a static-region chunk —
+//! that appends into a caller-supplied buffer (typically one taken from an
+//! `ascetic-par` scratch arena, so the steady state allocates nothing).
+//! Large entry lists are encoded in parallel on the persistent pool: an
+//! exact length pre-pass ([`encoded_len`]) computes each entry's offset,
+//! then workers fill disjoint windows of the output, so the byte stream is
+//! bit-identical at every thread count. The offline projection
+//! ([`compression_stats`]) remains for the ablation benchmark.
 
 use crate::csr::Csr;
 use crate::types::VertexId;
+use ascetic_par::{exclusive_scan_in_place, parallel_parts, parallel_ranges, with_scratch};
+
+/// Entry lists at or below this size are encoded serially — parallel
+/// dispatch overhead dwarfs the work.
+const SERIAL_ENCODE_ENTRIES: usize = 64;
 
 /// Zig-zag encode a signed value into an unsigned one.
 #[inline]
@@ -84,6 +95,12 @@ pub fn encode_adjacency(src: VertexId, targets: &[VertexId], out: &mut Vec<u8>) 
 /// Decode one adjacency list; returns `(targets, bytes_consumed)`.
 pub fn decode_adjacency(src: VertexId, buf: &[u8]) -> Option<(Vec<VertexId>, usize)> {
     let (deg, mut pos) = read_varint(buf)?;
+    // Every target costs at least one byte, so a degree claiming more
+    // targets than there are bytes left is corrupt — reject it before
+    // trusting it as an allocation size.
+    if deg > (buf.len() - pos) as u64 {
+        return None;
+    }
     let mut targets = Vec::with_capacity(deg as usize);
     let mut prev: i64 = src as i64;
     for i in 0..deg {
@@ -101,6 +118,128 @@ pub fn decode_adjacency(src: VertexId, buf: &[u8]) -> Option<(Vec<VertexId>, usi
         prev = t;
     }
     Some((targets, pos))
+}
+
+/// Byte length of `v` as a LEB128 varint, without writing it.
+#[inline]
+fn varint_len(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros() as usize) / 7 + 1
+}
+
+/// Exact encoded byte length of one adjacency segment — the length
+/// pre-pass that lets [`encode_ranges`] place every entry before any
+/// bytes are written.
+pub fn encoded_len(src: VertexId, targets: &[VertexId]) -> usize {
+    let mut n = varint_len(targets.len() as u64);
+    let mut prev: i64 = src as i64;
+    for (i, &t) in targets.iter().enumerate() {
+        let v = if i == 0 {
+            zigzag(t as i64 - prev)
+        } else {
+            (t as i64 - prev) as u64
+        };
+        n += varint_len(v);
+        prev = t as i64;
+    }
+    n
+}
+
+/// One streaming-encode request: a source vertex plus an absolute edge
+/// sub-range into the CSR edge array (the same shape as a gather entry or
+/// a chunk's clipped vertex span).
+pub type EncodeEntry = (VertexId, std::ops::Range<u64>);
+
+/// Encode the target sub-ranges of `entries` as a concatenated
+/// delta–varint stream appended to `out`; returns the bytes appended.
+///
+/// Each segment is self-contained (`degree, zigzag(first − src), gap...`),
+/// so a partial adjacency list delivered by one entry decodes without the
+/// rest of the list. Large entry lists run the length pre-pass and the
+/// encode itself on the persistent pool, each worker filling a disjoint
+/// window of `out` through its thread-local scratch arena; the resulting
+/// bytes are identical at every host thread count.
+///
+/// # Panics
+/// Panics if `g` is weighted — weights would ride along uncompressed, so
+/// weighted payloads take the raw path.
+pub fn encode_ranges(g: &Csr, entries: &[EncodeEntry], out: &mut Vec<u8>) -> usize {
+    assert!(!g.is_weighted(), "compression covers unweighted payloads");
+    let all = g.targets();
+    let seg = |e: &EncodeEntry| &all[e.1.start as usize..e.1.end as usize];
+    let start = out.len();
+
+    if entries.len() <= SERIAL_ENCODE_ENTRIES {
+        for e in entries {
+            encode_adjacency(e.0, seg(e), out);
+        }
+        return out.len() - start;
+    }
+
+    // Pass 1: exact per-entry byte lengths, computed in parallel into
+    // disjoint windows of `lens`.
+    let worker_ranges = parallel_ranges(entries.len(), |_, r| r);
+    let mut lens: Vec<u64> = vec![0; entries.len() + 1];
+    {
+        let mut parts: Vec<(&mut [u64], &[EncodeEntry])> = Vec::with_capacity(worker_ranges.len());
+        let mut rest: &mut [u64] = &mut lens[..entries.len()];
+        let mut consumed = 0usize;
+        for wr in &worker_ranges {
+            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(wr.end - consumed);
+            rest = tail;
+            consumed = wr.end;
+            parts.push((mine, &entries[wr.clone()]));
+        }
+        parallel_parts(parts, |_, (mine, es)| {
+            for (l, e) in mine.iter_mut().zip(es) {
+                *l = encoded_len(e.0, seg(e)) as u64;
+            }
+        });
+    }
+    let total = exclusive_scan_in_place(&mut lens) as usize;
+
+    // Pass 2: encode each worker's entries into its disjoint byte window.
+    out.resize(start + total, 0);
+    {
+        let mut parts: Vec<(&mut [u8], &[EncodeEntry])> = Vec::with_capacity(worker_ranges.len());
+        let mut rest: &mut [u8] = &mut out[start..];
+        let mut consumed = 0usize;
+        for wr in &worker_ranges {
+            let end_b = lens[wr.end] as usize;
+            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(end_b - consumed);
+            rest = tail;
+            consumed = end_b;
+            parts.push((mine, &entries[wr.clone()]));
+        }
+        parallel_parts(parts, |_, (mine, es)| {
+            with_scratch(|scratch| {
+                let mut buf = scratch.take_u8();
+                let mut w = 0usize;
+                for e in es {
+                    buf.clear();
+                    encode_adjacency(e.0, seg(e), &mut buf);
+                    mine[w..w + buf.len()].copy_from_slice(&buf);
+                    w += buf.len();
+                }
+                debug_assert_eq!(w, mine.len(), "length pre-pass must be exact");
+                scratch.put_u8(buf);
+            });
+        });
+    }
+    total
+}
+
+/// Decode a stream produced by [`encode_ranges`]; `srcs` lists the source
+/// vertex of each segment in order. Returns per-segment target lists, or
+/// `None` if the stream is corrupt or its length does not match.
+pub fn decode_ranges(srcs: &[VertexId], buf: &[u8]) -> Option<Vec<Vec<VertexId>>> {
+    let mut out = Vec::with_capacity(srcs.len());
+    let mut pos = 0usize;
+    for &s in srcs {
+        let (targets, used) = decode_adjacency(s, &buf[pos..])?;
+        pos += used;
+        out.push(targets);
+    }
+    (pos == buf.len()).then_some(out)
 }
 
 /// Compress every adjacency list of `g` (unweighted graphs only — weights
@@ -229,6 +368,76 @@ mod tests {
         let rs = compression_stats(&soc).ratio();
         assert!(rw > 2.0, "web ratio {rw:.2}");
         assert!(rw > rs, "web {rw:.2} should beat social {rs:.2}");
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        let g = uniform_graph(400, 4_000, false, 5);
+        let mut buf = Vec::new();
+        for v in 0..g.num_vertices() as u32 {
+            buf.clear();
+            encode_adjacency(v, g.neighbors(v), &mut buf);
+            assert_eq!(encoded_len(v, g.neighbors(v)), buf.len(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn encode_ranges_matches_serial_per_entry_encoding() {
+        let g = uniform_graph(2_000, 30_000, false, 11);
+        // Split every vertex's list into sub-ranges so partial delivery is
+        // exercised, and use enough entries to cross the parallel path.
+        let mut entries: Vec<EncodeEntry> = Vec::new();
+        for v in 0..g.num_vertices() as u32 {
+            let r = g.edge_range(v);
+            if r.is_empty() {
+                entries.push((v, r));
+            } else {
+                let mid = r.start + (r.end - r.start) / 2;
+                entries.push((v, r.start..mid));
+                entries.push((v, mid..r.end));
+            }
+        }
+        assert!(entries.len() > SERIAL_ENCODE_ENTRIES);
+        let mut stream = Vec::new();
+        let n = encode_ranges(&g, &entries, &mut stream);
+        assert_eq!(n, stream.len());
+
+        let mut expect = Vec::new();
+        let all = g.targets();
+        for e in &entries {
+            encode_adjacency(e.0, &all[e.1.start as usize..e.1.end as usize], &mut expect);
+        }
+        assert_eq!(stream, expect, "parallel stitch must match serial order");
+
+        let srcs: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let decoded = decode_ranges(&srcs, &stream).unwrap();
+        for (e, targets) in entries.iter().zip(&decoded) {
+            assert_eq!(
+                &targets[..],
+                &all[e.1.start as usize..e.1.end as usize],
+                "segment for vertex {}",
+                e.0
+            );
+        }
+    }
+
+    #[test]
+    fn encode_ranges_appends_to_existing_buffer() {
+        let g = uniform_graph(50, 300, false, 2);
+        let entries: Vec<EncodeEntry> = vec![(0, g.edge_range(0)), (1, g.edge_range(1))];
+        let mut buf = vec![0xAAu8; 7];
+        let n = encode_ranges(&g, &entries, &mut buf);
+        assert_eq!(buf.len(), 7 + n);
+        assert!(buf[..7].iter().all(|&b| b == 0xAA), "prefix untouched");
+    }
+
+    #[test]
+    fn decode_rejects_degree_larger_than_buffer() {
+        // degree header claims 2^40 targets with no payload behind it;
+        // the decoder must bail out instead of reserving that much.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1u64 << 40);
+        assert!(decode_adjacency(0, &buf).is_none());
     }
 
     #[test]

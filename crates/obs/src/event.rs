@@ -63,6 +63,18 @@ pub enum Event {
         /// Modeled duration in virtual nanoseconds.
         dur_ns: u64,
     },
+    /// A compressed DMA copy: delta–varint payload over the link, decoded
+    /// on the compute engine.
+    CompressedDma {
+        /// Decoded payload bytes.
+        raw_bytes: u64,
+        /// Encoded bytes actually on the link.
+        wire_bytes: u64,
+        /// Modeled copy duration in virtual nanoseconds.
+        dur_ns: u64,
+        /// Modeled decompression duration in virtual nanoseconds.
+        decompress_ns: u64,
+    },
     /// An on-demand gather of frontier-reachable edge chunks.
     Gather {
         /// Bytes gathered.
@@ -123,6 +135,7 @@ impl Event {
             Event::IterEnd { .. } => "iter_end",
             Event::Kernel { .. } => "kernel",
             Event::Dma { .. } => "dma",
+            Event::CompressedDma { .. } => "compressed_dma",
             Event::Gather { .. } => "gather",
             Event::UvmFault { .. } => "uvm_fault",
             Event::UvmEvict { .. } => "uvm_evict",
@@ -152,6 +165,17 @@ impl Event {
                 out.push_str(&format!(
                     ",\"dir\":\"{}\",\"bytes\":{bytes},\"dur_ns\":{dur_ns}",
                     dir.as_str()
+                ));
+            }
+            Event::CompressedDma {
+                raw_bytes,
+                wire_bytes,
+                dur_ns,
+                decompress_ns,
+            } => {
+                out.push_str(&format!(
+                    ",\"raw_bytes\":{raw_bytes},\"wire_bytes\":{wire_bytes},\
+                     \"dur_ns\":{dur_ns},\"decompress_ns\":{decompress_ns}"
                 ));
             }
             Event::Gather { bytes, dur_ns } => {
@@ -343,15 +367,26 @@ mod tests {
                 static_bytes: 99,
             },
         );
+        log.record(
+            12,
+            Event::CompressedDma {
+                raw_bytes: 4096,
+                wire_bytes: 1024,
+                dur_ns: 11,
+                decompress_ns: 3,
+            },
+        );
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         for line in &lines {
             crate::json::validate(line).expect("each JSONL line is valid JSON");
         }
         assert!(lines[1].contains("\"kind\":\"kernel\""));
         assert!(lines[1].contains("bfs \\\"q\\\"\\n"));
         assert!(lines[2].contains("\"dir\":\"h2d\""));
+        assert!(lines[4].contains("\"kind\":\"compressed_dma\""));
+        assert!(lines[4].contains("\"wire_bytes\":1024"));
     }
 
     #[test]

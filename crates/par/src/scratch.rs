@@ -32,6 +32,7 @@ const MAX_POOLED: usize = 8;
 /// A per-thread pool of reusable `Vec` buffers.
 #[derive(Debug, Default)]
 pub struct Scratch {
+    u8s: Vec<Vec<u8>>,
     u32s: Vec<Vec<u32>>,
     u64s: Vec<Vec<u64>>,
 }
@@ -69,9 +70,29 @@ impl Scratch {
         }
     }
 
+    /// Take a cleared `Vec<u8>`, reusing pooled capacity when available.
+    /// Byte buffers back the streaming delta–varint encoder, which stages
+    /// one transfer's compressed payload per call.
+    pub fn take_u8(&mut self) -> Vec<u8> {
+        self.u8s.pop().unwrap_or_default()
+    }
+
+    /// Return a `Vec<u8>` to the pool (cleared; capacity retained).
+    pub fn put_u8(&mut self, mut buf: Vec<u8>) {
+        if self.u8s.len() < MAX_POOLED && buf.capacity() > 0 {
+            buf.clear();
+            self.u8s.push(buf);
+        }
+    }
+
     /// Number of pooled buffers `(u32, u64)` — for tests and telemetry.
     pub fn pooled(&self) -> (usize, usize) {
         (self.u32s.len(), self.u64s.len())
+    }
+
+    /// Number of pooled `u8` buffers.
+    pub fn pooled_u8(&self) -> usize {
+        self.u8s.len()
     }
 }
 
@@ -147,6 +168,23 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    #[test]
+    fn u8_pool_reuses_capacity_and_is_bounded() {
+        let mut s = Scratch::new();
+        let mut b = s.take_u8();
+        b.extend_from_slice(&[1, 2, 3]);
+        let cap = b.capacity();
+        s.put_u8(b);
+        let b2 = s.take_u8();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap);
+        s.put_u8(b2);
+        for _ in 0..(MAX_POOLED + 5) {
+            s.put_u8(Vec::with_capacity(8));
+        }
+        assert_eq!(s.pooled_u8(), MAX_POOLED);
     }
 
     #[test]

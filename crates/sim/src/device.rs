@@ -83,6 +83,31 @@ impl GatherModel {
     }
 }
 
+/// On-device decompression model for the delta–varint transfer codec.
+/// Decoding runs on the compute engine (a light kernel between the DMA and
+/// the consuming graph kernel). GPU varint decoders sustain well above
+/// PCIe rates — published GPU LEB128/varint decoders reach tens of GB/s —
+/// so the calibrated 20 GB/s output rate keeps decompression cheaper per
+/// byte than the link it is saving, without making it free.
+#[derive(Clone, Copy, Debug)]
+pub struct DecompressModel {
+    /// Decoded-output throughput, bytes per second.
+    pub bandwidth_bps: u64,
+    /// Fixed launch overhead per decompression kernel, ns.
+    pub launch_ns: u64,
+}
+
+impl DecompressModel {
+    /// Time to decode a payload that expands to `raw_bytes`.
+    #[inline]
+    pub fn decompress_ns(&self, raw_bytes: u64) -> u64 {
+        if raw_bytes == 0 {
+            return 0;
+        }
+        self.launch_ns + ns_for_bytes(raw_bytes, self.bandwidth_bps)
+    }
+}
+
 /// Unified Virtual Memory model. Page-fault servicing on Pascal costs tens
 /// of microseconds per fault (20-50 us in published measurements) and
 /// migrations under oversubscription run far below peak PCIe bandwidth
@@ -118,6 +143,8 @@ pub struct DeviceConfig {
     pub gather: GatherModel,
     /// UVM model.
     pub uvm: UvmModel,
+    /// On-device decompression model (compressed transfer path).
+    pub decompress: DecompressModel,
 }
 
 impl DeviceConfig {
@@ -143,6 +170,10 @@ impl DeviceConfig {
                 page_bytes: 64 * 1024,
                 fault_ns: 35_000,
                 bandwidth_bps: 4_000_000_000,
+            },
+            decompress: DecompressModel {
+                bandwidth_bps: 20_000_000_000,
+                launch_ns: 5_000,
             },
         }
     }
@@ -199,6 +230,22 @@ mod tests {
         let uvm_per_byte = cfg.uvm.fault_in_ns() as f64 / cfg.uvm.page_bytes as f64;
         let bulk = cfg.pcie.transfer_ns(256 << 20) as f64 / (256u64 << 20) as f64;
         assert!(uvm_per_byte > 2.0 * bulk);
+    }
+
+    #[test]
+    fn decompress_is_cheaper_per_byte_than_the_link_it_saves() {
+        let cfg = DeviceConfig::p100(1 << 30);
+        assert_eq!(cfg.decompress.decompress_ns(0), 0);
+        // Bulk: decoding a payload must cost less than shipping it raw,
+        // otherwise compression could never win the crossover.
+        let bytes = 64u64 << 20;
+        assert!(cfg.decompress.decompress_ns(bytes) < cfg.pcie.transfer_ns(bytes));
+        // Tiny: launch overhead dominates, so small transfers should lose
+        // the crossover even at a good ratio — the adaptive path relies on
+        // this to decline chunk-sized refreshes.
+        let raw = 16u64 << 10;
+        let saved = cfg.pcie.transfer_ns(raw) - cfg.pcie.transfer_ns(raw / 3);
+        assert!(cfg.decompress.decompress_ns(raw) > saved);
     }
 
     #[test]

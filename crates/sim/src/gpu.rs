@@ -96,6 +96,7 @@ impl Gpu {
         self.mem.write(dst, src);
         let bytes = (src.len() * 4) as u64;
         self.xfer.h2d_bytes += bytes;
+        self.xfer.h2d_wire_bytes += bytes;
         self.xfer.h2d_ops += 1;
         self.obs.registry.observe("h2d.op_bytes", bytes);
         let span = self.timeline.schedule_labeled(
@@ -119,6 +120,65 @@ impl Gpu {
     pub fn h2d(&mut self, dst: DevPtr, src: &[u32]) -> Span {
         let now = self.timeline.now();
         self.h2d_at(dst, src, now)
+    }
+
+    /// Compressed H2D copy: ship `encoded` over the link, decode into
+    /// `decoded` on the compute engine. Returns `(copy, decompress)` spans;
+    /// the payload is usable at `decompress.end`.
+    ///
+    /// The encoded bytes really land in `dst`'s word window first (a true
+    /// byte copy of the wire payload), then the decoded words overwrite
+    /// them — modelling an in-place decompression kernel. Only the encoded
+    /// size is charged on the COPY engine; the decode cost is charged on
+    /// the COMPUTE engine starting when the copy completes.
+    pub fn h2d_compressed_at(
+        &mut self,
+        dst: DevPtr,
+        decoded: &[u32],
+        encoded: &[u8],
+        ready: SimTime,
+    ) -> (Span, Span) {
+        let wire = encoded.len() as u64;
+        let raw = (decoded.len() * 4) as u64;
+        // Land the encoded stream in the destination window. `Always` mode
+        // may inflate a payload past its raw size; the landing copy is then
+        // clipped to the window (the link still pays for every wire byte).
+        debug_assert_eq!(decoded.len(), dst.len, "payload must fill the window");
+        let mut landing = vec![0u32; encoded.len().div_ceil(4).min(decoded.len())];
+        for (w, chunk) in landing.iter_mut().zip(encoded.chunks(4)) {
+            let mut b = [0u8; 4];
+            b[..chunk.len()].copy_from_slice(chunk);
+            *w = u32::from_le_bytes(b);
+        }
+        self.mem.write(dst.slice(0, landing.len()), &landing);
+        let copy = self.timeline.schedule_labeled(
+            Engine::Copy,
+            ready,
+            self.config.pcie.transfer_ns(wire),
+            || format!("H2D {wire}B (compressed, {raw}B raw)"),
+        );
+        let dec = self.timeline.schedule_labeled(
+            Engine::Compute,
+            copy.end,
+            self.config.decompress.decompress_ns(raw),
+            || format!("decompress {raw}B"),
+        );
+        self.mem.write(dst, decoded);
+        self.xfer.h2d_bytes += raw;
+        self.xfer.h2d_wire_bytes += wire;
+        self.xfer.h2d_ops += 1;
+        self.obs.registry.observe("h2d.op_bytes", raw);
+        self.obs.registry.observe("h2d.op_wire_bytes", wire);
+        self.obs.record(
+            copy.start.0,
+            Event::CompressedDma {
+                raw_bytes: raw,
+                wire_bytes: wire,
+                dur_ns: copy.duration(),
+                decompress_ns: dec.duration(),
+            },
+        );
+        (copy, dec)
     }
 
     /// D2H copy of `src` into `dst`, ready at `ready`.
@@ -283,6 +343,54 @@ mod tests {
         let d2h = snap.histogram("d2h.op_bytes").unwrap();
         assert_eq!(d2h.count(), g.xfer.d2h_ops);
         assert_eq!(d2h.sum(), g.xfer.d2h_bytes);
+    }
+
+    #[test]
+    fn compressed_h2d_charges_wire_bytes_and_decompress_time() {
+        let mut g = small_gpu();
+        let p = g.alloc(8).unwrap();
+        let decoded = [1u32, 2, 3, 4, 5, 6, 7, 8]; // 32 raw bytes
+        let encoded = [9u8; 10]; // 10 wire bytes
+        let (copy, dec) = g.h2d_compressed_at(p, &decoded, &encoded, SimTime::ZERO);
+        // payload accounting: logical bytes stay raw, wire bytes shrink
+        assert_eq!(g.xfer.h2d_bytes, 32);
+        assert_eq!(g.xfer.h2d_wire_bytes, 10);
+        assert_eq!(g.xfer.h2d_ops, 1);
+        // the link was charged for the encoded size only
+        assert_eq!(copy.duration(), g.config.pcie.transfer_ns(10));
+        // decompression runs on the compute engine after the copy
+        assert_eq!(dec.duration(), g.config.decompress.decompress_ns(32));
+        assert!(dec.start >= copy.end);
+        // the decoded payload is what ends up in device memory
+        assert_eq!(g.mem.words(p), &decoded);
+    }
+
+    #[test]
+    fn compressed_h2d_mixes_with_raw_in_wire_totals() {
+        let mut g = small_gpu();
+        let p = g.alloc(8).unwrap();
+        g.h2d(p, &[0; 8]); // raw: 32 payload == 32 wire
+        let t = g.elapsed();
+        g.h2d_compressed_at(p, &[0; 8], &[0; 12], t);
+        assert_eq!(g.xfer.h2d_bytes, 64);
+        assert_eq!(g.xfer.h2d_wire_bytes, 44);
+        assert_eq!(g.xfer.total_bytes(), 64);
+        assert_eq!(g.xfer.total_wire_bytes(), 44);
+        // op_bytes histogram still tracks logical payload exactly
+        let snap = g.obs.registry.snapshot();
+        let h = snap.histogram("h2d.op_bytes").unwrap();
+        assert_eq!(h.count(), g.xfer.h2d_ops);
+        assert_eq!(h.sum(), g.xfer.h2d_bytes);
+    }
+
+    #[test]
+    fn compressed_h2d_emits_event() {
+        let mut g = small_gpu();
+        g.obs.enable_events(64);
+        let p = g.alloc(4).unwrap();
+        g.h2d_compressed_at(p, &[1, 2, 3, 4], &[7, 7, 7], SimTime::ZERO);
+        let events = g.obs.events().unwrap();
+        assert!(events.iter().any(|e| e.event.kind() == "compressed_dma"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod timeline;
 pub mod trace;
 pub mod uvm;
 
-pub use device::{DeviceConfig, GatherModel, KernelModel, PcieModel, UvmModel};
+pub use device::{DecompressModel, DeviceConfig, GatherModel, KernelModel, PcieModel, UvmModel};
 pub use gpu::Gpu;
 pub use memory::{DevPtr, DeviceMemory, OutOfDeviceMemory};
 pub use metrics::{KernelStats, XferStats};

@@ -8,8 +8,11 @@
 /// PCIe transfer counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct XferStats {
-    /// Host→device payload bytes.
+    /// Host→device payload bytes (decoded / logical size).
     pub h2d_bytes: u64,
+    /// Host→device bytes actually on the link — equal to `h2d_bytes` for
+    /// raw transfers, the encoded size for compressed ones.
+    pub h2d_wire_bytes: u64,
     /// Device→host payload bytes.
     pub d2h_bytes: u64,
     /// Number of H2D DMA operations.
@@ -19,14 +22,20 @@ pub struct XferStats {
 }
 
 impl XferStats {
-    /// Total bytes in both directions.
+    /// Total payload bytes in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Total bytes on the link in both directions (D2H is never encoded).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.h2d_wire_bytes + self.d2h_bytes
     }
 
     /// Merge another counter set into this one.
     pub fn merge(&mut self, other: &XferStats) {
         self.h2d_bytes += other.h2d_bytes;
+        self.h2d_wire_bytes += other.h2d_wire_bytes;
         self.d2h_bytes += other.d2h_bytes;
         self.h2d_ops += other.h2d_ops;
         self.d2h_ops += other.d2h_ops;
@@ -64,20 +73,24 @@ mod tests {
     fn xfer_totals_and_merge() {
         let mut a = XferStats {
             h2d_bytes: 10,
+            h2d_wire_bytes: 4,
             d2h_bytes: 2,
             h2d_ops: 1,
             d2h_ops: 1,
         };
         let b = XferStats {
             h2d_bytes: 5,
+            h2d_wire_bytes: 5,
             d2h_bytes: 0,
             h2d_ops: 2,
             d2h_ops: 0,
         };
         a.merge(&b);
         assert_eq!(a.h2d_bytes, 15);
+        assert_eq!(a.h2d_wire_bytes, 9);
         assert_eq!(a.h2d_ops, 3);
         assert_eq!(a.total_bytes(), 17);
+        assert_eq!(a.total_wire_bytes(), 11);
     }
 
     #[test]

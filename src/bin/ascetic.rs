@@ -17,7 +17,9 @@ use std::process::ExitCode;
 
 use ascetic::algos::{Bfs, Cc, Closeness, KCore, MsBfs, PageRank, Sssp};
 use ascetic::baselines::{PtSystem, SubwaySystem, UvmSystem};
-use ascetic::core::{AsceticConfig, AsceticSystem, FillPolicy, OutOfCoreSystem, RunReport};
+use ascetic::core::{
+    AsceticConfig, AsceticSystem, CompressionMode, FillPolicy, OutOfCoreSystem, RunReport,
+};
 use ascetic::graph::datasets::{weighted_variant, Dataset, DatasetId};
 use ascetic::graph::generators::{
     rmat_graph, social_graph, uniform_graph, web_graph, RmatConfig, SocialConfig, WebConfig,
@@ -63,7 +65,8 @@ USAGE:
   ascetic run GRAPH --algo bfs|sssp|cc|pr|kcore|msbfs|closeness [--system ascetic|subway|pt|uvm|memory]
                    [--mem BYTES | --mem-frac F] [--source V] [--k-param F] [--kcore-k K]
                    [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
-                   [--chunk BYTES] [--no-adaptive] [--iter-csv FILE] [--trace FILE.json]
+                   [--chunk BYTES] [--no-adaptive] [--compression off|always|adaptive]
+                   [--iter-csv FILE] [--trace FILE.json]
                    [--metrics-out FILE.jsonl] [--summary text|json|csv|md]
                    [--pool-metrics] (append host worker-pool telemetry — wall-clock,
                     non-deterministic — as an extra JSONL line / stdout object)
@@ -265,6 +268,17 @@ fn device_from(o: &Opts, g: &Csr) -> Result<DeviceConfig, String> {
     Ok(DeviceConfig::p100(mem))
 }
 
+fn parse_compression_mode(s: &str) -> Result<CompressionMode, String> {
+    match s {
+        "off" => Ok(CompressionMode::Off),
+        "always" => Ok(CompressionMode::Always),
+        "adaptive" => Ok(CompressionMode::Adaptive),
+        other => Err(format!(
+            "unknown --compression {other} (off|always|adaptive)"
+        )),
+    }
+}
+
 fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> {
     let mut cfg = AsceticConfig::new(dev);
     if let Some(k) = o.parse::<f64>("k-param")? {
@@ -290,6 +304,9 @@ fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> 
             "lazy" => FillPolicy::Lazy,
             other => return Err(format!("unknown --fill {other}")),
         });
+    }
+    if let Some(m) = o.get("compression") {
+        cfg = cfg.with_compression(parse_compression_mode(m)?);
     }
     // default chunk scaled sensibly for small inputs
     if o.get("chunk").is_none() {
@@ -342,9 +359,16 @@ fn run_system(o: &Opts, system: &str, g: &Csr, algo: &str) -> Result<RunReport, 
                 .with_events(events);
             dispatch!(AsceticSystem::new(cfg))
         }
-        "subway" => dispatch!(SubwaySystem::new(dev)
-            .with_tracing(tracing)
-            .with_events(events)),
+        "subway" => {
+            let mode = match o.get("compression") {
+                Some(m) => parse_compression_mode(m)?,
+                None => CompressionMode::Off,
+            };
+            dispatch!(SubwaySystem::new(dev)
+                .with_tracing(tracing)
+                .with_events(events)
+                .with_compression(mode))
+        }
         "pt" => dispatch!(PtSystem::new(dev).with_tracing(tracing).with_events(events)),
         "uvm" => dispatch!(UvmSystem::new(dev)
             .with_tracing(tracing)

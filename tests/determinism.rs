@@ -114,6 +114,62 @@ fn thread_sweep_is_bit_identical_for_all_systems_on_rmat() {
     set_num_threads(0);
 }
 
+/// Satellite of the compressed-transfer PR: the delta–varint encode runs
+/// on the worker pool (parallel length pre-pass + disjoint encode
+/// windows), and the adaptive crossover reads engine frontiers — neither
+/// may let the host thread count leak into a single bit of the report,
+/// under any `CompressionMode`.
+#[test]
+fn compression_modes_are_bit_identical_across_thread_counts() {
+    use ascetic::baselines::SubwaySystem;
+    use ascetic::core::CompressionMode;
+    use ascetic::graph::generators::{rmat_graph, RmatConfig};
+
+    let g = rmat_graph(&RmatConfig::new(11, 80_000, 42));
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    let modes = [
+        CompressionMode::Off,
+        CompressionMode::Always,
+        CompressionMode::Adaptive,
+    ];
+
+    let run_suite = |threads: usize| -> Vec<RunReport> {
+        set_num_threads(threads);
+        modes
+            .iter()
+            .flat_map(|&mode| {
+                let asc = AsceticSystem::new(
+                    AsceticConfig::new(dev)
+                        .with_chunk_bytes(1024)
+                        .with_compression(mode),
+                );
+                let sw = SubwaySystem::new(dev).with_compression(mode);
+                [
+                    asc.run(&g, &PageRank::new()),
+                    asc.run(&g, &Bfs::new(0)),
+                    sw.run(&g, &PageRank::new()),
+                ]
+            })
+            .collect()
+    };
+
+    let base = run_suite(1);
+    for threads in [2, 8] {
+        let sweep = run_suite(threads);
+        for (a, b) in base.iter().zip(&sweep) {
+            assert_identical(a, b);
+            assert_eq!(a.prestore_wire_bytes, b.prestore_wire_bytes);
+            assert_eq!(a.refresh_wire_bytes, b.refresh_wire_bytes);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}/{} metrics must not depend on host threads ({} vs 1)",
+                a.system, a.algorithm, threads
+            );
+        }
+    }
+    set_num_threads(0);
+}
+
 #[test]
 fn dataset_builds_are_reproducible() {
     let a = Dataset::build(DatasetId::Gs, SCALE);
