@@ -30,3 +30,124 @@ pub mod uvm;
 pub use pt::PtSystem;
 pub use subway::SubwaySystem;
 pub use uvm::UvmSystem;
+
+use ascetic_algos::VertexProgram;
+use ascetic_core::system::PrepareError;
+use ascetic_core::{AsceticSystem, OutOfCoreSystem, RunReport};
+use ascetic_graph::Csr;
+
+/// Any of the four evaluated systems behind one concrete type.
+///
+/// [`OutOfCoreSystem::run`] is generic over the program, so the trait is
+/// not object-safe; this enum is the dispatch point the CLI and the bench
+/// harness share instead of duplicating per-system match arms.
+pub enum AnySystem {
+    /// The Ascetic framework.
+    Ascetic(AsceticSystem),
+    /// The Subway baseline.
+    Subway(SubwaySystem),
+    /// The partition-based baseline.
+    Pt(PtSystem),
+    /// The UVM baseline.
+    Uvm(UvmSystem),
+}
+
+impl OutOfCoreSystem for AnySystem {
+    fn name(&self) -> &'static str {
+        match self {
+            AnySystem::Ascetic(s) => s.name(),
+            AnySystem::Subway(s) => s.name(),
+            AnySystem::Pt(s) => s.name(),
+            AnySystem::Uvm(s) => s.name(),
+        }
+    }
+
+    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
+        match self {
+            AnySystem::Ascetic(s) => s.prepare(g),
+            AnySystem::Subway(s) => s.prepare(g),
+            AnySystem::Pt(s) => s.prepare(g),
+            AnySystem::Uvm(s) => s.prepare(g),
+        }
+    }
+
+    fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {
+        match self {
+            AnySystem::Ascetic(s) => s.run(g, prog),
+            AnySystem::Subway(s) => s.run(g, prog),
+            AnySystem::Pt(s) => s.run(g, prog),
+            AnySystem::Uvm(s) => s.run(g, prog),
+        }
+    }
+}
+
+impl From<AsceticSystem> for AnySystem {
+    fn from(s: AsceticSystem) -> Self {
+        AnySystem::Ascetic(s)
+    }
+}
+
+impl From<SubwaySystem> for AnySystem {
+    fn from(s: SubwaySystem) -> Self {
+        AnySystem::Subway(s)
+    }
+}
+
+impl From<PtSystem> for AnySystem {
+    fn from(s: PtSystem) -> Self {
+        AnySystem::Pt(s)
+    }
+}
+
+impl From<UvmSystem> for AnySystem {
+    fn from(s: UvmSystem) -> Self {
+        AnySystem::Uvm(s)
+    }
+}
+
+#[cfg(test)]
+mod any_tests {
+    use super::*;
+    use ascetic_algos::Bfs;
+    use ascetic_core::AsceticConfig;
+    use ascetic_graph::generators::uniform_graph;
+    use ascetic_sim::DeviceConfig;
+
+    #[test]
+    fn any_system_delegates_byte_identically() {
+        let g = uniform_graph(1_500, 12_000, false, 11);
+        let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() * 2 / 5);
+        let direct = SubwaySystem::new(dev).run(&g, &Bfs::new(0));
+        let any: AnySystem = SubwaySystem::new(dev).into();
+        assert!(any.prepare(&g).is_ok());
+        let via = any.run(&g, &Bfs::new(0));
+        assert_eq!(any.name(), "Subway");
+        assert_eq!(direct.output, via.output);
+        assert_eq!(direct.xfer, via.xfer);
+        assert_eq!(direct.sim_time_ns, via.sim_time_ns);
+
+        let any = AnySystem::from(AsceticSystem::new(
+            AsceticConfig::new(dev).with_chunk_bytes(1024),
+        ));
+        assert_eq!(any.name(), "Ascetic");
+        assert!(any.prepare(&g).is_ok());
+        assert!(any.run(&g, &Bfs::new(0)).prestore_bytes > 0);
+    }
+
+    #[test]
+    fn prepare_rejects_oversized_vertex_sets() {
+        let g = uniform_graph(100_000, 10, false, 1);
+        let tiny = DeviceConfig::p100(1 << 10);
+        for sys in [
+            AnySystem::from(SubwaySystem::new(tiny)),
+            AnySystem::from(PtSystem::new(tiny)),
+            AnySystem::from(UvmSystem::new(tiny)),
+        ] {
+            assert!(
+                matches!(sys.prepare(&g), Err(PrepareError::VerticesDontFit { .. })),
+                "{} must refuse",
+                sys.name()
+            );
+        }
+    }
+}

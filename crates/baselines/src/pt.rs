@@ -18,7 +18,9 @@ use ascetic_sim::{DeviceConfig, Gpu};
 
 use ascetic_core::engine::finish_report;
 use ascetic_core::report::{Breakdown, IterReport, RunReport};
-use ascetic_core::system::{edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem};
+use ascetic_core::system::{
+    check_vertex_fit, edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem, PrepareError,
+};
 
 /// The PT baseline system.
 pub struct PtSystem {
@@ -57,6 +59,10 @@ impl PtSystem {
 impl OutOfCoreSystem for PtSystem {
     fn name(&self) -> &'static str {
         "PT"
+    }
+
+    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
+        check_vertex_fit(g, self.device.mem_bytes)
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {

@@ -26,7 +26,9 @@ use ascetic_core::codec::compress_wins;
 use ascetic_core::engine::finish_report;
 use ascetic_core::ondemand::{gather, plan_batches};
 use ascetic_core::report::{Breakdown, IterReport, RunReport};
-use ascetic_core::system::{edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem};
+use ascetic_core::system::{
+    check_vertex_fit, edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem, PrepareError,
+};
 use ascetic_core::CompressionMode;
 
 /// The Subway baseline system.
@@ -76,6 +78,10 @@ impl SubwaySystem {
 impl OutOfCoreSystem for SubwaySystem {
     fn name(&self) -> &'static str {
         "Subway"
+    }
+
+    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
+        check_vertex_fit(g, self.device.mem_bytes)
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {

@@ -22,7 +22,9 @@ use ascetic_sim::{AccessTracer, DeviceConfig, Engine, Gpu, SimTime, Uvm};
 
 use ascetic_core::engine::finish_report;
 use ascetic_core::report::{Breakdown, IterReport, RunReport};
-use ascetic_core::system::{edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem};
+use ascetic_core::system::{
+    check_vertex_fit, edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem, PrepareError,
+};
 
 /// The UVM baseline system.
 pub struct UvmSystem {
@@ -224,6 +226,10 @@ impl UvmSystem {
 impl OutOfCoreSystem for UvmSystem {
     fn name(&self) -> &'static str {
         "UVM"
+    }
+
+    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
+        check_vertex_fit(g, self.device.mem_bytes)
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {

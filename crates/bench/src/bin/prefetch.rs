@@ -1,0 +1,239 @@
+//! Prefetch sweep — the cross-iteration prefetch pipeline across the
+//! Table 5 grid.
+//!
+//! Runs Ascetic under `PrefetchMode::{Off, NextFrontier, Hotness}` over
+//! the full 4 algos × 4 datasets grid and reports, per cell, the simulated
+//! time, the on-demand stall time (Ttransfer + Tupdate — the refresh and
+//! transfer work a prefetch can hide under compute) and the speculative
+//! byte accounting. The acceptance invariants of the pipeline are checked
+//! here:
+//!
+//! * `next-frontier` hides ≥ 20 % of the grid's on-demand refresh stall
+//!   time relative to `off` (the speculative refreshes ride the second
+//!   copy stream inside link slack, so next iterations start warm).
+//! * `next-frontier` never increases the simulated total time of any cell
+//!   (its transfers are budgeted into existing slack and it never evicts
+//!   chunks the next frontier demands).
+//!
+//! Output: markdown on stdout, `prefetch.csv` under `$ASCETIC_RESULTS`,
+//! and `BENCH_prefetch.json` recording both deltas. Pass `--smoke` for the
+//! fast CI variant (asserts downgraded to warnings at toy scale).
+
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
+use ascetic_bench::run::{run_grid, Cell, Sys};
+use ascetic_bench::setup::{Algo, Env};
+use ascetic_core::{PrefetchMode, RunReport};
+use ascetic_graph::datasets::DatasetId;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const MODES: [(PrefetchMode, &str); 3] = [
+    (PrefetchMode::Off, "off"),
+    (PrefetchMode::NextFrontier, "next-frontier"),
+    (PrefetchMode::Hotness, "hotness"),
+];
+
+/// The stall time a prefetch can attack: on-demand H2D transfer plus the
+/// replacement server's refresh transfers.
+fn stall_ns(r: &RunReport) -> u64 {
+    r.breakdown.transfer_ns + r.breakdown.update_ns
+}
+
+fn mode_grid(scale: u64, mode: PrefetchMode) -> Vec<Cell> {
+    let env = Env::with_scale(scale).with_prefetch(mode);
+    run_grid(&env, &Algo::TABLE4_ORDER, &DatasetId::ALL, &[Sys::Ascetic])
+}
+
+fn json_report(smoke: bool, scale: u64, grids: &[Vec<Cell>]) -> String {
+    let (off, nf, hot) = (&grids[0], &grids[1], &grids[2]);
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"bench\": \"prefetch\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"cells\": [");
+    let mut off_stall_total = 0u64;
+    let mut nf_stall_total = 0u64;
+    let mut regressed = 0usize;
+    for i in 0..off.len() {
+        let (o, n, h) = (&off[i].reports[0], &nf[i].reports[0], &hot[i].reports[0]);
+        off_stall_total += stall_ns(o);
+        nf_stall_total += stall_ns(n);
+        if n.sim_time_ns > o.sim_time_ns {
+            regressed += 1;
+        }
+        let mode_obj = |r: &RunReport| {
+            format!(
+                "{{\"sim_ns\": {}, \"stall_ns\": {}, \"transfer_ns\": {}, \"update_ns\": {}, \
+                 \"prefetch_bytes\": {}, \
+                 \"prefetch_ops\": {}, \"prefetch_hits\": {}, \"prefetch_wasted_bytes\": {}, \
+                 \"hit_rate\": {:.4}}}",
+                r.sim_time_ns,
+                stall_ns(r),
+                r.breakdown.transfer_ns,
+                r.breakdown.update_ns,
+                r.prefetch_bytes,
+                r.prefetch_ops,
+                r.prefetch_hits,
+                r.prefetch_wasted_bytes,
+                r.prefetch_hit_rate()
+            )
+        };
+        let comma = if i + 1 < off.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"algo\": \"{}\", \"dataset\": \"{}\", \
+             \"off\": {}, \"next_frontier\": {}, \"hotness\": {}, \
+             \"stall_hidden_ns\": {}, \"time_delta_ns\": {}}}{}",
+            off[i].algo.name(),
+            off[i].dataset.abbr(),
+            mode_obj(o),
+            mode_obj(n),
+            mode_obj(h),
+            stall_ns(o) as i64 - stall_ns(n) as i64,
+            n.sim_time_ns as i64 - o.sim_time_ns as i64,
+            comma
+        );
+    }
+    let hidden_pct =
+        100.0 * (off_stall_total as f64 - nf_stall_total as f64) / off_stall_total.max(1) as f64;
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"totals\": {{");
+    let _ = writeln!(j, "    \"off_stall_ns\": {off_stall_total},");
+    let _ = writeln!(j, "    \"next_frontier_stall_ns\": {nf_stall_total},");
+    let _ = writeln!(j, "    \"stall_hidden_pct\": {hidden_pct:.2},");
+    let _ = writeln!(j, "    \"cells_time_regressed\": {regressed}");
+    let _ = writeln!(j, "  }}");
+    j.push('}');
+    j.push('\n');
+    j
+}
+
+fn output_path() -> PathBuf {
+    match std::env::var("ASCETIC_RESULTS") {
+        Ok(dir) if !dir.is_empty() => {
+            std::fs::create_dir_all(&dir).expect("create $ASCETIC_RESULTS dir");
+            PathBuf::from(dir).join("BENCH_prefetch.json")
+        }
+        _ => PathBuf::from("BENCH_prefetch.json"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 50_000 } else { Env::from_env().scale };
+    eprintln!("Prefetch sweep (scale 1/{scale})");
+
+    let grids: Vec<Vec<Cell>> = MODES
+        .iter()
+        .map(|&(mode, name)| {
+            eprintln!("mode: {name}");
+            mode_grid(scale, mode)
+        })
+        .collect();
+    // speculation must be invisible to the algorithms
+    for grid in &grids[1..] {
+        for (a, b) in grids[0].iter().zip(grid.iter()) {
+            assert!(
+                a.reports[0]
+                    .output
+                    .first_mismatch(&b.reports[0].output, 1e-9)
+                    .is_none(),
+                "prefetch changed the answer on {} / {}",
+                a.algo.name(),
+                a.dataset.abbr()
+            );
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "Algo",
+        "Dataset",
+        "Stall (off)",
+        "Stall (next-frontier)",
+        "Hidden",
+        "Hit rate",
+        "Time delta",
+    ]);
+    let mut csv = Table::new(vec![
+        "mode",
+        "algo",
+        "dataset",
+        "sim_ns",
+        "stall_ns",
+        "prefetch_bytes",
+        "prefetch_ops",
+        "prefetch_hits",
+        "prefetch_wasted_bytes",
+    ]);
+    for (gi, grid) in grids.iter().enumerate() {
+        for c in grid {
+            let r = &c.reports[0];
+            csv.row(vec![
+                MODES[gi].1.to_string(),
+                c.algo.name().to_string(),
+                c.dataset.abbr().to_string(),
+                r.sim_time_ns.to_string(),
+                stall_ns(r).to_string(),
+                r.prefetch_bytes.to_string(),
+                r.prefetch_ops.to_string(),
+                r.prefetch_hits.to_string(),
+                r.prefetch_wasted_bytes.to_string(),
+            ]);
+        }
+    }
+    for (cell, nf_cell) in grids[0].iter().zip(grids[1].iter()) {
+        let o = &cell.reports[0];
+        let n = &nf_cell.reports[0];
+        let hidden = 100.0 * (stall_ns(o) as f64 - stall_ns(n) as f64) / stall_ns(o).max(1) as f64;
+        let dt = n.sim_time_ns as i64 - o.sim_time_ns as i64;
+        table.row(vec![
+            cell.algo.name().to_string(),
+            cell.dataset.abbr().to_string(),
+            format!("{:.2} ms", stall_ns(o) as f64 / 1e6),
+            format!("{:.2} ms", stall_ns(n) as f64 / 1e6),
+            format!("{hidden:.1}%"),
+            format!("{:.0}%", n.prefetch_hit_rate() * 100.0),
+            format!("{:+.2}%", 100.0 * dt as f64 / o.sim_time_ns.max(1) as f64),
+        ]);
+    }
+    emit("prefetch", &table, &csv);
+
+    let json = json_report(smoke, scale, &grids);
+    let path = output_path();
+    std::fs::write(&path, &json).expect("write BENCH_prefetch.json");
+    println!("wrote {}", path.display());
+
+    let off_stall: u64 = grids[0].iter().map(|c| stall_ns(&c.reports[0])).sum();
+    let nf_stall: u64 = grids[1].iter().map(|c| stall_ns(&c.reports[0])).sum();
+    let hidden_pct = 100.0 * (off_stall as f64 - nf_stall as f64) / off_stall.max(1) as f64;
+    println!("next-frontier hides {hidden_pct:.1}% of on-demand refresh stall time");
+    let regressed: Vec<String> = grids[0]
+        .iter()
+        .zip(grids[1].iter())
+        .filter(|(o, n)| n.reports[0].sim_time_ns > o.reports[0].sim_time_ns)
+        .map(|(o, _)| format!("{}/{}", o.algo.name(), o.dataset.abbr()))
+        .collect();
+    if smoke {
+        // toy scale: the grid barely oversubscribes, so only warn
+        if hidden_pct < 20.0 {
+            eprintln!("warning: only {hidden_pct:.1}% of stall hidden at smoke scale");
+        }
+        if !regressed.is_empty() {
+            eprintln!(
+                "warning: next-frontier slowed down: {}",
+                regressed.join(", ")
+            );
+        }
+    } else {
+        assert!(
+            hidden_pct >= 20.0,
+            "next-frontier must hide >= 20% of stall time, got {hidden_pct:.1}%"
+        );
+        assert!(
+            regressed.is_empty(),
+            "next-frontier slowed down: {}",
+            regressed.join(", ")
+        );
+    }
+}

@@ -97,13 +97,16 @@ pub fn run_grid(env: &Env, algos: &[Algo], datasets: &[DatasetId], systems: &[Sy
                     algo.name(),
                     pd.id.abbr()
                 );
-                let rep = match sys {
-                    Sys::Pt => run_algo(&env.pt(), g, algo),
-                    Sys::Subway => run_algo(&env.subway(), g, algo),
-                    Sys::Uvm => run_algo(&env.uvm(), g, algo),
-                    Sys::Ascetic => run_algo(&env.ascetic(), g, algo),
-                };
-                reports.push(rep);
+                let system = env.system(sys);
+                if let Err(e) = ascetic_core::OutOfCoreSystem::prepare(&system, g) {
+                    panic!(
+                        "{} refuses {} / {}: {e}",
+                        sys.name(),
+                        algo.name(),
+                        pd.id.abbr()
+                    );
+                }
+                reports.push(run_algo(&system, g, algo));
             }
             // cross-check: all systems must agree on the answer
             for r in &reports[1..] {

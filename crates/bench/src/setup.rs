@@ -8,8 +8,8 @@
 //! at 1/1000 the chunk count per dataset (≈650 for FK) matches the order
 //! of magnitude of the paper's Figure 2 chunking.
 
-use ascetic_baselines::{PtSystem, SubwaySystem, UvmSystem};
-use ascetic_core::{AsceticConfig, AsceticSystem, CompressionMode};
+use ascetic_baselines::{AnySystem, PtSystem, SubwaySystem, UvmSystem};
+use ascetic_core::{AsceticConfig, AsceticSystem, CompressionMode, PrefetchMode};
 use ascetic_graph::datasets::{Dataset, DatasetId, PAPER_GPU_MEM_BYTES};
 use ascetic_graph::{Csr, VertexId};
 use ascetic_sim::DeviceConfig;
@@ -58,6 +58,8 @@ pub struct Env {
     pub scale: u64,
     /// Compressed transfer path mode (Ascetic and Subway).
     pub compression: CompressionMode,
+    /// Cross-iteration prefetch mode (Ascetic only).
+    pub prefetch: PrefetchMode,
 }
 
 /// Parse an `ASCETIC_COMPRESSION`-style mode string.
@@ -71,9 +73,11 @@ pub fn parse_compression(s: &str) -> Option<CompressionMode> {
 }
 
 impl Env {
-    /// Environment with the default (or `ASCETIC_SCALE`-overridden) scale
-    /// and the `ASCETIC_COMPRESSION`-selected transfer mode
-    /// (`off`/`always`/`adaptive`; default off).
+    /// Environment with the default (or `ASCETIC_SCALE`-overridden) scale,
+    /// the `ASCETIC_COMPRESSION`-selected transfer mode
+    /// (`off`/`always`/`adaptive`; default off) and the
+    /// `ASCETIC_PREFETCH`-selected prefetch mode
+    /// (`off`/`next-frontier`/`hotness`; default off).
     pub fn from_env() -> Env {
         let scale = std::env::var("ASCETIC_SCALE")
             .ok()
@@ -83,7 +87,15 @@ impl Env {
             .ok()
             .and_then(|s| parse_compression(&s))
             .unwrap_or(CompressionMode::Off);
-        Env { scale, compression }
+        let prefetch = std::env::var("ASCETIC_PREFETCH")
+            .ok()
+            .and_then(|s| PrefetchMode::parse(&s))
+            .unwrap_or(PrefetchMode::Off);
+        Env {
+            scale,
+            compression,
+            prefetch,
+        }
     }
 
     /// Environment with an explicit scale.
@@ -91,12 +103,19 @@ impl Env {
         Env {
             scale,
             compression: CompressionMode::Off,
+            prefetch: PrefetchMode::Off,
         }
     }
 
     /// Same environment with a different compression mode.
     pub fn with_compression(mut self, mode: CompressionMode) -> Env {
         self.compression = mode;
+        self
+    }
+
+    /// Same environment with a different prefetch mode.
+    pub fn with_prefetch(mut self, mode: PrefetchMode) -> Env {
+        self.prefetch = mode;
         self
     }
 
@@ -144,6 +163,7 @@ impl Env {
         AsceticConfig::new(self.device())
             .with_chunk_bytes(self.chunk_bytes())
             .with_compression(self.compression)
+            .with_prefetch(self.prefetch)
     }
 
     /// The Ascetic system under paper defaults.
@@ -165,6 +185,18 @@ impl Env {
     /// The UVM baseline.
     pub fn uvm(&self) -> UvmSystem {
         UvmSystem::new(self.device())
+    }
+
+    /// Any requested system behind the single [`AnySystem`] dispatch point
+    /// (the one construction site shared by the grid runner and the CLI).
+    pub fn system(&self, sys: crate::run::Sys) -> AnySystem {
+        use crate::run::Sys;
+        match sys {
+            Sys::Pt => self.pt().into(),
+            Sys::Subway => self.subway().into(),
+            Sys::Uvm => self.uvm().into(),
+            Sys::Ascetic => self.ascetic().into(),
+        }
     }
 }
 
@@ -249,6 +281,30 @@ mod tests {
             assert_eq!(pt.output, oracle.output, "PT {}", algo.name());
             let uv = run_algo(&env.uvm(), &g, algo);
             assert_eq!(uv.output, oracle.output, "UVM {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn any_system_dispatch_matches_direct_construction() {
+        use crate::run::Sys;
+        let env = Env::with_scale(50_000);
+        let ds = env.dataset(DatasetId::Gs);
+        let g = env.graph_for(&ds, Algo::Bfs);
+        for sys in [Sys::Pt, Sys::Subway, Sys::Uvm, Sys::Ascetic] {
+            let direct = match sys {
+                Sys::Pt => run_algo(&env.pt(), &g, Algo::Bfs),
+                Sys::Subway => run_algo(&env.subway(), &g, Algo::Bfs),
+                Sys::Uvm => run_algo(&env.uvm(), &g, Algo::Bfs),
+                Sys::Ascetic => run_algo(&env.ascetic(), &g, Algo::Bfs),
+            };
+            let system = env.system(sys);
+            system.prepare(&g).expect("small dataset fits");
+            let via = run_algo(&system, &g, Algo::Bfs);
+            assert_eq!(via.system, direct.system, "{}", sys.name());
+            assert_eq!(via.output, direct.output, "{}", sys.name());
+            assert_eq!(via.xfer, direct.xfer, "{}", sys.name());
+            assert_eq!(via.sim_time_ns, direct.sim_time_ns, "{}", sys.name());
+            assert_eq!(via.kernels, direct.kernels, "{}", sys.name());
         }
     }
 

@@ -1,6 +1,67 @@
 //! Ascetic configuration.
 
+use ascetic_graph::Csr;
 use ascetic_sim::DeviceConfig;
+
+use crate::prefetch::PrefetchMode;
+
+/// Smallest allowed edge-chunk size: the simulated device's page
+/// granularity. Chunks below this would make chunk bookkeeping dominate
+/// the data they manage (the CLI clamps auto-scaled chunks to this floor).
+pub const MIN_CHUNK_BYTES: usize = 64;
+
+/// Why a configuration failed [`AsceticConfig::build`] /
+/// [`AsceticConfig::validate_for`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `od_buffers == 0`: the on-demand region needs at least one buffer.
+    ZeroOdBuffers,
+    /// A static-ratio override outside `[0, 1]`.
+    StaticRatioOutOfRange(f64),
+    /// K (the Eq (2) active-edge fraction) outside `[0, 1)`.
+    KOutOfRange(f64),
+    /// Chunk size below the device's page granularity.
+    ChunkBelowPageGranularity {
+        /// The rejected chunk size.
+        chunk: usize,
+        /// The [`MIN_CHUNK_BYTES`] floor.
+        min: usize,
+    },
+    /// Weighted graphs cannot use [`CompressionMode::Always`]: weights
+    /// always ship raw, so forcing encoding would inflate every transfer.
+    CompressedWeightedGraph,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroOdBuffers => {
+                write!(
+                    f,
+                    "od_buffers must be >= 1 (the on-demand region needs at least one buffer)"
+                )
+            }
+            ConfigError::StaticRatioOutOfRange(r) => {
+                write!(f, "static ratio {r} is outside [0, 1]")
+            }
+            ConfigError::KOutOfRange(k) => write!(f, "K = {k} is outside [0, 1)"),
+            ConfigError::ChunkBelowPageGranularity { chunk, min } => {
+                write!(
+                    f,
+                    "chunk size {chunk} B is below the {min} B page granularity"
+                )
+            }
+            ConfigError::CompressedWeightedGraph => {
+                write!(
+                    f,
+                    "weighted graphs cannot run with compression=always (weights ship raw)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How the static region is filled before iteration 0 (paper §5 studies
 /// front / rear / random and finds < 5 % spread).
@@ -101,6 +162,8 @@ pub struct AsceticConfig {
     pub od_buffers: usize,
     /// Compressed transfer path mode (default [`CompressionMode::Off`]).
     pub compression: CompressionMode,
+    /// Cross-iteration prefetch policy (default [`PrefetchMode::Off`]).
+    pub prefetch: PrefetchMode,
 }
 
 impl AsceticConfig {
@@ -119,19 +182,19 @@ impl AsceticConfig {
             events: false,
             od_buffers: 1,
             compression: CompressionMode::Off,
+            prefetch: PrefetchMode::Off,
         }
     }
 
-    /// Builder: set K.
+    /// Builder: set K. Validated by [`AsceticConfig::build`].
     pub fn with_k(mut self, k: f64) -> Self {
-        assert!((0.0..1.0).contains(&k), "K must be in [0, 1)");
         self.k = k;
         self
     }
 
-    /// Builder: force a fixed static share.
+    /// Builder: force a fixed static share. Validated by
+    /// [`AsceticConfig::build`].
     pub fn with_static_ratio(mut self, r: f64) -> Self {
-        assert!((0.0..=1.0).contains(&r), "ratio must be in [0, 1]");
         self.static_ratio_override = Some(r);
         self
     }
@@ -173,9 +236,8 @@ impl AsceticConfig {
     }
 
     /// Builder: split the on-demand region into `n` buffers (double
-    /// buffering and beyond).
+    /// buffering and beyond). Validated by [`AsceticConfig::build`].
     pub fn with_od_buffers(mut self, n: usize) -> Self {
-        assert!(n >= 1, "need at least one on-demand buffer");
         self.od_buffers = n;
         self
     }
@@ -186,13 +248,55 @@ impl AsceticConfig {
         self
     }
 
-    /// Builder: override the chunk size (must hold at least one edge; tests
-    /// and heavily-scaled runs use chunks smaller than the paper's 16 KiB
-    /// so that chunk counts stay proportionate).
+    /// Builder: set the cross-iteration prefetch policy.
+    pub fn with_prefetch(mut self, mode: PrefetchMode) -> Self {
+        self.prefetch = mode;
+        self
+    }
+
+    /// Builder: override the chunk size (tests and heavily-scaled runs use
+    /// chunks smaller than the paper's 16 KiB so that chunk counts stay
+    /// proportionate). Validated by [`AsceticConfig::build`].
     pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
-        assert!(bytes >= 8, "chunk must hold at least one weighted edge");
         self.chunk_bytes = bytes;
         self
+    }
+
+    /// Validate the graph-independent knobs, returning the config for
+    /// chaining. The `with_*` setters store values verbatim; call this (or
+    /// let `OutOfCoreSystem::prepare` call [`AsceticConfig::validate_for`])
+    /// before running to reject invalid combinations with a
+    /// [`ConfigError`] instead of a panic deep in the session.
+    pub fn build(self) -> Result<AsceticConfig, ConfigError> {
+        if self.od_buffers == 0 {
+            return Err(ConfigError::ZeroOdBuffers);
+        }
+        if !(0.0..1.0).contains(&self.k) {
+            return Err(ConfigError::KOutOfRange(self.k));
+        }
+        if let Some(r) = self.static_ratio_override {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(ConfigError::StaticRatioOutOfRange(r));
+            }
+        }
+        if self.chunk_bytes < MIN_CHUNK_BYTES {
+            return Err(ConfigError::ChunkBelowPageGranularity {
+                chunk: self.chunk_bytes,
+                min: MIN_CHUNK_BYTES,
+            });
+        }
+        Ok(self)
+    }
+
+    /// [`AsceticConfig::build`] plus the graph-dependent checks: weighted
+    /// payloads always ship raw, so `CompressionMode::Always` on a
+    /// weighted graph is a contradiction rather than a silent no-op.
+    pub fn validate_for(&self, g: &Csr) -> Result<(), ConfigError> {
+        (*self).build()?;
+        if g.is_weighted() && self.compression == CompressionMode::Always {
+            return Err(ConfigError::CompressedWeightedGraph);
+        }
+        Ok(())
     }
 }
 
@@ -233,9 +337,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
     fn rejects_zero_buffers() {
-        AsceticConfig::new(DeviceConfig::p100(1 << 20)).with_od_buffers(0);
+        let err = AsceticConfig::new(DeviceConfig::p100(1 << 20))
+            .with_od_buffers(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroOdBuffers);
+        assert!(err.to_string().contains("at least one"));
     }
 
     #[test]
@@ -255,8 +363,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ratio")]
     fn rejects_ratio_above_one() {
-        AsceticConfig::new(DeviceConfig::p100(1 << 20)).with_static_ratio(1.5);
+        let err = AsceticConfig::new(DeviceConfig::p100(1 << 20))
+            .with_static_ratio(1.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::StaticRatioOutOfRange(1.5));
+        assert!(err.to_string().contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn rejects_k_out_of_range_and_tiny_chunks() {
+        let base = AsceticConfig::new(DeviceConfig::p100(1 << 20));
+        assert_eq!(
+            base.with_k(1.0).build().unwrap_err(),
+            ConfigError::KOutOfRange(1.0)
+        );
+        assert_eq!(
+            base.with_chunk_bytes(8).build().unwrap_err(),
+            ConfigError::ChunkBelowPageGranularity {
+                chunk: 8,
+                min: MIN_CHUNK_BYTES
+            }
+        );
+        // the floor itself is fine
+        assert!(base.with_chunk_bytes(MIN_CHUNK_BYTES).build().is_ok());
+    }
+
+    #[test]
+    fn build_accepts_defaults_and_validate_for_rejects_weighted_always() {
+        use ascetic_graph::datasets::weighted_variant;
+        use ascetic_graph::generators::uniform_graph;
+        let base = AsceticConfig::new(DeviceConfig::p100(1 << 20));
+        assert!(base.build().is_ok());
+        let unweighted = uniform_graph(100, 500, false, 1);
+        let weighted = weighted_variant(&unweighted);
+        let always = base.with_compression(CompressionMode::Always);
+        assert!(always.validate_for(&unweighted).is_ok());
+        assert_eq!(
+            always.validate_for(&weighted).unwrap_err(),
+            ConfigError::CompressedWeightedGraph
+        );
+        // Adaptive quietly falls back to raw on weighted graphs: allowed.
+        assert!(base
+            .with_compression(CompressionMode::Adaptive)
+            .validate_for(&weighted)
+            .is_ok());
+    }
+
+    #[test]
+    fn prefetch_builder() {
+        let c = AsceticConfig::new(DeviceConfig::p100(1 << 20))
+            .with_prefetch(PrefetchMode::NextFrontier);
+        assert_eq!(c.prefetch, PrefetchMode::NextFrontier);
+        let d = AsceticConfig::new(DeviceConfig::p100(1 << 20));
+        assert_eq!(d.prefetch, PrefetchMode::Off, "prefetch is opt-in");
     }
 }

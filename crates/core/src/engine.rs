@@ -31,7 +31,7 @@ use ascetic_sim::{Engine, Gpu};
 use crate::config::AsceticConfig;
 use crate::report::{Breakdown, IterReport, RunReport};
 use crate::session::AsceticSession;
-use crate::system::OutOfCoreSystem;
+use crate::system::{check_vertex_fit, OutOfCoreSystem, PrepareError};
 
 /// The Ascetic out-of-core system.
 ///
@@ -64,6 +64,12 @@ impl AsceticSystem {
 impl OutOfCoreSystem for AsceticSystem {
     fn name(&self) -> &'static str {
         "Ascetic"
+    }
+
+    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
+        check_vertex_fit(g, self.cfg.device.mem_bytes)?;
+        self.cfg.validate_for(g)?;
+        Ok(())
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {
@@ -107,6 +113,12 @@ pub fn finish_report(
         prestore_ns,
         refresh_bytes,
         refresh_wire_bytes: refresh_bytes,
+        // Prefetch counters default to zero; the session overwrites them
+        // (and re-syncs) when the prefetch pipeline ran.
+        prefetch_bytes: 0,
+        prefetch_ops: 0,
+        prefetch_hits: 0,
+        prefetch_wasted_bytes: 0,
         kernels: gpu.kernels,
         breakdown,
         gpu_idle_ns: gpu.timeline.idle_ns(Engine::Compute),

@@ -80,6 +80,25 @@ impl HotnessTable {
         }
     }
 
+    /// Whether `chunk` was accessed during `iteration` (0-based) — its
+    /// most recent touch is that very iteration. The prefetch pipeline's
+    /// hit test: a prefetched chunk counts as a hit iff the next iteration
+    /// really demanded it.
+    pub fn demanded_at(&self, chunk: ChunkId, iteration: u32) -> bool {
+        self.last_access[chunk as usize] == iteration + 1
+    }
+
+    /// Cumulative access count of `chunk` (the Hotness prefetch ranking).
+    pub fn access_count(&self, chunk: ChunkId) -> u32 {
+        self.counts[chunk as usize]
+    }
+
+    /// Raw recency stamp of `chunk`: 1-based last-access iteration, 0 =
+    /// never touched. Orders eviction candidates coldest-first.
+    pub fn last_access_stamp(&self, chunk: ChunkId) -> u32 {
+        self.last_access[chunk as usize]
+    }
+
     /// Whether `chunk` is stale per the policy, judged at `iteration`.
     pub fn is_stale(&self, chunk: ChunkId, iteration: u32) -> bool {
         match self.policy {
@@ -87,14 +106,14 @@ impl HotnessTable {
             ReplacementPolicy::Cumulative { stale_threshold } => {
                 self.counts[chunk as usize] >= stale_threshold
             }
-            ReplacementPolicy::LastIteration => self.last_access[chunk as usize] != iteration + 1,
+            ReplacementPolicy::LastIteration => !self.demanded_at(chunk, iteration),
         }
     }
 
     /// Whether `chunk` is hot (worth loading) at `iteration`: it was
     /// demanded this iteration and is not itself stale.
     pub fn is_hot(&self, chunk: ChunkId, iteration: u32) -> bool {
-        self.last_access[chunk as usize] == iteration + 1 && !self.is_stale(chunk, iteration)
+        self.demanded_at(chunk, iteration) && !self.is_stale(chunk, iteration)
     }
 
     /// Plan up to `max_loads` chunk adoptions into free slots (lazy fill):

@@ -28,6 +28,9 @@
 //!   metrics snapshot.
 //! * [`hotness`] — the per-chunk hotness table and replacement policies
 //!   (Figure 6, §3.4).
+//! * [`prefetch`] — the cross-iteration prefetch policy: next-frontier
+//!   chunk demand, benefit ranking, speculative refresh planning for the
+//!   second copy stream.
 //! * [`session`] — the Manager: per-iteration orchestration with overlap
 //!   (Figure 5) over the simulated device, reusable across multiple
 //!   algorithm runs (the paper's prestore-amortization point, §4.3).
@@ -44,15 +47,19 @@ pub mod hotness;
 pub mod maps;
 pub mod ondemand;
 pub mod pool_metrics;
+pub mod prefetch;
 pub mod ratio;
 pub mod report;
 pub mod session;
 pub mod static_region;
 pub mod system;
 
-pub use config::{AsceticConfig, CompressionMode, FillPolicy, ReplacementPolicy};
+pub use config::{
+    AsceticConfig, CompressionMode, ConfigError, FillPolicy, ReplacementPolicy, MIN_CHUNK_BYTES,
+};
 pub use engine::AsceticSystem;
 pub use pool_metrics::pool_metrics_snapshot;
+pub use prefetch::{PrefetchMode, PrefetchOp};
 pub use report::{Breakdown, IterReport, RunReport};
 pub use session::AsceticSession;
-pub use system::OutOfCoreSystem;
+pub use system::{OutOfCoreSystem, PrepareError};

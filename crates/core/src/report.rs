@@ -89,6 +89,16 @@ pub struct RunReport {
     pub refresh_bytes: u64,
     /// Refresh bytes actually on the link.
     pub refresh_wire_bytes: u64,
+    /// Bytes speculatively shipped by the cross-iteration prefetch
+    /// pipeline (a subset of `xfer.h2d_bytes`; 0 when prefetch is off).
+    pub prefetch_bytes: u64,
+    /// Chunk refreshes issued on the prefetch stream.
+    pub prefetch_ops: u64,
+    /// Prefetched chunks the next iteration actually demanded.
+    pub prefetch_hits: u64,
+    /// Bytes prefetched for chunks the next iteration never touched
+    /// (mispredictions — charged as waste, never corruption).
+    pub prefetch_wasted_bytes: u64,
     /// Kernel counters.
     pub kernels: KernelStats,
     /// Time breakdown.
@@ -152,6 +162,15 @@ impl RunReport {
         self.sim_time_ns as f64 / 1e9
     }
 
+    /// Fraction of prefetched chunk refreshes the next iteration actually
+    /// consumed, in `[0, 1]`. Returns 0.0 when nothing was prefetched.
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.prefetch_ops == 0 {
+            return 0.0;
+        }
+        self.prefetch_hits as f64 / self.prefetch_ops as f64
+    }
+
     /// Fraction of the makespan the COMPUTE engine sat idle, in `[0, 1]`
     /// (paper §2.2: 68 % for Subway BFS on friendster-konect). Returns 0.0
     /// for a zero-length run.
@@ -208,6 +227,13 @@ impl RunReport {
         self.metrics
             .set_counter("refresh.wire_bytes", self.refresh_wire_bytes);
         self.metrics
+            .set_counter("prefetch.bytes", self.prefetch_bytes);
+        self.metrics.set_counter("prefetch.ops", self.prefetch_ops);
+        self.metrics
+            .set_counter("prefetch.hits", self.prefetch_hits);
+        self.metrics
+            .set_counter("prefetch.waste_bytes", self.prefetch_wasted_bytes);
+        self.metrics
             .set_counter("iterations", self.iterations as u64);
         self.metrics
             .set_counter("repartitions", self.repartitions as u64);
@@ -224,13 +250,14 @@ impl RunReport {
         "system,algorithm,iterations,sim_time_ns,h2d_bytes,d2h_bytes,h2d_ops,d2h_ops,\
          prestore_bytes,refresh_bytes,kernel_launches,kernel_edges,gpu_idle_ns,\
          repartitions,peak_payload_bytes,h2d_wire_bytes,prestore_wire_bytes,\
-         refresh_wire_bytes"
+         refresh_wire_bytes,prefetch_bytes,prefetch_ops,prefetch_hits,\
+         prefetch_wasted_bytes"
     }
 
     /// One CSV row of the headline scalars (no trailing newline).
     pub fn summary_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.system,
             self.algorithm,
             self.iterations,
@@ -249,6 +276,10 @@ impl RunReport {
             self.xfer.h2d_wire_bytes,
             self.prestore_wire_bytes,
             self.refresh_wire_bytes,
+            self.prefetch_bytes,
+            self.prefetch_ops,
+            self.prefetch_hits,
+            self.prefetch_wasted_bytes,
         )
     }
 
@@ -339,6 +370,10 @@ impl RunReport {
             ),
             ("gpu_idle_ns", self.gpu_idle_ns),
             ("repartitions", self.repartitions as u64),
+            ("prefetch_bytes", self.prefetch_bytes),
+            ("prefetch_ops", self.prefetch_ops),
+            ("prefetch_hits", self.prefetch_hits),
+            ("prefetch_wasted_bytes", self.prefetch_wasted_bytes),
         ] {
             out.push(',');
             json::key_into(k, &mut out);
@@ -377,6 +412,15 @@ impl std::fmt::Display for RunReport {
                 self.prestore_wire_bytes as f64 / 1e6
             )?;
         }
+        if self.prefetch_ops > 0 {
+            writeln!(
+                f,
+                "prefetch:          {} chunk refreshes, {:.1} % hit, {:.2} MB wasted",
+                self.prefetch_ops,
+                self.prefetch_hit_rate() * 100.0,
+                self.prefetch_wasted_bytes as f64 / 1e6
+            )?;
+        }
         writeln!(
             f,
             "kernels:           {} launches, {} edges",
@@ -412,6 +456,7 @@ mod tests {
             xfer: XferStats {
                 h2d_bytes: 500,
                 h2d_wire_bytes: 500,
+                h2d_prefetch_bytes: 0,
                 d2h_bytes: 100,
                 h2d_ops: 5,
                 d2h_ops: 1,
@@ -421,6 +466,10 @@ mod tests {
             prestore_ns: 50,
             refresh_bytes: 30,
             refresh_wire_bytes: 30,
+            prefetch_bytes: 0,
+            prefetch_ops: 0,
+            prefetch_hits: 0,
+            prefetch_wasted_bytes: 0,
             kernels: KernelStats::default(),
             breakdown: Breakdown {
                 gen_map_ns: 1,
@@ -514,6 +563,31 @@ mod tests {
         let row = lines.next().unwrap();
         assert_eq!(header.split(',').count(), row.split(',').count());
         assert!(row.starts_with("X,BFS,3,1000,500,100,5,1,200,30,"));
+        ascetic_obs::json::validate(&r.summary_json()).expect("summary JSON validates");
+    }
+
+    #[test]
+    fn prefetch_accounting_views() {
+        let mut r = dummy();
+        assert_eq!(r.prefetch_hit_rate(), 0.0, "nothing prefetched yet");
+        let text = r.to_string();
+        assert!(!text.contains("prefetch:"), "silent when off: {text}");
+        r.prefetch_bytes = 96;
+        r.prefetch_ops = 3;
+        r.prefetch_hits = 2;
+        r.prefetch_wasted_bytes = 32;
+        r.xfer.h2d_prefetch_bytes = 96;
+        assert!((r.prefetch_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.xfer.h2d_ondemand_bytes(), 500 - 96);
+        r.sync_metrics();
+        assert_eq!(r.metrics.counter("prefetch.bytes"), Some(96));
+        assert_eq!(r.metrics.counter("prefetch.ops"), Some(3));
+        assert_eq!(r.metrics.counter("prefetch.hits"), Some(2));
+        assert_eq!(r.metrics.counter("prefetch.waste_bytes"), Some(32));
+        let text = r.to_string();
+        assert!(text.contains("prefetch:"), "{text}");
+        let row = r.summary_csv_row();
+        assert!(row.ends_with(",96,3,2,32"), "{row}");
         ascetic_obs::json::validate(&r.summary_json()).expect("summary JSON validates");
     }
 

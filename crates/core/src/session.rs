@@ -26,10 +26,17 @@ use crate::engine::finish_report;
 use crate::hotness::HotnessTable;
 use crate::maps::DataMaps;
 use crate::ondemand::{gather, plan_batches};
+use crate::prefetch::{chunk_demand_bytes, plan_prefetch, PrefetchMode, PrefetchOp};
 use crate::ratio::{repartition_check, static_share, Repartition};
 use crate::report::{Breakdown, IterReport, RunReport};
 use crate::static_region::StaticRegion;
 use crate::system::{edge_budget_bytes, reserve_vertex_arrays};
+
+/// How many planned prefetch ops may be carried into the next iteration
+/// to wait for link gaps in its on-demand pipeline (on top of whatever
+/// fits the end-of-iteration slack). Purely a planning bound: deferred
+/// ops that never find a gap are dropped at no cost.
+const GAP_PLAN_OPS: usize = 256;
 
 /// A prepared Ascetic device bound to one graph, reusable across runs.
 pub struct AsceticSession<'g> {
@@ -339,6 +346,25 @@ impl<'g> AsceticSession<'g> {
         let lazy_fill = matches!(cfg.fill, FillPolicy::Lazy);
         // per-buffer "compute that last read this buffer" fences
         let mut buffer_free_at: Vec<SimTime> = vec![SimTime::ZERO; self.od_buffers.len()];
+        // --- Cross-iteration prefetch pipeline state. ---
+        let prefetch_on = cfg.prefetch.is_on();
+        // speculative refreshes in flight: scored for hit/waste one
+        // iteration later, once the demand they predicted materializes
+        let mut prefetch_pending: Vec<(ChunkId, u64)> = Vec::new();
+        // the event the next iteration's static kernel waits on (the
+        // prefetch stream's last completion) instead of a blocking miss
+        let mut prefetch_ready = SimTime::ZERO;
+        let mut prefetch_bytes = 0u64;
+        let mut prefetch_ops = 0u64;
+        let mut prefetch_hits = 0u64;
+        let mut prefetch_waste = 0u64;
+        // planned ops that did not fit the end-of-iteration slack: they
+        // wait for link gaps in the next iteration's on-demand pipeline
+        let mut prefetch_deferred: std::collections::VecDeque<PrefetchOp> =
+            std::collections::VecDeque::new();
+        // gap-issued transfers whose region mutation is deferred to the
+        // iteration boundary (kernels may still be reading the region)
+        let mut prefetch_inflight: Vec<(PrefetchOp, u64)> = Vec::new();
 
         while !active.is_all_zero() && iter < prog.max_iterations() {
             let iter_start = self.gpu.sync();
@@ -387,7 +413,11 @@ impl<'g> AsceticSession<'g> {
             let next = AtomicBitmap::new(n);
 
             // ➌ Static-region compute (overlaps the on-demand pipeline).
-            let static_ready = genmap.end;
+            // The kernel event-waits on the prefetch stream's last
+            // completion instead of faulting on a half-refreshed region;
+            // prefetches are budgeted to land inside the previous
+            // iteration's link slack, so the wait never actually stalls.
+            let static_ready = genmap.end.max(prefetch_ready);
             let static_span = if maps.static_nodes.is_empty() {
                 None
             } else {
@@ -428,20 +458,54 @@ impl<'g> AsceticSession<'g> {
                     static_span.map_or(genmap.end, |s| s.end)
                 };
                 let batches = plan_batches(g, &maps.ondemand_nodes, min_buffer_words);
+                // Issue every batch's CPU gather up front. The spans are
+                // identical to in-loop issue (gathers serialize on the CPU
+                // engine and depend on nothing downstream of themselves),
+                // but knowing when batch k's gather completes tells the
+                // prefetch stream exactly how long the link stays idle
+                // before batch k's transfer can possibly start.
+                let batch_bpe = g.bytes_per_edge() as u64;
                 let mut gather_ready = pipeline_ready;
-                for (bi, entries) in batches.into_iter().enumerate() {
+                let gather_spans: Vec<_> = batches
+                    .iter()
+                    .map(|entries| {
+                        let edges: u64 = entries.iter().map(|e| e.num_edges()).sum();
+                        let span = self.gpu.gather_at(
+                            edges * batch_bpe,
+                            entries.len() as u64,
+                            gather_ready,
+                        );
+                        breakdown.gather_ns += span.duration();
+                        gather_ready = span.end; // CPU engine serializes anyway
+                        span
+                    })
+                    .collect();
+                for (bi, (entries, g_span)) in batches.into_iter().zip(gather_spans).enumerate() {
                     let buf_idx = bi % self.od_buffers.len();
                     let buffer = self.od_buffers[buf_idx];
-                    let batch = gather(g, entries);
 
-                    // CPU gather
-                    let g_span = self.gpu.gather_at(
-                        batch.payload_bytes(),
-                        batch.entries.len() as u64,
-                        gather_ready,
-                    );
-                    breakdown.gather_ns += g_span.duration();
-                    gather_ready = g_span.end; // CPU engine serializes anyway
+                    // Prefetch gap fill: the link is provably idle until
+                    // this batch's gather completes, so deferred
+                    // speculative refreshes ride the second copy stream in
+                    // that window — an op is issued only when it finishes
+                    // before the gather does, so no on-demand transfer
+                    // moves by a nanosecond.
+                    while let Some(&op) = prefetch_deferred.front() {
+                        let bytes = geo.chunk_len_bytes(op.chunk()) as u64;
+                        let dur = self.gpu.config.pcie.transfer_ns(bytes);
+                        let link_free = self.gpu.timeline.engine_free_at(Engine::Copy);
+                        if link_free.0 + dur > g_span.end.0 {
+                            break; // would push this batch's transfer later
+                        }
+                        prefetch_deferred.pop_front();
+                        self.gpu
+                            .prefetch_dma_at(op.chunk() as u64, bytes, link_free);
+                        prefetch_bytes += bytes;
+                        prefetch_ops += 1;
+                        prefetch_inflight.push((op, bytes));
+                    }
+
+                    let batch = gather(g, entries);
 
                     // H2D transfer of payload + index, into this batch's buffer
                     let dst = buffer.slice(0, batch.words.len());
@@ -526,12 +590,24 @@ impl<'g> AsceticSession<'g> {
             }
 
             // Hotness accounting for this iteration's touched chunks
-            // (needed by both the replacement server and lazy warming).
-            if lazy_fill || !matches!(cfg.replacement, ReplacementPolicy::Disabled) {
+            // (needed by the replacement server, lazy warming and the
+            // prefetch pipeline's demand scoring).
+            if lazy_fill || !matches!(cfg.replacement, ReplacementPolicy::Disabled) || prefetch_on {
                 self.hotness
                     .record_vertices(g, &geo, &maps.static_nodes, iter);
                 self.hotness
                     .record_vertices(g, &geo, &maps.ondemand_nodes, iter);
+
+                // Score the previous iteration's speculative refreshes now
+                // that the demand they predicted has materialized: a hit iff
+                // the chunk is still resident and this iteration touched it.
+                for (c, bytes) in prefetch_pending.drain(..) {
+                    if self.region.is_resident(c) && self.hotness.demanded_at(c, iter) {
+                        prefetch_hits += 1;
+                    } else {
+                        prefetch_waste += bytes;
+                    }
+                }
 
                 // ➎ Replacement server window: chunk DMAs issued while the
                 // GPU chews the on-demand region, within its PCIe budget.
@@ -563,8 +639,16 @@ impl<'g> AsceticSession<'g> {
                         }
                     }
 
-                    // then stale-for-hot swaps
-                    if !matches!(cfg.replacement, ReplacementPolicy::Disabled) && ops_left > 0 {
+                    // then stale-for-hot swaps — unless the prefetch
+                    // pipeline is on, which subsumes them: it refreshes the
+                    // region from *exact* next-frontier demand on the
+                    // second copy stream (inside link slack) instead of
+                    // spending synchronous link time inside the iteration
+                    // on hotness guesses
+                    if !matches!(cfg.replacement, ReplacementPolicy::Disabled)
+                        && ops_left > 0
+                        && !prefetch_on
+                    {
                         let swaps = self.hotness.plan_swaps(&self.region, iter, ops_left);
                         for (evict, load) in swaps {
                             let bytes = self.region.swap_chunk(&mut self.gpu, g, evict, load);
@@ -581,6 +665,114 @@ impl<'g> AsceticSession<'g> {
                 }
             }
 
+            // ➏ Cross-iteration prefetch: the kernels just wrote the next
+            // frontier, so its chunk demand is already known. Speculatively
+            // refresh the static region on the second copy stream, budgeted
+            // to the link slack left before this iteration's barrier — the
+            // transfers hide entirely under work already on the clock, so
+            // the iteration's makespan is untouched whether they pay off
+            // or not.
+            let next_frontier = next.snapshot();
+            prefetch_ready = SimTime::ZERO;
+            // whatever of last iteration's plan never found a gap dies
+            // here, un-issued and free of charge
+            prefetch_deferred.clear();
+            if prefetch_on {
+                let more = iter + 1 < prog.max_iterations() && !next_frontier.is_all_zero();
+                // Commit the gap-issued transfers now that every kernel of
+                // this iteration is done reading the region. The plan was
+                // one iteration old when its wire time was bought, so each
+                // commit is re-validated against the *fresh* frontier: a
+                // stale op is dropped — its link time was idle slack, its
+                // bytes become waste — rather than applied.
+                if more {
+                    let demand = chunk_demand_bytes(g, &geo, &next_frontier);
+                    for (op, bytes) in prefetch_inflight.drain(..) {
+                        let apply = match op {
+                            PrefetchOp::Load(c) => {
+                                !self.region.is_resident(c)
+                                    && self.region.free_slots() > 0
+                                    && demand[c as usize] > 0
+                            }
+                            PrefetchOp::Swap { evict, load } => {
+                                self.region.is_resident(evict)
+                                    && !self.region.is_resident(load)
+                                    && match cfg.prefetch {
+                                        PrefetchMode::NextFrontier => {
+                                            demand[load as usize] > demand[evict as usize]
+                                        }
+                                        // the speculative mode commits on
+                                        // residency alone; hit scoring
+                                        // charges any misprediction
+                                        _ => true,
+                                    }
+                            }
+                        };
+                        if apply {
+                            match op {
+                                PrefetchOp::Load(c) => {
+                                    self.region.load_chunk(&mut self.gpu, g, c);
+                                }
+                                PrefetchOp::Swap { evict, load } => {
+                                    self.region.swap_chunk(&mut self.gpu, g, evict, load);
+                                }
+                            }
+                            prefetch_pending.push((op.chunk(), bytes));
+                        } else {
+                            prefetch_waste += bytes;
+                        }
+                    }
+                } else {
+                    for (_op, bytes) in prefetch_inflight.drain(..) {
+                        prefetch_waste += bytes;
+                    }
+                }
+                if more {
+                    let per_op_ns = self
+                        .gpu
+                        .config
+                        .pcie
+                        .transfer_ns(cfg.chunk_bytes as u64)
+                        .max(1);
+                    let link_free = self.gpu.timeline.engine_free_at(Engine::Copy);
+                    let slack = self.gpu.timeline.now().0.saturating_sub(link_free.0);
+                    let budget = (slack / per_op_ns) as usize;
+                    let plan = plan_prefetch(
+                        cfg.prefetch,
+                        g,
+                        &geo,
+                        &self.region,
+                        &mut self.hotness,
+                        &next_frontier,
+                        iter,
+                        compressible,
+                        budget + GAP_PLAN_OPS,
+                    );
+                    let mut plan = plan.into_iter();
+                    // what fits the tail slack ships (and applies) now ...
+                    for op in plan.by_ref().take(budget) {
+                        let chunk = op.chunk();
+                        let bytes = match op {
+                            PrefetchOp::Load(c) => self.region.load_chunk(&mut self.gpu, g, c),
+                            PrefetchOp::Swap { evict, load } => {
+                                self.region.swap_chunk(&mut self.gpu, g, evict, load)
+                            }
+                        };
+                        // prefetches ship raw: the decompression launch
+                        // would land on the busy compute engine and could
+                        // push the very kernel they are hiding under
+                        let span = self.gpu.prefetch_dma_at(chunk as u64, bytes, link_free);
+                        prefetch_ready = prefetch_ready.max(span.end);
+                        prefetch_bytes += bytes;
+                        prefetch_ops += 1;
+                        prefetch_pending.push((chunk, bytes));
+                    }
+                    // ... the remainder waits for link gaps in the next
+                    // iteration's on-demand pipeline
+                    prefetch_deferred.extend(plan);
+                }
+            }
+
             let iter_end = self.gpu.sync();
             self.gpu.obs.record(iter_end.0, Event::IterEnd { iter });
             per_iter.push(IterReport {
@@ -590,7 +782,7 @@ impl<'g> AsceticSession<'g> {
                 time_ns: iter_end.since(iter_start),
                 static_edges: maps.static_edges,
             });
-            active = next.snapshot();
+            active = next_frontier;
             iter += 1;
         }
 
@@ -618,9 +810,19 @@ impl<'g> AsceticSession<'g> {
             self.gpu.obs.enable_events(DEFAULT_EVENT_CAPACITY);
         }
         report.repartitions = repartitions;
+        // speculative refreshes still in flight when the frontier drained
+        // never got their demand scored: charge them as waste
+        for (_c, bytes) in prefetch_pending.drain(..) {
+            prefetch_waste += bytes;
+        }
+        report.prefetch_bytes = prefetch_bytes;
+        report.prefetch_ops = prefetch_ops;
+        report.prefetch_hits = prefetch_hits;
+        report.prefetch_wasted_bytes = prefetch_waste;
         // convert cumulative device counters into this run's share
         report.xfer.h2d_bytes -= xfer0.h2d_bytes;
         report.xfer.h2d_wire_bytes -= xfer0.h2d_wire_bytes;
+        report.xfer.h2d_prefetch_bytes -= xfer0.h2d_prefetch_bytes;
         report.xfer.d2h_bytes -= xfer0.d2h_bytes;
         report.xfer.h2d_ops -= xfer0.h2d_ops;
         report.xfer.d2h_ops -= xfer0.d2h_ops;
@@ -816,6 +1018,68 @@ mod tests {
         assert_eq!(r.xfer.h2d_wire_bytes, r.xfer.h2d_bytes);
         assert_eq!(r.prestore_wire_bytes, r.prestore_bytes);
         assert_eq!(r.metrics.counter("compress.transfers").unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn prefetch_never_changes_results_and_accounts_its_bytes() {
+        use crate::prefetch::PrefetchMode;
+        let g = web_graph(&WebConfig::new(4_000, 60_000, 3));
+        let oracle = run_in_memory(&g, &Bfs::new(0)).output;
+        let off = AsceticSession::new(cfg_for(&g), &g).run(&Bfs::new(0));
+        assert_eq!(off.prefetch_ops, 0, "off mode never speculates");
+        assert_eq!(off.xfer.h2d_prefetch_bytes, 0);
+        for mode in [PrefetchMode::NextFrontier, PrefetchMode::Hotness] {
+            let r = AsceticSession::new(cfg_for(&g).with_prefetch(mode), &g).run(&Bfs::new(0));
+            assert_eq!(r.output, oracle, "{mode}: prefetch must not change results");
+            // Only the exact-demand policy promises never to lose: its
+            // transfers hide in link slack AND it never evicts chunks the
+            // next iteration needs. Hotness is genuinely speculative — a
+            // misprediction can worsen residency, which waste accounting
+            // (not the makespan contract) captures.
+            if mode == PrefetchMode::NextFrontier {
+                assert!(
+                    r.sim_time_ns <= off.sim_time_ns,
+                    "{mode}: prefetch ({}) must not lose to off ({})",
+                    r.sim_time_ns,
+                    off.sim_time_ns
+                );
+            }
+            // speculative traffic is accounted exactly, as a subset of H2D
+            assert_eq!(r.xfer.h2d_prefetch_bytes, r.prefetch_bytes, "{mode}");
+            assert!(r.prefetch_hits <= r.prefetch_ops, "{mode}");
+            assert!(r.prefetch_wasted_bytes <= r.prefetch_bytes, "{mode}");
+            assert_eq!(
+                r.metrics.counter("prefetch.bytes"),
+                Some(r.prefetch_bytes),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_frontier_prefetch_fires_and_hits() {
+        use crate::prefetch::PrefetchMode;
+        let g = web_graph(&WebConfig::new(4_000, 60_000, 3));
+        let cfg = cfg_for(&g).with_prefetch(PrefetchMode::NextFrontier);
+        let r = AsceticSession::new(cfg, &g).run(&Bfs::new(0));
+        assert!(r.prefetch_ops > 0, "oversubscribed BFS must prefetch");
+        assert!(
+            r.prefetch_hit_rate() > 0.5,
+            "next-frontier demand is near-exact, got {:.2} over {} ops",
+            r.prefetch_hit_rate(),
+            r.prefetch_ops
+        );
+        let cfg = cfg_for(&g)
+            .with_prefetch(PrefetchMode::NextFrontier)
+            .with_events(true);
+        let r = AsceticSession::new(cfg, &g).run(&Bfs::new(0));
+        let has_prefetch_event = r
+            .events
+            .as_ref()
+            .expect("events enabled")
+            .iter()
+            .any(|e| e.event.kind() == "prefetch_dma");
+        assert!(has_prefetch_event, "events record the prefetch stream");
     }
 
     #[test]

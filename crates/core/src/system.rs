@@ -9,12 +9,72 @@ use ascetic_algos::VertexProgram;
 use ascetic_graph::Csr;
 use ascetic_sim::{DevPtr, Gpu};
 
+use crate::config::ConfigError;
 use crate::report::RunReport;
+
+/// Why a system refused to run a graph during [`OutOfCoreSystem::prepare`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PrepareError {
+    /// The device-resident vertex arrays alone exceed device memory; every
+    /// system here assumes vertices fit (the paper's setting).
+    VerticesDontFit {
+        /// Bytes the vertex arrays need.
+        need: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The system's configuration is invalid for this graph.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::VerticesDontFit { need, capacity } => write!(
+                f,
+                "vertex arrays need {need} B but the device holds {capacity} B"
+            ),
+            PrepareError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+impl From<ConfigError> for PrepareError {
+    fn from(e: ConfigError) -> Self {
+        PrepareError::Config(e)
+    }
+}
+
+/// Check the paper's standing assumption that the vertex arrays fit on
+/// the device with `capacity_bytes` of memory (shared by every system's
+/// [`OutOfCoreSystem::prepare`]).
+pub fn check_vertex_fit(g: &Csr, capacity_bytes: u64) -> Result<(), PrepareError> {
+    let need = g.num_vertices() as u64 * DEVICE_BYTES_PER_VERTEX;
+    if need > capacity_bytes {
+        return Err(PrepareError::VerticesDontFit {
+            need,
+            capacity: capacity_bytes,
+        });
+    }
+    Ok(())
+}
 
 /// An out-of-GPU-memory graph-processing system.
 pub trait OutOfCoreSystem {
     /// Display name.
     fn name(&self) -> &'static str;
+
+    /// Validate that this system can run `g` at all — configuration sanity
+    /// plus the vertices-fit-on-device assumption — *before* committing to
+    /// device allocation. Callers (the CLI, the bench harness) surface the
+    /// error cleanly instead of panicking mid-run. The default accepts
+    /// everything.
+    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
+        let _ = g;
+        Ok(())
+    }
 
     /// Execute `prog` over `g`, returning the full report. The graph must
     /// be weighted iff the program needs weights.
@@ -68,5 +128,43 @@ mod tests {
         let g = uniform_graph(100_000, 10, false, 1);
         let mut gpu = Gpu::new(DeviceConfig::p100(1 << 10));
         reserve_vertex_arrays(&mut gpu, &g);
+    }
+
+    #[test]
+    fn check_vertex_fit_mirrors_the_reservation_panic() {
+        let g = uniform_graph(1_000, 5_000, false, 1);
+        assert!(check_vertex_fit(&g, 1 << 20).is_ok());
+        let err = check_vertex_fit(&g, 1 << 10).unwrap_err();
+        assert!(matches!(err, PrepareError::VerticesDontFit { .. }));
+        assert!(err.to_string().contains("vertex arrays"));
+    }
+
+    #[test]
+    fn ascetic_prepare_validates_config_for_the_graph() {
+        use crate::config::{AsceticConfig, CompressionMode, ConfigError};
+        use crate::engine::AsceticSystem;
+        use ascetic_graph::datasets::weighted_variant;
+        let g = uniform_graph(1_000, 5_000, false, 1);
+        let dev = DeviceConfig::p100(1 << 20);
+        let sys = AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(1024));
+        assert!(sys.prepare(&g).is_ok());
+        // graph-dependent rule: weighted + Always is rejected up front
+        let wg = weighted_variant(&g);
+        let always = AsceticSystem::new(
+            AsceticConfig::new(dev)
+                .with_chunk_bytes(1024)
+                .with_compression(CompressionMode::Always),
+        );
+        assert!(always.prepare(&g).is_ok());
+        assert_eq!(
+            always.prepare(&wg).unwrap_err(),
+            PrepareError::Config(ConfigError::CompressedWeightedGraph)
+        );
+        // graph-independent knob errors surface here too
+        let bad = AsceticSystem::new(AsceticConfig::new(dev).with_od_buffers(0));
+        assert_eq!(
+            bad.prepare(&g).unwrap_err(),
+            PrepareError::Config(ConfigError::ZeroOdBuffers)
+        );
     }
 }

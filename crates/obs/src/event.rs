@@ -75,6 +75,16 @@ pub enum Event {
         /// Modeled decompression duration in virtual nanoseconds.
         decompress_ns: u64,
     },
+    /// A speculative chunk refresh issued on the prefetch copy stream
+    /// (cross-iteration pipeline; distinct from reactive `Dma`).
+    PrefetchDma {
+        /// Chunk shipped ahead of demand.
+        chunk: u64,
+        /// Bytes moved.
+        bytes: u64,
+        /// Modeled duration in virtual nanoseconds.
+        dur_ns: u64,
+    },
     /// An on-demand gather of frontier-reachable edge chunks.
     Gather {
         /// Bytes gathered.
@@ -136,6 +146,7 @@ impl Event {
             Event::Kernel { .. } => "kernel",
             Event::Dma { .. } => "dma",
             Event::CompressedDma { .. } => "compressed_dma",
+            Event::PrefetchDma { .. } => "prefetch_dma",
             Event::Gather { .. } => "gather",
             Event::UvmFault { .. } => "uvm_fault",
             Event::UvmEvict { .. } => "uvm_evict",
@@ -176,6 +187,15 @@ impl Event {
                 out.push_str(&format!(
                     ",\"raw_bytes\":{raw_bytes},\"wire_bytes\":{wire_bytes},\
                      \"dur_ns\":{dur_ns},\"decompress_ns\":{decompress_ns}"
+                ));
+            }
+            Event::PrefetchDma {
+                chunk,
+                bytes,
+                dur_ns,
+            } => {
+                out.push_str(&format!(
+                    ",\"chunk\":{chunk},\"bytes\":{bytes},\"dur_ns\":{dur_ns}"
                 ));
             }
             Event::Gather { bytes, dur_ns } => {
@@ -376,9 +396,17 @@ mod tests {
                 decompress_ns: 3,
             },
         );
+        log.record(
+            14,
+            Event::PrefetchDma {
+                chunk: 7,
+                bytes: 2048,
+                dur_ns: 6,
+            },
+        );
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         for line in &lines {
             crate::json::validate(line).expect("each JSONL line is valid JSON");
         }
@@ -387,6 +415,8 @@ mod tests {
         assert!(lines[2].contains("\"dir\":\"h2d\""));
         assert!(lines[4].contains("\"kind\":\"compressed_dma\""));
         assert!(lines[4].contains("\"wire_bytes\":1024"));
+        assert!(lines[5].contains("\"kind\":\"prefetch_dma\""));
+        assert!(lines[5].contains("\"chunk\":7"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::device::DeviceConfig;
 use crate::memory::{DevPtr, DeviceMemory, OutOfDeviceMemory};
 use crate::metrics::{KernelStats, XferStats};
 use crate::time::SimTime;
-use crate::timeline::{Engine, Span, Timeline};
+use crate::timeline::{CopyStream, Engine, Span, Timeline};
 use ascetic_obs::{Event, Obs, XferDir};
 
 /// A simulated GPU with its host-side engines.
@@ -49,6 +49,8 @@ pub struct Gpu {
     /// Telemetry bundle: live metric registry plus optional event log
     /// (enable with `obs.enable_events`; off by default).
     pub obs: Obs,
+    /// Lazily-minted second copy stream for speculative transfers.
+    prefetch_stream: Option<CopyStream>,
 }
 
 impl Gpu {
@@ -67,8 +69,54 @@ impl Gpu {
             xfer: XferStats::default(),
             kernels: KernelStats::default(),
             obs: Obs::new(),
+            prefetch_stream: None,
             config,
         }
+    }
+
+    /// The dedicated prefetch copy stream, minted on first use. Operations
+    /// issued through it ([`Gpu::prefetch_dma_at`]) queue FIFO among
+    /// themselves but share the one physical link with the default stream
+    /// (see [`crate::timeline::CopyStream`]).
+    pub fn stream(&mut self) -> CopyStream {
+        match self.prefetch_stream {
+            Some(s) => s,
+            None => {
+                let s = self.timeline.add_copy_stream();
+                self.prefetch_stream = Some(s);
+                s
+            }
+        }
+    }
+
+    /// Speculative H2D refresh of `bytes` for `chunk` on the prefetch
+    /// stream, ready at `ready`. The caller moves the payload itself (the
+    /// static region's data-plane load/swap); this charges the link time
+    /// on the second stream and accounts the bytes as prefetch traffic
+    /// (`h2d_prefetch_bytes` rides inside `h2d_bytes`). Prefetches always
+    /// ship raw: decoding would steal the compute engine the pipeline is
+    /// trying to keep busy.
+    pub fn prefetch_dma_at(&mut self, chunk: u64, bytes: u64, ready: SimTime) -> Span {
+        let stream = self.stream();
+        self.xfer.h2d_bytes += bytes;
+        self.xfer.h2d_wire_bytes += bytes;
+        self.xfer.h2d_prefetch_bytes += bytes;
+        self.xfer.h2d_ops += 1;
+        self.obs.registry.observe("h2d.op_bytes", bytes);
+        let span =
+            self.timeline
+                .schedule_copy(stream, ready, self.config.pcie.transfer_ns(bytes), || {
+                    format!("prefetch chunk {chunk} ({bytes}B)")
+                });
+        self.obs.record(
+            span.start.0,
+            Event::PrefetchDma {
+                chunk,
+                bytes,
+                dur_ns: span.duration(),
+            },
+        );
+        span
     }
 
     /// Allocate device words, advancing the allocator high-water telemetry
@@ -415,6 +463,35 @@ mod tests {
         let p = g.alloc(8).unwrap();
         g.h2d(p, &[0; 8]);
         assert!(g.obs.events().is_none());
+    }
+
+    #[test]
+    fn prefetch_dma_accounts_on_the_second_stream() {
+        let mut g = small_gpu();
+        g.obs.enable_events(64);
+        let s1 = g.stream();
+        assert_eq!(g.stream(), s1, "stream is minted once");
+        assert_eq!(g.timeline.num_copy_streams(), 2);
+        let span = g.prefetch_dma_at(3, 4096, SimTime::ZERO);
+        assert_eq!(span.duration(), g.config.pcie.transfer_ns(4096));
+        assert_eq!(g.xfer.h2d_bytes, 4096);
+        assert_eq!(g.xfer.h2d_wire_bytes, 4096);
+        assert_eq!(g.xfer.h2d_prefetch_bytes, 4096);
+        assert_eq!(g.xfer.h2d_ondemand_bytes(), 0);
+        assert_eq!(g.xfer.h2d_ops, 1);
+        assert_eq!(g.timeline.stream_busy_ns(s1), span.duration());
+        let events = g.obs.events().unwrap();
+        assert!(events.iter().any(|e| e.event.kind() == "prefetch_dma"));
+    }
+
+    #[test]
+    fn prefetch_shares_the_link_with_ondemand_copies() {
+        let mut g = small_gpu();
+        let p = g.alloc(256).unwrap();
+        let c = g.h2d_at(p, &[0u32; 256], SimTime::ZERO);
+        let pf = g.prefetch_dma_at(0, 1024, SimTime::ZERO);
+        assert_eq!(pf.start, c.end, "one wire: prefetch waits for the DMA");
+        assert_eq!(g.xfer.h2d_ondemand_bytes(), 1024);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub use gpu::Gpu;
 pub use memory::{DevPtr, DeviceMemory, OutOfDeviceMemory};
 pub use metrics::{KernelStats, XferStats};
 pub use time::SimTime;
-pub use timeline::{chrome_trace_json, Engine, Span, Timeline, TraceSpan};
+pub use timeline::{chrome_trace_json, CopyStream, Engine, Span, Timeline, TraceSpan};
 pub use trace::AccessTracer;
 pub use uvm::{Uvm, UvmStats};

@@ -13,6 +13,9 @@ pub struct XferStats {
     /// Host→device bytes actually on the link — equal to `h2d_bytes` for
     /// raw transfers, the encoded size for compressed ones.
     pub h2d_wire_bytes: u64,
+    /// Of `h2d_bytes`, the portion shipped speculatively by the prefetch
+    /// stream (on-demand / reactive bytes are `h2d_bytes` minus this).
+    pub h2d_prefetch_bytes: u64,
     /// Device→host payload bytes.
     pub d2h_bytes: u64,
     /// Number of H2D DMA operations.
@@ -36,9 +39,16 @@ impl XferStats {
     pub fn merge(&mut self, other: &XferStats) {
         self.h2d_bytes += other.h2d_bytes;
         self.h2d_wire_bytes += other.h2d_wire_bytes;
+        self.h2d_prefetch_bytes += other.h2d_prefetch_bytes;
         self.d2h_bytes += other.d2h_bytes;
         self.h2d_ops += other.h2d_ops;
         self.d2h_ops += other.d2h_ops;
+    }
+
+    /// The reactive share of the H2D payload: everything the device pulled
+    /// on demand rather than receiving from the prefetch stream.
+    pub fn h2d_ondemand_bytes(&self) -> u64 {
+        self.h2d_bytes - self.h2d_prefetch_bytes
     }
 }
 
@@ -74,6 +84,7 @@ mod tests {
         let mut a = XferStats {
             h2d_bytes: 10,
             h2d_wire_bytes: 4,
+            h2d_prefetch_bytes: 3,
             d2h_bytes: 2,
             h2d_ops: 1,
             d2h_ops: 1,
@@ -81,6 +92,7 @@ mod tests {
         let b = XferStats {
             h2d_bytes: 5,
             h2d_wire_bytes: 5,
+            h2d_prefetch_bytes: 1,
             d2h_bytes: 0,
             h2d_ops: 2,
             d2h_ops: 0,
@@ -88,6 +100,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.h2d_bytes, 15);
         assert_eq!(a.h2d_wire_bytes, 9);
+        assert_eq!(a.h2d_prefetch_bytes, 4);
+        assert_eq!(a.h2d_ondemand_bytes(), 11);
         assert_eq!(a.h2d_ops, 3);
         assert_eq!(a.total_bytes(), 17);
         assert_eq!(a.total_wire_bytes(), 11);

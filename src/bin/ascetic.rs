@@ -16,9 +16,10 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use ascetic::algos::{Bfs, Cc, Closeness, KCore, MsBfs, PageRank, Sssp};
-use ascetic::baselines::{PtSystem, SubwaySystem, UvmSystem};
+use ascetic::baselines::{AnySystem, PtSystem, SubwaySystem, UvmSystem};
 use ascetic::core::{
-    AsceticConfig, AsceticSystem, CompressionMode, FillPolicy, OutOfCoreSystem, RunReport,
+    AsceticConfig, AsceticSystem, CompressionMode, FillPolicy, OutOfCoreSystem, PrefetchMode,
+    RunReport,
 };
 use ascetic::graph::datasets::{weighted_variant, Dataset, DatasetId};
 use ascetic::graph::generators::{
@@ -66,6 +67,7 @@ USAGE:
                    [--mem BYTES | --mem-frac F] [--source V] [--k-param F] [--kcore-k K]
                    [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
                    [--chunk BYTES] [--no-adaptive] [--compression off|always|adaptive]
+                   [--prefetch off|next-frontier|hotness]
                    [--iter-csv FILE] [--trace FILE.json]
                    [--metrics-out FILE.jsonl] [--summary text|json|csv|md]
                    [--pool-metrics] (append host worker-pool telemetry — wall-clock,
@@ -308,6 +310,16 @@ fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> 
     if let Some(m) = o.get("compression") {
         cfg = cfg.with_compression(parse_compression_mode(m)?);
     }
+    // --prefetch beats the ASCETIC_PREFETCH environment default
+    let prefetch = match o.get("prefetch") {
+        Some(p) => Some(p.to_string()),
+        None => std::env::var("ASCETIC_PREFETCH").ok(),
+    };
+    if let Some(p) = prefetch {
+        let mode = PrefetchMode::parse(&p)
+            .ok_or_else(|| format!("unknown --prefetch {p} (off|next-frontier|hotness)"))?;
+        cfg = cfg.with_prefetch(mode);
+    }
     // default chunk scaled sensibly for small inputs
     if o.get("chunk").is_none() {
         let budget = dev.mem_bytes;
@@ -315,65 +327,71 @@ fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> 
             cfg = cfg.with_chunk_bytes(((budget / 64).next_multiple_of(8) as usize).max(64));
         }
     }
-    Ok(cfg)
+    // surface bad knob combinations as a clean CLI error, not a panic
+    cfg.build().map_err(|e| e.to_string())
 }
 
 fn run_system(o: &Opts, system: &str, g: &Csr, algo: &str) -> Result<RunReport, String> {
     let dev = device_from(o, g)?;
     let source: u32 = o.parse("source")?.unwrap_or(0);
     let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
-    macro_rules! dispatch {
-        ($sys:expr) => {
-            match algo {
-                "bfs" => Ok($sys.run(g, &Bfs::new(source))),
-                "sssp" => {
-                    if !g.is_weighted() {
-                        let wg = weighted_variant(g);
-                        Ok($sys.run(&wg, &Sssp::new(source)))
-                    } else {
-                        Ok($sys.run(g, &Sssp::new(source)))
-                    }
-                }
-                "cc" => Ok($sys.run(g, &Cc::new())),
-                "pr" => Ok($sys.run(g, &PageRank::new())),
-                "kcore" => Ok($sys.run(g, &KCore::new(kk))),
-                "msbfs" => {
-                    let sources = sample_sources(g, 64);
-                    Ok($sys.run(g, &MsBfs::new(sources)))
-                }
-                "closeness" => {
-                    let sources = sample_sources(g, 16);
-                    Ok($sys.run(g, &Closeness::new(sources)))
-                }
-                other => Err(format!("unknown --algo {other}")),
-            }
-        };
-    }
     let tracing = o.has("trace-flag") || o.get("trace").is_some();
     // an event log is only worth recording when it will be exported
     let events = o.get("metrics-out").is_some();
-    match system {
+    let sys: AnySystem = match system {
         "ascetic" => {
             let cfg = ascetic_config(o, dev)?
                 .with_tracing(tracing)
                 .with_events(events);
-            dispatch!(AsceticSystem::new(cfg))
+            AsceticSystem::new(cfg).into()
         }
         "subway" => {
             let mode = match o.get("compression") {
                 Some(m) => parse_compression_mode(m)?,
                 None => CompressionMode::Off,
             };
-            dispatch!(SubwaySystem::new(dev)
+            SubwaySystem::new(dev)
                 .with_tracing(tracing)
                 .with_events(events)
-                .with_compression(mode))
+                .with_compression(mode)
+                .into()
         }
-        "pt" => dispatch!(PtSystem::new(dev).with_tracing(tracing).with_events(events)),
-        "uvm" => dispatch!(UvmSystem::new(dev)
+        "pt" => PtSystem::new(dev)
             .with_tracing(tracing)
-            .with_events(events)),
-        other => Err(format!("unknown --system {other}")),
+            .with_events(events)
+            .into(),
+        "uvm" => UvmSystem::new(dev)
+            .with_tracing(tracing)
+            .with_events(events)
+            .into(),
+        other => return Err(format!("unknown --system {other}")),
+    };
+    // `sssp` below may auto-weight the graph; the vertex count (what
+    // prepare checks) is unchanged by weighting, and the session ships
+    // weighted payloads raw, so preparing against `g` stays valid.
+    sys.prepare(g).map_err(|e| e.to_string())?;
+    match algo {
+        "bfs" => Ok(sys.run(g, &Bfs::new(source))),
+        "sssp" => {
+            if !g.is_weighted() {
+                let wg = weighted_variant(g);
+                Ok(sys.run(&wg, &Sssp::new(source)))
+            } else {
+                Ok(sys.run(g, &Sssp::new(source)))
+            }
+        }
+        "cc" => Ok(sys.run(g, &Cc::new())),
+        "pr" => Ok(sys.run(g, &PageRank::new())),
+        "kcore" => Ok(sys.run(g, &KCore::new(kk))),
+        "msbfs" => {
+            let sources = sample_sources(g, 64);
+            Ok(sys.run(g, &MsBfs::new(sources)))
+        }
+        "closeness" => {
+            let sources = sample_sources(g, 16);
+            Ok(sys.run(g, &Closeness::new(sources)))
+        }
+        other => Err(format!("unknown --algo {other}")),
     }
 }
 

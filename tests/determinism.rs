@@ -170,6 +170,103 @@ fn compression_modes_are_bit_identical_across_thread_counts() {
     set_num_threads(0);
 }
 
+/// Satellite of the prefetch-pipeline PR: the cross-iteration prefetch
+/// planner runs on the single orchestration thread over deterministic
+/// inputs (frontier bitmap, hotness table, cached encode sizes), and the
+/// second copy stream arbitrates the link in issue order — so every
+/// prefetch mode, combined with every compression mode, must be
+/// bit-identical at every host thread count, including the speculative
+/// byte accounting.
+#[test]
+fn prefetch_modes_are_bit_identical_across_thread_counts() {
+    use ascetic::core::{CompressionMode, PrefetchMode};
+    use ascetic::graph::generators::{rmat_graph, RmatConfig};
+
+    let g = rmat_graph(&RmatConfig::new(11, 80_000, 42));
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    let prefetch_modes = [
+        PrefetchMode::Off,
+        PrefetchMode::NextFrontier,
+        PrefetchMode::Hotness,
+    ];
+    let compression_modes = [CompressionMode::Off, CompressionMode::Adaptive];
+
+    let run_suite = |threads: usize| -> Vec<RunReport> {
+        set_num_threads(threads);
+        let mut reports = Vec::new();
+        for &pf in &prefetch_modes {
+            for &cm in &compression_modes {
+                let asc = AsceticSystem::new(
+                    AsceticConfig::new(dev)
+                        .with_chunk_bytes(1024)
+                        .with_compression(cm)
+                        .with_prefetch(pf),
+                );
+                reports.push(asc.run(&g, &Bfs::new(0)));
+                reports.push(asc.run(&g, &PageRank::new()));
+            }
+        }
+        reports
+    };
+
+    let base = run_suite(1);
+    for threads in [2, 8] {
+        let sweep = run_suite(threads);
+        for (a, b) in base.iter().zip(&sweep) {
+            assert_identical(a, b);
+            assert_eq!(a.prefetch_bytes, b.prefetch_bytes);
+            assert_eq!(a.prefetch_ops, b.prefetch_ops);
+            assert_eq!(a.prefetch_hits, b.prefetch_hits);
+            assert_eq!(a.prefetch_wasted_bytes, b.prefetch_wasted_bytes);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}/{} metrics must not depend on host threads ({} vs 1)",
+                a.system, a.algorithm, threads
+            );
+        }
+    }
+    set_num_threads(0);
+}
+
+/// Prefetch is a pure timing optimization: whatever it speculates, the
+/// algorithm answer must equal the `--prefetch off` answer exactly.
+#[test]
+fn prefetch_never_changes_algorithm_results() {
+    use ascetic::core::PrefetchMode;
+
+    let ds = Dataset::build(DatasetId::Fk, SCALE);
+    let g = ds.graph.clone();
+    let wg = ds.weighted();
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    let cfg = |pf: PrefetchMode| {
+        AsceticSystem::new(
+            AsceticConfig::new(dev)
+                .with_chunk_bytes(1024)
+                .with_prefetch(pf),
+        )
+    };
+    let off = cfg(PrefetchMode::Off);
+    for pf in [PrefetchMode::NextFrontier, PrefetchMode::Hotness] {
+        let on = cfg(pf);
+        assert_eq!(
+            off.run(&g, &Bfs::new(0)).output,
+            on.run(&g, &Bfs::new(0)).output
+        );
+        assert_eq!(
+            off.run(&g, &PageRank::new()).output,
+            on.run(&g, &PageRank::new()).output
+        );
+        assert_eq!(
+            off.run(&g, &Cc::new()).output,
+            on.run(&g, &Cc::new()).output
+        );
+        assert_eq!(
+            off.run(&wg, &Sssp::new(0)).output,
+            on.run(&wg, &Sssp::new(0)).output
+        );
+    }
+}
+
 #[test]
 fn dataset_builds_are_reproducible() {
     let a = Dataset::build(DatasetId::Gs, SCALE);
