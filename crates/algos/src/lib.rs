@@ -20,6 +20,7 @@
 //! * [`inmemory`] — a memory-unconstrained runner used as the semantic
 //!   oracle and to measure per-iteration active-edge ratios (Table 1).
 
+pub mod batch;
 pub mod bfs;
 pub mod cc;
 pub mod closeness;
@@ -31,6 +32,7 @@ pub mod reference;
 pub mod sssp;
 pub mod traits;
 
+pub use batch::{MsBfsDistances, MsSsspDistances, MAX_BATCH_LANES};
 pub use bfs::Bfs;
 pub use cc::Cc;
 pub use closeness::Closeness;

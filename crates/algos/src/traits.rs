@@ -207,6 +207,9 @@ pub enum AlgoOutput {
     Labels(Vec<u32>),
     /// Per-vertex PageRank score.
     Ranks(Vec<f64>),
+    /// One distance vector per source of a batched multi-source run
+    /// (lane-major: `v[lane][vertex]`), in the batch's source order.
+    MultiDistances(Vec<Vec<u32>>),
 }
 
 impl AlgoOutput {
@@ -226,6 +229,21 @@ impl AlgoOutput {
                     return Some(a.len().min(b.len()));
                 }
                 a.iter().zip(b).position(|(x, y)| (x - y).abs() > tol)
+            }
+            (AlgoOutput::MultiDistances(a), AlgoOutput::MultiDistances(b)) => {
+                if a.len() != b.len() {
+                    return Some(a.len().min(b.len()));
+                }
+                // report the first mismatching vertex across any lane
+                for (la, lb) in a.iter().zip(b) {
+                    if la.len() != lb.len() {
+                        return Some(la.len().min(lb.len()));
+                    }
+                    if let Some(v) = la.iter().zip(lb).position(|(x, y)| x != y) {
+                        return Some(v);
+                    }
+                }
+                None
             }
             _ => Some(0),
         }

@@ -32,7 +32,7 @@ pub use subway::SubwaySystem;
 pub use uvm::UvmSystem;
 
 use ascetic_algos::VertexProgram;
-use ascetic_core::system::PrepareError;
+use ascetic_core::system::{PrepareError, Prepared};
 use ascetic_core::{AsceticSystem, OutOfCoreSystem, RunReport};
 use ascetic_graph::Csr;
 
@@ -62,7 +62,7 @@ impl OutOfCoreSystem for AnySystem {
         }
     }
 
-    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
+    fn prepare(&self, g: &Csr) -> Result<Prepared, PrepareError> {
         match self {
             AnySystem::Ascetic(s) => s.prepare(g),
             AnySystem::Subway(s) => s.prepare(g),

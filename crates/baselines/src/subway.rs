@@ -27,7 +27,7 @@ use ascetic_core::engine::finish_report;
 use ascetic_core::ondemand::{gather, plan_batches};
 use ascetic_core::report::{Breakdown, IterReport, RunReport};
 use ascetic_core::system::{
-    check_vertex_fit, edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem, PrepareError,
+    edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem, PrepareError, Prepared,
 };
 use ascetic_core::CompressionMode;
 
@@ -80,8 +80,8 @@ impl OutOfCoreSystem for SubwaySystem {
         "Subway"
     }
 
-    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
-        check_vertex_fit(g, self.device.mem_bytes)
+    fn prepare(&self, g: &Csr) -> Result<Prepared, PrepareError> {
+        Prepared::for_device(g, self.device.mem_bytes)
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {

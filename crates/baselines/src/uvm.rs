@@ -23,7 +23,7 @@ use ascetic_sim::{AccessTracer, DeviceConfig, Engine, Gpu, SimTime, Uvm};
 use ascetic_core::engine::finish_report;
 use ascetic_core::report::{Breakdown, IterReport, RunReport};
 use ascetic_core::system::{
-    check_vertex_fit, edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem, PrepareError,
+    edge_budget_bytes, reserve_vertex_arrays, OutOfCoreSystem, PrepareError, Prepared,
 };
 
 /// The UVM baseline system.
@@ -228,8 +228,8 @@ impl OutOfCoreSystem for UvmSystem {
         "UVM"
     }
 
-    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
-        check_vertex_fit(g, self.device.mem_bytes)
+    fn prepare(&self, g: &Csr) -> Result<Prepared, PrepareError> {
+        Prepared::for_device(g, self.device.mem_bytes)
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {

@@ -37,9 +37,7 @@ fn mode_grid(scale: u64, mode: CompressionMode) -> Vec<Cell> {
 
 fn json_report(smoke: bool, scale: u64, grids: &[Vec<Cell>]) -> String {
     let (off, always, adaptive) = (&grids[0], &grids[1], &grids[2]);
-    let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"bench\": \"compression\",");
-    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let mut j = ascetic_bench::output::json_header("compression", smoke);
     let _ = writeln!(j, "  \"scale\": {scale},");
     let _ = writeln!(j, "  \"cells\": [");
     let mut off_wire_total = 0u64;

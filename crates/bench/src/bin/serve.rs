@@ -1,0 +1,270 @@
+//! Serve bench — the multi-query serving layer across scheduling policies.
+//!
+//! Replays one deterministic ≥32-job mixed trace (BFS/SSSP/CC/PR over one
+//! dataset stand-in and its weighted variant) under every scheduling
+//! policy and reports, per policy, the total virtual makespan, queue
+//! wait, on-demand H2D traffic, prestore traffic and residency hits.
+//! The serving layer's acceptance invariants are checked here:
+//!
+//! * every job's answer is byte-identical under every policy (the
+//!   schedule may not change results);
+//! * batched BFS/SSSP answers are byte-identical to running the same
+//!   jobs individually (batching may not change results);
+//! * `residency` beats `fifo` on total virtual makespan AND on on-demand
+//!   H2D bytes — grouping jobs by what is already on-device avoids the
+//!   rebuild prestores FIFO pays every time the trace alternates graph
+//!   variants;
+//! * `residency` records nonzero residency hit bytes (warm runs served
+//!   static-region traffic from carried device state).
+//!
+//! Output: markdown on stdout, `serve.csv` under `$ASCETIC_RESULTS`, and
+//! `BENCH_serve.json`. Pass `--smoke` for the fast CI variant (asserts
+//! downgraded to warnings at toy scale).
+
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
+use ascetic_bench::setup::Env;
+use ascetic_graph::datasets::DatasetId;
+use ascetic_serve::{
+    output_fingerprint, serve, synthetic_mixed, Policy, ServeConfig, ServeReport, ALL_POLICIES,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const N_JOBS: usize = 48;
+const TRACE_SEED: u64 = 2021;
+
+fn json_report(smoke: bool, scale: u64, reports: &[ServeReport], solo: &ServeReport) -> String {
+    let mut j = ascetic_bench::output::json_header("serve", smoke);
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"jobs\": {N_JOBS},");
+    let _ = writeln!(j, "  \"trace_seed\": {TRACE_SEED},");
+    let _ = writeln!(j, "  \"policies\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"policy\": \"{}\", \"makespan_ns\": {}, \"total_queue_wait_ns\": {}, \
+             \"ondemand_h2d_bytes\": {}, \"prestore_bytes\": {}, \"residency_hit_bytes\": {}, \
+             \"sessions_built\": {}, \"batches\": {}, \"batched_jobs\": {}, \
+             \"batch_occupancy_x100\": {}}}{}",
+            r.policy,
+            r.makespan_ns,
+            r.total_queue_wait_ns,
+            r.ondemand_h2d_bytes,
+            r.prestore_bytes,
+            r.residency_hit_bytes,
+            r.sessions_built,
+            r.batches,
+            r.batched_jobs,
+            r.batch_occupancy_x100(),
+            comma
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let fifo = &reports[0];
+    let ra = &reports[2];
+    let _ = writeln!(j, "  \"residency_vs_fifo\": {{");
+    let _ = writeln!(
+        j,
+        "    \"makespan_saved_ns\": {},",
+        fifo.makespan_ns as i64 - ra.makespan_ns as i64
+    );
+    let _ = writeln!(
+        j,
+        "    \"ondemand_h2d_saved_bytes\": {},",
+        fifo.ondemand_h2d_bytes as i64 - ra.ondemand_h2d_bytes as i64
+    );
+    let _ = writeln!(
+        j,
+        "    \"prestores_avoided\": {}",
+        fifo.sessions_built as i64 - ra.sessions_built as i64
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"oracles\": {{");
+    let _ = writeln!(j, "    \"outputs_identical_across_policies\": true,");
+    let _ = writeln!(j, "    \"batched_identical_to_individual\": true,");
+    let _ = writeln!(j, "    \"solo_makespan_ns\": {},", solo.makespan_ns);
+    let _ = writeln!(
+        j,
+        "    \"residency_hit_bytes_nonzero\": {}",
+        ra.residency_hit_bytes > 0
+    );
+    let _ = writeln!(j, "  }}");
+    j.push('}');
+    j.push('\n');
+    j
+}
+
+fn output_path() -> PathBuf {
+    match std::env::var("ASCETIC_RESULTS") {
+        Ok(dir) if !dir.is_empty() => {
+            std::fs::create_dir_all(&dir).expect("create $ASCETIC_RESULTS dir");
+            PathBuf::from(dir).join("BENCH_serve.json")
+        }
+        _ => PathBuf::from("BENCH_serve.json"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 50_000 } else { Env::from_env().scale };
+    let env = Env::with_scale(scale);
+    eprintln!("Serve sweep (scale 1/{scale}, {N_JOBS}-job mixed trace)");
+
+    let ds = env.dataset(DatasetId::Gs);
+    let g = ds.graph.clone();
+    let w = ds.weighted();
+    let cfg = env.ascetic_cfg();
+    // Calibrate the arrival spacing to this scale's run times (one CC pass
+    // ≈ a mid-length job) so the trace streams in rather than arriving as
+    // one burst: that is what separates the policies — FIFO switches graph
+    // variants in arrival order while residency-affinity defers weighted
+    // jobs until the unweighted queue drains, merging them into far fewer
+    // multi-source passes.
+    let spacing_ns = {
+        let mut session = ascetic_core::AsceticSession::new(cfg, &g);
+        session.run(&ascetic_algos::Cc::new()).sim_time_ns
+    };
+    // One full mix cycle (bfs, sssp, bfs, cc, sssp, pr) arrives per burst,
+    // bursts two CC-lengths apart: enough pressure that batching matters,
+    // enough spread that FIFO's eager variant switching costs it — the
+    // regime a shared device actually serves in.
+    let spacing_ns = spacing_ns * 2;
+    let jobs = synthetic_mixed(N_JOBS, g.num_vertices(), TRACE_SEED, spacing_ns, 6);
+
+    let reports: Vec<ServeReport> = ALL_POLICIES
+        .iter()
+        .map(|&policy| {
+            eprintln!("policy: {}", policy.name());
+            serve(&ServeConfig::new(cfg, policy), &g, Some(&w), &jobs).expect("serve")
+        })
+        .collect();
+    eprintln!("policy: fifo (no batching)");
+    let solo = serve(
+        &ServeConfig::new(cfg, Policy::Fifo).without_batching(),
+        &g,
+        Some(&w),
+        &jobs,
+    )
+    .expect("serve solo");
+
+    for r in &reports {
+        assert!(r.rejected.is_empty(), "trace jobs must all be admissible");
+        assert_eq!(r.jobs.len(), N_JOBS);
+    }
+
+    // oracle: the schedule may not change any answer
+    for r in &reports[1..] {
+        for (a, b) in reports[0].jobs.iter().zip(&r.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                output_fingerprint(&a.output),
+                output_fingerprint(&b.output),
+                "policy {} changed job {}'s answer",
+                r.policy,
+                a.id
+            );
+        }
+    }
+    // oracle: batching may not change any answer
+    for (a, b) in reports[0].jobs.iter().zip(&solo.jobs) {
+        assert_eq!(
+            output_fingerprint(&a.output),
+            output_fingerprint(&b.output),
+            "batched job {} differs from its individual run",
+            a.id
+        );
+    }
+
+    let mut table = Table::new(vec![
+        "Policy",
+        "Makespan",
+        "Queue wait",
+        "On-demand H2D",
+        "Prestore",
+        "Residency hits",
+        "Sessions",
+        "Batched",
+    ]);
+    let mut csv = Table::new(vec![
+        "policy",
+        "makespan_ns",
+        "total_queue_wait_ns",
+        "ondemand_h2d_bytes",
+        "prestore_bytes",
+        "residency_hit_bytes",
+        "sessions_built",
+        "batches",
+        "batched_jobs",
+    ]);
+    for r in &reports {
+        table.row(vec![
+            r.policy.to_string(),
+            format!("{:.2} ms", r.makespan_ns as f64 / 1e6),
+            format!("{:.2} ms", r.total_queue_wait_ns as f64 / 1e6),
+            format!("{:.2} MB", r.ondemand_h2d_bytes as f64 / 1e6),
+            format!("{:.2} MB", r.prestore_bytes as f64 / 1e6),
+            format!("{:.2} MB", r.residency_hit_bytes as f64 / 1e6),
+            r.sessions_built.to_string(),
+            format!("{}/{}", r.batched_jobs, r.jobs.len()),
+        ]);
+        csv.row(vec![
+            r.policy.to_string(),
+            r.makespan_ns.to_string(),
+            r.total_queue_wait_ns.to_string(),
+            r.ondemand_h2d_bytes.to_string(),
+            r.prestore_bytes.to_string(),
+            r.residency_hit_bytes.to_string(),
+            r.sessions_built.to_string(),
+            r.batches.to_string(),
+            r.batched_jobs.to_string(),
+        ]);
+    }
+    emit("serve", &table, &csv);
+
+    let json = json_report(smoke, scale, &reports, &solo);
+    let path = output_path();
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+
+    let fifo = &reports[0];
+    let ra = &reports[2];
+    println!(
+        "residency vs fifo: makespan {:.2} ms -> {:.2} ms, on-demand H2D {:.2} MB -> {:.2} MB, \
+         {} -> {} sessions",
+        fifo.makespan_ns as f64 / 1e6,
+        ra.makespan_ns as f64 / 1e6,
+        fifo.ondemand_h2d_bytes as f64 / 1e6,
+        ra.ondemand_h2d_bytes as f64 / 1e6,
+        fifo.sessions_built,
+        ra.sessions_built
+    );
+    let wins_makespan = ra.makespan_ns < fifo.makespan_ns;
+    let wins_h2d = ra.ondemand_h2d_bytes < fifo.ondemand_h2d_bytes;
+    let hits = ra.residency_hit_bytes > 0;
+    if smoke {
+        // toy scale: the trace barely oversubscribes, so only warn
+        if !wins_makespan || !wins_h2d {
+            eprintln!(
+                "warning: residency does not beat fifo at smoke scale \
+                 (makespan win: {wins_makespan}, H2D win: {wins_h2d})"
+            );
+        }
+        if !hits {
+            eprintln!("warning: no residency hits at smoke scale");
+        }
+    } else {
+        assert!(
+            wins_makespan,
+            "residency must beat fifo on makespan ({} vs {} ns)",
+            ra.makespan_ns, fifo.makespan_ns
+        );
+        assert!(
+            wins_h2d,
+            "residency must beat fifo on on-demand H2D ({} vs {} B)",
+            ra.ondemand_h2d_bytes, fifo.ondemand_h2d_bytes
+        );
+        assert!(hits, "residency recorded no residency hit bytes");
+    }
+}

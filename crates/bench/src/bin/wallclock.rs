@@ -123,9 +123,7 @@ fn algo_sweep(smoke: bool) -> Vec<AlgoRun> {
 }
 
 fn json_report(smoke: bool, ab: &DispatchAb, runs: &[AlgoRun]) -> String {
-    let mut j = String::from("{\n");
-    let _ = writeln!(j, "  \"bench\": \"wallclock\",");
-    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let mut j = ascetic_bench::output::json_header("wallclock", smoke);
     let _ = writeln!(j, "  \"dispatch\": {{");
     let _ = writeln!(j, "    \"threads\": {},", ab.threads);
     let _ = writeln!(j, "    \"job_len\": {DISPATCH_LEN},");

@@ -9,6 +9,19 @@
 use crate::fmt::{maybe_write_csv, Table};
 use std::path::PathBuf;
 
+pub use ascetic_core::RUN_REPORT_SCHEMA_VERSION as SCHEMA_VERSION;
+
+/// Shared opening of every `BENCH_*.json` document: the brace, the
+/// [`SCHEMA_VERSION`] stamp and the bench identity lines, so downstream
+/// parsers can branch on layout before touching bench-specific fields.
+/// Callers append their own fields and the closing brace.
+pub fn json_header(bench: &str, smoke: bool) -> String {
+    format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \
+         \"smoke\": {smoke},\n"
+    )
+}
+
 /// Print `display` as markdown and write `raw` as `<bin>.csv`.
 ///
 /// `display` carries humanised units for the terminal; `raw` carries full

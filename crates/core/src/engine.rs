@@ -31,7 +31,8 @@ use ascetic_sim::{Engine, Gpu};
 use crate::config::AsceticConfig;
 use crate::report::{Breakdown, IterReport, RunReport};
 use crate::session::AsceticSession;
-use crate::system::{check_vertex_fit, OutOfCoreSystem, PrepareError};
+use crate::system::{OutOfCoreSystem, PrepareError, Prepared};
+use ascetic_graph::chunks::ChunkGeometry;
 
 /// The Ascetic out-of-core system.
 ///
@@ -66,10 +67,10 @@ impl OutOfCoreSystem for AsceticSystem {
         "Ascetic"
     }
 
-    fn prepare(&self, g: &Csr) -> Result<(), PrepareError> {
-        check_vertex_fit(g, self.cfg.device.mem_bytes)?;
+    fn prepare(&self, g: &Csr) -> Result<Prepared, PrepareError> {
+        let prepared = Prepared::for_device(g, self.cfg.device.mem_bytes)?;
         self.cfg.validate_for(g)?;
-        Ok(())
+        Ok(prepared.with_geometry(ChunkGeometry::with_chunk_bytes(g, self.cfg.chunk_bytes)))
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {

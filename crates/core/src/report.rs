@@ -16,6 +16,15 @@ use ascetic_algos::AlgoOutput;
 use ascetic_obs::{json, EventLog, MetricsSnapshot};
 use ascetic_sim::{KernelStats, TraceSpan, XferStats};
 
+/// Version stamped into every machine-readable report this workspace
+/// emits ([`RunReport::summary_json`], the CLI's metrics JSONL, the bench
+/// BENCH_*.json files and the serve reports). Bump it whenever a field is
+/// renamed, removed or re-interpreted so downstream trace parsers can
+/// branch instead of silently misreading. History: 1 = the PR 1–4 layout
+/// (no explicit version); 2 = the version field itself plus the serve
+/// layer's report family.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 2;
+
 /// Per-iteration record.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IterReport {
@@ -348,6 +357,9 @@ impl RunReport {
     /// One JSON object: headline scalars plus the full metrics snapshot.
     pub fn summary_json(&self) -> String {
         let mut out = String::from("{");
+        json::key_into("schema_version", &mut out);
+        out.push_str(&RUN_REPORT_SCHEMA_VERSION.to_string());
+        out.push(',');
         json::key_into("system", &mut out);
         json::string_into(self.system, &mut out);
         out.push(',');

@@ -81,6 +81,27 @@ impl<'g> AsceticSession<'g> {
     /// Set up the device for `g`: reserve vertex arrays, size the regions
     /// per Eq (2), allocate the on-demand buffers and perform the prestore.
     pub fn new(cfg: AsceticConfig, g: &'g Csr) -> AsceticSession<'g> {
+        let geo = ChunkGeometry::with_chunk_bytes(g, cfg.chunk_bytes);
+        Self::with_geometry(cfg, g, geo)
+    }
+
+    /// Like [`AsceticSession::new`] but reusing the chunking cached by
+    /// [`crate::system::OutOfCoreSystem::prepare`], so layers that run many
+    /// jobs against one prepared system (the serve scheduler) do not
+    /// re-derive config state per session.
+    pub fn with_prepared(
+        cfg: AsceticConfig,
+        g: &'g Csr,
+        prepared: &crate::system::Prepared,
+    ) -> AsceticSession<'g> {
+        let geo = prepared
+            .geometry
+            .unwrap_or_else(|| ChunkGeometry::with_chunk_bytes(g, cfg.chunk_bytes));
+        debug_assert_eq!(geo.num_edges, g.num_edges(), "prepared for another graph");
+        Self::with_geometry(cfg, g, geo)
+    }
+
+    fn with_geometry(cfg: AsceticConfig, g: &'g Csr, geo: ChunkGeometry) -> AsceticSession<'g> {
         let mut gpu = if cfg.tracing {
             Gpu::new_traced(cfg.device)
         } else {
@@ -91,7 +112,6 @@ impl<'g> AsceticSession<'g> {
         }
         let _vertex_slab = reserve_vertex_arrays(&mut gpu, g);
         let m_edge = edge_budget_bytes(&gpu);
-        let geo = ChunkGeometry::with_chunk_bytes(g, cfg.chunk_bytes);
         let d = g.edge_bytes();
         assert!(
             m_edge >= 2 * cfg.chunk_bytes as u64,
@@ -303,6 +323,46 @@ impl<'g> AsceticSession<'g> {
     /// region.
     pub fn resident_fraction(&self) -> f64 {
         self.region.resident_chunks() as f64 / self.geo.num_chunks().max(1) as f64
+    }
+
+    /// The session's edge-chunk geometry.
+    pub fn geometry(&self) -> ChunkGeometry {
+        self.geo
+    }
+
+    /// Bytes of edge data currently resident in the static region
+    /// (actual chunk payload, short last chunk included).
+    pub fn resident_bytes(&self) -> u64 {
+        self.region
+            .resident_chunk_ids()
+            .iter()
+            .map(|&c| self.geo.chunk_len_bytes(c) as u64)
+            .sum()
+    }
+
+    /// Snapshot of the device arena's occupancy, for serve-layer admission
+    /// control against what this session has pinned.
+    pub fn occupancy(&self) -> ascetic_sim::ArenaOccupancy {
+        self.gpu.occupancy()
+    }
+
+    /// Next-demand estimate for a prospective frontier: how many bytes of
+    /// the chunk demand `frontier` would generate are already resident in
+    /// the static region, and the total demand. Residency-affinity
+    /// scheduling ranks waiting jobs by the first component — it is exactly
+    /// the traffic a cold session would have to ship on demand but a warm
+    /// one serves from device memory.
+    pub fn demand_overlap(&self, frontier: &ascetic_par::Bitmap) -> (u64, u64) {
+        let demand = chunk_demand_bytes(self.g, &self.geo, frontier);
+        let mut resident = 0u64;
+        let mut total = 0u64;
+        for (c, &b) in demand.iter().enumerate() {
+            total += b;
+            if self.region.is_resident(c as ChunkId) {
+                resident += b;
+            }
+        }
+        (resident, total)
     }
 
     /// Execute one program over the session's graph. The first run's report

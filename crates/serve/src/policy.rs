@@ -1,0 +1,58 @@
+//! Pluggable scheduling policies.
+
+/// How the scheduler picks the next job among those that have arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict arrival order (`submit_ns`, then id).
+    Fifo,
+    /// Shortest job first: rank by a per-algorithm running-mean cost
+    /// estimate (seeded from the graph's edge volume, refined by the
+    /// hotness of observed runs), shortest first.
+    Sjf,
+    /// Residency affinity: prefer the job whose chunk demand best overlaps
+    /// what the live session already holds on-device, carrying the warmed
+    /// static region and hotness table across jobs instead of tearing the
+    /// session down.
+    ResidencyAffinity,
+}
+
+/// Every policy, in the order benches and CI sweep them.
+pub const ALL_POLICIES: [Policy; 3] = [Policy::Fifo, Policy::Sjf, Policy::ResidencyAffinity];
+
+impl Policy {
+    /// Parse a CLI `--policy` value.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "fifo" => Some(Policy::Fifo),
+            "sjf" => Some(Policy::Sjf),
+            "residency" | "residency-affinity" => Some(Policy::ResidencyAffinity),
+            _ => None,
+        }
+    }
+
+    /// Display name (matches the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Sjf => "sjf",
+            Policy::ResidencyAffinity => "residency",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for p in ALL_POLICIES {
+            assert_eq!(Policy::parse(p.name()), Some(p));
+        }
+        assert_eq!(
+            Policy::parse("residency-affinity"),
+            Some(Policy::ResidencyAffinity)
+        );
+        assert_eq!(Policy::parse("lifo"), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! Serve-level reporting: per-job reports plus the aggregate serve report,
+//! with a hand-rolled JSON emitter matching the repo's other report paths.
+
+use ascetic_algos::AlgoOutput;
+use ascetic_core::{RunReport, RUN_REPORT_SCHEMA_VERSION};
+use ascetic_obs::json;
+use ascetic_obs::MetricsSnapshot;
+use ascetic_sim::ArenaOccupancy;
+
+/// What one admitted job got back from the serving layer.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The job's trace id.
+    pub id: u32,
+    /// Algorithm name (trace spelling).
+    pub algo: &'static str,
+    /// Batch this job ran in, if it was folded into one.
+    pub batch: Option<u32>,
+    /// Lanes in the run that produced this job's answer (1 = solo).
+    pub lanes: u32,
+    /// When the job arrived, serve clock ns.
+    pub submit_ns: u64,
+    /// When its run started.
+    pub start_ns: u64,
+    /// When its run finished.
+    pub finish_ns: u64,
+    /// `start_ns - submit_ns`.
+    pub queue_wait_ns: u64,
+    /// The deadline it asked for, if any.
+    pub deadline_ns: Option<u64>,
+    /// Whether `finish_ns <= deadline_ns` (None when no deadline).
+    pub met_deadline: Option<bool>,
+    /// This job's answer (a batched run's output split to its lane).
+    pub output: AlgoOutput,
+    /// The underlying engine run report, with `output` replaced by this
+    /// job's lane. Batch members share every other field.
+    pub run: RunReport,
+}
+
+/// A job the admission check turned away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejectedJob {
+    /// The job's trace id.
+    pub id: u32,
+    /// Algorithm name.
+    pub algo: &'static str,
+    /// Human-readable admission failure, [`ascetic_core::PrepareError`] text.
+    pub reason: String,
+}
+
+/// Everything one [`crate::server::serve`] call produced.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Policy name the schedule was built under.
+    pub policy: &'static str,
+    /// Serve-clock time when the last job finished.
+    pub makespan_ns: u64,
+    /// Sum of queue waits over admitted jobs.
+    pub total_queue_wait_ns: u64,
+    /// On-demand H2D traffic summed over all runs.
+    pub ondemand_h2d_bytes: u64,
+    /// Prestore traffic summed over all runs (session rebuild cost).
+    pub prestore_bytes: u64,
+    /// Static-region bytes served from carried residency in warm runs —
+    /// traffic a cold session would have paid for again.
+    pub residency_hit_bytes: u64,
+    /// Multi-source batches executed.
+    pub batches: u32,
+    /// Jobs that rode in those batches.
+    pub batched_jobs: u32,
+    /// Sessions built (1 + variant switches; lower is better).
+    pub sessions_built: u32,
+    /// Device arena occupancy at shutdown.
+    pub occupancy: ArenaOccupancy,
+    /// Serve-layer metric snapshot (queue waits, batch occupancy, ...).
+    pub metrics: MetricsSnapshot,
+    /// Per-job reports, sorted by job id.
+    pub jobs: Vec<JobReport>,
+    /// Jobs refused at admission, sorted by job id.
+    pub rejected: Vec<RejectedJob>,
+}
+
+/// FNV-1a over an output's canonical little-endian bytes: a compact,
+/// deterministic fingerprint for byte-identity oracles across policies.
+pub fn output_fingerprint(output: &AlgoOutput) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match output {
+        AlgoOutput::Distances(v) | AlgoOutput::Labels(v) => {
+            eat(&[1u8]);
+            for x in v {
+                eat(&x.to_le_bytes());
+            }
+        }
+        AlgoOutput::Ranks(v) => {
+            eat(&[2u8]);
+            for x in v {
+                eat(&x.to_bits().to_le_bytes());
+            }
+        }
+        AlgoOutput::MultiDistances(vs) => {
+            eat(&[3u8]);
+            for v in vs {
+                eat(&(v.len() as u64).to_le_bytes());
+                for x in v {
+                    eat(&x.to_le_bytes());
+                }
+            }
+        }
+    }
+    h
+}
+
+impl ServeReport {
+    /// Average lanes per run, ×100 (integer fixed-point, deterministic).
+    pub fn batch_occupancy_x100(&self) -> u64 {
+        let runs = self.jobs.len() as u64 - self.batched_jobs as u64 + self.batches as u64;
+        if runs == 0 {
+            return 0;
+        }
+        self.jobs.len() as u64 * 100 / runs
+    }
+
+    /// The whole serve outcome as one JSON object. Per-job entries carry an
+    /// `output_fp` fingerprint instead of the full output, so two reports
+    /// are byte-identical iff their schedules *and* answers agree.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + self.jobs.len() * 160);
+        out.push('{');
+        json::key_into("schema_version", &mut out);
+        out.push_str(&RUN_REPORT_SCHEMA_VERSION.to_string());
+        out.push(',');
+        json::key_into("policy", &mut out);
+        json::string_into(self.policy, &mut out);
+        for (k, v) in [
+            ("makespan_ns", self.makespan_ns),
+            ("total_queue_wait_ns", self.total_queue_wait_ns),
+            ("ondemand_h2d_bytes", self.ondemand_h2d_bytes),
+            ("prestore_bytes", self.prestore_bytes),
+            ("residency_hit_bytes", self.residency_hit_bytes),
+            ("batches", self.batches as u64),
+            ("batched_jobs", self.batched_jobs as u64),
+            ("sessions_built", self.sessions_built as u64),
+            ("batch_occupancy_x100", self.batch_occupancy_x100()),
+        ] {
+            out.push(',');
+            json::key_into(k, &mut out);
+            out.push_str(&v.to_string());
+        }
+        out.push(',');
+        json::key_into("occupancy", &mut out);
+        out.push_str(&format!(
+            "{{\"capacity_bytes\":{},\"used_bytes\":{},\"high_water_bytes\":{}}}",
+            self.occupancy.capacity_bytes,
+            self.occupancy.used_bytes,
+            self.occupancy.high_water_bytes
+        ));
+        out.push(',');
+        json::key_into("jobs", &mut out);
+        out.push('[');
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json::key_into("id", &mut out);
+            out.push_str(&j.id.to_string());
+            out.push(',');
+            json::key_into("algo", &mut out);
+            json::string_into(j.algo, &mut out);
+            out.push(',');
+            json::key_into("batch", &mut out);
+            match j.batch {
+                Some(b) => out.push_str(&b.to_string()),
+                None => out.push_str("null"),
+            }
+            for (k, v) in [
+                ("lanes", j.lanes as u64),
+                ("submit_ns", j.submit_ns),
+                ("start_ns", j.start_ns),
+                ("finish_ns", j.finish_ns),
+                ("queue_wait_ns", j.queue_wait_ns),
+                ("run_sim_ns", j.run.sim_time_ns),
+            ] {
+                out.push(',');
+                json::key_into(k, &mut out);
+                out.push_str(&v.to_string());
+            }
+            out.push(',');
+            json::key_into("deadline_ns", &mut out);
+            match j.deadline_ns {
+                Some(d) => out.push_str(&d.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push(',');
+            json::key_into("met_deadline", &mut out);
+            match j.met_deadline {
+                Some(true) => out.push_str("true"),
+                Some(false) => out.push_str("false"),
+                None => out.push_str("null"),
+            }
+            out.push(',');
+            json::key_into("output_fp", &mut out);
+            out.push_str(&format!("\"{:016x}\"", output_fingerprint(&j.output)));
+            out.push('}');
+        }
+        out.push(']');
+        out.push(',');
+        json::key_into("rejected", &mut out);
+        out.push('[');
+        for (i, r) in self.rejected.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json::key_into("id", &mut out);
+            out.push_str(&r.id.to_string());
+            out.push(',');
+            json::key_into("algo", &mut out);
+            json::string_into(r.algo, &mut out);
+            out.push(',');
+            json::key_into("reason", &mut out);
+            json::string_into(&r.reason, &mut out);
+            out.push('}');
+        }
+        out.push(']');
+        out.push(',');
+        json::key_into("metrics", &mut out);
+        out.push_str(&self.metrics.to_json());
+        out.push('}');
+        debug_assert!(json::validate(&out).is_ok(), "serve report JSON malformed");
+        out
+    }
+
+    /// One-paragraph text summary for `--summary text`.
+    pub fn summary_text(&self) -> String {
+        format!(
+            "serve[{}]: {} jobs ({} batched in {} batches, {} rejected), \
+             {} sessions, makespan {} ns, queue wait {} ns, \
+             on-demand H2D {} B, prestore {} B, residency hits {} B",
+            self.policy,
+            self.jobs.len(),
+            self.batched_jobs,
+            self.batches,
+            self.rejected.len(),
+            self.sessions_built,
+            self.makespan_ns,
+            self.total_queue_wait_ns,
+            self.ondemand_h2d_bytes,
+            self.prestore_bytes,
+            self.residency_hit_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_variants_and_values() {
+        let a = AlgoOutput::Distances(vec![1, 2, 3]);
+        let b = AlgoOutput::Labels(vec![1, 2, 3]);
+        let c = AlgoOutput::Distances(vec![1, 2, 4]);
+        assert_eq!(output_fingerprint(&a), output_fingerprint(&a));
+        assert_eq!(output_fingerprint(&a), output_fingerprint(&b)); // same payload class
+        assert_ne!(output_fingerprint(&a), output_fingerprint(&c));
+        let r1 = AlgoOutput::Ranks(vec![0.5, 0.25]);
+        let r2 = AlgoOutput::Ranks(vec![0.5, 0.125]);
+        assert_ne!(output_fingerprint(&r1), output_fingerprint(&r2));
+    }
+}

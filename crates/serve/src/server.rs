@@ -1,0 +1,678 @@
+//! The serve loop: admission control, policy scheduling, session reuse
+//! and query batching on a virtual clock.
+//!
+//! One simulated device serves a queue of jobs over one graph (and its
+//! weighted variant, for SSSP). The scheduler keeps at most one live
+//! [`AsceticSession`] — the device model — and decides, job by job:
+//!
+//! 1. **admission** — jobs whose graph variant cannot be prepared on the
+//!    device (vertex arrays don't fit, config invalid for the graph, edge
+//!    budget below two chunks) are rejected up front with the
+//!    [`PrepareError`] text, never run;
+//! 2. **scheduling** — among arrived jobs, [`Policy`] picks the next one;
+//! 3. **batching** — arrived same-kind single-source jobs are folded into
+//!    the pick (up to [`ServeConfig::max_batch`] lanes) and the whole
+//!    batch runs as one multi-source pass;
+//! 4. **residency** — if the live session already serves the right graph
+//!    variant it is *reused*: the warmed static region and hotness table
+//!    carry over and the run pays no prestore. A variant switch tears the
+//!    session down and pays a fresh prestore — the cost residency-affinity
+//!    scheduling exists to avoid.
+//!
+//! Time: the serve clock starts at 0 and advances by each run's simulated
+//! duration; a job's queue wait is `start - submit`. Everything is
+//! integer virtual time, so a trace + policy + config determines the
+//! report byte-for-byte regardless of host thread count.
+
+use ascetic_algos::{AlgoOutput, Bfs, Cc, MsBfsDistances, MsSsspDistances, PageRank, Sssp};
+use ascetic_core::{AsceticConfig, AsceticSession, AsceticSystem, OutOfCoreSystem, Prepared};
+use ascetic_graph::Csr;
+use ascetic_obs::Registry;
+use ascetic_par::Bitmap;
+
+use crate::job::{AlgoKind, Job};
+use crate::policy::Policy;
+use crate::report::{JobReport, RejectedJob, ServeReport};
+
+/// Serving-layer configuration on top of the device config.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Device + Ascetic knobs every session is built with.
+    pub cfg: AsceticConfig,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Fold compatible single-source jobs into multi-source batches.
+    pub batching: bool,
+    /// Max lanes per batch (clamped to the MS-BFS mask width, 64).
+    pub max_batch: usize,
+}
+
+impl ServeConfig {
+    /// Serve `cfg` under `policy` with batching on (64 lanes).
+    pub fn new(cfg: AsceticConfig, policy: Policy) -> Self {
+        ServeConfig {
+            cfg,
+            policy,
+            batching: true,
+            max_batch: ascetic_algos::MAX_BATCH_LANES,
+        }
+    }
+
+    /// Disable query batching (every job runs alone).
+    pub fn without_batching(mut self) -> Self {
+        self.batching = false;
+        self
+    }
+}
+
+/// Why a serve call could not start at all (per-job problems become
+/// [`RejectedJob`]s instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The trace holds weighted jobs but no weighted graph was supplied.
+    WeightedGraphMissing,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WeightedGraphMissing => {
+                write!(
+                    f,
+                    "trace contains sssp jobs but no weighted graph was provided"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Which graph a job runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Variant {
+    Unweighted,
+    Weighted,
+}
+
+fn variant_of(kind: AlgoKind) -> Variant {
+    if kind.needs_weights() {
+        Variant::Weighted
+    } else {
+        Variant::Unweighted
+    }
+}
+
+/// Per-kind running-mean cost model for SJF: seeded from the graph's edge
+/// volume (a whole-graph sweep costs more on a bigger edge array, PR the
+/// most with its dense iterations), refined with every observed run, and
+/// adjusted per job by the source vertex's degree — the same
+/// degree-is-hotness signal the replacement server ranks chunks by.
+struct CostModel {
+    sum_ns: [u64; 4],
+    runs: [u64; 4],
+    prior: [u64; 4],
+}
+
+fn kind_index(kind: AlgoKind) -> usize {
+    match kind {
+        AlgoKind::Bfs => 0,
+        AlgoKind::Sssp => 1,
+        AlgoKind::Cc => 2,
+        AlgoKind::Pr => 3,
+    }
+}
+
+impl CostModel {
+    fn new(unweighted: &Csr, weighted: Option<&Csr>) -> CostModel {
+        let eb = unweighted.edge_bytes();
+        let ebw = weighted.map_or(eb * 2, |g| g.edge_bytes());
+        CostModel {
+            sum_ns: [0; 4],
+            runs: [0; 4],
+            // relative magnitudes only — SJF ranks, it does not predict
+            prior: [eb, ebw * 3, eb * 2, eb * 8],
+        }
+    }
+
+    fn observe(&mut self, kind: AlgoKind, run_ns: u64) {
+        let i = kind_index(kind);
+        self.sum_ns[i] += run_ns;
+        self.runs[i] += 1;
+    }
+
+    fn estimate(&self, job: &Job, g: &Csr) -> u64 {
+        let i = kind_index(job.kind);
+        let base = self.sum_ns[i]
+            .checked_div(self.runs[i])
+            .unwrap_or(self.prior[i]);
+        // a hub source seeds a fatter first frontier
+        let degree_term = job
+            .source
+            .map_or(0, |s| g.degree(s) * g.bytes_per_edge() as u64);
+        base + degree_term
+    }
+}
+
+/// State the scheduler carries for one graph variant.
+struct VariantState<'g> {
+    g: &'g Csr,
+    prepared: Prepared,
+}
+
+/// Serve `jobs` over `unweighted` (and `weighted`, required iff the trace
+/// holds SSSP jobs) on one simulated device. Returns the full serve
+/// report; per-job problems (inadmissible variants) surface inside it as
+/// rejections, not errors.
+pub fn serve<'g>(
+    sc: &ServeConfig,
+    unweighted: &'g Csr,
+    weighted: Option<&'g Csr>,
+    jobs: &[Job],
+) -> Result<ServeReport, ServeError> {
+    if jobs.iter().any(|j| j.kind.needs_weights()) && weighted.is_none() {
+        return Err(ServeError::WeightedGraphMissing);
+    }
+    let max_batch = sc.max_batch.clamp(1, ascetic_algos::MAX_BATCH_LANES);
+    let mut reg = Registry::new();
+    reg.set_label("layer", "serve");
+    reg.set_label("policy", sc.policy.name());
+
+    // --- Admission: prepare each variant once; reject what cannot run. ---
+    let mut rejected: Vec<RejectedJob> = Vec::new();
+    let mut pending: Vec<Job> = Vec::new();
+    let mut states: [Option<VariantState<'g>>; 2] = [None, None];
+    for (vi, g) in [(0, Some(unweighted)), (1, weighted)] {
+        let Some(g) = g else { continue };
+        let sys = AsceticSystem::new(sc.cfg);
+        match sys.prepare(g) {
+            Ok(prepared) if prepared.edge_budget_bytes >= 2 * sc.cfg.chunk_bytes as u64 => {
+                states[vi] = Some(VariantState { g, prepared });
+            }
+            Ok(prepared) => {
+                let reason = format!(
+                    "edge budget {} B below two {}-byte chunks",
+                    prepared.edge_budget_bytes, sc.cfg.chunk_bytes
+                );
+                reject_variant(vi, jobs, &reason, &mut rejected);
+            }
+            Err(e) => reject_variant(vi, jobs, &e.to_string(), &mut rejected),
+        }
+    }
+    for job in jobs {
+        let vi = variant_of(job.kind) as usize;
+        if states[vi].is_some() {
+            pending.push(*job);
+        }
+    }
+    pending.sort_by_key(|j| (j.submit_ns, j.id));
+
+    // --- The scheduling loop. ---
+    let mut now = 0u64;
+    let mut session: Option<(Variant, AsceticSession<'g>)> = None;
+    let mut cost = CostModel::new(unweighted, weighted);
+    let mut job_reports: Vec<JobReport> = Vec::new();
+    let mut batch_seq = 0u32;
+    let mut sessions_built = 0u32;
+    let mut batches = 0u32;
+    let mut batched_jobs = 0u32;
+    let mut ondemand_h2d_bytes = 0u64;
+    let mut prestore_bytes = 0u64;
+    let mut residency_hit_bytes = 0u64;
+
+    while !pending.is_empty() {
+        let arrived_until = {
+            let arrived: Vec<usize> = (0..pending.len())
+                .filter(|&i| pending[i].submit_ns <= now)
+                .collect();
+            if arrived.is_empty() {
+                // idle device: jump to the next arrival
+                now = pending.iter().map(|j| j.submit_ns).min().unwrap();
+                continue;
+            }
+            arrived
+        };
+
+        // policy pick (pending is in canonical (submit, id) order, so the
+        // first candidate wins every tie)
+        let pick = match sc.policy {
+            Policy::Fifo => arrived_until[0],
+            Policy::Sjf => *arrived_until
+                .iter()
+                .min_by_key(|&&i| {
+                    let j = &pending[i];
+                    let g = states[variant_of(j.kind) as usize].as_ref().unwrap().g;
+                    cost.estimate(j, g)
+                })
+                .unwrap(),
+            Policy::ResidencyAffinity => *arrived_until
+                .iter()
+                .min_by_key(|&&i| {
+                    let j = &pending[i];
+                    let g = states[variant_of(j.kind) as usize].as_ref().unwrap().g;
+                    // highest score wins; ties fall back to FIFO order
+                    (std::cmp::Reverse(score_affinity(j, g, &session)), i)
+                })
+                .unwrap(),
+        };
+        let picked = pending[pick];
+        let variant = variant_of(picked.kind);
+        let vi = variant as usize;
+        let g = states[vi].as_ref().unwrap().g;
+
+        // fold arrived same-kind single-source jobs into the batch
+        let mut batch_idx: Vec<usize> = vec![pick];
+        if sc.batching && picked.kind.single_source() {
+            for &i in &arrived_until {
+                if i != pick && pending[i].kind == picked.kind && batch_idx.len() < max_batch {
+                    batch_idx.push(i);
+                }
+            }
+            batch_idx.sort_unstable(); // canonical lane order: (submit, id)
+        }
+
+        // session residency: reuse on a variant match, rebuild otherwise
+        match &session {
+            Some((v, _)) if *v == variant => {}
+            _ => {
+                // assigning drops the old device state, prestore re-paid
+                let prepared = &states[vi].as_ref().unwrap().prepared;
+                session = Some((variant, AsceticSession::with_prepared(sc.cfg, g, prepared)));
+                sessions_built += 1;
+                reg.counter_add("serve.sessions_built", 1);
+            }
+        }
+        let sess = &mut session.as_mut().unwrap().1;
+        let warm = sess.runs() > 0;
+
+        // the batch's run
+        let sources: Vec<u32> = batch_idx
+            .iter()
+            .filter_map(|&i| pending[i].source)
+            .collect();
+        let report = match picked.kind {
+            AlgoKind::Bfs if sources.len() > 1 => sess.run(&MsBfsDistances::new(sources.clone())),
+            AlgoKind::Bfs => sess.run(&Bfs::new(sources[0])),
+            AlgoKind::Sssp if sources.len() > 1 => sess.run(&MsSsspDistances::new(sources.clone())),
+            AlgoKind::Sssp => sess.run(&Sssp::new(sources[0])),
+            AlgoKind::Cc => sess.run(&Cc::new()),
+            AlgoKind::Pr => sess.run(&PageRank::new()),
+        };
+        cost.observe(picked.kind, report.sim_time_ns);
+
+        // clock + serve-level accounting
+        let start = now;
+        let finish = now + report.sim_time_ns;
+        now = finish;
+        ondemand_h2d_bytes += report.xfer.h2d_bytes;
+        prestore_bytes += report.prestore_bytes;
+        if warm {
+            // bytes a cold session would have shipped but the carried
+            // residency served from device memory
+            let hit: u64 = report
+                .per_iter
+                .iter()
+                .map(|it| it.static_edges * g.bytes_per_edge() as u64)
+                .sum();
+            residency_hit_bytes += hit;
+            reg.counter_add("serve.residency_hit_bytes", hit);
+        }
+        let batch_id = if batch_idx.len() > 1 {
+            batches += 1;
+            batched_jobs += batch_idx.len() as u32;
+            reg.counter_add("serve.batches", 1);
+            reg.counter_add("serve.batched_jobs", batch_idx.len() as u64);
+            batch_seq += 1;
+            Some(batch_seq - 1)
+        } else {
+            None
+        };
+        reg.observe("serve.batch_occupancy", batch_idx.len() as u64);
+        reg.counter_add("serve.jobs", batch_idx.len() as u64);
+        reg.counter_add("serve.ondemand_h2d_bytes", report.xfer.h2d_bytes);
+
+        // per-job reports: each batch member gets the run's RunReport with
+        // its own lane as the output
+        for (lane, &i) in batch_idx.iter().enumerate() {
+            let job = pending[i];
+            let output = split_output(&report.output, lane, batch_idx.len());
+            let queue_wait_ns = start - job.submit_ns;
+            reg.observe("serve.queue_wait_ns", queue_wait_ns);
+            let mut job_run = report.clone();
+            job_run.output = output.clone();
+            job_reports.push(JobReport {
+                id: job.id,
+                algo: job.kind.name(),
+                batch: batch_id,
+                lanes: batch_idx.len() as u32,
+                submit_ns: job.submit_ns,
+                start_ns: start,
+                finish_ns: finish,
+                queue_wait_ns,
+                deadline_ns: job.deadline_ns,
+                met_deadline: job.deadline_ns.map(|d| finish <= d),
+                output,
+                run: job_run,
+            });
+        }
+
+        // remove the batch from the queue (descending so indices hold)
+        for &i in batch_idx.iter().rev() {
+            pending.remove(i);
+        }
+    }
+
+    job_reports.sort_by_key(|r| r.id);
+    rejected.sort_by_key(|r| r.id);
+    reg.counter_add("serve.rejected", rejected.len() as u64);
+    let occupancy = session
+        .as_ref()
+        .map(|(_, s)| s.occupancy())
+        .unwrap_or_default();
+    let total_queue_wait_ns = job_reports.iter().map(|r| r.queue_wait_ns).sum();
+    Ok(ServeReport {
+        policy: sc.policy.name(),
+        makespan_ns: now,
+        total_queue_wait_ns,
+        ondemand_h2d_bytes,
+        prestore_bytes,
+        residency_hit_bytes,
+        batches,
+        batched_jobs,
+        sessions_built,
+        occupancy,
+        metrics: reg.snapshot(),
+        jobs: job_reports,
+        rejected,
+    })
+}
+
+/// Residency score of a waiting job against the live session: bytes of
+/// useful residency a schedule-now would enjoy. Zero when the session
+/// would have to be rebuilt (wrong variant or none).
+fn score_affinity(job: &Job, g: &Csr, session: &Option<(Variant, AsceticSession<'_>)>) -> u64 {
+    let Some((v, sess)) = session else { return 0 };
+    if *v != variant_of(job.kind) {
+        return 0;
+    }
+    let base = sess.resident_bytes();
+    match job.source {
+        Some(s) => {
+            let mut frontier = Bitmap::new(g.num_vertices());
+            frontier.set(s as usize);
+            base + sess.demand_overlap(&frontier).0
+        }
+        None => base,
+    }
+}
+
+/// Pull one job's answer out of a (possibly batched) run output.
+fn split_output(output: &AlgoOutput, lane: usize, lanes: usize) -> AlgoOutput {
+    match output {
+        AlgoOutput::MultiDistances(v) => {
+            debug_assert_eq!(v.len(), lanes);
+            AlgoOutput::Distances(v[lane].clone())
+        }
+        single => {
+            debug_assert_eq!(lanes, 1);
+            single.clone()
+        }
+    }
+}
+
+fn reject_variant(vi: usize, jobs: &[Job], reason: &str, rejected: &mut Vec<RejectedJob>) {
+    for job in jobs {
+        if variant_of(job.kind) as usize == vi {
+            rejected.push(RejectedJob {
+                id: job.id,
+                algo: job.kind.name(),
+                reason: reason.to_string(),
+            });
+        }
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::output_fingerprint;
+    use crate::trace::synthetic_mixed;
+    use ascetic_core::CompressionMode;
+    use ascetic_graph::datasets::weighted_variant;
+    use ascetic_graph::generators::uniform_graph;
+    use ascetic_sim::DeviceConfig;
+
+    fn graphs() -> (Csr, Csr) {
+        let g = uniform_graph(2_500, 20_000, false, 31);
+        let w = weighted_variant(&g);
+        (g, w)
+    }
+
+    fn cfg_for(g: &Csr) -> AsceticConfig {
+        let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() * 2 / 5);
+        AsceticConfig::new(dev).with_chunk_bytes(1024)
+    }
+
+    fn bfs_job(id: u32, source: u32, submit_ns: u64) -> Job {
+        Job {
+            id,
+            kind: AlgoKind::Bfs,
+            source: Some(source),
+            submit_ns,
+            deadline_ns: None,
+        }
+    }
+
+    #[test]
+    fn fifo_runs_jobs_in_arrival_order_and_answers_them() {
+        let (g, _) = graphs();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo).without_batching();
+        let jobs = [
+            bfs_job(0, 0, 0),
+            bfs_job(1, 7, 0),
+            Job {
+                id: 2,
+                kind: AlgoKind::Cc,
+                source: None,
+                submit_ns: 0,
+                deadline_ns: None,
+            },
+        ];
+        let rep = serve(&sc, &g, None, &jobs).unwrap();
+        assert_eq!(rep.jobs.len(), 3);
+        assert!(rep.rejected.is_empty());
+        assert_eq!(rep.sessions_built, 1, "one variant, one session");
+        // arrival order: job 0 first, each later job starts when the
+        // previous finishes
+        assert_eq!(rep.jobs[0].start_ns, 0);
+        assert_eq!(rep.jobs[1].start_ns, rep.jobs[0].finish_ns);
+        assert_eq!(rep.jobs[2].start_ns, rep.jobs[1].finish_ns);
+        assert_eq!(rep.makespan_ns, rep.jobs[2].finish_ns);
+        // the answers are the engine's answers
+        let mut solo = AsceticSession::new(sc.cfg, &g);
+        let d0 = solo.run(&Bfs::new(0)).output;
+        assert_eq!(
+            output_fingerprint(&rep.jobs[0].output),
+            output_fingerprint(&d0)
+        );
+        // only the first run paid the prestore; the rest rode the residency
+        assert!(rep.jobs[0].run.prestore_bytes > 0);
+        assert_eq!(rep.jobs[1].run.prestore_bytes, 0);
+        assert!(rep.residency_hit_bytes > 0);
+    }
+
+    #[test]
+    fn batched_jobs_match_individual_runs() {
+        let (g, w) = graphs();
+        let cfg = cfg_for(&g);
+        let mut jobs: Vec<Job> = (0..6).map(|i| bfs_job(i, i * 97, 0)).collect();
+        jobs.push(Job {
+            id: 6,
+            kind: AlgoKind::Sssp,
+            source: Some(3),
+            submit_ns: 0,
+            deadline_ns: None,
+        });
+        jobs.push(Job {
+            id: 7,
+            kind: AlgoKind::Sssp,
+            source: Some(44),
+            submit_ns: 0,
+            deadline_ns: None,
+        });
+        let batched = serve(&ServeConfig::new(cfg, Policy::Fifo), &g, Some(&w), &jobs).unwrap();
+        let solo = serve(
+            &ServeConfig::new(cfg, Policy::Fifo).without_batching(),
+            &g,
+            Some(&w),
+            &jobs,
+        )
+        .unwrap();
+        assert_eq!(batched.batches, 2, "one BFS batch, one SSSP batch");
+        assert_eq!(batched.batched_jobs, 8);
+        assert_eq!(solo.batches, 0);
+        for (b, s) in batched.jobs.iter().zip(&solo.jobs) {
+            assert_eq!(b.id, s.id);
+            assert_eq!(
+                output_fingerprint(&b.output),
+                output_fingerprint(&s.output),
+                "job {} batched answer differs from its solo answer",
+                b.id
+            );
+        }
+        assert!(
+            batched.makespan_ns < solo.makespan_ns,
+            "batching should beat serial execution ({} vs {} ns)",
+            batched.makespan_ns,
+            solo.makespan_ns
+        );
+    }
+
+    #[test]
+    fn residency_affinity_beats_fifo_on_a_mixed_trace() {
+        let (g, w) = graphs();
+        let cfg = cfg_for(&g);
+        let jobs = synthetic_mixed(32, g.num_vertices(), 7, 0, 1);
+        let fifo = serve(&ServeConfig::new(cfg, Policy::Fifo), &g, Some(&w), &jobs).unwrap();
+        let ra = serve(
+            &ServeConfig::new(cfg, Policy::ResidencyAffinity),
+            &g,
+            Some(&w),
+            &jobs,
+        )
+        .unwrap();
+        assert!(
+            ra.sessions_built < fifo.sessions_built,
+            "affinity groups variants: {} vs {} sessions",
+            ra.sessions_built,
+            fifo.sessions_built
+        );
+        assert!(ra.residency_hit_bytes > 0);
+        assert!(
+            ra.makespan_ns < fifo.makespan_ns,
+            "fewer prestores should shorten the makespan ({} vs {} ns)",
+            ra.makespan_ns,
+            fifo.makespan_ns
+        );
+        assert!(ra.prestore_bytes < fifo.prestore_bytes);
+        // identical answers regardless of schedule
+        for (a, b) in ra.jobs.iter().zip(&fifo.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(output_fingerprint(&a.output), output_fingerprint(&b.output));
+        }
+    }
+
+    #[test]
+    fn inadmissible_variant_is_rejected_with_the_prepare_error() {
+        let (g, w) = graphs();
+        // Always-compress contradicts a weighted graph: SSSP jobs must be
+        // turned away at admission while BFS still runs.
+        let cfg = cfg_for(&g).with_compression(CompressionMode::Always);
+        let jobs = [
+            bfs_job(0, 0, 0),
+            Job {
+                id: 1,
+                kind: AlgoKind::Sssp,
+                source: Some(5),
+                submit_ns: 0,
+                deadline_ns: None,
+            },
+        ];
+        let rep = serve(&ServeConfig::new(cfg, Policy::Fifo), &g, Some(&w), &jobs).unwrap();
+        assert_eq!(rep.jobs.len(), 1);
+        assert_eq!(rep.jobs[0].id, 0);
+        assert_eq!(rep.rejected.len(), 1);
+        assert_eq!(rep.rejected[0].id, 1);
+        assert!(
+            rep.rejected[0].reason.contains("compress"),
+            "reason should carry the prepare error: {}",
+            rep.rejected[0].reason
+        );
+    }
+
+    #[test]
+    fn deadlines_are_judged_against_finish_time() {
+        let (g, _) = graphs();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo);
+        let jobs = [
+            Job {
+                id: 0,
+                kind: AlgoKind::Bfs,
+                source: Some(0),
+                submit_ns: 0,
+                deadline_ns: Some(1),
+            },
+            Job {
+                id: 1,
+                kind: AlgoKind::Bfs,
+                source: Some(1),
+                submit_ns: 0,
+                deadline_ns: Some(u64::MAX),
+            },
+        ];
+        let rep = serve(&sc, &g, None, &jobs).unwrap();
+        assert_eq!(rep.jobs[0].met_deadline, Some(false));
+        assert_eq!(rep.jobs[1].met_deadline, Some(true));
+    }
+
+    #[test]
+    fn idle_device_jumps_to_the_next_arrival() {
+        let (g, _) = graphs();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo);
+        let late = 1_000_000_000_000u64;
+        let jobs = [bfs_job(0, 0, 0), bfs_job(1, 3, late)];
+        let rep = serve(&sc, &g, None, &jobs).unwrap();
+        assert_eq!(rep.jobs[1].start_ns, late, "no busy-waiting before arrival");
+        assert_eq!(rep.jobs[1].queue_wait_ns, 0);
+    }
+
+    #[test]
+    fn sssp_without_weighted_graph_is_an_error() {
+        let (g, _) = graphs();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo);
+        let jobs = [Job {
+            id: 0,
+            kind: AlgoKind::Sssp,
+            source: Some(0),
+            submit_ns: 0,
+            deadline_ns: None,
+        }];
+        assert_eq!(
+            serve(&sc, &g, None, &jobs).unwrap_err(),
+            ServeError::WeightedGraphMissing
+        );
+    }
+
+    #[test]
+    fn serve_report_json_is_valid_and_policy_tagged() {
+        let (g, _) = graphs();
+        for policy in crate::policy::ALL_POLICIES {
+            let sc = ServeConfig::new(cfg_for(&g), policy);
+            let jobs = [bfs_job(0, 0, 0), bfs_job(1, 9, 0)];
+            let rep = serve(&sc, &g, None, &jobs).unwrap();
+            let json = rep.to_json();
+            ascetic_obs::json::validate(&json).expect("valid serve JSON");
+            assert!(json.contains(&format!("\"policy\":\"{}\"", policy.name())));
+            assert!(json.contains("\"schema_version\":2"));
+        }
+    }
+}

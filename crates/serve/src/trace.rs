@@ -1,0 +1,401 @@
+//! JSONL job traces: parsing with line-accurate errors, plus a
+//! deterministic synthetic-trace generator for benches and smoke tests.
+//!
+//! One job per line, a flat JSON object:
+//!
+//! ```text
+//! {"id": 1, "algo": "bfs", "source": 5, "submit_ns": 0, "deadline_ns": 1000000}
+//! ```
+//!
+//! `id` and `algo` are required; `source` is required for the
+//! single-source kinds (`bfs`, `sssp`) and rejected for the whole-graph
+//! ones; `submit_ns` defaults to 0; `deadline_ns` is optional. Blank lines
+//! and `#` comment lines are skipped. Errors carry the 1-based line
+//! number, in the same spirit as `ascetic-core`'s `ConfigError`: every
+//! variant names the offending field and value so the CLI can print an
+//! actionable message and exit nonzero.
+
+use crate::job::{AlgoKind, Job};
+
+/// What went wrong on a trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// The line is not a flat JSON object (`{"key": value, ...}`).
+    Syntax(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field holds a value of the wrong type or out of range.
+    BadValue {
+        /// Field name.
+        field: &'static str,
+        /// The offending raw text.
+        value: String,
+    },
+    /// `algo` names no known algorithm.
+    UnknownAlgo(String),
+    /// `source` given for a whole-graph algorithm.
+    UnexpectedSource(&'static str),
+    /// The same `id` appeared on an earlier line.
+    DuplicateId(u32),
+    /// `source` is out of range for the graph being served.
+    SourceOutOfRange {
+        /// The offending source vertex.
+        source: u32,
+        /// Vertices in the graph.
+        num_vertices: usize,
+    },
+}
+
+/// A malformed trace line (1-based `line`), styled after
+/// `ascetic_core::ConfigError`: one sentence naming the field, the value
+/// and the rule it broke.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number in the trace file.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: TraceErrorKind,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: ", self.line)?;
+        match &self.kind {
+            TraceErrorKind::Syntax(what) => {
+                write!(f, "{what} (expected a flat JSON object per line)")
+            }
+            TraceErrorKind::MissingField(field) => write!(f, "missing required field \"{field}\""),
+            TraceErrorKind::BadValue { field, value } => {
+                write!(f, "field \"{field}\" has invalid value {value}")
+            }
+            TraceErrorKind::UnknownAlgo(a) => {
+                write!(f, "unknown algo \"{a}\" (expected bfs, sssp, cc or pr)")
+            }
+            TraceErrorKind::UnexpectedSource(algo) => {
+                write!(
+                    f,
+                    "\"{algo}\" is a whole-graph algorithm and takes no \"source\""
+                )
+            }
+            TraceErrorKind::DuplicateId(id) => {
+                write!(f, "job id {id} already used by an earlier line")
+            }
+            TraceErrorKind::SourceOutOfRange {
+                source,
+                num_vertices,
+            } => write!(
+                f,
+                "source {source} out of range for a graph with {num_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One parsed `key: value` pair; values stay raw text until typed.
+struct Field<'a> {
+    key: &'a str,
+    value: &'a str,
+}
+
+/// Split a flat JSON object into raw fields. No nesting, no arrays — a
+/// trace line is a record, not a document.
+fn split_fields(line: &str) -> Result<Vec<Field<'_>>, TraceErrorKind> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| TraceErrorKind::Syntax("line is not a JSON object".into()))?
+        .trim();
+    let mut fields = Vec::new();
+    if body.is_empty() {
+        return Ok(fields);
+    }
+    // split on top-level commas; the only strings are keys and the algo
+    // value, neither of which may contain commas or escapes
+    for part in body.split(',') {
+        let (k, v) = part.split_once(':').ok_or_else(|| {
+            TraceErrorKind::Syntax(format!("expected \"key\": value, got {part:?}"))
+        })?;
+        let key = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| {
+                TraceErrorKind::Syntax(format!("field name {} is not quoted", k.trim()))
+            })?;
+        fields.push(Field {
+            key,
+            value: v.trim(),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_u64(f: &Field<'_>, field: &'static str) -> Result<u64, TraceErrorKind> {
+    f.value.parse().map_err(|_| TraceErrorKind::BadValue {
+        field,
+        value: f.value.to_string(),
+    })
+}
+
+fn parse_string<'a>(f: &Field<'a>, field: &'static str) -> Result<&'a str, TraceErrorKind> {
+    f.value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| TraceErrorKind::BadValue {
+            field,
+            value: f.value.to_string(),
+        })
+}
+
+fn parse_line(line: &str) -> Result<Job, TraceErrorKind> {
+    let fields = split_fields(line)?;
+    let mut id = None;
+    let mut algo = None;
+    let mut source = None;
+    let mut submit_ns = 0u64;
+    let mut deadline_ns = None;
+    for f in &fields {
+        match f.key {
+            "id" => {
+                let v = parse_u64(f, "id")?;
+                id = Some(u32::try_from(v).map_err(|_| TraceErrorKind::BadValue {
+                    field: "id",
+                    value: f.value.to_string(),
+                })?);
+            }
+            "algo" => {
+                let s = parse_string(f, "algo")?;
+                algo =
+                    Some(AlgoKind::parse(s).ok_or_else(|| TraceErrorKind::UnknownAlgo(s.into()))?);
+            }
+            "source" => {
+                let v = parse_u64(f, "source")?;
+                source = Some(u32::try_from(v).map_err(|_| TraceErrorKind::BadValue {
+                    field: "source",
+                    value: f.value.to_string(),
+                })?);
+            }
+            "submit_ns" => submit_ns = parse_u64(f, "submit_ns")?,
+            "deadline_ns" => deadline_ns = Some(parse_u64(f, "deadline_ns")?),
+            other => {
+                return Err(TraceErrorKind::Syntax(format!("unknown field \"{other}\"")));
+            }
+        }
+    }
+    let id = id.ok_or(TraceErrorKind::MissingField("id"))?;
+    let kind = algo.ok_or(TraceErrorKind::MissingField("algo"))?;
+    if kind.single_source() {
+        if source.is_none() {
+            return Err(TraceErrorKind::MissingField("source"));
+        }
+    } else if source.is_some() {
+        return Err(TraceErrorKind::UnexpectedSource(kind.name()));
+    }
+    Ok(Job {
+        id,
+        kind,
+        source,
+        submit_ns,
+        deadline_ns,
+    })
+}
+
+/// Parse a JSONL trace. Jobs come back sorted by `(submit_ns, id)` — the
+/// canonical queue order every policy starts from. `num_vertices`, when
+/// known, bounds the `source` fields.
+pub fn parse_trace(text: &str, num_vertices: Option<usize>) -> Result<Vec<Job>, TraceError> {
+    let mut jobs: Vec<Job> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let at = |kind| TraceError { line: lineno, kind };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let job = parse_line(trimmed).map_err(at)?;
+        if jobs.iter().any(|j| j.id == job.id) {
+            return Err(at(TraceErrorKind::DuplicateId(job.id)));
+        }
+        if let (Some(n), Some(s)) = (num_vertices, job.source) {
+            if s as usize >= n {
+                return Err(at(TraceErrorKind::SourceOutOfRange {
+                    source: s,
+                    num_vertices: n,
+                }));
+            }
+        }
+        jobs.push(job);
+    }
+    jobs.sort_by_key(|j| (j.submit_ns, j.id));
+    Ok(jobs)
+}
+
+/// Serialize jobs back to the JSONL trace format (inverse of
+/// [`parse_trace`]; used by the bench to persist generated traces).
+pub fn to_jsonl(jobs: &[Job]) -> String {
+    let mut out = String::new();
+    for j in jobs {
+        out.push_str(&format!(
+            "{{\"id\": {}, \"algo\": \"{}\"",
+            j.id,
+            j.kind.name()
+        ));
+        if let Some(s) = j.source {
+            out.push_str(&format!(", \"source\": {s}"));
+        }
+        out.push_str(&format!(", \"submit_ns\": {}", j.submit_ns));
+        if let Some(d) = j.deadline_ns {
+            out.push_str(&format!(", \"deadline_ns\": {d}"));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Deterministic xorshift64*, for source picking in synthetic traces —
+/// the serve layer is virtual-clock deterministic, so its inputs must be
+/// too.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Generate a mixed serve trace: `n_jobs` jobs cycling through
+/// BFS/SSSP/CC/PR (weighted SSSP interleaved with the unweighted kinds, so
+/// a FIFO schedule keeps flipping the device between graph variants while
+/// an affinity schedule can group them), sources drawn deterministically
+/// from `seed`, arrivals spaced `spacing_ns` apart in bursts of
+/// `burst` jobs.
+pub fn synthetic_mixed(
+    n_jobs: usize,
+    num_vertices: usize,
+    seed: u64,
+    spacing_ns: u64,
+    burst: usize,
+) -> Vec<Job> {
+    assert!(num_vertices > 0 && burst > 0);
+    let mut rng = seed | 1;
+    let mut jobs = Vec::with_capacity(n_jobs);
+    const CYCLE: [AlgoKind; 6] = [
+        AlgoKind::Bfs,
+        AlgoKind::Sssp,
+        AlgoKind::Bfs,
+        AlgoKind::Cc,
+        AlgoKind::Sssp,
+        AlgoKind::Pr,
+    ];
+    for i in 0..n_jobs {
+        let kind = CYCLE[i % CYCLE.len()];
+        let source = kind
+            .single_source()
+            .then(|| (xorshift(&mut rng) % num_vertices as u64) as u32);
+        jobs.push(Job {
+            id: i as u32,
+            kind,
+            source,
+            submit_ns: (i / burst) as u64 * spacing_ns,
+            deadline_ns: None,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_line() {
+        let jobs = parse_trace(
+            "{\"id\": 3, \"algo\": \"sssp\", \"source\": 7, \"submit_ns\": 100, \"deadline_ns\": 5000}\n",
+            Some(10),
+        )
+        .unwrap();
+        assert_eq!(
+            jobs,
+            vec![Job {
+                id: 3,
+                kind: AlgoKind::Sssp,
+                source: Some(7),
+                submit_ns: 100,
+                deadline_ns: Some(5000),
+            }]
+        );
+    }
+
+    #[test]
+    fn skips_blanks_and_comments_and_sorts_by_submit() {
+        let text = "# serve trace\n\n{\"id\": 1, \"algo\": \"cc\", \"submit_ns\": 50}\n{\"id\": 0, \"algo\": \"bfs\", \"source\": 2}\n";
+        let jobs = parse_trace(text, None).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, 0, "submit 0 sorts first");
+        assert_eq!(jobs[1].id, 1);
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        let text = "{\"id\": 0, \"algo\": \"bfs\", \"source\": 1}\nnot json\n";
+        let err = parse_trace(text, None).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().starts_with("trace line 2: "));
+
+        let text = "{\"id\": 0, \"algo\": \"walk\"}\n";
+        let err = parse_trace(text, None).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::UnknownAlgo("walk".into()));
+        assert!(err.to_string().contains("unknown algo"));
+    }
+
+    #[test]
+    fn field_rules_are_enforced() {
+        let missing = parse_trace("{\"algo\": \"bfs\", \"source\": 1}\n", None).unwrap_err();
+        assert_eq!(missing.kind, TraceErrorKind::MissingField("id"));
+        let no_source = parse_trace("{\"id\": 0, \"algo\": \"bfs\"}\n", None).unwrap_err();
+        assert_eq!(no_source.kind, TraceErrorKind::MissingField("source"));
+        let extra =
+            parse_trace("{\"id\": 0, \"algo\": \"pr\", \"source\": 1}\n", None).unwrap_err();
+        assert_eq!(extra.kind, TraceErrorKind::UnexpectedSource("pr"));
+        let dup = parse_trace(
+            "{\"id\": 0, \"algo\": \"cc\"}\n{\"id\": 0, \"algo\": \"pr\"}\n",
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(dup.line, 2);
+        assert_eq!(dup.kind, TraceErrorKind::DuplicateId(0));
+        let oob =
+            parse_trace("{\"id\": 0, \"algo\": \"bfs\", \"source\": 9}\n", Some(5)).unwrap_err();
+        assert!(matches!(oob.kind, TraceErrorKind::SourceOutOfRange { .. }));
+        let bad = parse_trace("{\"id\": -1, \"algo\": \"cc\"}\n", None).unwrap_err();
+        assert!(matches!(
+            bad.kind,
+            TraceErrorKind::BadValue { field: "id", .. }
+        ));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let jobs = synthetic_mixed(12, 100, 42, 1_000, 3);
+        let text = to_jsonl(&jobs);
+        let back = parse_trace(&text, Some(100)).unwrap();
+        assert_eq!(jobs, back);
+    }
+
+    #[test]
+    fn synthetic_trace_is_deterministic_and_mixed() {
+        let a = synthetic_mixed(36, 1_000, 7, 10_000, 4);
+        let b = synthetic_mixed(36, 1_000, 7, 10_000, 4);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|j| j.kind == AlgoKind::Sssp));
+        assert!(a.iter().any(|j| j.kind == AlgoKind::Bfs));
+        assert!(a.iter().any(|j| !j.kind.single_source()));
+        // bursts share a submit time
+        assert_eq!(a[0].submit_ns, a[3].submit_ns);
+        assert!(a[4].submit_ns > a[3].submit_ns);
+    }
+}

@@ -308,6 +308,11 @@ impl Gpu {
     pub fn elapsed(&self) -> SimTime {
         self.timeline.now()
     }
+
+    /// Snapshot of the device arena's occupancy in bytes.
+    pub fn occupancy(&self) -> crate::memory::ArenaOccupancy {
+        self.mem.occupancy()
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ pub mod uvm;
 
 pub use device::{DecompressModel, DeviceConfig, GatherModel, KernelModel, PcieModel, UvmModel};
 pub use gpu::Gpu;
-pub use memory::{DevPtr, DeviceMemory, OutOfDeviceMemory};
+pub use memory::{ArenaOccupancy, DevPtr, DeviceMemory, OutOfDeviceMemory};
 pub use metrics::{KernelStats, XferStats};
 pub use time::SimTime;
 pub use timeline::{chrome_trace_json, CopyStream, Engine, Span, Timeline, TraceSpan};

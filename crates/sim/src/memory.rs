@@ -53,6 +53,23 @@ impl std::fmt::Display for OutOfDeviceMemory {
 
 impl std::error::Error for OutOfDeviceMemory {}
 
+/// A point-in-time, byte-denominated view of the device arena, cheap to
+/// copy out to layers that must not hold a borrow of the allocator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaOccupancy {
+    /// Total arena capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes currently allocated.
+    pub used_bytes: u64,
+    /// Bytes currently free (possibly fragmented).
+    pub free_bytes: u64,
+    /// Largest single free block in bytes — the real ceiling for the next
+    /// contiguous allocation.
+    pub largest_free_bytes: u64,
+    /// Peak concurrent allocation over the arena's lifetime, in bytes.
+    pub high_water_bytes: u64,
+}
+
 /// The device-memory arena.
 pub struct DeviceMemory {
     data: Vec<u32>,
@@ -100,6 +117,19 @@ impl DeviceMemory {
     /// Largest single free block, in words.
     pub fn largest_free_block(&self) -> usize {
         self.free.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// A byte-denominated snapshot of arena occupancy, for admission
+    /// control and reporting above the allocator (the serve layer sizes
+    /// incoming jobs against `largest_free_bytes`, not just the total).
+    pub fn occupancy(&self) -> ArenaOccupancy {
+        ArenaOccupancy {
+            capacity_bytes: self.capacity() as u64 * 4,
+            used_bytes: self.used() as u64 * 4,
+            free_bytes: self.available() as u64 * 4,
+            largest_free_bytes: self.largest_free_block() as u64 * 4,
+            high_water_bytes: self.high_water() as u64 * 4,
+        }
     }
 
     /// Allocate `words` words (first fit). Zero-length allocations succeed

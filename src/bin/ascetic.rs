@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(rest),
         "run" => cmd_run(rest),
         "pipeline" => cmd_pipeline(rest),
+        "serve" => cmd_serve(rest),
         "compare" => cmd_compare(rest),
         "-h" | "--help" | "help" => {
             usage();
@@ -75,6 +76,12 @@ USAGE:
   ascetic pipeline GRAPH --algos bfs,cc,pr [--mem BYTES | --mem-frac F]
                    (one Ascetic session: the static region is prestored once
                     and reused by every algorithm — paper §4.3)
+  ascetic serve GRAPH (--trace FILE.jsonl | --synthetic N [--seed S] [--spacing-ns T])
+                   [--policy fifo|sjf|residency] [--no-batching]
+                   [--mem BYTES | --mem-frac F] [--summary text|json]
+                   (multi-query serving: admission control, shared-residency
+                    scheduling, BFS/SSSP batching; trace lines are
+                    {{\"id\":..,\"algo\":\"bfs\",\"source\":..,\"submit_ns\":..}})
   ascetic compare GRAPH --algo ALGO [--mem BYTES | --mem-frac F]
 
 GRAPH: a file path (.beg binary or 'src dst [w]' text), or a builtin
@@ -90,13 +97,14 @@ struct Opts {
     flags: HashMap<String, String>,
 }
 
-const BOOL_FLAGS: [&str; 6] = [
+const BOOL_FLAGS: [&str; 7] = [
     "undirected",
     "weighted",
     "no-overlap",
     "no-adaptive",
     "quiet",
     "pool-metrics",
+    "no-batching",
 ];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -462,6 +470,9 @@ fn write_metrics_jsonl(
     use ascetic::obs::json;
     let mut out = String::new();
     out.push_str("{\"kind\":\"meta\",");
+    json::key_into("schema_version", &mut out);
+    out.push_str(&ascetic::core::RUN_REPORT_SCHEMA_VERSION.to_string());
+    out.push(',');
     json::key_into("system", &mut out);
     json::string_into(r.system, &mut out);
     out.push(',');
@@ -606,6 +617,81 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         session.runs(),
         session.resident_fraction() * 100.0
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use ascetic::serve::{parse_trace, serve, synthetic_mixed, Policy, ServeConfig};
+    let o = parse_opts(args)?;
+    let spec = o.positional.first().ok_or("missing GRAPH")?;
+    let g = load_graph(spec)?;
+    if g.is_weighted() {
+        return Err(
+            "serve expects an unweighted graph; sssp jobs run on an auto-weighted variant".into(),
+        );
+    }
+    let policy = match o.get("policy") {
+        Some(p) => {
+            Policy::parse(p).ok_or_else(|| format!("unknown --policy {p} (fifo|sjf|residency)"))?
+        }
+        None => Policy::ResidencyAffinity,
+    };
+    // a trace file, or the deterministic synthetic mixed workload
+    let jobs = if let Some(path) = o.get("trace") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+        parse_trace(&text, Some(g.num_vertices())).map_err(|e| e.to_string())?
+    } else if let Some(n) = o.parse::<usize>("synthetic")? {
+        let seed = o.parse::<u64>("seed")?.unwrap_or(7);
+        let spacing = o.parse::<u64>("spacing-ns")?.unwrap_or(0);
+        synthetic_mixed(n, g.num_vertices(), seed, spacing, 1)
+    } else {
+        return Err("serve needs --trace FILE or --synthetic N".into());
+    };
+    if jobs.is_empty() {
+        return Err("the trace holds no jobs".into());
+    }
+    let dev = device_from(&o, &g)?;
+    let cfg = ascetic_config(&o, dev)?;
+    let mut sc = ServeConfig::new(cfg, policy);
+    if o.has("no-batching") {
+        sc = sc.without_batching();
+    }
+    let weighted = jobs
+        .iter()
+        .any(|j| j.kind.needs_weights())
+        .then(|| weighted_variant(&g));
+    let rep = serve(&sc, &g, weighted.as_ref(), &jobs).map_err(|e| e.to_string())?;
+    match o.get("summary").unwrap_or("text") {
+        "text" => {
+            println!("{}", rep.summary_text());
+            println!(
+                "\n{:>5} {:<5} {:>6} {:>5} {:>12} {:>12} {:>9}",
+                "job", "algo", "batch", "lanes", "wait", "run", "deadline"
+            );
+            for j in &rep.jobs {
+                println!(
+                    "{:>5} {:<5} {:>6} {:>5} {:>10.2}ms {:>10.2}ms {:>9}",
+                    j.id,
+                    j.algo,
+                    j.batch.map_or("-".to_string(), |b| b.to_string()),
+                    j.lanes,
+                    j.queue_wait_ns as f64 / 1e6,
+                    j.run.sim_time_ns as f64 / 1e6,
+                    match j.met_deadline {
+                        Some(true) => "met",
+                        Some(false) => "MISSED",
+                        None => "-",
+                    }
+                );
+            }
+            for r in &rep.rejected {
+                eprintln!("rejected job {} ({}): {}", r.id, r.algo, r.reason);
+            }
+        }
+        "json" => println!("{}", rep.to_json()),
+        other => return Err(format!("unknown --summary {other} (text|json)")),
+    }
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! * [`algos`] — push-based vertex programs: BFS, SSSP, CC, PageRank.
 //! * [`core`] — the Ascetic framework itself (static + on-demand regions).
 //! * [`baselines`] — PT, UVM and Subway comparison systems.
+//! * [`serve`] — multi-query serving: shared-residency scheduling, batching.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -25,4 +26,5 @@ pub use ascetic_core as core;
 pub use ascetic_graph as graph;
 pub use ascetic_obs as obs;
 pub use ascetic_par as par;
+pub use ascetic_serve as serve;
 pub use ascetic_sim as sim;
