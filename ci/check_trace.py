@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Validate a --trace-out Perfetto trace: the file must parse as JSON,
+declare the expected schema version, and carry at least one complete
+("X") span on every named track. Usage: check_trace.py TRACE.json SCHEMA."""
+import json
+import sys
+
+
+def main() -> int:
+    path, want_version = sys.argv[1], int(sys.argv[2])
+    with open(path) as f:
+        events = json.load(f)
+    if not isinstance(events, list) or not events:
+        print(f"{path}: expected a non-empty JSON array")
+        return 1
+
+    version = None
+    tracks = {}  # (pid, tid) -> name
+    spans = {}  # (pid, tid) -> count
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tracks[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        elif ev.get("ph") == "M" and "schema_version" in ev.get("args", {}):
+            version = ev["args"]["schema_version"]
+        elif ev.get("ph") == "X":
+            key = (ev["pid"], ev["tid"])
+            spans[key] = spans.get(key, 0) + 1
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                print(f"{path}: negative ts/dur in {ev}")
+                return 1
+
+    if version != want_version:
+        print(f"{path}: schema_version {version}, want {want_version}")
+        return 1
+    if not tracks:
+        print(f"{path}: no thread_name track metadata")
+        return 1
+    bad = [name for key, name in tracks.items() if spans.get(key, 0) == 0]
+    if bad:
+        print(f"{path}: tracks without spans: {bad}")
+        return 1
+    total = sum(spans.values())
+    print(f"{path}: ok — {total} spans on {len(tracks)} tracks, schema v{version}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,7 @@ impl OutOfCoreSystem for PtSystem {
         let mut active = prog.initial_frontier(g);
         let mut breakdown = Breakdown::default();
         let mut per_iter = Vec::new();
+        let mut iter_windows = Vec::new();
         let mut staging: Vec<u32> = Vec::new();
         let mut iter = 0u32;
 
@@ -178,6 +179,7 @@ impl OutOfCoreSystem for PtSystem {
                 time_ns: iter_end.since(iter_start),
                 static_edges: 0,
             });
+            iter_windows.push((iter_start.0, iter_end.0));
             active = next.snapshot();
             iter += 1;
         }
@@ -192,6 +194,7 @@ impl OutOfCoreSystem for PtSystem {
             0,
             breakdown,
             per_iter,
+            iter_windows,
             prog.output(&state),
         )
     }

@@ -111,6 +111,7 @@ impl OutOfCoreSystem for SubwaySystem {
         let mut active = prog.initial_frontier(g);
         let mut breakdown = Breakdown::default();
         let mut per_iter = Vec::new();
+        let mut iter_windows = Vec::new();
         let mut iter = 0u32;
 
         while !active.is_all_zero() && iter < prog.max_iterations() {
@@ -191,6 +192,7 @@ impl OutOfCoreSystem for SubwaySystem {
                 time_ns: iter_end.since(iter_start),
                 static_edges: 0,
             });
+            iter_windows.push((iter_start.0, iter_end.0));
             active = next.snapshot();
             iter += 1;
         }
@@ -205,6 +207,7 @@ impl OutOfCoreSystem for SubwaySystem {
             0,
             breakdown,
             per_iter,
+            iter_windows,
             prog.output(&state),
         )
     }

@@ -106,6 +106,7 @@ impl UvmSystem {
         let mut active = prog.initial_frontier(g);
         let mut breakdown = Breakdown::default();
         let mut per_iter = Vec::new();
+        let mut iter_windows = Vec::new();
         let mut iter = 0u32;
 
         while !active.is_all_zero() && iter < prog.max_iterations() {
@@ -204,6 +205,7 @@ impl UvmSystem {
                 time_ns: iter_end.since(iter_start),
                 static_edges: 0,
             });
+            iter_windows.push((iter_start.0, iter_end.0));
             active = next.snapshot();
             iter += 1;
         }
@@ -218,6 +220,7 @@ impl UvmSystem {
             0,
             breakdown,
             per_iter,
+            iter_windows,
             prog.output(&state),
         )
     }

@@ -33,7 +33,7 @@ fn codec_benches(c: &mut Criterion) {
         let raw_bytes = g.num_edges() * 4;
         grp.throughput(Throughput::Bytes(raw_bytes));
 
-        grp.bench_function(&format!("encode_{name}"), |b| {
+        grp.bench_function(format!("encode_{name}"), |b| {
             let mut buf = Vec::new();
             b.iter(|| {
                 buf.clear();
@@ -48,7 +48,7 @@ fn codec_benches(c: &mut Criterion) {
             "codec/{name}: ratio {:.2}x ({raw_bytes} raw -> {wire} wire)",
             raw_bytes as f64 / wire as f64
         );
-        grp.bench_function(&format!("decode_{name}"), |b| {
+        grp.bench_function(format!("decode_{name}"), |b| {
             b.iter(|| black_box(decode_ranges(&srcs, &buf).expect("valid stream")))
         });
     }

@@ -68,6 +68,11 @@ fn main() {
             assert_eq!(static_only.output, sw.output);
             assert_eq!(full.output, sw.output);
             assert_eq!(prefetch.output, sw.output);
+            let stem = format!("{}_{}", algo.name(), id.abbr());
+            env.maybe_write_trace(&sw, &format!("fig8_subway_{stem}"));
+            env.maybe_write_trace(&static_only, &format!("fig8_static_{stem}"));
+            env.maybe_write_trace(&full, &format!("fig8_full_{stem}"));
+            env.maybe_write_trace(&prefetch, &format!("fig8_prefetch_{stem}"));
 
             let t_sw = sw.seconds();
             let t_static = static_only.seconds();

@@ -106,7 +106,12 @@ pub fn run_grid(env: &Env, algos: &[Algo], datasets: &[DatasetId], systems: &[Sy
                         pd.id.abbr()
                     );
                 }
-                reports.push(run_algo(&system, g, algo));
+                let rep = run_algo(&system, g, algo);
+                env.maybe_write_trace(
+                    &rep,
+                    &format!("{}_{}_{}", sys.name(), algo.name(), pd.id.abbr()),
+                );
+                reports.push(rep);
             }
             // cross-check: all systems must agree on the answer
             for r in &reports[1..] {

@@ -60,6 +60,10 @@ pub struct Env {
     pub compression: CompressionMode,
     /// Cross-iteration prefetch mode (Ascetic only).
     pub prefetch: PrefetchMode,
+    /// Span-trace output directory (`ASCETIC_TRACE`). When set, every
+    /// system the environment constructs records hierarchical spans, and
+    /// [`Env::maybe_write_trace`] dumps one Perfetto `.json` per run.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 /// Parse an `ASCETIC_COMPRESSION`-style mode string.
@@ -77,7 +81,9 @@ impl Env {
     /// the `ASCETIC_COMPRESSION`-selected transfer mode
     /// (`off`/`always`/`adaptive`; default off) and the
     /// `ASCETIC_PREFETCH`-selected prefetch mode
-    /// (`off`/`next-frontier`/`hotness`; default off).
+    /// (`off`/`next-frontier`/`hotness`; default off). `ASCETIC_TRACE=DIR`
+    /// additionally records span traces on every constructed system and
+    /// routes per-run Perfetto dumps into `DIR`.
     pub fn from_env() -> Env {
         let scale = std::env::var("ASCETIC_SCALE")
             .ok()
@@ -91,10 +97,12 @@ impl Env {
             .ok()
             .and_then(|s| PrefetchMode::parse(&s))
             .unwrap_or(PrefetchMode::Off);
+        let trace = std::env::var_os("ASCETIC_TRACE").map(std::path::PathBuf::from);
         Env {
             scale,
             compression,
             prefetch,
+            trace,
         }
     }
 
@@ -104,6 +112,41 @@ impl Env {
             scale,
             compression: CompressionMode::Off,
             prefetch: PrefetchMode::Off,
+            trace: None,
+        }
+    }
+
+    /// Whether span tracing is armed (`ASCETIC_TRACE` set).
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Dump a run's span trace as `<ASCETIC_TRACE>/<label>.json` (Perfetto
+    /// format). No-op — returning `None` — when `ASCETIC_TRACE` is unset
+    /// or the report carries no trace.
+    pub fn maybe_write_trace(
+        &self,
+        rep: &ascetic_core::RunReport,
+        label: &str,
+    ) -> Option<std::path::PathBuf> {
+        let dir = self.trace.as_ref()?;
+        let trace = rep.span_trace.as_ref()?;
+        std::fs::create_dir_all(dir).ok()?;
+        let safe: String = label
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{safe}.json"));
+        let json = trace.to_perfetto_json(ascetic_core::RUN_REPORT_SCHEMA_VERSION);
+        match std::fs::write(&path, json) {
+            Ok(()) => {
+                eprintln!("    trace: {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("    trace write failed for {}: {e}", path.display());
+                None
+            }
         }
     }
 
@@ -164,6 +207,7 @@ impl Env {
             .with_chunk_bytes(self.chunk_bytes())
             .with_compression(self.compression)
             .with_prefetch(self.prefetch)
+            .with_tracing(self.tracing())
     }
 
     /// The Ascetic system under paper defaults.
@@ -174,17 +218,19 @@ impl Env {
     /// The Subway baseline (sharing the compressed transfer path setting,
     /// so transfer comparisons stay apples-to-apples).
     pub fn subway(&self) -> SubwaySystem {
-        SubwaySystem::new(self.device()).with_compression(self.compression)
+        SubwaySystem::new(self.device())
+            .with_compression(self.compression)
+            .with_tracing(self.tracing())
     }
 
     /// The PT baseline.
     pub fn pt(&self) -> PtSystem {
-        PtSystem::new(self.device())
+        PtSystem::new(self.device()).with_tracing(self.tracing())
     }
 
     /// The UVM baseline.
     pub fn uvm(&self) -> UvmSystem {
-        UvmSystem::new(self.device())
+        UvmSystem::new(self.device()).with_tracing(self.tracing())
     }
 
     /// Any requested system behind the single [`AnySystem`] dispatch point

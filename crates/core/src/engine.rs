@@ -29,7 +29,7 @@ use ascetic_graph::Csr;
 use ascetic_sim::{Engine, Gpu};
 
 use crate::config::AsceticConfig;
-use crate::report::{Breakdown, IterReport, RunReport};
+use crate::report::{utilization_from_trace, Breakdown, IterReport, RunReport};
 use crate::session::AsceticSession;
 use crate::system::{OutOfCoreSystem, PrepareError, Prepared};
 use ascetic_graph::chunks::ChunkGeometry;
@@ -82,6 +82,11 @@ impl OutOfCoreSystem for AsceticSystem {
 
 /// Assemble a [`RunReport`] from the final device state (shared with the
 /// baselines crate).
+///
+/// `iter_windows` are the per-iteration `(start_ns, end_ns)` windows on
+/// the virtual clock; when tracing was enabled they drive the
+/// [`RunReport::utilization`] timeline (pass an empty slice when the
+/// caller did not record them).
 #[allow(clippy::too_many_arguments)]
 pub fn finish_report(
     system: &'static str,
@@ -93,6 +98,7 @@ pub fn finish_report(
     refresh_bytes: u64,
     breakdown: Breakdown,
     per_iter: Vec<IterReport>,
+    iter_windows: Vec<(u64, u64)>,
     output: AlgoOutput,
 ) -> RunReport {
     let peak = per_iter.iter().map(|i| i.payload_bytes).max().unwrap_or(0);
@@ -101,6 +107,18 @@ pub fn finish_report(
     } else {
         per_iter.iter().map(|i| i.payload_bytes).sum::<u64>() / per_iter.len() as u64
     };
+    // The timeline's FIFO discipline guarantees every span was closed.
+    let span_trace = gpu
+        .timeline
+        .take_tracer()
+        .map(|t| t.finish().expect("timeline spans are complete"));
+    let utilization = span_trace
+        .as_ref()
+        .map(|t| utilization_from_trace(t, &iter_windows))
+        .unwrap_or_default();
+    let events = gpu.obs.take_events();
+    let events_dropped = events.as_ref().map_or(0, |e| e.dropped());
+    let first_drop_at = events.as_ref().and_then(|e| e.first_drop_at());
     let mut report = RunReport {
         system,
         algorithm,
@@ -125,8 +143,12 @@ pub fn finish_report(
         gpu_idle_ns: gpu.timeline.idle_ns(Engine::Compute),
         repartitions: 0,
         trace: gpu.timeline.take_trace(),
+        span_trace,
+        utilization,
+        events_dropped,
+        first_drop_at,
         metrics: gpu.obs.registry.snapshot(),
-        events: gpu.obs.take_events(),
+        events,
         peak_iteration_payload_bytes: peak,
         avg_iteration_payload_bytes: avg,
         output,

@@ -60,6 +60,9 @@ pub use config::{
 pub use engine::AsceticSystem;
 pub use pool_metrics::pool_metrics_snapshot;
 pub use prefetch::{PrefetchMode, PrefetchOp};
-pub use report::{Breakdown, IterReport, RunReport, RUN_REPORT_SCHEMA_VERSION};
+pub use report::{
+    utilization_from_trace, Breakdown, IterReport, IterUtilization, RunReport,
+    RUN_REPORT_SCHEMA_VERSION,
+};
 pub use session::AsceticSession;
 pub use system::{OutOfCoreSystem, PrepareError, Prepared};

@@ -13,17 +13,20 @@
 //!   time is idle"), Table 2 — [`RunReport::peak_iteration_payload_bytes`].
 
 use ascetic_algos::AlgoOutput;
-use ascetic_obs::{json, EventLog, MetricsSnapshot};
+use ascetic_obs::{json, EventLog, MetricsSnapshot, Trace};
 use ascetic_sim::{KernelStats, TraceSpan, XferStats};
 
 /// Version stamped into every machine-readable report this workspace
 /// emits ([`RunReport::summary_json`], the CLI's metrics JSONL, the bench
-/// BENCH_*.json files and the serve reports). Bump it whenever a field is
-/// renamed, removed or re-interpreted so downstream trace parsers can
-/// branch instead of silently misreading. History: 1 = the PR 1–4 layout
-/// (no explicit version); 2 = the version field itself plus the serve
-/// layer's report family.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 2;
+/// BENCH_*.json files, the serve reports and the exported span traces).
+/// Bump it whenever a field is renamed, removed or re-interpreted so
+/// downstream trace parsers can branch instead of silently misreading.
+/// History: 1 = the PR 1–4 layout (no explicit version); 2 = the version
+/// field itself plus the serve layer's report family; 3 = span-trace /
+/// utilization / drop-accounting fields and the serve latency
+/// decomposition (`events_dropped`, `first_drop_at`, per-job
+/// queue/admission/H2D/compute components and latency percentiles).
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// Per-iteration record.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,6 +42,69 @@ pub struct IterReport {
     /// Of the active edges, how many were served from the static region
     /// (always 0 for baselines).
     pub static_edges: u64,
+}
+
+/// Link/compute utilization over one iteration window, derived from the
+/// hierarchical span trace (see [`RunReport::utilization`]).
+///
+/// `link_busy_ns` is the union of DMA spans across every copy stream, so
+/// two streams driving the link concurrently count the covered time once;
+/// `overlap_ns` is the time both the link (any stream) and the compute
+/// engine were busy — the Fig-8 "overlap" the paper's pipeline exists to
+/// maximize.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IterUtilization {
+    /// Window start on the virtual clock, ns.
+    pub start_ns: u64,
+    /// Window end on the virtual clock, ns.
+    pub end_ns: u64,
+    /// Time at least one copy stream was moving data, ns.
+    pub link_busy_ns: u64,
+    /// Time the compute engine was running a kernel or decode, ns.
+    pub compute_busy_ns: u64,
+    /// Time link and compute were busy simultaneously, ns.
+    pub overlap_ns: u64,
+}
+
+impl IterUtilization {
+    /// Window length, ns.
+    pub fn window_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Time the link carried nothing, ns.
+    pub fn link_idle_ns(&self) -> u64 {
+        self.window_ns().saturating_sub(self.link_busy_ns)
+    }
+
+    /// Time the compute engine sat idle, ns (the per-iteration slice of
+    /// the Fig-8 / §2.2 GPU-idle accounting).
+    pub fn compute_idle_ns(&self) -> u64 {
+        self.window_ns().saturating_sub(self.compute_busy_ns)
+    }
+
+    /// Fraction of the window the link was busy, in `[0, 1]`.
+    pub fn link_busy_fraction(&self) -> f64 {
+        frac(self.link_busy_ns, self.window_ns())
+    }
+
+    /// Fraction of the window the compute engine was busy, in `[0, 1]`.
+    pub fn compute_busy_fraction(&self) -> f64 {
+        frac(self.compute_busy_ns, self.window_ns())
+    }
+
+    /// Fraction of the window link and compute overlapped, in `[0, 1]`.
+    pub fn overlap_fraction(&self) -> f64 {
+        frac(self.overlap_ns, self.window_ns())
+    }
+}
+
+fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 /// Time breakdown across the run (Figure 10 components), ns.
@@ -124,6 +190,20 @@ pub struct RunReport {
     /// Recorded engine spans, when the system ran with tracing enabled
     /// (export with [`ascetic_sim::chrome_trace_json`]).
     pub trace: Option<Vec<TraceSpan>>,
+    /// Hierarchical span trace (one track per copy stream, one per
+    /// engine, plus session phase tracks), when the system ran with
+    /// tracing enabled. Export with [`ascetic_obs::Trace::to_perfetto_json`]
+    /// or [`ascetic_obs::Trace::to_jsonl`].
+    pub span_trace: Option<Trace>,
+    /// Per-iteration link/compute utilization derived from the span
+    /// trace. Empty when tracing was off.
+    pub utilization: Vec<IterUtilization>,
+    /// Events the bounded log discarded after filling up (0 when event
+    /// logging was off or nothing was dropped).
+    pub events_dropped: u64,
+    /// Virtual-clock timestamp of the first dropped event, when any were
+    /// dropped — everything before this time is complete.
+    pub first_drop_at: Option<u64>,
     /// Metrics snapshot for this run. Canonical counters (`xfer.*`,
     /// `kernel.*`, `prestore.bytes`, …) are synced from the report fields
     /// by [`RunReport::sync_metrics`], so they agree exactly with
@@ -242,6 +322,8 @@ impl RunReport {
             .set_counter("prefetch.hits", self.prefetch_hits);
         self.metrics
             .set_counter("prefetch.waste_bytes", self.prefetch_wasted_bytes);
+        self.metrics
+            .set_counter("events.dropped", self.events_dropped);
         self.metrics
             .set_counter("iterations", self.iterations as u64);
         self.metrics
@@ -392,11 +474,57 @@ impl RunReport {
             out.push_str(&v.to_string());
         }
         out.push(',');
+        json::key_into("events_dropped", &mut out);
+        out.push_str(&self.events_dropped.to_string());
+        out.push(',');
+        json::key_into("first_drop_at", &mut out);
+        match self.first_drop_at {
+            Some(t) => out.push_str(&t.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push(',');
         json::key_into("metrics", &mut out);
         out.push_str(&self.metrics.to_json());
         out.push('}');
         out
     }
+}
+
+/// Derive per-window link/compute utilization from a finished span trace.
+///
+/// Link tracks are every track named with
+/// [`ascetic_sim::COPY_STREAM_TRACK_PREFIX`] (their busy time is unioned,
+/// so concurrent streams count covered time once); the compute track is
+/// the one named [`ascetic_sim::Engine::Compute`]`.name()`. Wait spans
+/// (arbitration stalls) never count as busy. Windows are
+/// `(start_ns, end_ns)` pairs on the virtual clock, typically one per
+/// iteration.
+pub fn utilization_from_trace(trace: &Trace, windows: &[(u64, u64)]) -> Vec<IterUtilization> {
+    let link: Vec<usize> = trace
+        .tracks()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.starts_with(ascetic_sim::COPY_STREAM_TRACK_PREFIX))
+        .map(|(i, _)| i)
+        .collect();
+    let compute = trace.track_index(ascetic_sim::Engine::Compute.name());
+    windows
+        .iter()
+        .map(|&(start_ns, end_ns)| {
+            let link_busy_ns = trace.busy_union_ns(&link, start_ns, end_ns);
+            let compute_busy_ns = compute.map_or(0, |c| trace.busy_ns(c, start_ns, end_ns));
+            let both: Vec<usize> = link.iter().copied().chain(compute).collect();
+            let either = trace.busy_union_ns(&both, start_ns, end_ns);
+            IterUtilization {
+                start_ns,
+                end_ns,
+                link_busy_ns,
+                compute_busy_ns,
+                // |A ∩ B| = |A| + |B| − |A ∪ B|
+                overlap_ns: (link_busy_ns + compute_busy_ns).saturating_sub(either),
+            }
+        })
+        .collect()
 }
 
 impl std::fmt::Display for RunReport {
@@ -496,6 +624,10 @@ mod tests {
             peak_iteration_payload_bytes: 64,
             avg_iteration_payload_bytes: 32,
             trace: None,
+            span_trace: None,
+            utilization: vec![],
+            events_dropped: 0,
+            first_drop_at: None,
             metrics: MetricsSnapshot::new(),
             events: None,
             output: AlgoOutput::Distances(vec![]),
@@ -601,6 +733,52 @@ mod tests {
         let row = r.summary_csv_row();
         assert!(row.ends_with(",96,3,2,32"), "{row}");
         ascetic_obs::json::validate(&r.summary_json()).expect("summary JSON validates");
+    }
+
+    #[test]
+    fn drop_accounting_surfaces_in_summaries() {
+        let mut r = dummy();
+        let json = r.summary_json();
+        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(json.contains("\"events_dropped\":0"), "{json}");
+        assert!(json.contains("\"first_drop_at\":null"), "{json}");
+        r.events_dropped = 7;
+        r.first_drop_at = Some(123);
+        r.sync_metrics();
+        assert_eq!(r.metrics.counter("events.dropped"), Some(7));
+        let json = r.summary_json();
+        assert!(json.contains("\"events_dropped\":7"), "{json}");
+        assert!(json.contains("\"first_drop_at\":123"), "{json}");
+        ascetic_obs::json::validate(&json).expect("summary JSON validates");
+    }
+
+    #[test]
+    fn utilization_from_trace_unions_streams_and_intersects_compute() {
+        use ascetic_obs::SpanTracer;
+        use ascetic_sim::{copy_stream_track_name, Engine};
+        let mut tr = SpanTracer::new();
+        let s0 = tr.track(&copy_stream_track_name(0));
+        let s1 = tr.track(&copy_stream_track_name(1));
+        let gpu = tr.track(Engine::Compute.name());
+        // stream 0 busy [0,100), stream 1 busy [50,150) -> union 150
+        tr.complete(s0, 0, 100, "H2D", "dma").unwrap();
+        tr.complete(s1, 50, 150, "H2D", "dma").unwrap();
+        // compute busy [80,200) -> overlap with link union = [80,150) = 70
+        tr.complete(gpu, 80, 200, "kernel", "kernel").unwrap();
+        let trace = tr.finish().unwrap();
+        let u = utilization_from_trace(&trace, &[(0, 200), (0, 100)]);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].link_busy_ns, 150);
+        assert_eq!(u[0].compute_busy_ns, 120);
+        assert_eq!(u[0].overlap_ns, 70);
+        assert_eq!(u[0].window_ns(), 200);
+        assert_eq!(u[0].link_idle_ns(), 50);
+        assert_eq!(u[0].compute_idle_ns(), 80);
+        assert!((u[0].overlap_fraction() - 0.35).abs() < 1e-12);
+        // clipped window
+        assert_eq!(u[1].link_busy_ns, 100);
+        assert_eq!(u[1].compute_busy_ns, 20);
+        assert_eq!(u[1].overlap_ns, 20);
     }
 
     #[test]

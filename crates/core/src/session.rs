@@ -38,6 +38,27 @@ use crate::system::{edge_budget_bytes, reserve_vertex_arrays};
 /// ops that never find a gap are dropped at no cost.
 const GAP_PLAN_OPS: usize = 256;
 
+/// Span-trace track carrying the session phases: static staging, then one
+/// span per iteration with `GenDataMap`/static-compute children.
+pub const SESSION_TRACK: &str = "session";
+/// Span-trace track for the on-demand pipeline window of each iteration
+/// (overlaps the static compute in time, hence its own track).
+pub const ONDEMAND_TRACK: &str = "on-demand pipeline";
+/// Span-trace track for the replacement server's refresh windows.
+pub const REFRESH_TRACK: &str = "replacement server";
+/// Span-trace track for the cross-iteration prefetch windows.
+pub const PREFETCH_WINDOW_TRACK: &str = "prefetch window";
+/// Category stamped on session-level phase spans.
+const CAT_PHASE: &str = "phase";
+
+/// Widen a `(start, end)` window to include `[start_ns, end_ns]`.
+fn widen(w: &mut Option<(u64, u64)>, start_ns: u64, end_ns: u64) {
+    *w = Some(match *w {
+        None => (start_ns, end_ns),
+        Some((a, b)) => (a.min(start_ns), b.max(end_ns)),
+    });
+}
+
 /// A prepared Ascetic device bound to one graph, reusable across runs.
 pub struct AsceticSession<'g> {
     cfg: AsceticConfig,
@@ -223,7 +244,14 @@ impl<'g> AsceticSession<'g> {
                 dur_ns: prestore_ns,
             },
         );
-        gpu.sync();
+        let staged = gpu.sync();
+        if staged.0 > 0 {
+            if let Some(tr) = gpu.timeline.tracer_mut() {
+                let t = tr.track(SESSION_TRACK);
+                tr.complete(t, 0, staged.0, "static staging", CAT_PHASE)
+                    .expect("staging is the first session span");
+            }
+        }
 
         AsceticSession {
             cfg,
@@ -393,6 +421,7 @@ impl<'g> AsceticSession<'g> {
         let d = g.edge_bytes();
         let mut breakdown = Breakdown::default();
         let mut per_iter: Vec<IterReport> = Vec::new();
+        let mut iter_windows: Vec<(u64, u64)> = Vec::new();
         let mut refresh_bytes = 0u64;
         let mut refresh_wire_bytes = 0u64;
         let mut repartitions = 0u32;
@@ -429,12 +458,22 @@ impl<'g> AsceticSession<'g> {
         while !active.is_all_zero() && iter < prog.max_iterations() {
             let iter_start = self.gpu.sync();
             self.gpu.obs.record(iter_start.0, Event::IterStart { iter });
+            if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                let t = tr.track(SESSION_TRACK);
+                tr.begin(t, iter_start.0, &format!("iteration {iter}"), CAT_PHASE)
+                    .expect("iterations are sequential on the session track");
+            }
             prog.begin_iteration(iter, &active, &state);
 
             // ➊ GenDataMap (cheap bitmap kernel over |V| bits).
             let mut maps = DataMaps::generate(g, &active, self.region.vertex_bitmap());
             let genmap = self.gpu.kernel_at(0, (n as u64).div_ceil(64), iter_start);
             breakdown.gen_map_ns += genmap.duration();
+            if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                let t = tr.track(SESSION_TRACK);
+                tr.complete(t, genmap.start.0, genmap.end.0, "GenDataMap", CAT_PHASE)
+                    .expect("GenDataMap opens the iteration");
+            }
 
             // Eq (3): adaptive re-partition when the on-demand volume
             // overflows an under-used static region. Under lazy fill the
@@ -489,6 +528,19 @@ impl<'g> AsceticSession<'g> {
                 breakdown.static_compute_ns += span.duration();
                 Some(span)
             };
+            if let Some(span) = static_span {
+                if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                    let t = tr.track(SESSION_TRACK);
+                    tr.complete(
+                        t,
+                        span.start.0,
+                        span.end.0,
+                        "static-region compute",
+                        CAT_PHASE,
+                    )
+                    .expect("static compute follows GenDataMap");
+                }
+            }
             if !maps.static_nodes.is_empty() {
                 let mem = &self.gpu.mem;
                 let region_ref = &self.region;
@@ -505,6 +557,9 @@ impl<'g> AsceticSession<'g> {
             let mut od_payload = 0u64;
             let mut od_compute_window = 0u64;
             let mut first_od_compute_start: Option<SimTime> = None;
+            // prefetch DMAs issued this iteration (gap fills + the tail),
+            // for the iteration's window span on the prefetch track
+            let mut pf_window: Option<(u64, u64)> = None;
             if !maps.ondemand_nodes.is_empty() {
                 assert!(
                     min_buffer_words > 0,
@@ -540,6 +595,9 @@ impl<'g> AsceticSession<'g> {
                         span
                     })
                     .collect();
+                let gather_first = gather_spans.first().map(|s| s.start);
+                let gather_last = gather_ready;
+                let mut od_window_end = gather_last;
                 for (bi, (entries, g_span)) in batches.into_iter().zip(gather_spans).enumerate() {
                     let buf_idx = bi % self.od_buffers.len();
                     let buffer = self.od_buffers[buf_idx];
@@ -558,8 +616,10 @@ impl<'g> AsceticSession<'g> {
                             break; // would push this batch's transfer later
                         }
                         prefetch_deferred.pop_front();
-                        self.gpu
+                        let span = self
+                            .gpu
                             .prefetch_dma_at(op.chunk() as u64, bytes, link_free);
+                        widen(&mut pf_window, span.start.0, span.end.0);
                         prefetch_bytes += bytes;
                         prefetch_ops += 1;
                         prefetch_inflight.push((op, bytes));
@@ -632,6 +692,7 @@ impl<'g> AsceticSession<'g> {
                     od_compute_window += c_span.duration();
                     first_od_compute_start.get_or_insert(c_span.start);
                     buffer_free_at[buf_idx] = c_span.end;
+                    od_window_end = od_window_end.max(c_span.end);
 
                     // host execution of the batch
                     let mem = &self.gpu.mem;
@@ -646,6 +707,17 @@ impl<'g> AsceticSession<'g> {
                             &next,
                         );
                     });
+                }
+                if let Some(first) = gather_first {
+                    if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                        let t = tr.track(ONDEMAND_TRACK);
+                        tr.begin(t, first.0, &format!("on-demand iter {iter}"), CAT_PHASE)
+                            .expect("on-demand windows are sequential");
+                        tr.complete(t, first.0, gather_last.0, "gather", CAT_PHASE)
+                            .expect("gather nests in the on-demand window");
+                        tr.end(t, od_window_end.0)
+                            .expect("the window closes after its last batch");
+                    }
                 }
             }
 
@@ -682,6 +754,8 @@ impl<'g> AsceticSession<'g> {
                         .max(1);
                     let mut ops_left = (od_compute_window / per_op_ns) as usize;
                     let ready = first_od_compute_start.unwrap_or(iter_start);
+                    let copy_free0 = self.gpu.timeline.engine_free_at(Engine::Copy);
+                    let mut window_ops = 0u32;
 
                     // lazy warming first: adopt demanded chunks into free
                     // slots (counted as steady transfer, not prestore)
@@ -696,6 +770,7 @@ impl<'g> AsceticSession<'g> {
                             self.gpu.obs.record(ready.0, Event::LazyLoad { bytes });
                             breakdown.update_ns += dur;
                             ops_left -= 1;
+                            window_ops += 1;
                         }
                     }
 
@@ -720,6 +795,16 @@ impl<'g> AsceticSession<'g> {
                                 .obs
                                 .record(ready.0, Event::HotSwap { chunks: 1, bytes });
                             breakdown.update_ns += dur;
+                            window_ops += 1;
+                        }
+                    }
+                    if window_ops > 0 {
+                        let start = copy_free0.max(ready).0;
+                        let end = self.gpu.timeline.engine_free_at(Engine::Copy).0;
+                        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                            let t = tr.track(REFRESH_TRACK);
+                            tr.complete(t, start, end, &format!("refresh iter {iter}"), CAT_PHASE)
+                                .expect("refresh windows are sequential");
                         }
                     }
                 }
@@ -822,6 +907,7 @@ impl<'g> AsceticSession<'g> {
                         // would land on the busy compute engine and could
                         // push the very kernel they are hiding under
                         let span = self.gpu.prefetch_dma_at(chunk as u64, bytes, link_free);
+                        widen(&mut pf_window, span.start.0, span.end.0);
                         prefetch_ready = prefetch_ready.max(span.end);
                         prefetch_bytes += bytes;
                         prefetch_ops += 1;
@@ -833,8 +919,21 @@ impl<'g> AsceticSession<'g> {
                 }
             }
 
+            if let Some((start, end)) = pf_window.take() {
+                if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                    let t = tr.track(PREFETCH_WINDOW_TRACK);
+                    tr.complete(t, start, end, &format!("prefetch iter {iter}"), CAT_PHASE)
+                        .expect("the prefetch stream serializes its windows");
+                }
+            }
             let iter_end = self.gpu.sync();
             self.gpu.obs.record(iter_end.0, Event::IterEnd { iter });
+            if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                let t = tr.track(SESSION_TRACK);
+                tr.end(t, iter_end.0)
+                    .expect("the iteration span closes at the barrier");
+            }
+            iter_windows.push((iter_start.0, iter_end.0));
             per_iter.push(IterReport {
                 active_vertices: maps.active_vertices(),
                 active_edges: maps.active_edges(),
@@ -862,12 +961,17 @@ impl<'g> AsceticSession<'g> {
             refresh_bytes,
             breakdown,
             per_iter,
+            iter_windows,
             prog.output(&state),
         );
         // the report took ownership of the event log; arm a fresh one so
         // later runs over this session keep recording
         if cfg.events {
             self.gpu.obs.enable_events(DEFAULT_EVENT_CAPACITY);
+        }
+        // likewise the span tracer: re-arm so warm runs keep tracing
+        if cfg.tracing {
+            self.gpu.timeline.enable_tracing();
         }
         report.repartitions = repartitions;
         // speculative refreshes still in flight when the frontier drained
@@ -1140,6 +1244,40 @@ mod tests {
             .iter()
             .any(|e| e.event.kind() == "prefetch_dma");
         assert!(has_prefetch_event, "events record the prefetch stream");
+    }
+
+    #[test]
+    fn span_trace_idle_agrees_with_fig8_counters() {
+        let g = uniform_graph(2_000, 16_000, false, 36);
+        let mut s = AsceticSession::new(cfg_for(&g).with_tracing(true), &g);
+        let r = s.run(&Bfs::new(0));
+        let trace = r.span_trace.as_ref().expect("tracing armed");
+        // the compute track's busy time over the run window must equal the
+        // timeline's Fig-8 accounting exactly: idle = makespan - busy
+        let gpu_track = trace
+            .track_index(Engine::Compute.name())
+            .expect("compute track exists");
+        let busy = trace.busy_ns(gpu_track, 0, r.sim_time_ns);
+        assert_eq!(r.sim_time_ns - r.gpu_idle_ns, busy);
+        // every iteration got a utilization window, consistent within itself
+        assert_eq!(r.utilization.len(), r.per_iter.len());
+        for u in &r.utilization {
+            assert!(u.end_ns > u.start_ns);
+            assert!(u.link_busy_ns <= u.window_ns());
+            assert!(u.compute_busy_ns <= u.window_ns());
+            assert!(u.overlap_ns <= u.link_busy_ns.min(u.compute_busy_ns));
+        }
+        // the session phase tracks carry spans
+        let session_track = trace.track_index(SESSION_TRACK).expect("session track");
+        assert!(trace.track_spans(session_track).count() > r.per_iter.len());
+        // warm runs re-arm the tracer and window on the warm clock
+        let warm = s.run(&Cc::new());
+        let wt = warm.span_trace.as_ref().expect("tracer re-armed");
+        assert!(wt.spans().iter().all(|sp| sp.name != "static staging"));
+        assert_eq!(warm.utilization.len(), warm.per_iter.len());
+        let w0 = warm.utilization.first().expect("warm run iterates");
+        let gpu_track = wt.track_index(Engine::Compute.name()).unwrap();
+        assert!(wt.busy_ns(gpu_track, w0.start_ns, w0.end_ns) == w0.compute_busy_ns);
     }
 
     #[test]

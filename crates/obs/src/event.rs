@@ -261,6 +261,7 @@ pub struct EventLog {
     capacity: usize,
     events: Vec<TimedEvent>,
     dropped: u64,
+    first_drop_at: Option<u64>,
 }
 
 impl EventLog {
@@ -270,6 +271,7 @@ impl EventLog {
             capacity,
             events: Vec::new(),
             dropped: 0,
+            first_drop_at: None,
         }
     }
 
@@ -278,6 +280,9 @@ impl EventLog {
         if self.events.len() < self.capacity {
             self.events.push(TimedEvent { t_ns, event });
         } else {
+            if self.dropped == 0 {
+                self.first_drop_at = Some(t_ns);
+            }
             self.dropped += 1;
         }
     }
@@ -307,6 +312,13 @@ impl EventLog {
         self.dropped
     }
 
+    /// Virtual-clock instant of the *first* dropped event, if any were
+    /// dropped. A report that shows `events_dropped > 0` can point at the
+    /// moment the log went blind instead of just admitting data loss.
+    pub fn first_drop_at(&self) -> Option<u64> {
+        self.first_drop_at
+    }
+
     /// Retention bound.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -321,10 +333,17 @@ impl EventLog {
             if self.events.len() < self.capacity {
                 self.events.push(e.clone());
             } else {
+                if self.dropped == 0 {
+                    self.first_drop_at = Some(e.t_ns);
+                }
                 self.dropped += 1;
             }
         }
         self.dropped += other.dropped;
+        self.first_drop_at = match (self.first_drop_at, other.first_drop_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         self.events.sort_by_key(|e| e.t_ns);
     }
 
@@ -349,9 +368,35 @@ mod tests {
         let mut log = EventLog::new(2);
         log.record(1, Event::IterStart { iter: 0 });
         log.record(2, Event::IterEnd { iter: 0 });
+        assert_eq!(log.first_drop_at(), None);
         log.record(3, Event::IterStart { iter: 1 });
+        log.record(7, Event::IterEnd { iter: 1 });
         assert_eq!(log.len(), 2);
-        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.dropped(), 2);
+        // The clock of the *first* drop is pinned, not the latest.
+        assert_eq!(log.first_drop_at(), Some(3));
+    }
+
+    #[test]
+    fn merge_carries_earliest_first_drop() {
+        let mut a = EventLog::new(4);
+        a.record(1, Event::IterStart { iter: 0 });
+        let mut b = EventLog::new(1);
+        b.record(2, Event::IterStart { iter: 1 });
+        b.record(5, Event::IterEnd { iter: 1 }); // dropped in b at t=5
+        a.merge(&b);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.first_drop_at(), Some(5));
+
+        // A merge that itself overflows records the overflow instant, and
+        // the earliest of the two logs' first drops wins.
+        let mut c = EventLog::new(1);
+        c.record(1, Event::IterStart { iter: 0 });
+        let mut d = EventLog::new(1);
+        d.record(3, Event::IterStart { iter: 1 });
+        c.merge(&d); // capacity stays 1: d's event drops at t=3
+        assert_eq!(c.dropped(), 1);
+        assert_eq!(c.first_drop_at(), Some(3));
     }
 
     #[test]

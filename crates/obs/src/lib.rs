@@ -15,6 +15,10 @@
 //!   (iteration boundaries, kernel launches, DMA ops, UVM faults and
 //!   evictions, hotness-table replacements, Eq (3) re-partitions, allocator
 //!   high-water marks) with bounded capacity and a JSONL sink.
+//! * [`trace`] — a hierarchical [`SpanTracer`] over named tracks (one per
+//!   copy stream, compute engine, serve job) frozen into an immutable
+//!   [`Trace`] with Chrome/Perfetto and JSONL export plus busy/idle/overlap
+//!   utilization queries — the Fig-8 breakdown as a first-class artifact.
 //! * [`json`] — hand-rolled JSON escaping, number formatting and a small
 //!   validating parser (no serde; the whole workspace stays
 //!   dependency-free).
@@ -26,6 +30,8 @@
 pub mod event;
 pub mod json;
 pub mod registry;
+pub mod trace;
 
 pub use event::{Event, EventLog, TimedEvent, XferDir, DEFAULT_EVENT_CAPACITY};
 pub use registry::{Histogram, MetricValue, MetricsSnapshot, Obs, Registry, NUM_BUCKETS};
+pub use trace::{SpanTracer, Trace, TraceError, TracedSpan, TrackId, CAT_WAIT};

@@ -39,6 +39,8 @@ pub mod trace;
 
 pub use job::{AlgoKind, Job};
 pub use policy::{Policy, ALL_POLICIES};
-pub use report::{output_fingerprint, JobReport, RejectedJob, ServeReport};
+pub use report::{
+    output_fingerprint, JobReport, LatencyBreakdown, LatencyPercentiles, RejectedJob, ServeReport,
+};
 pub use server::{serve, ServeConfig, ServeError};
 pub use trace::{parse_trace, synthetic_mixed, to_jsonl, TraceError, TraceErrorKind};

@@ -4,7 +4,7 @@
 use ascetic_algos::AlgoOutput;
 use ascetic_core::{RunReport, RUN_REPORT_SCHEMA_VERSION};
 use ascetic_obs::json;
-use ascetic_obs::MetricsSnapshot;
+use ascetic_obs::{MetricsSnapshot, Trace};
 use ascetic_sim::ArenaOccupancy;
 
 /// What one admitted job got back from the serving layer.
@@ -18,6 +18,8 @@ pub struct JobReport {
     pub batch: Option<u32>,
     /// Lanes in the run that produced this job's answer (1 = solo).
     pub lanes: u32,
+    /// Jobs folded into this one's run besides itself (`lanes - 1`).
+    pub batch_folds: u32,
     /// When the job arrived, serve clock ns.
     pub submit_ns: u64,
     /// When its run started.
@@ -26,6 +28,15 @@ pub struct JobReport {
     pub finish_ns: u64,
     /// `start_ns - submit_ns`.
     pub queue_wait_ns: u64,
+    /// Session (re)build cost paid before the run's iterations: the
+    /// prestore, 0 on a warm session.
+    pub admission_ns: u64,
+    /// Link time spent on the run's on-demand H2D transfers plus static
+    /// refreshes.
+    pub h2d_ns: u64,
+    /// Compute-engine time across the run's kernels (GenDataMap, static
+    /// region, on-demand).
+    pub compute_ns: u64,
     /// The deadline it asked for, if any.
     pub deadline_ns: Option<u64>,
     /// Whether `finish_ns <= deadline_ns` (None when no deadline).
@@ -35,6 +46,62 @@ pub struct JobReport {
     /// The underlying engine run report, with `output` replaced by this
     /// job's lane. Batch members share every other field.
     pub run: RunReport,
+}
+
+impl JobReport {
+    /// End-to-end latency: `finish_ns - submit_ns`.
+    pub fn latency_ns(&self) -> u64 {
+        self.finish_ns - self.submit_ns
+    }
+}
+
+/// Nearest-rank percentile summary of one latency component, ns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median (50th percentile, nearest rank).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+}
+
+impl LatencyPercentiles {
+    /// Nearest-rank percentiles over `samples` (all zero when empty).
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyPercentiles {
+        if samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        samples.sort_unstable();
+        let nth = |p: u64| {
+            // nearest-rank: ceil(p/100 * n), 1-based
+            let rank = (p * samples.len() as u64).div_ceil(100).max(1) as usize;
+            samples[rank - 1]
+        };
+        LatencyPercentiles {
+            p50_ns: nth(50),
+            p90_ns: nth(90),
+            p99_ns: nth(99),
+        }
+    }
+}
+
+/// SLO-grade latency decomposition over a serve schedule's admitted jobs:
+/// the end-to-end latency plus where it went (queue, admission/prestore,
+/// H2D link time, compute time). The components describe the run each job
+/// rode, so batch members share them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// `finish - submit` per job.
+    pub total: LatencyPercentiles,
+    /// `start - submit` per job.
+    pub queue: LatencyPercentiles,
+    /// Session (re)build / prestore time per job.
+    pub admission: LatencyPercentiles,
+    /// On-demand transfer + refresh link time per job.
+    pub h2d: LatencyPercentiles,
+    /// Kernel time per job.
+    pub compute: LatencyPercentiles,
 }
 
 /// A job the admission check turned away.
@@ -74,6 +141,9 @@ pub struct ServeReport {
     pub occupancy: ArenaOccupancy,
     /// Serve-layer metric snapshot (queue waits, batch occupancy, ...).
     pub metrics: MetricsSnapshot,
+    /// Hierarchical span trace on the serve clock: one track per job
+    /// (queued → admitted → running) plus the scheduler's run track.
+    pub span_trace: Option<Trace>,
     /// Per-job reports, sorted by job id.
     pub jobs: Vec<JobReport>,
     /// Jobs refused at admission, sorted by job id.
@@ -119,6 +189,26 @@ pub fn output_fingerprint(output: &AlgoOutput) -> u64 {
 }
 
 impl ServeReport {
+    /// Percentile decomposition of job latency into
+    /// queue/admission/H2D/compute components, over the admitted jobs.
+    pub fn latency_breakdown(&self) -> LatencyBreakdown {
+        LatencyBreakdown {
+            total: LatencyPercentiles::from_samples(
+                self.jobs.iter().map(|j| j.latency_ns()).collect(),
+            ),
+            queue: LatencyPercentiles::from_samples(
+                self.jobs.iter().map(|j| j.queue_wait_ns).collect(),
+            ),
+            admission: LatencyPercentiles::from_samples(
+                self.jobs.iter().map(|j| j.admission_ns).collect(),
+            ),
+            h2d: LatencyPercentiles::from_samples(self.jobs.iter().map(|j| j.h2d_ns).collect()),
+            compute: LatencyPercentiles::from_samples(
+                self.jobs.iter().map(|j| j.compute_ns).collect(),
+            ),
+        }
+    }
+
     /// Average lanes per run, ×100 (integer fixed-point, deterministic).
     pub fn batch_occupancy_x100(&self) -> u64 {
         let runs = self.jobs.len() as u64 - self.batched_jobs as u64 + self.batches as u64;
@@ -155,6 +245,30 @@ impl ServeReport {
             out.push_str(&v.to_string());
         }
         out.push(',');
+        json::key_into("latency", &mut out);
+        let lb = self.latency_breakdown();
+        out.push('{');
+        for (i, (k, p)) in [
+            ("total", lb.total),
+            ("queue", lb.queue),
+            ("admission", lb.admission),
+            ("h2d", lb.h2d),
+            ("compute", lb.compute),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            json::key_into(k, &mut out);
+            out.push_str(&format!(
+                "{{\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                p.p50_ns, p.p90_ns, p.p99_ns
+            ));
+        }
+        out.push('}');
+        out.push(',');
         json::key_into("occupancy", &mut out);
         out.push_str(&format!(
             "{{\"capacity_bytes\":{},\"used_bytes\":{},\"high_water_bytes\":{}}}",
@@ -183,10 +297,14 @@ impl ServeReport {
             }
             for (k, v) in [
                 ("lanes", j.lanes as u64),
+                ("batch_folds", j.batch_folds as u64),
                 ("submit_ns", j.submit_ns),
                 ("start_ns", j.start_ns),
                 ("finish_ns", j.finish_ns),
                 ("queue_wait_ns", j.queue_wait_ns),
+                ("admission_ns", j.admission_ns),
+                ("h2d_ns", j.h2d_ns),
+                ("compute_ns", j.compute_ns),
                 ("run_sim_ns", j.run.sim_time_ns),
             ] {
                 out.push(',');
@@ -241,10 +359,13 @@ impl ServeReport {
 
     /// One-paragraph text summary for `--summary text`.
     pub fn summary_text(&self) -> String {
+        let lb = self.latency_breakdown();
         format!(
             "serve[{}]: {} jobs ({} batched in {} batches, {} rejected), \
              {} sessions, makespan {} ns, queue wait {} ns, \
-             on-demand H2D {} B, prestore {} B, residency hits {} B",
+             on-demand H2D {} B, prestore {} B, residency hits {} B\n\
+             latency p50/p90/p99 ns: total {}/{}/{}, queue {}/{}/{}, \
+             admission {}/{}/{}, h2d {}/{}/{}, compute {}/{}/{}",
             self.policy,
             self.jobs.len(),
             self.batched_jobs,
@@ -256,6 +377,21 @@ impl ServeReport {
             self.ondemand_h2d_bytes,
             self.prestore_bytes,
             self.residency_hit_bytes,
+            lb.total.p50_ns,
+            lb.total.p90_ns,
+            lb.total.p99_ns,
+            lb.queue.p50_ns,
+            lb.queue.p90_ns,
+            lb.queue.p99_ns,
+            lb.admission.p50_ns,
+            lb.admission.p90_ns,
+            lb.admission.p99_ns,
+            lb.h2d.p50_ns,
+            lb.h2d.p90_ns,
+            lb.h2d.p99_ns,
+            lb.compute.p50_ns,
+            lb.compute.p90_ns,
+            lb.compute.p99_ns,
         )
     }
 }
@@ -263,6 +399,22 @@ impl ServeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(
+            LatencyPercentiles::from_samples(vec![]),
+            LatencyPercentiles::default()
+        );
+        let p = LatencyPercentiles::from_samples(vec![5]);
+        assert_eq!((p.p50_ns, p.p90_ns, p.p99_ns), (5, 5, 5));
+        // 1..=100: nearest-rank pN over 100 samples is exactly N
+        let p = LatencyPercentiles::from_samples((1..=100).collect());
+        assert_eq!((p.p50_ns, p.p90_ns, p.p99_ns), (50, 90, 99));
+        // 10 samples: p50 -> rank 5, p90 -> rank 9, p99 -> rank 10
+        let p = LatencyPercentiles::from_samples((1..=10).map(|x| x * 10).collect());
+        assert_eq!((p.p50_ns, p.p90_ns, p.p99_ns), (50, 90, 100));
+    }
 
     #[test]
     fn fingerprint_separates_variants_and_values() {

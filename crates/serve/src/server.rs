@@ -27,7 +27,7 @@
 use ascetic_algos::{AlgoOutput, Bfs, Cc, MsBfsDistances, MsSsspDistances, PageRank, Sssp};
 use ascetic_core::{AsceticConfig, AsceticSession, AsceticSystem, OutOfCoreSystem, Prepared};
 use ascetic_graph::Csr;
-use ascetic_obs::Registry;
+use ascetic_obs::{Registry, SpanTracer};
 use ascetic_par::Bitmap;
 
 use crate::job::{AlgoKind, Job};
@@ -177,6 +177,10 @@ pub fn serve<'g>(
     let mut reg = Registry::new();
     reg.set_label("layer", "serve");
     reg.set_label("policy", sc.policy.name());
+    // Serve-clock span trace: the scheduler's runs plus one lifecycle
+    // track per job (queued → admitted → running).
+    let mut tracer = SpanTracer::new();
+    let sched_track = tracer.track("scheduler");
 
     // --- Admission: prepare each variant once; reject what cannot run. ---
     let mut rejected: Vec<RejectedJob> = Vec::new();
@@ -304,6 +308,15 @@ pub fn serve<'g>(
         let start = now;
         let finish = now + report.sim_time_ns;
         now = finish;
+        tracer
+            .complete(
+                sched_track,
+                start,
+                finish,
+                &format!("run {} x{}", picked.kind.name(), batch_idx.len()),
+                "run",
+            )
+            .expect("scheduler runs are sequential");
         ondemand_h2d_bytes += report.xfer.h2d_bytes;
         prestore_bytes += report.prestore_bytes;
         if warm {
@@ -332,12 +345,45 @@ pub fn serve<'g>(
         reg.counter_add("serve.ondemand_h2d_bytes", report.xfer.h2d_bytes);
 
         // per-job reports: each batch member gets the run's RunReport with
-        // its own lane as the output
+        // its own lane as the output. The latency decomposition comes from
+        // the shared run: admission = the (re)build prestore, H2D = link
+        // time on transfers + refreshes, compute = kernel time.
+        let admission_ns = report.prestore_ns;
+        let h2d_ns = report.breakdown.transfer_ns + report.breakdown.update_ns;
+        let compute_ns = report.breakdown.gen_map_ns
+            + report.breakdown.static_compute_ns
+            + report.breakdown.ondemand_compute_ns;
         for (lane, &i) in batch_idx.iter().enumerate() {
             let job = pending[i];
             let output = split_output(&report.output, lane, batch_idx.len());
             let queue_wait_ns = start - job.submit_ns;
             reg.observe("serve.queue_wait_ns", queue_wait_ns);
+            let jt = tracer.track(&format!("job {}", job.id));
+            tracer
+                .begin(
+                    jt,
+                    job.submit_ns,
+                    &format!("job {} ({})", job.id, job.kind.name()),
+                    "job",
+                )
+                .expect("job ids are unique");
+            tracer
+                .complete(jt, job.submit_ns, start, "queued", "queue")
+                .expect("a job queues before it starts");
+            if admission_ns > 0 {
+                tracer
+                    .complete(jt, start, start + admission_ns, "admitted", "admission")
+                    .expect("admission precedes the run");
+            }
+            let running = if batch_idx.len() > 1 {
+                format!("running (batched x{})", batch_idx.len())
+            } else {
+                "running".to_string()
+            };
+            tracer
+                .complete(jt, start + admission_ns, finish, &running, "run")
+                .expect("the run closes the lifecycle");
+            tracer.end(jt, finish).expect("job spans close at finish");
             let mut job_run = report.clone();
             job_run.output = output.clone();
             job_reports.push(JobReport {
@@ -345,10 +391,14 @@ pub fn serve<'g>(
                 algo: job.kind.name(),
                 batch: batch_id,
                 lanes: batch_idx.len() as u32,
+                batch_folds: batch_idx.len() as u32 - 1,
                 submit_ns: job.submit_ns,
                 start_ns: start,
                 finish_ns: finish,
                 queue_wait_ns,
+                admission_ns,
+                h2d_ns,
+                compute_ns,
                 deadline_ns: job.deadline_ns,
                 met_deadline: job.deadline_ns.map(|d| finish <= d),
                 output,
@@ -382,6 +432,7 @@ pub fn serve<'g>(
         sessions_built,
         occupancy,
         metrics: reg.snapshot(),
+        span_trace: Some(tracer.finish().expect("serve spans are complete")),
         jobs: job_reports,
         rejected,
     })
@@ -672,7 +723,64 @@ mod tests {
             let json = rep.to_json();
             ascetic_obs::json::validate(&json).expect("valid serve JSON");
             assert!(json.contains(&format!("\"policy\":\"{}\"", policy.name())));
-            assert!(json.contains("\"schema_version\":2"));
+            assert!(json.contains("\"schema_version\":3"));
+            assert!(json.contains("\"latency\":{"), "{json}");
+            assert!(json.contains("\"admission\":{"), "{json}");
         }
+    }
+
+    #[test]
+    fn job_latency_decomposes_into_components() {
+        let (g, _) = graphs();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo).without_batching();
+        let jobs = [bfs_job(0, 0, 0), bfs_job(1, 7, 0)];
+        let rep = serve(&sc, &g, None, &jobs).unwrap();
+        for j in &rep.jobs {
+            // components never exceed the end-to-end latency
+            assert!(
+                j.queue_wait_ns + j.admission_ns <= j.latency_ns(),
+                "job {}",
+                j.id
+            );
+            assert!(j.h2d_ns + j.compute_ns > 0, "job {} did work", j.id);
+            assert_eq!(j.batch_folds, 0, "batching off");
+        }
+        // only the cold job pays admission
+        assert!(rep.jobs[0].admission_ns > 0);
+        assert_eq!(rep.jobs[1].admission_ns, 0);
+        let lb = rep.latency_breakdown();
+        assert!(lb.total.p50_ns <= lb.total.p99_ns);
+        assert!(lb.total.p99_ns <= rep.makespan_ns);
+    }
+
+    #[test]
+    fn serve_span_trace_tracks_job_lifecycles() {
+        let (g, _) = graphs();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo);
+        let jobs = [bfs_job(0, 0, 0), bfs_job(1, 9, 0), bfs_job(2, 17, 0)];
+        let rep = serve(&sc, &g, None, &jobs).unwrap();
+        let trace = rep.span_trace.as_ref().expect("serve always traces");
+        let sched = trace.track_index("scheduler").expect("scheduler track");
+        assert!(trace.track_spans(sched).count() >= 1);
+        for j in &rep.jobs {
+            let t = trace
+                .track_index(&format!("job {}", j.id))
+                .unwrap_or_else(|| panic!("job {} track", j.id));
+            let spans: Vec<_> = trace.track_spans(t).collect();
+            // lifecycle parent + queued + running (+ admitted when cold)
+            assert!(spans.len() >= 3, "job {}: {} spans", j.id, spans.len());
+            let parent = spans.iter().find(|s| s.depth == 0).expect("lifecycle span");
+            assert_eq!(parent.start_ns, j.submit_ns);
+            assert_eq!(parent.end_ns, j.finish_ns);
+            assert!(spans.iter().any(|s| s.name == "queued"));
+        }
+        // all three jobs batched into one run -> one admitted span total
+        assert_eq!(rep.batches, 1);
+        let admitted = trace
+            .spans()
+            .iter()
+            .filter(|s| s.name == "admitted")
+            .count();
+        assert_eq!(admitted, 3, "every batch member shows the shared prestore");
     }
 }

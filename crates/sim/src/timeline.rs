@@ -16,6 +16,17 @@
 //! and the timeline computes the concurrency automatically.
 
 use crate::time::SimTime;
+use ascetic_obs::trace::{SpanTracer, CAT_WAIT};
+
+/// Track-name prefix for per-copy-stream tracks in hierarchical traces
+/// (`"PCIe copy stream 0"` is the default stream; consumers find the link
+/// tracks by this prefix).
+pub const COPY_STREAM_TRACK_PREFIX: &str = "PCIe copy stream";
+
+/// Hierarchical-trace track name for copy stream `i`.
+pub fn copy_stream_track_name(i: usize) -> String {
+    format!("{COPY_STREAM_TRACK_PREFIX} {i}")
+}
 
 /// A FIFO command queue feeding the PCIe copy engine (a CUDA stream whose
 /// work is pure DMA). Every timeline starts with one stream,
@@ -114,6 +125,10 @@ pub struct Timeline {
     horizon: SimTime,
     /// Recorded spans, when tracing is on.
     trace: Option<Vec<TraceSpan>>,
+    /// Hierarchical per-track tracer, armed together with `trace`. Engine
+    /// and per-stream tracks are fed from `record`; callers may add their
+    /// own tracks (session phases, serve jobs) via [`Timeline::tracer_mut`].
+    tracer: Option<SpanTracer>,
 }
 
 impl Default for Timeline {
@@ -132,6 +147,7 @@ impl Timeline {
             stream_busy_ns: vec![0],
             horizon: SimTime::ZERO,
             trace: None,
+            tracer: None,
         }
     }
 
@@ -144,6 +160,9 @@ impl Timeline {
         // link is (barriers already advanced the link frontier).
         self.stream_free_at.push(self.free_at[Engine::Copy.index()]);
         self.stream_busy_ns.push(0);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.track(&copy_stream_track_name(id));
+        }
         CopyStream(id)
     }
 
@@ -152,9 +171,20 @@ impl Timeline {
         self.stream_free_at.len()
     }
 
-    /// Start recording every scheduled span (for Chrome-trace export).
+    /// Start recording every scheduled span, both as the flat Chrome-trace
+    /// list and as hierarchical per-track spans in a
+    /// [`SpanTracer`]. Tracks are interned eagerly (one per existing copy
+    /// stream, one per compute/CPU engine) so track order does not depend
+    /// on which operation happens to run first.
     pub fn enable_tracing(&mut self) {
         self.trace.get_or_insert_with(Vec::new);
+        let streams = self.stream_free_at.len();
+        let tr = self.tracer.get_or_insert_with(SpanTracer::new);
+        for s in 0..streams {
+            tr.track(&copy_stream_track_name(s));
+        }
+        tr.track(Engine::Compute.name());
+        tr.track(Engine::Cpu.name());
     }
 
     /// The recorded spans, if tracing was enabled.
@@ -165,6 +195,20 @@ impl Timeline {
     /// Take ownership of the recorded spans (used when assembling reports).
     pub fn take_trace(&mut self) -> Option<Vec<TraceSpan>> {
         self.trace.take()
+    }
+
+    /// The hierarchical tracer, if tracing is enabled. Callers add their
+    /// own tracks (session phases, serve jobs) here; engine and stream
+    /// tracks are fed automatically by scheduling.
+    pub fn tracer_mut(&mut self) -> Option<&mut SpanTracer> {
+        self.tracer.as_mut()
+    }
+
+    /// Take ownership of the hierarchical tracer (used when assembling a
+    /// run report; call [`Timeline::enable_tracing`] again to re-arm for
+    /// a subsequent run on the same timeline).
+    pub fn take_tracer(&mut self) -> Option<SpanTracer> {
+        self.tracer.take()
     }
 
     /// Schedule an operation of `dur_ns` on `engine`, not before `ready`.
@@ -191,7 +235,7 @@ impl Timeline {
         self.free_at[i] = end;
         self.busy_ns[i] += dur_ns;
         self.horizon = self.horizon.max(end);
-        self.record(engine, start, end, dur_ns, label);
+        self.record(engine, None, start, end, dur_ns, label);
         Span { start, end }
     }
 
@@ -207,36 +251,62 @@ impl Timeline {
         label: impl FnOnce() -> String,
     ) -> Span {
         let i = Engine::Copy.index();
-        let start = self.stream_free_at[stream.0]
-            .max(self.free_at[i])
-            .max(ready);
+        // The stream's own FIFO would admit the op at `queue_ready`; any
+        // extra delay until `start` is time lost arbitrating for the
+        // shared link (recorded as a wait span on the stream's track).
+        let queue_ready = self.stream_free_at[stream.0].max(ready);
+        let start = queue_ready.max(self.free_at[i]);
         let end = start.after(dur_ns);
         self.stream_free_at[stream.0] = end;
         self.free_at[i] = end;
         self.busy_ns[i] += dur_ns;
         self.stream_busy_ns[stream.0] += dur_ns;
         self.horizon = self.horizon.max(end);
-        self.record(Engine::Copy, start, end, dur_ns, label);
+        if dur_ns > 0 && start > queue_ready {
+            if let Some(tr) = self.tracer.as_mut() {
+                let id = tr.track(&copy_stream_track_name(stream.0));
+                tr.complete(id, queue_ready.0, start.0, "link arbitration", CAT_WAIT)
+                    .expect("stream spans are FIFO per track");
+            }
+        }
+        self.record(Engine::Copy, Some(stream.0), start, end, dur_ns, label);
         Span { start, end }
     }
 
     fn record(
         &mut self,
         engine: Engine,
+        stream: Option<usize>,
         start: SimTime,
         end: SimTime,
         dur_ns: u64,
         label: impl FnOnce() -> String,
     ) {
+        if dur_ns == 0 || (self.trace.is_none() && self.tracer.is_none()) {
+            return;
+        }
+        let label = label();
+        if let Some(tr) = self.tracer.as_mut() {
+            let track = match stream {
+                Some(s) => tr.track(&copy_stream_track_name(s)),
+                None => tr.track(engine.name()),
+            };
+            let cat = span_cat(engine, &label);
+            let name = if label.is_empty() {
+                "op"
+            } else {
+                label.as_str()
+            };
+            tr.complete(track, start.0, end.0, name, cat)
+                .expect("engine spans are FIFO per track");
+        }
         if let Some(t) = self.trace.as_mut() {
-            if dur_ns > 0 {
-                t.push(TraceSpan {
-                    engine,
-                    start,
-                    end,
-                    label: label(),
-                });
-            }
+            t.push(TraceSpan {
+                engine,
+                start,
+                end,
+                label,
+            });
         }
     }
 
@@ -303,6 +373,19 @@ impl Engine {
             Engine::Compute => "GPU compute engine",
             Engine::Cpu => "Host CPU",
         }
+    }
+}
+
+/// Category assigned to an automatically-recorded engine span: the copy
+/// engine moves data (`dma`), the compute engine runs kernels except for
+/// decompression launches (`decode`), and the host CPU does gather /
+/// encode work (`cpu`).
+fn span_cat(engine: Engine, label: &str) -> &'static str {
+    match engine {
+        Engine::Copy => "dma",
+        Engine::Compute if label.starts_with("decompress") => "decode",
+        Engine::Compute => "kernel",
+        Engine::Cpu => "cpu",
     }
 }
 
@@ -527,6 +610,53 @@ mod tests {
         let pf = tl.add_copy_stream();
         assert_eq!(tl.stream_free_at(pf), SimTime(80));
         assert_eq!(tl.stream_busy_ns(pf), 0);
+    }
+
+    #[test]
+    fn tracer_builds_per_track_spans_with_arbitration_waits() {
+        let mut tl = Timeline::new();
+        tl.enable_tracing();
+        let pf = tl.add_copy_stream();
+        tl.schedule_labeled(Engine::Copy, SimTime::ZERO, 100, || "H2D a".into());
+        // Prefetch issued at t=0 must wait for the link until t=100.
+        tl.schedule_copy(pf, SimTime::ZERO, 50, || "prefetch b".into());
+        tl.schedule_labeled(Engine::Compute, SimTime(100), 80, || "kernel".into());
+        tl.schedule_labeled(Engine::Compute, SimTime::ZERO, 20, || "decompress x".into());
+        let trace = tl.take_tracer().unwrap().finish().unwrap();
+        // Track order: streams first (creation order), then engines.
+        assert_eq!(
+            trace.tracks(),
+            &[
+                copy_stream_track_name(0),
+                Engine::Compute.name().to_string(),
+                Engine::Cpu.name().to_string(),
+                copy_stream_track_name(1),
+            ]
+        );
+        let pf_track = trace.track_index(&copy_stream_track_name(1)).unwrap();
+        let pf_spans: Vec<_> = trace.track_spans(pf_track).collect();
+        assert_eq!(pf_spans.len(), 2, "wait span + dma span");
+        assert_eq!(pf_spans[0].cat, CAT_WAIT);
+        assert_eq!((pf_spans[0].start_ns, pf_spans[0].end_ns), (0, 100));
+        assert_eq!(pf_spans[1].name, "prefetch b");
+        // Wait time is excluded from busy accounting: stream 1 busy = 50.
+        assert_eq!(trace.busy_ns(pf_track, 0, 200), 50);
+        let k = trace.track_index(Engine::Compute.name()).unwrap();
+        let cats: Vec<_> = trace.track_spans(k).map(|s| s.cat.as_str()).collect();
+        assert_eq!(cats, ["kernel", "decode"]);
+    }
+
+    #[test]
+    fn tracer_and_flat_trace_agree_on_span_count() {
+        let mut tl = Timeline::new();
+        tl.enable_tracing();
+        tl.schedule_labeled(Engine::Cpu, SimTime::ZERO, 10, || "gather".into());
+        tl.schedule_labeled(Engine::Copy, SimTime::ZERO, 10, || "H2D".into());
+        tl.schedule(Engine::Compute, SimTime::ZERO, 0); // zero-dur: skipped by both
+        let flat = tl.take_trace().unwrap();
+        let trace = tl.take_tracer().unwrap().finish().unwrap();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(trace.spans().len(), 2, "no waits here, counts match");
     }
 
     #[test]

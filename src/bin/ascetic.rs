@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "pipeline" => cmd_pipeline(rest),
         "serve" => cmd_serve(rest),
+        "trace" => cmd_trace(rest),
         "compare" => cmd_compare(rest),
         "-h" | "--help" | "help" => {
             usage();
@@ -70,6 +71,9 @@ USAGE:
                    [--chunk BYTES] [--no-adaptive] [--compression off|always|adaptive]
                    [--prefetch off|next-frontier|hotness]
                    [--iter-csv FILE] [--trace FILE.json]
+                   [--trace-out FILE.json|FILE.jsonl] (hierarchical span trace:
+                    .json is Chrome/Perfetto format for ui.perfetto.dev,
+                    .jsonl is the compact form `ascetic trace summarize` reads)
                    [--metrics-out FILE.jsonl] [--summary text|json|csv|md]
                    [--pool-metrics] (append host worker-pool telemetry — wall-clock,
                     non-deterministic — as an extra JSONL line / stdout object)
@@ -79,9 +83,13 @@ USAGE:
   ascetic serve GRAPH (--trace FILE.jsonl | --synthetic N [--seed S] [--spacing-ns T])
                    [--policy fifo|sjf|residency] [--no-batching]
                    [--mem BYTES | --mem-frac F] [--summary text|json]
+                   [--trace-out FILE.json|FILE.jsonl] (per-job lifecycle spans)
                    (multi-query serving: admission control, shared-residency
                     scheduling, BFS/SSSP batching; trace lines are
                     {{\"id\":..,\"algo\":\"bfs\",\"source\":..,\"submit_ns\":..}})
+  ascetic trace summarize FILE.jsonl [--top K]
+                   (per-track span counts + busy/utilization, top-K longest
+                    spans, schema-version check of a --trace-out .jsonl file)
   ascetic compare GRAPH --algo ALGO [--mem BYTES | --mem-frac F]
 
 GRAPH: a file path (.beg binary or 'src dst [w]' text), or a builtin
@@ -343,7 +351,7 @@ fn run_system(o: &Opts, system: &str, g: &Csr, algo: &str) -> Result<RunReport, 
     let dev = device_from(o, g)?;
     let source: u32 = o.parse("source")?.unwrap_or(0);
     let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
-    let tracing = o.has("trace-flag") || o.get("trace").is_some();
+    let tracing = o.has("trace-flag") || o.get("trace").is_some() || o.get("trace-out").is_some();
     // an event log is only worth recording when it will be exported
     let events = o.get("metrics-out").is_some();
     let sys: AnySystem = match system {
@@ -486,7 +494,13 @@ fn write_metrics_jsonl(
     out.push_str(&r.events.as_ref().map_or(0, |e| e.len()).to_string());
     out.push(',');
     json::key_into("events_dropped", &mut out);
-    out.push_str(&r.events.as_ref().map_or(0, |e| e.dropped()).to_string());
+    out.push_str(&r.events_dropped.to_string());
+    out.push(',');
+    json::key_into("first_drop_at", &mut out);
+    match r.first_drop_at {
+        Some(t) => out.push_str(&t.to_string()),
+        None => out.push_str("null"),
+    }
     out.push_str("}\n");
     if let Some(events) = &r.events {
         out.push_str(&events.to_jsonl());
@@ -500,6 +514,27 @@ fn write_metrics_jsonl(
         out.push_str("}\n");
     }
     std::fs::write(path, out).map_err(|e| e.to_string())
+}
+
+/// Write a hierarchical span trace: `.jsonl` gets the compact form that
+/// `ascetic trace summarize` and [`Trace::from_jsonl`] read back; any
+/// other extension gets the Chrome/Perfetto JSON array for
+/// ui.perfetto.dev / chrome://tracing.
+fn write_span_trace(trace: &ascetic::obs::Trace, path: &str) -> Result<(), String> {
+    let ver = ascetic::core::RUN_REPORT_SCHEMA_VERSION;
+    let text = if path.ends_with(".jsonl") {
+        trace.to_jsonl(ver)
+    } else {
+        trace.to_perfetto_json(ver)
+    };
+    std::fs::write(path, text).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} spans on {} tracks to {path} (open .json in ui.perfetto.dev, \
+         or `ascetic trace summarize` a .jsonl)",
+        trace.spans().len(),
+        trace.tracks().len()
+    );
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -568,6 +603,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 );
             }
             None => eprintln!("note: this system ran without tracing"),
+        }
+    }
+    if let Some(path) = o.get("trace-out") {
+        match &rep.span_trace {
+            Some(trace) => write_span_trace(trace, path)?,
+            None => eprintln!("note: this system ran without span tracing"),
         }
     }
     Ok(())
@@ -691,6 +732,74 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         "json" => println!("{}", rep.to_json()),
         other => return Err(format!("unknown --summary {other} (text|json)")),
+    }
+    if let Some(path) = o.get("trace-out") {
+        match &rep.span_trace {
+            Some(trace) => write_span_trace(trace, path)?,
+            None => eprintln!("note: serve ran without span tracing"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let sub = o.positional.first().map(|s| s.as_str());
+    if sub != Some("summarize") {
+        return Err("usage: ascetic trace summarize FILE.jsonl [--top K]".into());
+    }
+    let path = o
+        .positional
+        .get(1)
+        .ok_or("trace summarize needs a FILE.jsonl (from --trace-out)")?;
+    let top: usize = o.parse("top")?.unwrap_or(10);
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let (trace, version) =
+        ascetic::obs::Trace::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if version != ascetic::core::RUN_REPORT_SCHEMA_VERSION {
+        return Err(format!(
+            "{path}: trace schema version {version} does not match this binary's {}",
+            ascetic::core::RUN_REPORT_SCHEMA_VERSION
+        ));
+    }
+    let horizon = trace.horizon_ns();
+    println!("trace:          {path}");
+    println!("schema version: {version}");
+    println!("horizon:        {:.3} ms", horizon as f64 / 1e6);
+    println!("tracks:         {}", trace.tracks().len());
+    println!("spans:          {}", trace.spans().len());
+    println!();
+    println!(
+        "{:<32} {:>6} {:>12} {:>8}",
+        "track", "spans", "busy", "util"
+    );
+    for (i, name) in trace.tracks().iter().enumerate() {
+        let spans = trace.track_spans(i).count();
+        let busy = trace.busy_ns(i, 0, horizon);
+        println!(
+            "{:<32} {:>6} {:>10.3}ms {:>7.1}%",
+            name,
+            spans,
+            busy as f64 / 1e6,
+            busy as f64 / horizon.max(1) as f64 * 100.0
+        );
+    }
+    println!();
+    println!("top {top} longest spans:");
+    println!(
+        "{:<28} {:<10} {:>12} {:>12} {:<24}",
+        "name", "cat", "start", "duration", "track"
+    );
+    for s in trace.top_spans(top) {
+        println!(
+            "{:<28} {:<10} {:>10.3}ms {:>10.3}ms {:<24}",
+            s.name,
+            s.cat,
+            s.start_ns as f64 / 1e6,
+            s.dur_ns() as f64 / 1e6,
+            trace.tracks()[s.track]
+        );
     }
     Ok(())
 }

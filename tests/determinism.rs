@@ -267,6 +267,62 @@ fn prefetch_never_changes_algorithm_results() {
     }
 }
 
+/// Satellite of the span-tracer PR: all span emission happens on the
+/// single orchestration thread at virtual-clock timestamps, so the
+/// exported `trace.json` must be byte-identical across host thread
+/// counts — for one run of every system.
+#[test]
+fn span_traces_are_byte_identical_across_thread_counts() {
+    use ascetic::baselines::{PtSystem, SubwaySystem, UvmSystem};
+    use ascetic::core::RUN_REPORT_SCHEMA_VERSION;
+    use ascetic::graph::generators::{rmat_graph, RmatConfig};
+
+    let g = rmat_graph(&RmatConfig::new(11, 80_000, 42));
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+
+    let run_suite = |threads: usize| -> Vec<String> {
+        set_num_threads(threads);
+        let asc = AsceticSystem::new(
+            AsceticConfig::new(dev)
+                .with_chunk_bytes(1024)
+                .with_tracing(true),
+        );
+        let sw = SubwaySystem::new(dev).with_tracing(true);
+        let pt = PtSystem::new(dev).with_tracing(true);
+        let uv = UvmSystem::new(dev).with_tracing(true);
+        [
+            asc.run(&g, &Bfs::new(0)),
+            sw.run(&g, &Bfs::new(0)),
+            pt.run(&g, &Bfs::new(0)),
+            uv.run(&g, &Bfs::new(0)),
+        ]
+        .iter()
+        .map(|r| {
+            let trace = r
+                .span_trace
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} ran with tracing", r.system));
+            assert!(!trace.spans().is_empty(), "{} trace is empty", r.system);
+            format!(
+                "{}\n{}",
+                trace.to_perfetto_json(RUN_REPORT_SCHEMA_VERSION),
+                trace.to_jsonl(RUN_REPORT_SCHEMA_VERSION)
+            )
+        })
+        .collect()
+    };
+
+    let base = run_suite(1);
+    for threads in [2, 8] {
+        let sweep = run_suite(threads);
+        assert_eq!(
+            base, sweep,
+            "trace bytes must not depend on host threads ({threads} vs 1)"
+        );
+    }
+    set_num_threads(0);
+}
+
 #[test]
 fn dataset_builds_are_reproducible() {
     let a = Dataset::build(DatasetId::Gs, SCALE);

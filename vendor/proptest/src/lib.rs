@@ -1,0 +1,417 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be downloaded. This crate implements the subset of its API the
+//! workspace's property tests use: the [`proptest!`] macro, [`Strategy`]
+//! with `prop_map`, ranges / tuples / `Just` / regex-string / collection
+//! strategies, `prop_oneof!`, and the `prop_assert*` family.
+//!
+//! Differences from the real thing, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs
+//!   verbatim; it is not minimized.
+//! * **Deterministic generation.** Each test derives its RNG seed from the
+//!   test's name, so every run explores the same cases — failures are
+//!   reproducible by construction, at the cost of never exploring new
+//!   inputs across runs.
+//! * Regex string strategies understand only the `\PC*` / `\PC{a,b}`
+//!   shapes the workspace uses (printable chars, bounded length); any
+//!   other pattern falls back to short printable ASCII strings.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod arbitrary {
+    //! `any::<T>()`: the full-domain strategy for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: std::fmt::Debug + Sized {
+        /// Sample one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_ints {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    arb_ints!(u8 => next_u64, u16 => next_u64, u32 => next_u64, u64 => next_u64,
+              usize => next_u64, i8 => next_u64, i16 => next_u64, i32 => next_u64,
+              i64 => next_u64, isize => next_u64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only, spread over a wide magnitude range.
+            let m = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let exp = (rng.next_u64() % 64) as i32 - 32;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * m * (2.0f64).powi(exp)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: elements from `element`, length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner plumbing used by the [`crate::proptest!`]
+    //! macro expansion.
+
+    /// Per-test configuration (`cases` is the only knob honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property does not hold.
+        Fail(String),
+        /// `prop_assume!` rejection: the case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// A rejected (skipped) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic generator: splitmix64 core seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (FNV-1a), so each test has its own
+        /// reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `u64` in `[0, span)`; `span == 0` means full domain.
+        pub fn u64_below(&mut self, span: u64) -> u64 {
+            if span == 0 {
+                return self.next_u64();
+            }
+            let threshold = span.wrapping_neg() % span;
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (span as u128);
+                if (m as u64) >= threshold {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform `usize` in `range`.
+        pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+            assert!(range.start < range.end, "empty range");
+            range.start + self.u64_below((range.end - range.start) as u64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod string {
+    //! The tiny regex-pattern subset (`\PC*`, `\PC{a,b}`) used as string
+    //! strategies by the workspace tests.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A string strategy parsed from a regex-ish pattern.
+    #[derive(Clone, Debug)]
+    pub struct StringParam {
+        min: usize,
+        max: usize,
+    }
+
+    impl StringParam {
+        /// Parse `\PC*` (any printable, 0..64) or `\PC{a,b}`; anything
+        /// else falls back to short printable strings.
+        pub fn parse(pattern: &str) -> Self {
+            if let Some(rest) = pattern.strip_prefix("\\PC") {
+                if rest == "*" {
+                    return StringParam { min: 0, max: 64 };
+                }
+                if let Some(body) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                    if let Some((a, b)) = body.split_once(',') {
+                        if let (Ok(a), Ok(b)) = (a.parse(), b.parse()) {
+                            return StringParam { min: a, max: b };
+                        }
+                    }
+                }
+            }
+            StringParam { min: 0, max: 16 }
+        }
+    }
+
+    /// Printable characters including escapes-relevant ones (quotes,
+    /// backslashes) and a few multi-byte code points.
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '"', '\\', '/', '\'', '{', '}', '[', ']', ':', ',',
+        '.', '-', '_', '+', '=', '~', '#', 'é', 'Ω', '✓', '語', '𝄞',
+    ];
+
+    impl Strategy for StringParam {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.usize_in(self.min..self.max + 1);
+            (0..len)
+                .map(|_| ALPHABET[rng.usize_in(0..ALPHABET.len())])
+                .collect()
+        }
+    }
+}
+
+/// Re-exports matching `use proptest::prelude::*`.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(..)` works inside the macro body.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(..)]` and any number of
+/// `#[test] fn name(binding in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expand one test item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                ::core::module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let mut inputs = ::std::string::String::new();
+                $(
+                    let value = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    inputs.push_str(&::std::format!(
+                        "\n  {} = {:?}", stringify!($arg), &value
+                    ));
+                    let $arg = value;
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err(e) => ::std::panic!(
+                        "proptest case {}/{} failed: {}\ninputs:{}",
+                        case + 1, config.cases, e, inputs
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
