@@ -44,6 +44,10 @@ impl VertexProgram for Cc {
         "CC"
     }
 
+    fn frontier_payload_bytes(&self) -> u64 {
+        8 // vertex id + component label
+    }
+
     fn new_state(&self, g: &Csr) -> CcState {
         CcState {
             label: (0..g.num_vertices() as u32).map(AtomicU32::new).collect(),

@@ -94,6 +94,10 @@ impl VertexProgram for PageRank {
         "PR"
     }
 
+    fn frontier_payload_bytes(&self) -> u64 {
+        12 // vertex id + accumulated 64-bit fixed-point residual
+    }
+
     fn new_state(&self, g: &Csr) -> PrState {
         let n = g.num_vertices().max(1);
         let init_residual = ((1.0 - self.damping) / n as f64 * SCALE as f64) as u64;

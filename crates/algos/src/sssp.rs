@@ -44,6 +44,10 @@ impl VertexProgram for Sssp {
         true
     }
 
+    fn frontier_payload_bytes(&self) -> u64 {
+        8 // vertex id + tentative distance
+    }
+
     fn new_state(&self, g: &Csr) -> SsspState {
         assert!(g.is_weighted(), "SSSP requires a weighted graph");
         let dist: Vec<AtomicU32> = (0..g.num_vertices())

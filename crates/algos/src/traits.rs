@@ -294,6 +294,15 @@ pub trait VertexProgram: Sync {
     fn max_iterations(&self) -> u32 {
         10_000
     }
+
+    /// Wire bytes a fleet must ship per remote frontier vertex at an
+    /// iteration boundary: the vertex id plus whatever per-vertex value
+    /// the program's push updates carry (a distance, a component label, a
+    /// residual). Sized per program so the exchange traffic in fleet
+    /// reports reflects the actual protocol, not a one-size guess.
+    fn frontier_payload_bytes(&self) -> u64 {
+        4 // vertex id only (pure frontier-membership programs: BFS-like)
+    }
 }
 
 /// Bytes of vertex-array state a program keeps on the device per vertex —

@@ -1,0 +1,300 @@
+//! Fleet bench — multi-device sharded execution and fleet-aware serving.
+//!
+//! Two sweeps over the gsh-2015-host stand-in:
+//!
+//! 1. **Serve fleet scaling** — the serve bench's 48-job mixed trace
+//!    (same seed), arriving as one burst so the sweep is service-bound,
+//!    replayed by the residency-affinity scheduler over 1/2/4/8 devices
+//!    on an NVLink-class fabric. Acceptance: makespan speedup ≥ 1.7× at
+//!    2 devices and ≥ 3× at 4 devices, and every job's answer is
+//!    byte-identical at every fleet size.
+//! 2. **Algorithm sharding** — each algorithm run across 1/2/4 shards
+//!    with cross-device frontier exchange (owner-computes). Reported for
+//!    the exchange-volume curve; the answer must be byte-identical to
+//!    the single-device run.
+//!
+//! Output: markdown on stdout, `fleet.csv` under `$ASCETIC_RESULTS`, and
+//! `BENCH_fleet.json`. Pass `--smoke` for the fast CI variant (the
+//! speedup oracles hold at every scale and stay asserted).
+
+use ascetic_algos::{Bfs, Cc, PageRank, Sssp};
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
+use ascetic_bench::setup::Env;
+use ascetic_core::{run_fleet, FleetConfig, FleetRunReport};
+use ascetic_graph::datasets::DatasetId;
+use ascetic_serve::{output_fingerprint, serve, synthetic_mixed, Policy, ServeConfig, ServeReport};
+use ascetic_sim::InterconnectConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const N_JOBS: usize = 48;
+const TRACE_SEED: u64 = 2021;
+const SERVE_DEVICES: [usize; 4] = [1, 2, 4, 8];
+const RUN_DEVICES: [usize; 3] = [1, 2, 4];
+
+fn speedup_x100(base: u64, this: u64) -> u64 {
+    base * 100 / this.max(1)
+}
+
+fn json_report(
+    smoke: bool,
+    scale: u64,
+    serve_reps: &[ServeReport],
+    algo_reps: &[(&str, Vec<FleetRunReport>)],
+) -> String {
+    let base = serve_reps[0].makespan_ns;
+    let mut j = ascetic_bench::output::json_header("fleet", smoke);
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"jobs\": {N_JOBS},");
+    let _ = writeln!(j, "  \"trace_seed\": {TRACE_SEED},");
+    let _ = writeln!(j, "  \"fabric\": \"nvlink\",");
+    let _ = writeln!(j, "  \"serve\": [");
+    for (i, r) in serve_reps.iter().enumerate() {
+        let comma = if i + 1 < serve_reps.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"devices\": {}, \"makespan_ns\": {}, \"speedup_x100\": {}, \
+             \"replications\": {}, \"replicated_bytes\": {}, \"sessions_built\": {}, \
+             \"total_queue_wait_ns\": {}}}{}",
+            r.devices,
+            r.makespan_ns,
+            speedup_x100(base, r.makespan_ns),
+            r.replications,
+            r.replicated_bytes,
+            r.sessions_built,
+            r.total_queue_wait_ns,
+            comma
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"algorithms\": [");
+    let last = algo_reps.len() - 1;
+    for (ai, (name, reps)) in algo_reps.iter().enumerate() {
+        for (di, r) in reps.iter().enumerate() {
+            let comma = if ai == last && di + 1 == reps.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                j,
+                "    {{\"algo\": \"{}\", \"devices\": {}, \"iterations\": {}, \
+                 \"makespan_ns\": {}, \"exchange_bytes\": {}, \"wire_bytes\": {}}}{}",
+                name,
+                r.devices,
+                r.iterations,
+                r.makespan_ns,
+                r.exchange_bytes,
+                r.interconnect.total_bytes(),
+                comma
+            );
+        }
+    }
+    let _ = writeln!(j, "  ],");
+    let two = serve_reps.iter().find(|r| r.devices == 2).unwrap();
+    let four = serve_reps.iter().find(|r| r.devices == 4).unwrap();
+    let _ = writeln!(j, "  \"oracles\": {{");
+    let _ = writeln!(j, "    \"outputs_identical_across_fleet_sizes\": true,");
+    let _ = writeln!(
+        j,
+        "    \"serve_speedup_2dev_x100\": {},",
+        speedup_x100(base, two.makespan_ns)
+    );
+    let _ = writeln!(
+        j,
+        "    \"serve_speedup_4dev_x100\": {}",
+        speedup_x100(base, four.makespan_ns)
+    );
+    let _ = writeln!(j, "  }}");
+    j.push('}');
+    j.push('\n');
+    j
+}
+
+fn output_path() -> PathBuf {
+    match std::env::var("ASCETIC_RESULTS") {
+        Ok(dir) if !dir.is_empty() => {
+            std::fs::create_dir_all(&dir).expect("create $ASCETIC_RESULTS dir");
+            PathBuf::from(dir).join("BENCH_fleet.json")
+        }
+        _ => PathBuf::from("BENCH_fleet.json"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 50_000 } else { Env::from_env().scale };
+    let env = Env::with_scale(scale);
+    eprintln!("Fleet sweep (scale 1/{scale}, {N_JOBS}-job burst trace)");
+
+    let ds = env.dataset(DatasetId::Gs);
+    let g = ds.graph.clone();
+    let w = ds.weighted();
+    let cfg = env.ascetic_cfg();
+
+    // One burst at t=0: with no arrival spacing the sweep is purely
+    // service-bound, so makespan scaling isolates what the fleet buys.
+    let jobs = synthetic_mixed(N_JOBS, g.num_vertices(), TRACE_SEED, 0, 1);
+
+    let serve_reps: Vec<ServeReport> = SERVE_DEVICES
+        .iter()
+        .map(|&d| {
+            eprintln!("serve: {d} device(s)");
+            let sc = ServeConfig::new(cfg, Policy::ResidencyAffinity)
+                .with_devices(d)
+                .with_interconnect(InterconnectConfig::nvlink());
+            serve(&sc, &g, Some(&w), &jobs).expect("serve")
+        })
+        .collect();
+    for r in &serve_reps {
+        assert!(r.rejected.is_empty(), "trace jobs must all be admissible");
+        assert_eq!(r.jobs.len(), N_JOBS);
+    }
+    // oracle: fleet size may not change any answer
+    for r in &serve_reps[1..] {
+        for (a, b) in serve_reps[0].jobs.iter().zip(&r.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                output_fingerprint(&a.output),
+                output_fingerprint(&b.output),
+                "{} devices changed job {}'s answer",
+                r.devices,
+                a.id
+            );
+        }
+    }
+    // oracle: neither may the policy, at any fleet size
+    for &policy in ascetic_serve::ALL_POLICIES.iter() {
+        let sc = ServeConfig::new(cfg, policy)
+            .with_devices(4)
+            .with_interconnect(InterconnectConfig::nvlink());
+        let r = serve(&sc, &g, Some(&w), &jobs).expect("serve");
+        for (a, b) in serve_reps[0].jobs.iter().zip(&r.jobs) {
+            assert_eq!(
+                output_fingerprint(&a.output),
+                output_fingerprint(&b.output),
+                "policy {} changed job {}'s answer on the 4-device fleet",
+                policy.name(),
+                a.id
+            );
+        }
+    }
+
+    eprintln!("algorithm sharding:");
+    let algo_reps: Vec<(&str, Vec<FleetRunReport>)> =
+        [("bfs", 0usize), ("cc", 1), ("pr", 2), ("sssp", 3)]
+            .iter()
+            .map(|&(name, which)| {
+                eprintln!("  {name}");
+                let reps: Vec<FleetRunReport> = RUN_DEVICES
+                    .iter()
+                    .map(|&d| {
+                        let fc = FleetConfig::nvlink(d);
+                        match which {
+                            0 => run_fleet(cfg, fc, &g, &Bfs::new(0)),
+                            1 => run_fleet(cfg, fc, &g, &Cc::new()),
+                            2 => run_fleet(cfg, fc, &g, &PageRank::new()),
+                            _ => run_fleet(cfg, fc, &w, &Sssp::new(0)),
+                        }
+                    })
+                    .collect();
+                // oracle: sharding may not change the answer
+                for r in &reps[1..] {
+                    assert_eq!(
+                        output_fingerprint(&reps[0].output),
+                        output_fingerprint(&r.output),
+                        "{name} answer changed at {} devices",
+                        r.devices
+                    );
+                }
+                (name, reps)
+            })
+            .collect();
+
+    let mut table = Table::new(vec![
+        "Lane",
+        "Devices",
+        "Makespan",
+        "Speedup",
+        "Replications",
+        "Exchange",
+    ]);
+    let mut csv = Table::new(vec![
+        "lane",
+        "devices",
+        "makespan_ns",
+        "speedup_x100",
+        "replications",
+        "replicated_bytes",
+        "exchange_bytes",
+    ]);
+    let base = serve_reps[0].makespan_ns;
+    for r in &serve_reps {
+        table.row(vec![
+            "serve".into(),
+            r.devices.to_string(),
+            format!("{:.2} ms", r.makespan_ns as f64 / 1e6),
+            format!("{:.2}x", base as f64 / r.makespan_ns.max(1) as f64),
+            r.replications.to_string(),
+            "-".into(),
+        ]);
+        csv.row(vec![
+            "serve".into(),
+            r.devices.to_string(),
+            r.makespan_ns.to_string(),
+            speedup_x100(base, r.makespan_ns).to_string(),
+            r.replications.to_string(),
+            r.replicated_bytes.to_string(),
+            "0".into(),
+        ]);
+    }
+    for (name, reps) in &algo_reps {
+        let solo = reps[0].makespan_ns;
+        for r in reps {
+            table.row(vec![
+                (*name).into(),
+                r.devices.to_string(),
+                format!("{:.2} ms", r.makespan_ns as f64 / 1e6),
+                format!("{:.2}x", solo as f64 / r.makespan_ns.max(1) as f64),
+                "-".into(),
+                format!("{:.2} MB", r.exchange_bytes as f64 / 1e6),
+            ]);
+            csv.row(vec![
+                (*name).to_string(),
+                r.devices.to_string(),
+                r.makespan_ns.to_string(),
+                speedup_x100(solo, r.makespan_ns).to_string(),
+                "0".into(),
+                "0".into(),
+                r.exchange_bytes.to_string(),
+            ]);
+        }
+    }
+    emit("fleet", &table, &csv);
+
+    let json = json_report(smoke, scale, &serve_reps, &algo_reps);
+    let path = output_path();
+    std::fs::write(&path, &json).expect("write BENCH_fleet.json");
+    println!("wrote {}", path.display());
+
+    let two = serve_reps.iter().find(|r| r.devices == 2).unwrap();
+    let four = serve_reps.iter().find(|r| r.devices == 4).unwrap();
+    let s2 = base as f64 / two.makespan_ns.max(1) as f64;
+    let s4 = base as f64 / four.makespan_ns.max(1) as f64;
+    println!(
+        "serve fleet scaling: {:.2} ms -> {:.2} ms (2 dev, {s2:.2}x) -> {:.2} ms (4 dev, {s4:.2}x)",
+        base as f64 / 1e6,
+        two.makespan_ns as f64 / 1e6,
+        four.makespan_ns as f64 / 1e6,
+    );
+    // the acceptance bars hold at every scale: the burst is service-bound
+    assert!(
+        s2 >= 1.7,
+        "2-device fleet must reach 1.7x on the burst trace (got {s2:.2}x)"
+    );
+    assert!(
+        s4 >= 3.0,
+        "4-device fleet must reach 3x on the burst trace (got {s4:.2}x)"
+    );
+}

@@ -11,11 +11,26 @@ use std::path::PathBuf;
 
 pub use ascetic_core::RUN_REPORT_SCHEMA_VERSION as SCHEMA_VERSION;
 
+/// The schema generation this crate's emitters were written against.
+///
+/// When [`ascetic_core::RUN_REPORT_SCHEMA_VERSION`] moves, every
+/// `BENCH_*.json` layout must be revisited and the committed artifacts
+/// regenerated. Keeping a local copy that [`json_header`] checks makes a
+/// stale bench crate fail fast in debug/test builds instead of silently
+/// stamping the new version onto an old layout.
+pub const EMITTED_SCHEMA_VERSION: u32 = 3;
+
 /// Shared opening of every `BENCH_*.json` document: the brace, the
 /// [`SCHEMA_VERSION`] stamp and the bench identity lines, so downstream
 /// parsers can branch on layout before touching bench-specific fields.
 /// Callers append their own fields and the closing brace.
 pub fn json_header(bench: &str, smoke: bool) -> String {
+    debug_assert_eq!(
+        SCHEMA_VERSION, EMITTED_SCHEMA_VERSION,
+        "RUN_REPORT_SCHEMA_VERSION moved ({SCHEMA_VERSION}) but the bench emitters still \
+         target {EMITTED_SCHEMA_VERSION}; revisit the BENCH_*.json layouts and regenerate \
+         the committed artifacts before bumping EMITTED_SCHEMA_VERSION"
+    );
     format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \
          \"smoke\": {smoke},\n"
@@ -48,6 +63,15 @@ pub fn write_raw(bin: &str, raw: &Table) -> Option<PathBuf> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_header_stamps_the_emitted_schema_generation() {
+        let h = json_header("some_bench", false);
+        assert!(
+            h.contains(&format!("\"schema_version\": {EMITTED_SCHEMA_VERSION}")),
+            "header must stamp the generation the emitters target:\n{h}"
+        );
+    }
 
     #[test]
     fn write_raw_names_the_file_after_the_binary() {

@@ -34,6 +34,9 @@
 //! * [`session`] — the Manager: per-iteration orchestration with overlap
 //!   (Figure 5) over the simulated device, reusable across multiple
 //!   algorithm runs (the paper's prestore-amortization point, §4.3).
+//! * [`fleet`] — multi-device sharded execution: owner-computes over
+//!   edge-balanced shards with cross-device frontier exchange on the
+//!   `ascetic-sim` interconnect, byte-identical to single-device.
 //! * [`engine`] — the one-shot `OutOfCoreSystem` wrapper and report
 //!   assembly shared with the baselines.
 //! * [`report`] — run reports: time breakdown (Tsr, Tfilling, Ttransfer,
@@ -43,6 +46,7 @@
 pub mod codec;
 pub mod config;
 pub mod engine;
+pub mod fleet;
 pub mod hotness;
 pub mod maps;
 pub mod ondemand;
@@ -58,6 +62,7 @@ pub use config::{
     AsceticConfig, CompressionMode, ConfigError, FillPolicy, ReplacementPolicy, MIN_CHUNK_BYTES,
 };
 pub use engine::AsceticSystem;
+pub use fleet::{run_fleet, FleetConfig, FleetRunReport};
 pub use pool_metrics::pool_metrics_snapshot;
 pub use prefetch::{PrefetchMode, PrefetchOp};
 pub use report::{

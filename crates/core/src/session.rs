@@ -9,6 +9,13 @@
 //! subsequent runs start with a warm region (possibly *warmer* than the
 //! initial fill, if the replacement server adapted it).
 //!
+//! Execution is factored into three steps — [`AsceticSession::begin_run`],
+//! [`AsceticSession::step_iteration`] and [`AsceticSession::finish_run`] —
+//! so two drivers can share one engine: [`AsceticSession::run`] composes
+//! them into the classic single-device loop, while `crate::fleet`
+//! interleaves the steps of N shard sessions with cross-device frontier
+//! exchanges between rounds.
+//!
 //! [`super::engine::AsceticSystem`] is a thin one-shot wrapper around this
 //! type.
 
@@ -16,9 +23,9 @@ use ascetic_algos::{EdgeSlice, VertexProgram};
 use ascetic_graph::chunks::{ChunkGeometry, ChunkId};
 use ascetic_graph::compress::{encode_ranges, EncodeEntry};
 use ascetic_graph::Csr;
-use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
-use ascetic_par::{parallel_for, AtomicBitmap};
-use ascetic_sim::{DevPtr, Engine, Gpu, SimTime};
+use ascetic_obs::{Event, MetricsSnapshot, DEFAULT_EVENT_CAPACITY};
+use ascetic_par::{parallel_for, AtomicBitmap, Bitmap};
+use ascetic_sim::{DevPtr, Engine, Gpu, KernelStats, SimTime, XferStats};
 
 use crate::codec::{chunk_wire_bytes, compress_wins, estimate_batch_wire};
 use crate::config::{AsceticConfig, CompressionMode, FillPolicy, ReplacementPolicy};
@@ -72,6 +79,58 @@ pub struct AsceticSession<'g> {
     prestore_wire_bytes: u64,
     prestore_ns: u64,
     runs: u32,
+}
+
+/// Per-run bookkeeping threaded through the stepping API: the delta
+/// baselines captured by [`AsceticSession::begin_run`] plus every piece
+/// of loop state one iteration hands the next (breakdown, per-iteration
+/// reports, prefetch pipeline state, buffer fences). Opaque outside the
+/// core crate: drivers create it, pass it to each step, and surrender it
+/// to [`AsceticSession::finish_run`].
+pub struct RunCtx {
+    run_start: SimTime,
+    xfer0: XferStats,
+    kernels0: KernelStats,
+    compute_busy0: u64,
+    obs0: MetricsSnapshot,
+    breakdown: Breakdown,
+    per_iter: Vec<IterReport>,
+    iter_windows: Vec<(u64, u64)>,
+    refresh_bytes: u64,
+    refresh_wire_bytes: u64,
+    repartitions: u32,
+    // reused across batches by the compressed path: the encoded stream
+    // and the entry list handed to the encoder (zero steady-state
+    // allocation once they reach their high-water capacity)
+    enc_buf: Vec<u8>,
+    enc_entries: Vec<EncodeEntry>,
+    iter: u32,
+    // per-buffer "compute that last read this buffer" fences
+    buffer_free_at: Vec<SimTime>,
+    // --- Cross-iteration prefetch pipeline state. ---
+    // speculative refreshes in flight: scored for hit/waste one
+    // iteration later, once the demand they predicted materializes
+    prefetch_pending: Vec<(ChunkId, u64)>,
+    // the event the next iteration's static kernel waits on (the
+    // prefetch stream's last completion) instead of a blocking miss
+    prefetch_ready: SimTime,
+    prefetch_bytes: u64,
+    prefetch_ops: u64,
+    prefetch_hits: u64,
+    prefetch_waste: u64,
+    // planned ops that did not fit the end-of-iteration slack: they
+    // wait for link gaps in the next iteration's on-demand pipeline
+    prefetch_deferred: std::collections::VecDeque<PrefetchOp>,
+    // gap-issued transfers whose region mutation is deferred to the
+    // iteration boundary (kernels may still be reading the region)
+    prefetch_inflight: Vec<(PrefetchOp, u64)>,
+}
+
+impl RunCtx {
+    /// Iterations stepped so far in this run.
+    pub fn iterations(&self) -> u32 {
+        self.iter
+    }
 }
 
 /// Whether `cfg` allows the compressed transfer path for `g` at all.
@@ -273,6 +332,11 @@ impl<'g> AsceticSession<'g> {
         self.runs
     }
 
+    /// The graph this session is bound to.
+    pub fn graph(&self) -> &'g Csr {
+        self.g
+    }
+
     /// Schedule the DMA for one chunk-sized region transfer (lazy load or
     /// refresh): raw, or — when the crossover favors it — the encoded
     /// payload on the copy engine plus a decompression launch on the
@@ -368,6 +432,13 @@ impl<'g> AsceticSession<'g> {
             .sum()
     }
 
+    /// Bytes of the prestore payload as shipped (encoded when the fill
+    /// crossed over) — what a device-to-device replica of this session's
+    /// static region would put on a fleet link.
+    pub fn prestore_wire_bytes(&self) -> u64 {
+        self.prestore_wire_bytes
+    }
+
     /// Snapshot of the device arena's occupancy, for serve-layer admission
     /// control against what this session has pinned.
     pub fn occupancy(&self) -> ascetic_sim::ArenaOccupancy {
@@ -380,7 +451,7 @@ impl<'g> AsceticSession<'g> {
     /// scheduling ranks waiting jobs by the first component — it is exactly
     /// the traffic a cold session would have to ship on demand but a warm
     /// one serves from device memory.
-    pub fn demand_overlap(&self, frontier: &ascetic_par::Bitmap) -> (u64, u64) {
+    pub fn demand_overlap(&self, frontier: &Bitmap) -> (u64, u64) {
         let demand = chunk_demand_bytes(self.g, &self.geo, frontier);
         let mut resident = 0u64;
         let mut total = 0u64;
@@ -393,564 +464,590 @@ impl<'g> AsceticSession<'g> {
         (resident, total)
     }
 
-    /// Execute one program over the session's graph. The first run's report
-    /// carries the prestore cost; later runs report zero prestore (the
-    /// region is already resident — the paper's amortization point).
-    pub fn run<P: VertexProgram>(&mut self, prog: &P) -> RunReport {
+    /// Synchronize every engine and return the device clock, ns. The
+    /// fleet driver reads this after each shard's step to find the
+    /// round's frontier-exchange start.
+    pub(crate) fn clock_ns(&mut self) -> u64 {
+        self.gpu.sync().0
+    }
+
+    /// Fleet hook: stamp this round's cross-device frontier exchange on
+    /// the device timeline — a labeled copy-engine span over the window
+    /// the interconnect computed for this device's sends — then
+    /// fast-forward every engine to the fleet-wide barrier so the next
+    /// round starts aligned.
+    pub(crate) fn fleet_exchange(
+        &mut self,
+        round: u32,
+        send_bytes: u64,
+        window: (u64, u64),
+        barrier_ns: u64,
+    ) {
+        if send_bytes > 0 && window.1 > window.0 {
+            self.gpu.timeline.schedule_labeled(
+                Engine::Copy,
+                SimTime(window.0),
+                window.1 - window.0,
+                || format!("frontier exchange {send_bytes}B (round {round})"),
+            );
+        }
+        self.gpu.timeline.barrier(SimTime(barrier_ns));
+    }
+
+    /// Capture the per-run delta baselines and fresh loop state. Drivers
+    /// call this once, then [`AsceticSession::step_iteration`] per
+    /// iteration, then [`AsceticSession::finish_run`].
+    pub(crate) fn begin_run(&mut self) -> RunCtx {
+        let run_start = self.gpu.sync();
+        RunCtx {
+            run_start,
+            xfer0: self.gpu.xfer,
+            kernels0: self.gpu.kernels,
+            compute_busy0: self.gpu.timeline.busy_ns(Engine::Compute),
+            obs0: self.gpu.obs.registry.snapshot(),
+            breakdown: Breakdown::default(),
+            per_iter: Vec::new(),
+            iter_windows: Vec::new(),
+            refresh_bytes: 0,
+            refresh_wire_bytes: 0,
+            repartitions: 0,
+            enc_buf: Vec::new(),
+            enc_entries: Vec::new(),
+            iter: 0,
+            buffer_free_at: vec![SimTime::ZERO; self.od_buffers.len()],
+            prefetch_pending: Vec::new(),
+            prefetch_ready: SimTime::ZERO,
+            prefetch_bytes: 0,
+            prefetch_ops: 0,
+            prefetch_hits: 0,
+            prefetch_waste: 0,
+            prefetch_deferred: std::collections::VecDeque::new(),
+            prefetch_inflight: Vec::new(),
+        }
+    }
+
+    /// Execute one iteration of `prog` over this session's graph: data
+    /// maps, adaptive re-partition, static-region compute overlapped with
+    /// the on-demand pipeline, replacement-server window and the
+    /// cross-iteration prefetch commit/plan. The driver owns the frontier
+    /// dance: it calls `prog.begin_iteration` first, passes the (already
+    /// ownership-masked, in the fleet case) `active` bitmap, and snapshots
+    /// `next` after the step (after *all* shards' steps, in the fleet
+    /// case) to build the next round's frontier.
+    pub(crate) fn step_iteration<P: VertexProgram>(
+        &mut self,
+        prog: &P,
+        ctx: &mut RunCtx,
+        active: &Bitmap,
+        state: &P::State,
+        next: &AtomicBitmap,
+    ) {
         let g = self.g;
         let cfg = self.cfg;
-        assert_eq!(
-            g.is_weighted(),
-            prog.needs_weights(),
-            "graph weighting must match the program"
-        );
         let n = g.num_vertices();
         let geo = self.geo;
-
-        // per-run baselines for delta accounting
-        let run_start = self.gpu.sync();
-        let xfer0 = self.gpu.xfer;
-        let kernels0 = self.gpu.kernels;
-        let compute_busy0 = self.gpu.timeline.busy_ns(Engine::Compute);
-        let obs0 = self.gpu.obs.registry.snapshot();
-
-        let state = prog.new_state(g);
-        let mut active = prog.initial_frontier(g);
         let weighted = g.is_weighted();
         let bpe = g.bytes_per_edge() as u64;
         let d = g.edge_bytes();
-        let mut breakdown = Breakdown::default();
-        let mut per_iter: Vec<IterReport> = Vec::new();
-        let mut iter_windows: Vec<(u64, u64)> = Vec::new();
-        let mut refresh_bytes = 0u64;
-        let mut refresh_wire_bytes = 0u64;
-        let mut repartitions = 0u32;
         let compressible = compression_eligible(&cfg, g);
-        // reused across batches by the compressed path: the encoded stream
-        // and the entry list handed to the encoder (zero steady-state
-        // allocation once they reach their high-water capacity)
-        let mut enc_buf: Vec<u8> = Vec::new();
-        let mut enc_entries: Vec<EncodeEntry> = Vec::new();
-        let mut iter = 0u32;
         let lazy_fill = matches!(cfg.fill, FillPolicy::Lazy);
-        // per-buffer "compute that last read this buffer" fences
-        let mut buffer_free_at: Vec<SimTime> = vec![SimTime::ZERO; self.od_buffers.len()];
-        // --- Cross-iteration prefetch pipeline state. ---
         let prefetch_on = cfg.prefetch.is_on();
-        // speculative refreshes in flight: scored for hit/waste one
-        // iteration later, once the demand they predicted materializes
-        let mut prefetch_pending: Vec<(ChunkId, u64)> = Vec::new();
-        // the event the next iteration's static kernel waits on (the
-        // prefetch stream's last completion) instead of a blocking miss
-        let mut prefetch_ready = SimTime::ZERO;
-        let mut prefetch_bytes = 0u64;
-        let mut prefetch_ops = 0u64;
-        let mut prefetch_hits = 0u64;
-        let mut prefetch_waste = 0u64;
-        // planned ops that did not fit the end-of-iteration slack: they
-        // wait for link gaps in the next iteration's on-demand pipeline
-        let mut prefetch_deferred: std::collections::VecDeque<PrefetchOp> =
-            std::collections::VecDeque::new();
-        // gap-issued transfers whose region mutation is deferred to the
-        // iteration boundary (kernels may still be reading the region)
-        let mut prefetch_inflight: Vec<(PrefetchOp, u64)> = Vec::new();
+        let iter = ctx.iter;
 
-        while !active.is_all_zero() && iter < prog.max_iterations() {
-            let iter_start = self.gpu.sync();
-            self.gpu.obs.record(iter_start.0, Event::IterStart { iter });
-            if let Some(tr) = self.gpu.timeline.tracer_mut() {
-                let t = tr.track(SESSION_TRACK);
-                tr.begin(t, iter_start.0, &format!("iteration {iter}"), CAT_PHASE)
-                    .expect("iterations are sequential on the session track");
-            }
-            prog.begin_iteration(iter, &active, &state);
-
-            // ➊ GenDataMap (cheap bitmap kernel over |V| bits).
-            let mut maps = DataMaps::generate(g, &active, self.region.vertex_bitmap());
-            let genmap = self.gpu.kernel_at(0, (n as u64).div_ceil(64), iter_start);
-            breakdown.gen_map_ns += genmap.duration();
-            if let Some(tr) = self.gpu.timeline.tracer_mut() {
-                let t = tr.track(SESSION_TRACK);
-                tr.complete(t, genmap.start.0, genmap.end.0, "GenDataMap", CAT_PHASE)
-                    .expect("GenDataMap opens the iteration");
-            }
-
-            // Eq (3): adaptive re-partition when the on-demand volume
-            // overflows an under-used static region. Under lazy fill the
-            // region is *supposed* to look under-used until warming
-            // completes, so the check waits for a full region.
-            if cfg.adaptive && !(lazy_fill && self.region.free_slots() > 0) {
-                let od_capacity: u64 = self.od_buffers.iter().map(|b| b.len_bytes()).sum();
-                let decision = repartition_check(
-                    maps.ondemand_bytes(bpe),
-                    maps.static_bytes(bpe),
-                    maps.active_edges() * bpe,
-                    self.region.capacity_bytes(),
-                    od_capacity,
-                    d,
-                );
-                if let Repartition::ShrinkStaticBy(bytes) = decision {
-                    let slots = (bytes as usize).div_ceil(cfg.chunk_bytes).max(1);
-                    if let Some(tail) = self.region.release_tail_slots(g, slots) {
-                        self.od_buffers.push(tail);
-                        buffer_free_at.push(SimTime::ZERO);
-                        repartitions += 1;
-                        self.gpu.obs.registry.counter_add("repartitions", 1);
-                        self.gpu.obs.record(
-                            iter_start.0,
-                            Event::Repartition {
-                                iter,
-                                static_bytes: self.region.capacity_bytes(),
-                            },
-                        );
-                        // bitmap changed: regenerate the data maps
-                        maps = DataMaps::generate(g, &active, self.region.vertex_bitmap());
-                    }
-                }
-            }
-
-            let next = AtomicBitmap::new(n);
-
-            // ➌ Static-region compute (overlaps the on-demand pipeline).
-            // The kernel event-waits on the prefetch stream's last
-            // completion instead of faulting on a half-refreshed region;
-            // prefetches are budgeted to land inside the previous
-            // iteration's link slack, so the wait never actually stalls.
-            let static_ready = genmap.end.max(prefetch_ready);
-            let static_span = if maps.static_nodes.is_empty() {
-                None
-            } else {
-                let span = self.gpu.kernel_at(
-                    maps.static_edges,
-                    maps.static_nodes.len() as u64,
-                    static_ready,
-                );
-                breakdown.static_compute_ns += span.duration();
-                Some(span)
-            };
-            if let Some(span) = static_span {
-                if let Some(tr) = self.gpu.timeline.tracer_mut() {
-                    let t = tr.track(SESSION_TRACK);
-                    tr.complete(
-                        t,
-                        span.start.0,
-                        span.end.0,
-                        "static-region compute",
-                        CAT_PHASE,
-                    )
-                    .expect("static compute follows GenDataMap");
-                }
-            }
-            if !maps.static_nodes.is_empty() {
-                let mem = &self.gpu.mem;
-                let region_ref = &self.region;
-                parallel_for(maps.static_nodes.len(), |i| {
-                    let v = maps.static_nodes[i];
-                    region_ref.for_each_vertex_slice(mem, g, v, |words| {
-                        prog.process_vertex(v, EdgeSlice::new(words, weighted), &state, &next);
-                    });
-                });
-            }
-
-            // ➋➍➎ On-demand pipeline: gather → transfer → compute, batched.
-            let min_buffer_words = self.od_buffers.iter().map(|b| b.len).min().unwrap_or(0);
-            let mut od_payload = 0u64;
-            let mut od_compute_window = 0u64;
-            let mut first_od_compute_start: Option<SimTime> = None;
-            // prefetch DMAs issued this iteration (gap fills + the tail),
-            // for the iteration's window span on the prefetch track
-            let mut pf_window: Option<(u64, u64)> = None;
-            if !maps.ondemand_nodes.is_empty() {
-                assert!(
-                    min_buffer_words > 0,
-                    "no on-demand buffer but on-demand data exists"
-                );
-                // In no-overlap mode the whole pipeline waits for the
-                // static compute (the Figure 8 "Baseline" lane layout).
-                let pipeline_ready = if cfg.overlap {
-                    genmap.end
-                } else {
-                    static_span.map_or(genmap.end, |s| s.end)
-                };
-                let batches = plan_batches(g, &maps.ondemand_nodes, min_buffer_words);
-                // Issue every batch's CPU gather up front. The spans are
-                // identical to in-loop issue (gathers serialize on the CPU
-                // engine and depend on nothing downstream of themselves),
-                // but knowing when batch k's gather completes tells the
-                // prefetch stream exactly how long the link stays idle
-                // before batch k's transfer can possibly start.
-                let batch_bpe = g.bytes_per_edge() as u64;
-                let mut gather_ready = pipeline_ready;
-                let gather_spans: Vec<_> = batches
-                    .iter()
-                    .map(|entries| {
-                        let edges: u64 = entries.iter().map(|e| e.num_edges()).sum();
-                        let span = self.gpu.gather_at(
-                            edges * batch_bpe,
-                            entries.len() as u64,
-                            gather_ready,
-                        );
-                        breakdown.gather_ns += span.duration();
-                        gather_ready = span.end; // CPU engine serializes anyway
-                        span
-                    })
-                    .collect();
-                let gather_first = gather_spans.first().map(|s| s.start);
-                let gather_last = gather_ready;
-                let mut od_window_end = gather_last;
-                for (bi, (entries, g_span)) in batches.into_iter().zip(gather_spans).enumerate() {
-                    let buf_idx = bi % self.od_buffers.len();
-                    let buffer = self.od_buffers[buf_idx];
-
-                    // Prefetch gap fill: the link is provably idle until
-                    // this batch's gather completes, so deferred
-                    // speculative refreshes ride the second copy stream in
-                    // that window — an op is issued only when it finishes
-                    // before the gather does, so no on-demand transfer
-                    // moves by a nanosecond.
-                    while let Some(&op) = prefetch_deferred.front() {
-                        let bytes = geo.chunk_len_bytes(op.chunk()) as u64;
-                        let dur = self.gpu.config.pcie.transfer_ns(bytes);
-                        let link_free = self.gpu.timeline.engine_free_at(Engine::Copy);
-                        if link_free.0 + dur > g_span.end.0 {
-                            break; // would push this batch's transfer later
-                        }
-                        prefetch_deferred.pop_front();
-                        let span = self
-                            .gpu
-                            .prefetch_dma_at(op.chunk() as u64, bytes, link_free);
-                        widen(&mut pf_window, span.start.0, span.end.0);
-                        prefetch_bytes += bytes;
-                        prefetch_ops += 1;
-                        prefetch_inflight.push((op, bytes));
-                    }
-
-                    let batch = gather(g, entries);
-
-                    // H2D transfer of payload + index, into this batch's buffer
-                    let dst = buffer.slice(0, batch.words.len());
-                    let ready = g_span.end.max(buffer_free_at[buf_idx]);
-                    let raw_bytes = batch.payload_bytes();
-                    // Compression crossover: estimate from the per-chunk
-                    // cache, then (if promising) really encode and re-check
-                    // against the actual byte count before shipping — a bad
-                    // estimate falls back to the raw path.
-                    let mut compressed: Option<(u64, SimTime)> = None;
-                    if compressible && raw_bytes > 0 {
-                        let promising = match cfg.compression {
-                            CompressionMode::Always => true,
-                            CompressionMode::Adaptive => {
-                                let est =
-                                    estimate_batch_wire(g, &geo, &mut self.hotness, &batch.entries);
-                                chain_wins(&self.gpu, ready, raw_bytes, est)
-                            }
-                            CompressionMode::Off => unreachable!(),
-                        };
-                        if promising {
-                            enc_entries.clear();
-                            enc_entries
-                                .extend(batch.entries.iter().map(|e| (e.vertex, e.edges.clone())));
-                            enc_buf.clear();
-                            let wire = encode_ranges(g, &enc_entries, &mut enc_buf) as u64;
-                            // re-check with the actual encoded size: a bad
-                            // chunk-ratio estimate must not ship a loser
-                            let ship = matches!(cfg.compression, CompressionMode::Always)
-                                || chain_wins(&self.gpu, ready, raw_bytes, wire);
-                            if ship {
-                                let (copy, dec) =
-                                    self.gpu
-                                        .h2d_compressed_at(dst, &batch.words, &enc_buf, ready);
-                                let reg = &mut self.gpu.obs.registry;
-                                reg.counter_add("compress.transfers", 1);
-                                reg.counter_add("compress.raw_bytes", raw_bytes);
-                                reg.counter_add("compress.wire_bytes", wire);
-                                reg.observe("compress.ratio_x100", raw_bytes * 100 / wire.max(1));
-                                compressed = Some((copy.duration() + dec.duration(), dec.end));
-                            }
-                        }
-                        if compressed.is_none() {
-                            self.gpu.obs.registry.counter_add("compress.declined", 1);
-                        }
-                    }
-                    let (t_ns, payload_at) = compressed.unwrap_or_else(|| {
-                        let t_span = self.gpu.h2d_at(dst, &batch.words, ready);
-                        (t_span.duration(), t_span.end)
-                    });
-                    // account the subgraph index bytes on the same DMA op
-                    // (the index always ships raw, compressed payload or not)
-                    self.gpu.xfer.h2d_bytes += batch.index_bytes();
-                    self.gpu.xfer.h2d_wire_bytes += batch.index_bytes();
-                    breakdown.transfer_ns += t_ns;
-                    od_payload += batch.payload_bytes() + batch.index_bytes();
-
-                    // OD compute (serializes on the COMPUTE engine after the
-                    // static kernel automatically)
-                    let c_span =
-                        self.gpu
-                            .kernel_at(batch.edges, batch.entries.len() as u64, payload_at);
-                    breakdown.ondemand_compute_ns += c_span.duration();
-                    od_compute_window += c_span.duration();
-                    first_od_compute_start.get_or_insert(c_span.start);
-                    buffer_free_at[buf_idx] = c_span.end;
-                    od_window_end = od_window_end.max(c_span.end);
-
-                    // host execution of the batch
-                    let mem = &self.gpu.mem;
-                    let batch_ref = &batch;
-                    parallel_for(batch_ref.entries.len(), |i| {
-                        let e = &batch_ref.entries[i];
-                        let words = &mem.words(dst)[batch_ref.entry_words(i)];
-                        prog.process_vertex(
-                            e.vertex,
-                            EdgeSlice::new(words, weighted),
-                            &state,
-                            &next,
-                        );
-                    });
-                }
-                if let Some(first) = gather_first {
-                    if let Some(tr) = self.gpu.timeline.tracer_mut() {
-                        let t = tr.track(ONDEMAND_TRACK);
-                        tr.begin(t, first.0, &format!("on-demand iter {iter}"), CAT_PHASE)
-                            .expect("on-demand windows are sequential");
-                        tr.complete(t, first.0, gather_last.0, "gather", CAT_PHASE)
-                            .expect("gather nests in the on-demand window");
-                        tr.end(t, od_window_end.0)
-                            .expect("the window closes after its last batch");
-                    }
-                }
-            }
-
-            // Hotness accounting for this iteration's touched chunks
-            // (needed by the replacement server, lazy warming and the
-            // prefetch pipeline's demand scoring).
-            if lazy_fill || !matches!(cfg.replacement, ReplacementPolicy::Disabled) || prefetch_on {
-                self.hotness
-                    .record_vertices(g, &geo, &maps.static_nodes, iter);
-                self.hotness
-                    .record_vertices(g, &geo, &maps.ondemand_nodes, iter);
-
-                // Score the previous iteration's speculative refreshes now
-                // that the demand they predicted has materialized: a hit iff
-                // the chunk is still resident and this iteration touched it.
-                for (c, bytes) in prefetch_pending.drain(..) {
-                    if self.region.is_resident(c) && self.hotness.demanded_at(c, iter) {
-                        prefetch_hits += 1;
-                    } else {
-                        prefetch_waste += bytes;
-                    }
-                }
-
-                // ➎ Replacement server window: chunk DMAs issued while the
-                // GPU chews the on-demand region, within its PCIe budget.
-                if od_compute_window > 0 {
-                    // each op is one chunk-sized DMA including its fixed
-                    // latency; the server only issues what fits the window
-                    let per_op_ns = self
-                        .gpu
-                        .config
-                        .pcie
-                        .transfer_ns(cfg.chunk_bytes as u64)
-                        .max(1);
-                    let mut ops_left = (od_compute_window / per_op_ns) as usize;
-                    let ready = first_od_compute_start.unwrap_or(iter_start);
-                    let copy_free0 = self.gpu.timeline.engine_free_at(Engine::Copy);
-                    let mut window_ops = 0u32;
-
-                    // lazy warming first: adopt demanded chunks into free
-                    // slots (counted as steady transfer, not prestore)
-                    if lazy_fill && ops_left > 0 {
-                        for chunk in self.hotness.plan_loads(&self.region, iter, ops_left) {
-                            let bytes = self.region.load_chunk(&mut self.gpu, g, chunk);
-                            let (wire, dur) = self.chunk_dma(chunk, bytes, ready, "lazy-load");
-                            self.gpu.xfer.h2d_bytes += bytes;
-                            self.gpu.xfer.h2d_wire_bytes += wire;
-                            self.gpu.xfer.h2d_ops += 1;
-                            self.gpu.obs.registry.counter_add("lazy.loads", 1);
-                            self.gpu.obs.record(ready.0, Event::LazyLoad { bytes });
-                            breakdown.update_ns += dur;
-                            ops_left -= 1;
-                            window_ops += 1;
-                        }
-                    }
-
-                    // then stale-for-hot swaps — unless the prefetch
-                    // pipeline is on, which subsumes them: it refreshes the
-                    // region from *exact* next-frontier demand on the
-                    // second copy stream (inside link slack) instead of
-                    // spending synchronous link time inside the iteration
-                    // on hotness guesses
-                    if !matches!(cfg.replacement, ReplacementPolicy::Disabled)
-                        && ops_left > 0
-                        && !prefetch_on
-                    {
-                        let swaps = self.hotness.plan_swaps(&self.region, iter, ops_left);
-                        for (evict, load) in swaps {
-                            let bytes = self.region.swap_chunk(&mut self.gpu, g, evict, load);
-                            let (wire, dur) = self.chunk_dma(load, bytes, ready, "refresh");
-                            refresh_bytes += bytes;
-                            refresh_wire_bytes += wire;
-                            self.gpu.obs.registry.counter_add("hotness.swaps", 1);
-                            self.gpu
-                                .obs
-                                .record(ready.0, Event::HotSwap { chunks: 1, bytes });
-                            breakdown.update_ns += dur;
-                            window_ops += 1;
-                        }
-                    }
-                    if window_ops > 0 {
-                        let start = copy_free0.max(ready).0;
-                        let end = self.gpu.timeline.engine_free_at(Engine::Copy).0;
-                        if let Some(tr) = self.gpu.timeline.tracer_mut() {
-                            let t = tr.track(REFRESH_TRACK);
-                            tr.complete(t, start, end, &format!("refresh iter {iter}"), CAT_PHASE)
-                                .expect("refresh windows are sequential");
-                        }
-                    }
-                }
-            }
-
-            // ➏ Cross-iteration prefetch: the kernels just wrote the next
-            // frontier, so its chunk demand is already known. Speculatively
-            // refresh the static region on the second copy stream, budgeted
-            // to the link slack left before this iteration's barrier — the
-            // transfers hide entirely under work already on the clock, so
-            // the iteration's makespan is untouched whether they pay off
-            // or not.
-            let next_frontier = next.snapshot();
-            prefetch_ready = SimTime::ZERO;
-            // whatever of last iteration's plan never found a gap dies
-            // here, un-issued and free of charge
-            prefetch_deferred.clear();
-            if prefetch_on {
-                let more = iter + 1 < prog.max_iterations() && !next_frontier.is_all_zero();
-                // Commit the gap-issued transfers now that every kernel of
-                // this iteration is done reading the region. The plan was
-                // one iteration old when its wire time was bought, so each
-                // commit is re-validated against the *fresh* frontier: a
-                // stale op is dropped — its link time was idle slack, its
-                // bytes become waste — rather than applied.
-                if more {
-                    let demand = chunk_demand_bytes(g, &geo, &next_frontier);
-                    for (op, bytes) in prefetch_inflight.drain(..) {
-                        let apply = match op {
-                            PrefetchOp::Load(c) => {
-                                !self.region.is_resident(c)
-                                    && self.region.free_slots() > 0
-                                    && demand[c as usize] > 0
-                            }
-                            PrefetchOp::Swap { evict, load } => {
-                                self.region.is_resident(evict)
-                                    && !self.region.is_resident(load)
-                                    && match cfg.prefetch {
-                                        PrefetchMode::NextFrontier => {
-                                            demand[load as usize] > demand[evict as usize]
-                                        }
-                                        // the speculative mode commits on
-                                        // residency alone; hit scoring
-                                        // charges any misprediction
-                                        _ => true,
-                                    }
-                            }
-                        };
-                        if apply {
-                            match op {
-                                PrefetchOp::Load(c) => {
-                                    self.region.load_chunk(&mut self.gpu, g, c);
-                                }
-                                PrefetchOp::Swap { evict, load } => {
-                                    self.region.swap_chunk(&mut self.gpu, g, evict, load);
-                                }
-                            }
-                            prefetch_pending.push((op.chunk(), bytes));
-                        } else {
-                            prefetch_waste += bytes;
-                        }
-                    }
-                } else {
-                    for (_op, bytes) in prefetch_inflight.drain(..) {
-                        prefetch_waste += bytes;
-                    }
-                }
-                if more {
-                    let per_op_ns = self
-                        .gpu
-                        .config
-                        .pcie
-                        .transfer_ns(cfg.chunk_bytes as u64)
-                        .max(1);
-                    let link_free = self.gpu.timeline.engine_free_at(Engine::Copy);
-                    let slack = self.gpu.timeline.now().0.saturating_sub(link_free.0);
-                    let budget = (slack / per_op_ns) as usize;
-                    let plan = plan_prefetch(
-                        cfg.prefetch,
-                        g,
-                        &geo,
-                        &self.region,
-                        &mut self.hotness,
-                        &next_frontier,
-                        iter,
-                        compressible,
-                        budget + GAP_PLAN_OPS,
-                    );
-                    let mut plan = plan.into_iter();
-                    // what fits the tail slack ships (and applies) now ...
-                    for op in plan.by_ref().take(budget) {
-                        let chunk = op.chunk();
-                        let bytes = match op {
-                            PrefetchOp::Load(c) => self.region.load_chunk(&mut self.gpu, g, c),
-                            PrefetchOp::Swap { evict, load } => {
-                                self.region.swap_chunk(&mut self.gpu, g, evict, load)
-                            }
-                        };
-                        // prefetches ship raw: the decompression launch
-                        // would land on the busy compute engine and could
-                        // push the very kernel they are hiding under
-                        let span = self.gpu.prefetch_dma_at(chunk as u64, bytes, link_free);
-                        widen(&mut pf_window, span.start.0, span.end.0);
-                        prefetch_ready = prefetch_ready.max(span.end);
-                        prefetch_bytes += bytes;
-                        prefetch_ops += 1;
-                        prefetch_pending.push((chunk, bytes));
-                    }
-                    // ... the remainder waits for link gaps in the next
-                    // iteration's on-demand pipeline
-                    prefetch_deferred.extend(plan);
-                }
-            }
-
-            if let Some((start, end)) = pf_window.take() {
-                if let Some(tr) = self.gpu.timeline.tracer_mut() {
-                    let t = tr.track(PREFETCH_WINDOW_TRACK);
-                    tr.complete(t, start, end, &format!("prefetch iter {iter}"), CAT_PHASE)
-                        .expect("the prefetch stream serializes its windows");
-                }
-            }
-            let iter_end = self.gpu.sync();
-            self.gpu.obs.record(iter_end.0, Event::IterEnd { iter });
-            if let Some(tr) = self.gpu.timeline.tracer_mut() {
-                let t = tr.track(SESSION_TRACK);
-                tr.end(t, iter_end.0)
-                    .expect("the iteration span closes at the barrier");
-            }
-            iter_windows.push((iter_start.0, iter_end.0));
-            per_iter.push(IterReport {
-                active_vertices: maps.active_vertices(),
-                active_edges: maps.active_edges(),
-                payload_bytes: od_payload,
-                time_ns: iter_end.since(iter_start),
-                static_edges: maps.static_edges,
-            });
-            active = next_frontier;
-            iter += 1;
+        let iter_start = self.gpu.sync();
+        self.gpu.obs.record(iter_start.0, Event::IterStart { iter });
+        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+            let t = tr.track(SESSION_TRACK);
+            tr.begin(t, iter_start.0, &format!("iteration {iter}"), CAT_PHASE)
+                .expect("iterations are sequential on the session track");
         }
 
+        // ➊ GenDataMap (cheap bitmap kernel over |V| bits).
+        let mut maps = DataMaps::generate(g, active, self.region.vertex_bitmap());
+        let genmap = self.gpu.kernel_at(0, (n as u64).div_ceil(64), iter_start);
+        ctx.breakdown.gen_map_ns += genmap.duration();
+        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+            let t = tr.track(SESSION_TRACK);
+            tr.complete(t, genmap.start.0, genmap.end.0, "GenDataMap", CAT_PHASE)
+                .expect("GenDataMap opens the iteration");
+        }
+
+        // Eq (3): adaptive re-partition when the on-demand volume
+        // overflows an under-used static region. Under lazy fill the
+        // region is *supposed* to look under-used until warming
+        // completes, so the check waits for a full region.
+        if cfg.adaptive && !(lazy_fill && self.region.free_slots() > 0) {
+            let od_capacity: u64 = self.od_buffers.iter().map(|b| b.len_bytes()).sum();
+            let decision = repartition_check(
+                maps.ondemand_bytes(bpe),
+                maps.static_bytes(bpe),
+                maps.active_edges() * bpe,
+                self.region.capacity_bytes(),
+                od_capacity,
+                d,
+            );
+            if let Repartition::ShrinkStaticBy(bytes) = decision {
+                let slots = (bytes as usize).div_ceil(cfg.chunk_bytes).max(1);
+                if let Some(tail) = self.region.release_tail_slots(g, slots) {
+                    self.od_buffers.push(tail);
+                    ctx.buffer_free_at.push(SimTime::ZERO);
+                    ctx.repartitions += 1;
+                    self.gpu.obs.registry.counter_add("repartitions", 1);
+                    self.gpu.obs.record(
+                        iter_start.0,
+                        Event::Repartition {
+                            iter,
+                            static_bytes: self.region.capacity_bytes(),
+                        },
+                    );
+                    // bitmap changed: regenerate the data maps
+                    maps = DataMaps::generate(g, active, self.region.vertex_bitmap());
+                }
+            }
+        }
+
+        // ➌ Static-region compute (overlaps the on-demand pipeline).
+        // The kernel event-waits on the prefetch stream's last
+        // completion instead of faulting on a half-refreshed region;
+        // prefetches are budgeted to land inside the previous
+        // iteration's link slack, so the wait never actually stalls.
+        let static_ready = genmap.end.max(ctx.prefetch_ready);
+        let static_span = if maps.static_nodes.is_empty() {
+            None
+        } else {
+            let span = self.gpu.kernel_at(
+                maps.static_edges,
+                maps.static_nodes.len() as u64,
+                static_ready,
+            );
+            ctx.breakdown.static_compute_ns += span.duration();
+            Some(span)
+        };
+        if let Some(span) = static_span {
+            if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                let t = tr.track(SESSION_TRACK);
+                tr.complete(
+                    t,
+                    span.start.0,
+                    span.end.0,
+                    "static-region compute",
+                    CAT_PHASE,
+                )
+                .expect("static compute follows GenDataMap");
+            }
+        }
+        if !maps.static_nodes.is_empty() {
+            let mem = &self.gpu.mem;
+            let region_ref = &self.region;
+            parallel_for(maps.static_nodes.len(), |i| {
+                let v = maps.static_nodes[i];
+                region_ref.for_each_vertex_slice(mem, g, v, |words| {
+                    prog.process_vertex(v, EdgeSlice::new(words, weighted), state, next);
+                });
+            });
+        }
+
+        // ➋➍➎ On-demand pipeline: gather → transfer → compute, batched.
+        let min_buffer_words = self.od_buffers.iter().map(|b| b.len).min().unwrap_or(0);
+        let mut od_payload = 0u64;
+        let mut od_compute_window = 0u64;
+        let mut first_od_compute_start: Option<SimTime> = None;
+        // prefetch DMAs issued this iteration (gap fills + the tail),
+        // for the iteration's window span on the prefetch track
+        let mut pf_window: Option<(u64, u64)> = None;
+        if !maps.ondemand_nodes.is_empty() {
+            assert!(
+                min_buffer_words > 0,
+                "no on-demand buffer but on-demand data exists"
+            );
+            // In no-overlap mode the whole pipeline waits for the
+            // static compute (the Figure 8 "Baseline" lane layout).
+            let pipeline_ready = if cfg.overlap {
+                genmap.end
+            } else {
+                static_span.map_or(genmap.end, |s| s.end)
+            };
+            let batches = plan_batches(g, &maps.ondemand_nodes, min_buffer_words);
+            // Issue every batch's CPU gather up front. The spans are
+            // identical to in-loop issue (gathers serialize on the CPU
+            // engine and depend on nothing downstream of themselves),
+            // but knowing when batch k's gather completes tells the
+            // prefetch stream exactly how long the link stays idle
+            // before batch k's transfer can possibly start.
+            let batch_bpe = g.bytes_per_edge() as u64;
+            let mut gather_ready = pipeline_ready;
+            let gather_spans: Vec<_> = batches
+                .iter()
+                .map(|entries| {
+                    let edges: u64 = entries.iter().map(|e| e.num_edges()).sum();
+                    let span =
+                        self.gpu
+                            .gather_at(edges * batch_bpe, entries.len() as u64, gather_ready);
+                    ctx.breakdown.gather_ns += span.duration();
+                    gather_ready = span.end; // CPU engine serializes anyway
+                    span
+                })
+                .collect();
+            let gather_first = gather_spans.first().map(|s| s.start);
+            let gather_last = gather_ready;
+            let mut od_window_end = gather_last;
+            for (bi, (entries, g_span)) in batches.into_iter().zip(gather_spans).enumerate() {
+                let buf_idx = bi % self.od_buffers.len();
+                let buffer = self.od_buffers[buf_idx];
+
+                // Prefetch gap fill: the link is provably idle until
+                // this batch's gather completes, so deferred
+                // speculative refreshes ride the second copy stream in
+                // that window — an op is issued only when it finishes
+                // before the gather does, so no on-demand transfer
+                // moves by a nanosecond.
+                while let Some(&op) = ctx.prefetch_deferred.front() {
+                    let bytes = geo.chunk_len_bytes(op.chunk()) as u64;
+                    let dur = self.gpu.config.pcie.transfer_ns(bytes);
+                    let link_free = self.gpu.timeline.engine_free_at(Engine::Copy);
+                    if link_free.0 + dur > g_span.end.0 {
+                        break; // would push this batch's transfer later
+                    }
+                    ctx.prefetch_deferred.pop_front();
+                    let span = self
+                        .gpu
+                        .prefetch_dma_at(op.chunk() as u64, bytes, link_free);
+                    widen(&mut pf_window, span.start.0, span.end.0);
+                    ctx.prefetch_bytes += bytes;
+                    ctx.prefetch_ops += 1;
+                    ctx.prefetch_inflight.push((op, bytes));
+                }
+
+                let batch = gather(g, entries);
+
+                // H2D transfer of payload + index, into this batch's buffer
+                let dst = buffer.slice(0, batch.words.len());
+                let ready = g_span.end.max(ctx.buffer_free_at[buf_idx]);
+                let raw_bytes = batch.payload_bytes();
+                // Compression crossover: estimate from the per-chunk
+                // cache, then (if promising) really encode and re-check
+                // against the actual byte count before shipping — a bad
+                // estimate falls back to the raw path.
+                let mut compressed: Option<(u64, SimTime)> = None;
+                if compressible && raw_bytes > 0 {
+                    let promising = match cfg.compression {
+                        CompressionMode::Always => true,
+                        CompressionMode::Adaptive => {
+                            let est =
+                                estimate_batch_wire(g, &geo, &mut self.hotness, &batch.entries);
+                            chain_wins(&self.gpu, ready, raw_bytes, est)
+                        }
+                        CompressionMode::Off => unreachable!(),
+                    };
+                    if promising {
+                        ctx.enc_entries.clear();
+                        ctx.enc_entries
+                            .extend(batch.entries.iter().map(|e| (e.vertex, e.edges.clone())));
+                        ctx.enc_buf.clear();
+                        let wire = encode_ranges(g, &ctx.enc_entries, &mut ctx.enc_buf) as u64;
+                        // re-check with the actual encoded size: a bad
+                        // chunk-ratio estimate must not ship a loser
+                        let ship = matches!(cfg.compression, CompressionMode::Always)
+                            || chain_wins(&self.gpu, ready, raw_bytes, wire);
+                        if ship {
+                            let (copy, dec) =
+                                self.gpu
+                                    .h2d_compressed_at(dst, &batch.words, &ctx.enc_buf, ready);
+                            let reg = &mut self.gpu.obs.registry;
+                            reg.counter_add("compress.transfers", 1);
+                            reg.counter_add("compress.raw_bytes", raw_bytes);
+                            reg.counter_add("compress.wire_bytes", wire);
+                            reg.observe("compress.ratio_x100", raw_bytes * 100 / wire.max(1));
+                            compressed = Some((copy.duration() + dec.duration(), dec.end));
+                        }
+                    }
+                    if compressed.is_none() {
+                        self.gpu.obs.registry.counter_add("compress.declined", 1);
+                    }
+                }
+                let (t_ns, payload_at) = compressed.unwrap_or_else(|| {
+                    let t_span = self.gpu.h2d_at(dst, &batch.words, ready);
+                    (t_span.duration(), t_span.end)
+                });
+                // account the subgraph index bytes on the same DMA op
+                // (the index always ships raw, compressed payload or not)
+                self.gpu.xfer.h2d_bytes += batch.index_bytes();
+                self.gpu.xfer.h2d_wire_bytes += batch.index_bytes();
+                ctx.breakdown.transfer_ns += t_ns;
+                od_payload += batch.payload_bytes() + batch.index_bytes();
+
+                // OD compute (serializes on the COMPUTE engine after the
+                // static kernel automatically)
+                let c_span =
+                    self.gpu
+                        .kernel_at(batch.edges, batch.entries.len() as u64, payload_at);
+                ctx.breakdown.ondemand_compute_ns += c_span.duration();
+                od_compute_window += c_span.duration();
+                first_od_compute_start.get_or_insert(c_span.start);
+                ctx.buffer_free_at[buf_idx] = c_span.end;
+                od_window_end = od_window_end.max(c_span.end);
+
+                // host execution of the batch
+                let mem = &self.gpu.mem;
+                let batch_ref = &batch;
+                parallel_for(batch_ref.entries.len(), |i| {
+                    let e = &batch_ref.entries[i];
+                    let words = &mem.words(dst)[batch_ref.entry_words(i)];
+                    prog.process_vertex(e.vertex, EdgeSlice::new(words, weighted), state, next);
+                });
+            }
+            if let Some(first) = gather_first {
+                if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                    let t = tr.track(ONDEMAND_TRACK);
+                    tr.begin(t, first.0, &format!("on-demand iter {iter}"), CAT_PHASE)
+                        .expect("on-demand windows are sequential");
+                    tr.complete(t, first.0, gather_last.0, "gather", CAT_PHASE)
+                        .expect("gather nests in the on-demand window");
+                    tr.end(t, od_window_end.0)
+                        .expect("the window closes after its last batch");
+                }
+            }
+        }
+
+        // Hotness accounting for this iteration's touched chunks
+        // (needed by the replacement server, lazy warming and the
+        // prefetch pipeline's demand scoring).
+        if lazy_fill || !matches!(cfg.replacement, ReplacementPolicy::Disabled) || prefetch_on {
+            self.hotness
+                .record_vertices(g, &geo, &maps.static_nodes, iter);
+            self.hotness
+                .record_vertices(g, &geo, &maps.ondemand_nodes, iter);
+
+            // Score the previous iteration's speculative refreshes now
+            // that the demand they predicted has materialized: a hit iff
+            // the chunk is still resident and this iteration touched it.
+            for (c, bytes) in ctx.prefetch_pending.drain(..) {
+                if self.region.is_resident(c) && self.hotness.demanded_at(c, iter) {
+                    ctx.prefetch_hits += 1;
+                } else {
+                    ctx.prefetch_waste += bytes;
+                }
+            }
+
+            // ➎ Replacement server window: chunk DMAs issued while the
+            // GPU chews the on-demand region, within its PCIe budget.
+            if od_compute_window > 0 {
+                // each op is one chunk-sized DMA including its fixed
+                // latency; the server only issues what fits the window
+                let per_op_ns = self
+                    .gpu
+                    .config
+                    .pcie
+                    .transfer_ns(cfg.chunk_bytes as u64)
+                    .max(1);
+                let mut ops_left = (od_compute_window / per_op_ns) as usize;
+                let ready = first_od_compute_start.unwrap_or(iter_start);
+                let copy_free0 = self.gpu.timeline.engine_free_at(Engine::Copy);
+                let mut window_ops = 0u32;
+
+                // lazy warming first: adopt demanded chunks into free
+                // slots (counted as steady transfer, not prestore)
+                if lazy_fill && ops_left > 0 {
+                    for chunk in self.hotness.plan_loads(&self.region, iter, ops_left) {
+                        let bytes = self.region.load_chunk(&mut self.gpu, g, chunk);
+                        let (wire, dur) = self.chunk_dma(chunk, bytes, ready, "lazy-load");
+                        self.gpu.xfer.h2d_bytes += bytes;
+                        self.gpu.xfer.h2d_wire_bytes += wire;
+                        self.gpu.xfer.h2d_ops += 1;
+                        self.gpu.obs.registry.counter_add("lazy.loads", 1);
+                        self.gpu.obs.record(ready.0, Event::LazyLoad { bytes });
+                        ctx.breakdown.update_ns += dur;
+                        ops_left -= 1;
+                        window_ops += 1;
+                    }
+                }
+
+                // then stale-for-hot swaps — unless the prefetch
+                // pipeline is on, which subsumes them: it refreshes the
+                // region from *exact* next-frontier demand on the
+                // second copy stream (inside link slack) instead of
+                // spending synchronous link time inside the iteration
+                // on hotness guesses
+                if !matches!(cfg.replacement, ReplacementPolicy::Disabled)
+                    && ops_left > 0
+                    && !prefetch_on
+                {
+                    let swaps = self.hotness.plan_swaps(&self.region, iter, ops_left);
+                    for (evict, load) in swaps {
+                        let bytes = self.region.swap_chunk(&mut self.gpu, g, evict, load);
+                        let (wire, dur) = self.chunk_dma(load, bytes, ready, "refresh");
+                        ctx.refresh_bytes += bytes;
+                        ctx.refresh_wire_bytes += wire;
+                        self.gpu.obs.registry.counter_add("hotness.swaps", 1);
+                        self.gpu
+                            .obs
+                            .record(ready.0, Event::HotSwap { chunks: 1, bytes });
+                        ctx.breakdown.update_ns += dur;
+                        window_ops += 1;
+                    }
+                }
+                if window_ops > 0 {
+                    let start = copy_free0.max(ready).0;
+                    let end = self.gpu.timeline.engine_free_at(Engine::Copy).0;
+                    if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                        let t = tr.track(REFRESH_TRACK);
+                        tr.complete(t, start, end, &format!("refresh iter {iter}"), CAT_PHASE)
+                            .expect("refresh windows are sequential");
+                    }
+                }
+            }
+        }
+
+        // ➏ Cross-iteration prefetch: the kernels just wrote the next
+        // frontier, so its chunk demand is already known. Speculatively
+        // refresh the static region on the second copy stream, budgeted
+        // to the link slack left before this iteration's barrier — the
+        // transfers hide entirely under work already on the clock, so
+        // the iteration's makespan is untouched whether they pay off
+        // or not.
+        let next_frontier = next.snapshot();
+        ctx.prefetch_ready = SimTime::ZERO;
+        // whatever of last iteration's plan never found a gap dies
+        // here, un-issued and free of charge
+        ctx.prefetch_deferred.clear();
+        if prefetch_on {
+            let more = iter + 1 < prog.max_iterations() && !next_frontier.is_all_zero();
+            // Commit the gap-issued transfers now that every kernel of
+            // this iteration is done reading the region. The plan was
+            // one iteration old when its wire time was bought, so each
+            // commit is re-validated against the *fresh* frontier: a
+            // stale op is dropped — its link time was idle slack, its
+            // bytes become waste — rather than applied.
+            if more {
+                let demand = chunk_demand_bytes(g, &geo, &next_frontier);
+                for (op, bytes) in ctx.prefetch_inflight.drain(..) {
+                    let apply = match op {
+                        PrefetchOp::Load(c) => {
+                            !self.region.is_resident(c)
+                                && self.region.free_slots() > 0
+                                && demand[c as usize] > 0
+                        }
+                        PrefetchOp::Swap { evict, load } => {
+                            self.region.is_resident(evict)
+                                && !self.region.is_resident(load)
+                                && match cfg.prefetch {
+                                    PrefetchMode::NextFrontier => {
+                                        demand[load as usize] > demand[evict as usize]
+                                    }
+                                    // the speculative mode commits on
+                                    // residency alone; hit scoring
+                                    // charges any misprediction
+                                    _ => true,
+                                }
+                        }
+                    };
+                    if apply {
+                        match op {
+                            PrefetchOp::Load(c) => {
+                                self.region.load_chunk(&mut self.gpu, g, c);
+                            }
+                            PrefetchOp::Swap { evict, load } => {
+                                self.region.swap_chunk(&mut self.gpu, g, evict, load);
+                            }
+                        }
+                        ctx.prefetch_pending.push((op.chunk(), bytes));
+                    } else {
+                        ctx.prefetch_waste += bytes;
+                    }
+                }
+            } else {
+                for (_op, bytes) in ctx.prefetch_inflight.drain(..) {
+                    ctx.prefetch_waste += bytes;
+                }
+            }
+            if more {
+                let per_op_ns = self
+                    .gpu
+                    .config
+                    .pcie
+                    .transfer_ns(cfg.chunk_bytes as u64)
+                    .max(1);
+                let link_free = self.gpu.timeline.engine_free_at(Engine::Copy);
+                let slack = self.gpu.timeline.now().0.saturating_sub(link_free.0);
+                let budget = (slack / per_op_ns) as usize;
+                let plan = plan_prefetch(
+                    cfg.prefetch,
+                    g,
+                    &geo,
+                    &self.region,
+                    &mut self.hotness,
+                    &next_frontier,
+                    iter,
+                    compressible,
+                    budget + GAP_PLAN_OPS,
+                );
+                let mut plan = plan.into_iter();
+                // what fits the tail slack ships (and applies) now ...
+                for op in plan.by_ref().take(budget) {
+                    let chunk = op.chunk();
+                    let bytes = match op {
+                        PrefetchOp::Load(c) => self.region.load_chunk(&mut self.gpu, g, c),
+                        PrefetchOp::Swap { evict, load } => {
+                            self.region.swap_chunk(&mut self.gpu, g, evict, load)
+                        }
+                    };
+                    // prefetches ship raw: the decompression launch
+                    // would land on the busy compute engine and could
+                    // push the very kernel they are hiding under
+                    let span = self.gpu.prefetch_dma_at(chunk as u64, bytes, link_free);
+                    widen(&mut pf_window, span.start.0, span.end.0);
+                    ctx.prefetch_ready = ctx.prefetch_ready.max(span.end);
+                    ctx.prefetch_bytes += bytes;
+                    ctx.prefetch_ops += 1;
+                    ctx.prefetch_pending.push((chunk, bytes));
+                }
+                // ... the remainder waits for link gaps in the next
+                // iteration's on-demand pipeline
+                ctx.prefetch_deferred.extend(plan);
+            }
+        }
+
+        if let Some((start, end)) = pf_window.take() {
+            if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                let t = tr.track(PREFETCH_WINDOW_TRACK);
+                tr.complete(t, start, end, &format!("prefetch iter {iter}"), CAT_PHASE)
+                    .expect("the prefetch stream serializes its windows");
+            }
+        }
+        let iter_end = self.gpu.sync();
+        self.gpu.obs.record(iter_end.0, Event::IterEnd { iter });
+        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+            let t = tr.track(SESSION_TRACK);
+            tr.end(t, iter_end.0)
+                .expect("the iteration span closes at the barrier");
+        }
+        ctx.iter_windows.push((iter_start.0, iter_end.0));
+        ctx.per_iter.push(IterReport {
+            active_vertices: maps.active_vertices(),
+            active_edges: maps.active_edges(),
+            payload_bytes: od_payload,
+            time_ns: iter_end.since(iter_start),
+            static_edges: maps.static_edges,
+        });
+        ctx.iter += 1;
+    }
+
+    /// Close out a run started by [`AsceticSession::begin_run`]: assemble
+    /// the report, convert cumulative device counters into this run's
+    /// deltas and re-arm the event log / tracer for the next run.
+    pub(crate) fn finish_run<P: VertexProgram>(
+        &mut self,
+        prog: &P,
+        state: &P::State,
+        mut ctx: RunCtx,
+    ) -> RunReport {
+        let cfg = self.cfg;
         // Per-run delta accounting against the session baselines.
         let run_end = self.gpu.sync();
         let mut report = finish_report(
             "Ascetic",
             prog.name(),
-            iter,
+            ctx.iter,
             &mut self.gpu,
             if self.runs == 0 {
                 self.prestore_bytes
@@ -958,11 +1055,11 @@ impl<'g> AsceticSession<'g> {
                 0
             },
             if self.runs == 0 { self.prestore_ns } else { 0 },
-            refresh_bytes,
-            breakdown,
-            per_iter,
-            iter_windows,
-            prog.output(&state),
+            ctx.refresh_bytes,
+            ctx.breakdown,
+            ctx.per_iter,
+            ctx.iter_windows,
+            prog.output(state),
         );
         // the report took ownership of the event log; arm a fresh one so
         // later runs over this session keep recording
@@ -973,30 +1070,31 @@ impl<'g> AsceticSession<'g> {
         if cfg.tracing {
             self.gpu.timeline.enable_tracing();
         }
-        report.repartitions = repartitions;
+        report.repartitions = ctx.repartitions;
         // speculative refreshes still in flight when the frontier drained
         // never got their demand scored: charge them as waste
-        for (_c, bytes) in prefetch_pending.drain(..) {
-            prefetch_waste += bytes;
+        for (_c, bytes) in ctx.prefetch_pending.drain(..) {
+            ctx.prefetch_waste += bytes;
         }
-        report.prefetch_bytes = prefetch_bytes;
-        report.prefetch_ops = prefetch_ops;
-        report.prefetch_hits = prefetch_hits;
-        report.prefetch_wasted_bytes = prefetch_waste;
+        report.prefetch_bytes = ctx.prefetch_bytes;
+        report.prefetch_ops = ctx.prefetch_ops;
+        report.prefetch_hits = ctx.prefetch_hits;
+        report.prefetch_wasted_bytes = ctx.prefetch_waste;
         // convert cumulative device counters into this run's share
-        report.xfer.h2d_bytes -= xfer0.h2d_bytes;
-        report.xfer.h2d_wire_bytes -= xfer0.h2d_wire_bytes;
-        report.xfer.h2d_prefetch_bytes -= xfer0.h2d_prefetch_bytes;
-        report.xfer.d2h_bytes -= xfer0.d2h_bytes;
-        report.xfer.h2d_ops -= xfer0.h2d_ops;
-        report.xfer.d2h_ops -= xfer0.d2h_ops;
-        report.kernels.launches -= kernels0.launches;
-        report.kernels.edges -= kernels0.edges;
-        report.kernels.vertices -= kernels0.vertices;
-        report.kernels.time_ns -= kernels0.time_ns;
-        let run_ns = run_end.since(run_start) + if self.runs == 0 { run_start.0 } else { 0 }; // first run owns the prestore time
+        report.xfer.h2d_bytes -= ctx.xfer0.h2d_bytes;
+        report.xfer.h2d_wire_bytes -= ctx.xfer0.h2d_wire_bytes;
+        report.xfer.h2d_prefetch_bytes -= ctx.xfer0.h2d_prefetch_bytes;
+        report.xfer.d2h_bytes -= ctx.xfer0.d2h_bytes;
+        report.xfer.h2d_ops -= ctx.xfer0.h2d_ops;
+        report.xfer.d2h_ops -= ctx.xfer0.d2h_ops;
+        report.kernels.launches -= ctx.kernels0.launches;
+        report.kernels.edges -= ctx.kernels0.edges;
+        report.kernels.vertices -= ctx.kernels0.vertices;
+        report.kernels.time_ns -= ctx.kernels0.time_ns;
+        let run_ns =
+            run_end.since(ctx.run_start) + if self.runs == 0 { ctx.run_start.0 } else { 0 }; // first run owns the prestore time
         report.sim_time_ns = run_ns;
-        let busy_delta = self.gpu.timeline.busy_ns(Engine::Compute) - compute_busy0;
+        let busy_delta = self.gpu.timeline.busy_ns(Engine::Compute) - ctx.compute_busy0;
         report.gpu_idle_ns = run_ns.saturating_sub(busy_delta);
         // wire bytes: the first run owns the prestore's (possibly encoded)
         // payload, every run owns its own refresh traffic
@@ -1005,14 +1103,35 @@ impl<'g> AsceticSession<'g> {
         } else {
             0
         };
-        report.refresh_wire_bytes = refresh_wire_bytes;
+        report.refresh_wire_bytes = ctx.refresh_wire_bytes;
         // metrics: subtract the session baseline (histograms, subsystem
         // counters), then re-pin the canonical counters to this run's
         // delta-corrected fields
-        report.metrics = report.metrics.diff(&obs0);
+        report.metrics = report.metrics.diff(&ctx.obs0);
         report.sync_metrics();
         self.runs += 1;
         report
+    }
+
+    /// Execute one program over the session's graph. The first run's report
+    /// carries the prestore cost; later runs report zero prestore (the
+    /// region is already resident — the paper's amortization point).
+    pub fn run<P: VertexProgram>(&mut self, prog: &P) -> RunReport {
+        assert_eq!(
+            self.g.is_weighted(),
+            prog.needs_weights(),
+            "graph weighting must match the program"
+        );
+        let mut ctx = self.begin_run();
+        let state = prog.new_state(self.g);
+        let mut active = prog.initial_frontier(self.g);
+        while !active.is_all_zero() && ctx.iter < prog.max_iterations() {
+            prog.begin_iteration(ctx.iter, &active, &state);
+            let next = AtomicBitmap::new(self.g.num_vertices());
+            self.step_iteration(prog, &mut ctx, &active, &state, &next);
+            active = next.snapshot();
+        }
+        self.finish_run(prog, &state, ctx)
     }
 }
 

@@ -57,7 +57,81 @@ pub fn partition_by_bytes(g: &Csr, max_bytes: u64) -> Vec<Partition> {
         });
         vstart = vend;
     }
+    debug_assert_eq!(validate_partitions(g, &parts), Ok(()));
     parts
+}
+
+/// Split `g` into (at most) `n` contiguous partitions with balanced edge
+/// counts — the fleet sharding primitive. Boundaries land where the
+/// cumulative edge count crosses `i * num_edges / n`, so every shard's
+/// edge volume is within one adjacency list of the ideal `E/n`. Trailing
+/// zero-degree vertices fold into the last shard. Degenerate inputs
+/// (fewer vertices than shards, hub vertices holding most of the edge
+/// array) yield fewer than `n` partitions rather than empty ones; an
+/// empty graph yields one whole-range partition when it has vertices and
+/// none otherwise.
+pub fn partition_even_edges(g: &Csr, n: usize) -> Vec<Partition> {
+    assert!(n > 0, "cannot split into zero partitions");
+    let nv = g.num_vertices();
+    let total = g.num_edges();
+    let mut parts = Vec::with_capacity(n);
+    let mut vstart: usize = 0;
+    for i in 0..n {
+        if vstart >= nv {
+            break;
+        }
+        let mut vend = if i + 1 == n {
+            nv
+        } else {
+            // first vertex whose cumulative offset reaches the i+1'th
+            // ideal boundary; ties resolve to the earlier vertex so a
+            // perfectly divisible graph splits exactly evenly
+            let target = total * (i as u64 + 1) / n as u64;
+            let tail = &g.offsets()[vstart + 1..=nv];
+            vstart + 1 + tail.partition_point(|&o| o < target)
+        };
+        vend = vend.clamp(vstart + 1, nv);
+        if i + 1 < n && g.offsets()[vend] == total {
+            // every remaining edge is covered: absorb the zero-degree
+            // tail instead of emitting empty shards for it
+            vend = nv;
+        }
+        parts.push(Partition {
+            vertices: vstart as VertexId..vend as VertexId,
+            edges: g.offsets()[vstart]..g.offsets()[vend],
+        });
+        vstart = vend;
+    }
+    debug_assert_eq!(validate_partitions(g, &parts), Ok(()));
+    parts
+}
+
+/// Materialize one shard as a standalone CSR in the *global* vertex id
+/// space: same vertex count as `g`, but only the partition's own edge
+/// slice — vertices outside `p.vertices` have zero degree. Owner-computes
+/// fleet execution runs unmodified vertex programs over these: edge
+/// targets stay global, so activations cross shard boundaries naturally,
+/// while each device only ever stores and ships its own edge slice.
+pub fn shard_csr(g: &Csr, p: &Partition) -> Csr {
+    let n = g.num_vertices();
+    let (a, b) = (p.vertices.start as usize, p.vertices.end as usize);
+    let (ea, eb) = (p.edges.start, p.edges.end);
+    debug_assert_eq!(g.offsets()[a], ea, "partition disagrees with offsets");
+    debug_assert_eq!(g.offsets()[b], eb, "partition disagrees with offsets");
+    let offsets: Vec<_> = (0..=n)
+        .map(|v| {
+            if v <= a {
+                0
+            } else if v <= b {
+                g.offsets()[v] - ea
+            } else {
+                eb - ea
+            }
+        })
+        .collect();
+    let targets = g.targets()[ea as usize..eb as usize].to_vec();
+    let weights = g.weights().map(|w| w[ea as usize..eb as usize].to_vec());
+    Csr::from_parts(offsets, targets, weights)
 }
 
 /// Validate that `parts` exactly tile `g` (used by tests and debug builds).
@@ -172,5 +246,134 @@ mod tests {
     #[should_panic(expected = "below one edge")]
     fn rejects_tiny_budget() {
         partition_by_bytes(&star(4), 2);
+    }
+
+    /// A graph with an oversized hub in the middle and a zero-degree tail:
+    /// the shapes the partitioners must not mis-tile.
+    fn hub_with_dead_tail() -> Csr {
+        let mut b = GraphBuilder::new(1_000);
+        for v in 0..200u32 {
+            b.add_edge(v, v + 1);
+        }
+        for t in 0..500u32 {
+            b.add_edge(300, t); // the hub
+        }
+        b.build() // vertices 301..1000 have zero degree
+    }
+
+    #[test]
+    fn byte_partitions_pin_invariants_on_hard_shapes() {
+        for g in [
+            Csr::empty(0),
+            Csr::empty(7),
+            star(5_000),
+            hub_with_dead_tail(),
+        ] {
+            for budget in [4u64, 64, 1024, 1 << 30] {
+                let parts = partition_by_bytes(&g, budget);
+                // full coverage + no overlap, machine-checked
+                validate_partitions(&g, &parts).unwrap();
+                assert_eq!(parts.is_empty(), g.num_vertices() == 0);
+                for p in &parts {
+                    // byte bound holds unless the partition is one
+                    // oversized vertex
+                    let bytes = p.num_edges() * g.bytes_per_edge() as u64;
+                    assert!(
+                        bytes <= budget || p.vertices.len() == 1,
+                        "budget {budget} violated by a multi-vertex partition"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_edge_partitions_balance_and_tile() {
+        let g = rmat_graph(&RmatConfig::new(10, 20_000, 5));
+        for n in [1usize, 2, 3, 4, 8] {
+            let parts = partition_even_edges(&g, n);
+            validate_partitions(&g, &parts).unwrap();
+            assert_eq!(parts.len(), n);
+            let ideal = g.num_edges() / n as u64;
+            let max_degree = (0..g.num_vertices() as VertexId)
+                .map(|v| g.degree(v))
+                .max()
+                .unwrap();
+            for p in &parts {
+                assert!(
+                    p.num_edges() <= ideal + max_degree,
+                    "shard {:?} holds {} edges, ideal {ideal}",
+                    p.vertices,
+                    p.num_edges()
+                );
+            }
+        }
+        // deterministic
+        assert_eq!(partition_even_edges(&g, 4), partition_even_edges(&g, 4));
+    }
+
+    #[test]
+    fn even_edge_partitions_handle_degenerate_shapes() {
+        // hub: all edges on vertex 0 -> one shard absorbs everything
+        let g = star(100);
+        let parts = partition_even_edges(&g, 4);
+        validate_partitions(&g, &parts).unwrap();
+        assert_eq!(parts.len(), 1);
+        // zero-degree tail folds into the shard owning the last edges
+        let g = hub_with_dead_tail();
+        let parts = partition_even_edges(&g, 3);
+        validate_partitions(&g, &parts).unwrap();
+        assert_eq!(parts.last().unwrap().vertices.end, 1_000);
+        // fewer vertices than shards: no empty shards
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        let parts = partition_even_edges(&g, 8);
+        validate_partitions(&g, &parts).unwrap();
+        assert!(parts.len() <= 2);
+        // empty graphs
+        assert!(partition_even_edges(&Csr::empty(0), 4).is_empty());
+        let parts = partition_even_edges(&Csr::empty(9), 4);
+        validate_partitions(&Csr::empty(9), &parts).unwrap();
+        assert_eq!(parts.len(), 1, "edgeless graph is one whole-range shard");
+    }
+
+    #[test]
+    fn shard_csr_preserves_owned_adjacency_in_global_ids() {
+        let g = rmat_graph(&RmatConfig::new(9, 8_000, 7));
+        let parts = partition_even_edges(&g, 3);
+        let mut edges_seen = 0u64;
+        for p in &parts {
+            let s = shard_csr(&g, p);
+            assert_eq!(s.num_vertices(), g.num_vertices(), "global id space");
+            assert_eq!(s.num_edges(), p.num_edges());
+            edges_seen += s.num_edges();
+            for v in 0..g.num_vertices() as VertexId {
+                if p.vertices.contains(&v) {
+                    assert_eq!(s.neighbors(v), g.neighbors(v), "owned vertex {v}");
+                } else {
+                    assert_eq!(s.degree(v), 0, "foreign vertex {v} must be empty");
+                }
+            }
+        }
+        assert_eq!(edges_seen, g.num_edges(), "shards cover every edge once");
+    }
+
+    #[test]
+    fn shard_csr_carries_weights() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 10);
+        b.add_weighted_edge(1, 2, 20);
+        b.add_weighted_edge(2, 3, 30);
+        let g = b.build();
+        let parts = partition_even_edges(&g, 2);
+        for p in &parts {
+            let s = shard_csr(&g, p);
+            assert!(s.is_weighted());
+            for v in p.vertices.clone() {
+                assert_eq!(s.edge_weights(v), g.edge_weights(v));
+            }
+        }
     }
 }

@@ -364,6 +364,32 @@ impl Trace {
         self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0)
     }
 
+    /// Merge `other` into this trace, prefixing every incoming track name
+    /// with `prefix` (e.g. `"dev1/"`). The fleet layer uses this to fold N
+    /// per-device traces — all stamped by the same virtual clock — into
+    /// one Perfetto file with `dev0/GPU`, `dev1/GPU`, … tracks. A prefixed
+    /// name that already exists merges onto the existing track; span
+    /// sort order (`(track, start_ns, depth)`) is restored afterwards.
+    pub fn merge_prefixed(&mut self, other: &Trace, prefix: &str) {
+        let remap: Vec<usize> = other
+            .tracks
+            .iter()
+            .map(|name| {
+                let full = format!("{prefix}{name}");
+                self.track_index(&full).unwrap_or_else(|| {
+                    self.tracks.push(full);
+                    self.tracks.len() - 1
+                })
+            })
+            .collect();
+        self.spans.extend(other.spans.iter().map(|s| TracedSpan {
+            track: remap[s.track],
+            ..s.clone()
+        }));
+        self.spans
+            .sort_by_key(|s| (s.track, s.start_ns, s.depth, s.end_ns));
+    }
+
     /// Top-level (depth 0) work intervals of `track` — the busy intervals
     /// used by utilization queries. [`CAT_WAIT`] spans are skipped: a
     /// stream stalled on link arbitration is idle, not busy. Intervals are

@@ -14,6 +14,8 @@ pub struct JobReport {
     pub id: u32,
     /// Algorithm name (trace spelling).
     pub algo: &'static str,
+    /// Fleet device the job ran on (0 on a single-device serve).
+    pub device: u32,
     /// Batch this job ran in, if it was folded into one.
     pub batch: Option<u32>,
     /// Lanes in the run that produced this job's answer (1 = solo).
@@ -120,7 +122,9 @@ pub struct RejectedJob {
 pub struct ServeReport {
     /// Policy name the schedule was built under.
     pub policy: &'static str,
-    /// Serve-clock time when the last job finished.
+    /// Devices the schedule ran across (1 = the classic single device).
+    pub devices: u32,
+    /// Serve-clock time when the last job finished on any device.
     pub makespan_ns: u64,
     /// Sum of queue waits over admitted jobs.
     pub total_queue_wait_ns: u64,
@@ -137,6 +141,11 @@ pub struct ServeReport {
     pub batched_jobs: u32,
     /// Sessions built (1 + variant switches; lower is better).
     pub sessions_built: u32,
+    /// Cold session builds whose admission rode a device-to-device
+    /// replica of a warm peer's static region instead of a host prestore.
+    pub replications: u32,
+    /// Bytes those replications put on the interconnect.
+    pub replicated_bytes: u64,
     /// Device arena occupancy at shutdown.
     pub occupancy: ArenaOccupancy,
     /// Serve-layer metric snapshot (queue waits, batch occupancy, ...).
@@ -230,6 +239,7 @@ impl ServeReport {
         json::key_into("policy", &mut out);
         json::string_into(self.policy, &mut out);
         for (k, v) in [
+            ("devices", self.devices as u64),
             ("makespan_ns", self.makespan_ns),
             ("total_queue_wait_ns", self.total_queue_wait_ns),
             ("ondemand_h2d_bytes", self.ondemand_h2d_bytes),
@@ -238,6 +248,8 @@ impl ServeReport {
             ("batches", self.batches as u64),
             ("batched_jobs", self.batched_jobs as u64),
             ("sessions_built", self.sessions_built as u64),
+            ("replications", self.replications as u64),
+            ("replicated_bytes", self.replicated_bytes),
             ("batch_occupancy_x100", self.batch_occupancy_x100()),
         ] {
             out.push(',');
@@ -296,6 +308,7 @@ impl ServeReport {
                 None => out.push_str("null"),
             }
             for (k, v) in [
+                ("device", j.device as u64),
                 ("lanes", j.lanes as u64),
                 ("batch_folds", j.batch_folds as u64),
                 ("submit_ns", j.submit_ns),
@@ -361,17 +374,19 @@ impl ServeReport {
     pub fn summary_text(&self) -> String {
         let lb = self.latency_breakdown();
         format!(
-            "serve[{}]: {} jobs ({} batched in {} batches, {} rejected), \
-             {} sessions, makespan {} ns, queue wait {} ns, \
+            "serve[{}]: {} devices, {} jobs ({} batched in {} batches, {} rejected), \
+             {} sessions ({} replicated), makespan {} ns, queue wait {} ns, \
              on-demand H2D {} B, prestore {} B, residency hits {} B\n\
              latency p50/p90/p99 ns: total {}/{}/{}, queue {}/{}/{}, \
              admission {}/{}/{}, h2d {}/{}/{}, compute {}/{}/{}",
             self.policy,
+            self.devices,
             self.jobs.len(),
             self.batched_jobs,
             self.batches,
             self.rejected.len(),
             self.sessions_built,
+            self.replications,
             self.makespan_ns,
             self.total_queue_wait_ns,
             self.ondemand_h2d_bytes,

@@ -23,12 +23,24 @@
 //! duration; a job's queue wait is `start - submit`. Everything is
 //! integer virtual time, so a trace + policy + config determines the
 //! report byte-for-byte regardless of host thread count.
+//!
+//! **Fleet serving** ([`ServeConfig::with_devices`]): N identically
+//! configured devices each carry their own `free_ns` clock and session.
+//! Every decision is taken by the earliest-free device (lowest index on
+//! ties) — skew self-corrects because a device stuck on a long batch
+//! stops winning the argmin. Residency affinity scores candidates against
+//! the deciding device's session, and a cold build checks its peers for a
+//! warm session of the same variant: when the [`Interconnect`] can ship
+//! that donor's static region faster than a host prestore, admission is
+//! charged as the device-to-device replica instead. One device reproduces
+//! the classic scheduler byte-for-byte.
 
 use ascetic_algos::{AlgoOutput, Bfs, Cc, MsBfsDistances, MsSsspDistances, PageRank, Sssp};
 use ascetic_core::{AsceticConfig, AsceticSession, AsceticSystem, OutOfCoreSystem, Prepared};
 use ascetic_graph::Csr;
 use ascetic_obs::{Registry, SpanTracer};
 use ascetic_par::Bitmap;
+use ascetic_sim::{Interconnect, InterconnectConfig};
 
 use crate::job::{AlgoKind, Job};
 use crate::policy::Policy;
@@ -45,16 +57,24 @@ pub struct ServeConfig {
     pub batching: bool,
     /// Max lanes per batch (clamped to the MS-BFS mask width, 64).
     pub max_batch: usize,
+    /// Devices in the fleet (1 = the classic single-device scheduler;
+    /// the default).
+    pub devices: usize,
+    /// Fabric joining the fleet's devices: cold sessions replicate a warm
+    /// peer's static region over it when that beats a host prestore.
+    pub interconnect: InterconnectConfig,
 }
 
 impl ServeConfig {
-    /// Serve `cfg` under `policy` with batching on (64 lanes).
+    /// Serve `cfg` under `policy` with batching on (64 lanes), one device.
     pub fn new(cfg: AsceticConfig, policy: Policy) -> Self {
         ServeConfig {
             cfg,
             policy,
             batching: true,
             max_batch: ascetic_algos::MAX_BATCH_LANES,
+            devices: 1,
+            interconnect: InterconnectConfig::pcie(),
         }
     }
 
@@ -63,6 +83,28 @@ impl ServeConfig {
         self.batching = false;
         self
     }
+
+    /// Spread the schedule across `devices` devices (earliest-free
+    /// routing; ≥1).
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = devices.max(1);
+        self
+    }
+
+    /// Use `ic` as the fleet fabric (NVLink peer links make static-region
+    /// replication much cheaper than host staging).
+    pub fn with_interconnect(mut self, ic: InterconnectConfig) -> Self {
+        self.interconnect = ic;
+        self
+    }
+}
+
+/// One fleet device's scheduler state.
+struct Device<'g> {
+    /// Serve-clock instant the device next goes idle.
+    free_ns: u64,
+    /// The device's live session, if any.
+    session: Option<(Variant, AsceticSession<'g>)>,
 }
 
 /// Why a serve call could not start at all (per-job problems become
@@ -177,10 +219,20 @@ pub fn serve<'g>(
     let mut reg = Registry::new();
     reg.set_label("layer", "serve");
     reg.set_label("policy", sc.policy.name());
-    // Serve-clock span trace: the scheduler's runs plus one lifecycle
+    let devices = sc.devices.max(1);
+    // Serve-clock span trace: one scheduler track per device (named
+    // plain "scheduler" on the classic single device) plus one lifecycle
     // track per job (queued → admitted → running).
     let mut tracer = SpanTracer::new();
-    let sched_track = tracer.track("scheduler");
+    let sched_tracks: Vec<_> = (0..devices)
+        .map(|d| {
+            if devices == 1 {
+                tracer.track("scheduler")
+            } else {
+                tracer.track(&format!("dev{d}/scheduler"))
+            }
+        })
+        .collect();
 
     // --- Admission: prepare each variant once; reject what cannot run. ---
     let mut rejected: Vec<RejectedJob> = Vec::new();
@@ -212,26 +264,42 @@ pub fn serve<'g>(
     pending.sort_by_key(|j| (j.submit_ns, j.id));
 
     // --- The scheduling loop. ---
-    let mut now = 0u64;
-    let mut session: Option<(Variant, AsceticSession<'g>)> = None;
+    let mut devs: Vec<Device<'g>> = (0..devices)
+        .map(|_| Device {
+            free_ns: 0,
+            session: None,
+        })
+        .collect();
+    let mut ic = Interconnect::new(sc.interconnect, devices);
     let mut cost = CostModel::new(unweighted, weighted);
     let mut job_reports: Vec<JobReport> = Vec::new();
     let mut batch_seq = 0u32;
     let mut sessions_built = 0u32;
+    let mut replications = 0u32;
+    let mut replicated_bytes = 0u64;
     let mut batches = 0u32;
     let mut batched_jobs = 0u32;
     let mut ondemand_h2d_bytes = 0u64;
     let mut prestore_bytes = 0u64;
     let mut residency_hit_bytes = 0u64;
+    let mut makespan_ns = 0u64;
 
     while !pending.is_empty() {
+        // Earliest-free device takes the next decision (lowest index on
+        // ties) — the fleet's rebalance-under-skew mechanism: a device
+        // stuck on a long batch simply stops winning this argmin and the
+        // queue drains through its idle peers.
+        let d = (0..devs.len())
+            .min_by_key(|&i| (devs[i].free_ns, i))
+            .expect("at least one device");
+        let now = devs[d].free_ns;
         let arrived_until = {
             let arrived: Vec<usize> = (0..pending.len())
                 .filter(|&i| pending[i].submit_ns <= now)
                 .collect();
             if arrived.is_empty() {
                 // idle device: jump to the next arrival
-                now = pending.iter().map(|j| j.submit_ns).min().unwrap();
+                devs[d].free_ns = pending.iter().map(|j| j.submit_ns).min().unwrap();
                 continue;
             }
             arrived
@@ -254,8 +322,9 @@ pub fn serve<'g>(
                 .min_by_key(|&&i| {
                     let j = &pending[i];
                     let g = states[variant_of(j.kind) as usize].as_ref().unwrap().g;
-                    // highest score wins; ties fall back to FIFO order
-                    (std::cmp::Reverse(score_affinity(j, g, &session)), i)
+                    // highest score against the deciding device's session
+                    // wins; ties fall back to FIFO order
+                    (std::cmp::Reverse(score_affinity(j, g, &devs[d].session)), i)
                 })
                 .unwrap(),
         };
@@ -275,18 +344,35 @@ pub fn serve<'g>(
             batch_idx.sort_unstable(); // canonical lane order: (submit, id)
         }
 
-        // session residency: reuse on a variant match, rebuild otherwise
-        match &session {
+        // session residency: reuse on a variant match, rebuild otherwise.
+        // A rebuild looks for a warm donor of the same variant on another
+        // device first — replicating its static region device-to-device
+        // can be far cheaper than a fresh host prestore.
+        let mut replica_donor: Option<(usize, u64)> = None;
+        match &devs[d].session {
             Some((v, _)) if *v == variant => {}
             _ => {
+                replica_donor = devs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, dev)| {
+                        i != d
+                            && dev
+                                .session
+                                .as_ref()
+                                .is_some_and(|(v, s)| *v == variant && s.runs() > 0)
+                    })
+                    .map(|(i, dev)| (i, dev.session.as_ref().unwrap().1.prestore_wire_bytes()))
+                    .next();
                 // assigning drops the old device state, prestore re-paid
                 let prepared = &states[vi].as_ref().unwrap().prepared;
-                session = Some((variant, AsceticSession::with_prepared(sc.cfg, g, prepared)));
+                devs[d].session =
+                    Some((variant, AsceticSession::with_prepared(sc.cfg, g, prepared)));
                 sessions_built += 1;
                 reg.counter_add("serve.sessions_built", 1);
             }
         }
-        let sess = &mut session.as_mut().unwrap().1;
+        let sess = &mut devs[d].session.as_mut().unwrap().1;
         let warm = sess.runs() > 0;
 
         // the batch's run
@@ -304,19 +390,42 @@ pub fn serve<'g>(
         };
         cost.observe(picked.kind, report.sim_time_ns);
 
-        // clock + serve-level accounting
+        // Clock + serve-level accounting. A cold build with a warm donor
+        // replicates the donor's (possibly encoded) static region over
+        // the interconnect instead of re-paying the host prestore — but
+        // only when the fabric actually wins, probed against the live
+        // link frontiers so concurrent replicas queue honestly.
+        let mut admission_ns = report.prestore_ns;
+        let mut service_ns = report.sim_time_ns;
+        if let Some((src, bytes)) = replica_donor {
+            if report.prestore_ns > 0 && bytes > 0 {
+                let mut probe = ic.clone();
+                let (_, end) = probe.transfer(src, d, bytes, now);
+                let repl_ns = end - now;
+                if repl_ns < report.prestore_ns {
+                    ic = probe;
+                    admission_ns = repl_ns;
+                    service_ns = report.sim_time_ns - report.prestore_ns + repl_ns;
+                    replications += 1;
+                    replicated_bytes += bytes;
+                    reg.counter_add("serve.replications", 1);
+                    reg.counter_add("serve.replicated_bytes", bytes);
+                }
+            }
+        }
         let start = now;
-        let finish = now + report.sim_time_ns;
-        now = finish;
+        let finish = now + service_ns;
+        devs[d].free_ns = finish;
+        makespan_ns = makespan_ns.max(finish);
         tracer
             .complete(
-                sched_track,
+                sched_tracks[d],
                 start,
                 finish,
                 &format!("run {} x{}", picked.kind.name(), batch_idx.len()),
                 "run",
             )
-            .expect("scheduler runs are sequential");
+            .expect("scheduler runs are sequential per device");
         ondemand_h2d_bytes += report.xfer.h2d_bytes;
         prestore_bytes += report.prestore_bytes;
         if warm {
@@ -346,9 +455,9 @@ pub fn serve<'g>(
 
         // per-job reports: each batch member gets the run's RunReport with
         // its own lane as the output. The latency decomposition comes from
-        // the shared run: admission = the (re)build prestore, H2D = link
-        // time on transfers + refreshes, compute = kernel time.
-        let admission_ns = report.prestore_ns;
+        // the shared run: admission = the (re)build prestore (or the
+        // replica transfer), H2D = link time on transfers + refreshes,
+        // compute = kernel time.
         let h2d_ns = report.breakdown.transfer_ns + report.breakdown.update_ns;
         let compute_ns = report.breakdown.gen_map_ns
             + report.breakdown.static_compute_ns
@@ -389,6 +498,7 @@ pub fn serve<'g>(
             job_reports.push(JobReport {
                 id: job.id,
                 algo: job.kind.name(),
+                device: d as u32,
                 batch: batch_id,
                 lanes: batch_idx.len() as u32,
                 batch_folds: batch_idx.len() as u32 - 1,
@@ -415,14 +525,18 @@ pub fn serve<'g>(
     job_reports.sort_by_key(|r| r.id);
     rejected.sort_by_key(|r| r.id);
     reg.counter_add("serve.rejected", rejected.len() as u64);
-    let occupancy = session
+    // device 0's arena at shutdown (the fleet devices are identically
+    // configured, so one is representative)
+    let occupancy = devs[0]
+        .session
         .as_ref()
         .map(|(_, s)| s.occupancy())
         .unwrap_or_default();
     let total_queue_wait_ns = job_reports.iter().map(|r| r.queue_wait_ns).sum();
     Ok(ServeReport {
         policy: sc.policy.name(),
-        makespan_ns: now,
+        devices: devices as u32,
+        makespan_ns,
         total_queue_wait_ns,
         ondemand_h2d_bytes,
         prestore_bytes,
@@ -430,6 +544,8 @@ pub fn serve<'g>(
         batches,
         batched_jobs,
         sessions_built,
+        replications,
+        replicated_bytes,
         occupancy,
         metrics: reg.snapshot(),
         span_trace: Some(tracer.finish().expect("serve spans are complete")),
@@ -751,6 +867,117 @@ mod tests {
         let lb = rep.latency_breakdown();
         assert!(lb.total.p50_ns <= lb.total.p99_ns);
         assert!(lb.total.p99_ns <= rep.makespan_ns);
+    }
+
+    #[test]
+    fn fleet_serve_scales_and_answers_identically() {
+        let (g, w) = graphs();
+        let cfg = cfg_for(&g);
+        let jobs = synthetic_mixed(24, g.num_vertices(), 7, 0, 1);
+        let solo = serve(&ServeConfig::new(cfg, Policy::Fifo), &g, Some(&w), &jobs).unwrap();
+        let mut prev = solo.makespan_ns;
+        for devices in [2, 4] {
+            let sc = ServeConfig::new(cfg, Policy::Fifo)
+                .with_devices(devices)
+                .with_interconnect(InterconnectConfig::nvlink());
+            let rep = serve(&sc, &g, Some(&w), &jobs).unwrap();
+            assert_eq!(rep.devices, devices as u32);
+            assert!(
+                rep.makespan_ns < prev,
+                "{devices} devices ({} ns) must beat fewer ({prev} ns)",
+                rep.makespan_ns
+            );
+            prev = rep.makespan_ns;
+            // answers are device-count-independent
+            assert_eq!(rep.jobs.len(), solo.jobs.len());
+            for (a, b) in rep.jobs.iter().zip(&solo.jobs) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(
+                    output_fingerprint(&a.output),
+                    output_fingerprint(&b.output),
+                    "job {} answer changed at {devices} devices",
+                    a.id
+                );
+            }
+            // more than one device actually served
+            assert!(rep.jobs.iter().any(|j| j.device > 0));
+            assert!(rep.jobs.iter().any(|j| j.device == 0));
+        }
+    }
+
+    #[test]
+    fn one_device_fleet_config_is_the_classic_scheduler() {
+        let (g, w) = graphs();
+        let cfg = cfg_for(&g);
+        let jobs = synthetic_mixed(16, g.num_vertices(), 11, 50_000, 2);
+        for policy in crate::policy::ALL_POLICIES {
+            let classic = serve(&ServeConfig::new(cfg, policy), &g, Some(&w), &jobs).unwrap();
+            let fleet1 = serve(
+                &ServeConfig::new(cfg, policy).with_devices(1),
+                &g,
+                Some(&w),
+                &jobs,
+            )
+            .unwrap();
+            assert_eq!(classic.to_json(), fleet1.to_json(), "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn cold_devices_replicate_from_warm_peers_over_nvlink() {
+        let (g, _) = graphs();
+        let cfg = cfg_for(&g);
+        // a burst of same-variant jobs: device 0 warms up first, then the
+        // other devices' cold builds should ride replicas of its region
+        let jobs: Vec<Job> = (0..8).map(|i| bfs_job(i, i * 131, 0)).collect();
+        let sc = ServeConfig::new(cfg, Policy::Fifo)
+            .without_batching()
+            .with_devices(4)
+            .with_interconnect(InterconnectConfig::nvlink());
+        let rep = serve(&sc, &g, None, &jobs).unwrap();
+        assert!(
+            rep.replications > 0,
+            "cold peers must replicate instead of prestoring"
+        );
+        assert!(rep.replicated_bytes > 0);
+        assert_eq!(
+            rep.metrics.counter("serve.replications"),
+            Some(rep.replications as u64)
+        );
+        // a replicated admission is cheaper than the host prestore it
+        // replaced, so the fleet makespan must beat sequential serving
+        let solo = serve(
+            &ServeConfig::new(cfg, Policy::Fifo).without_batching(),
+            &g,
+            None,
+            &jobs,
+        )
+        .unwrap();
+        assert!(rep.makespan_ns < solo.makespan_ns);
+        for (a, b) in rep.jobs.iter().zip(&solo.jobs) {
+            assert_eq!(output_fingerprint(&a.output), output_fingerprint(&b.output));
+        }
+    }
+
+    #[test]
+    fn fleet_serve_trace_has_per_device_scheduler_tracks() {
+        let (g, _) = graphs();
+        let jobs: Vec<Job> = (0..6).map(|i| bfs_job(i, i * 53, 0)).collect();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo)
+            .without_batching()
+            .with_devices(2);
+        let rep = serve(&sc, &g, None, &jobs).unwrap();
+        let trace = rep.span_trace.as_ref().expect("serve always traces");
+        for d in 0..2 {
+            let t = trace
+                .track_index(&format!("dev{d}/scheduler"))
+                .unwrap_or_else(|| panic!("dev{d} scheduler track"));
+            assert!(trace.track_spans(t).count() > 0, "device {d} served");
+        }
+        assert!(
+            trace.track_index("scheduler").is_none(),
+            "fleet traces use per-device scheduler names"
+        );
     }
 
     #[test]

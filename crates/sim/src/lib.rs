@@ -20,6 +20,9 @@
 //!   spans with independent ready-times.
 //! * [`gpu`] — ties the above together: `h2d`/`d2h` transfers that copy real
 //!   words and charge the link, kernels that charge the compute model.
+//! * [`interconnect`] — the N-device fabric: per-device PCIe links behind
+//!   a shared root complex, plus optional NVLink-class peer links, for the
+//!   fleet execution layer.
 //! * [`uvm`] — Unified Virtual Memory emulation: demand paging over host
 //!   data, LRU residency, fault/migration accounting (the UVM baseline).
 //! * [`trace`] — chunk-access tracer used to regenerate Figure 2.
@@ -31,6 +34,7 @@
 
 pub mod device;
 pub mod gpu;
+pub mod interconnect;
 pub mod memory;
 pub mod metrics;
 pub mod time;
@@ -40,6 +44,7 @@ pub mod uvm;
 
 pub use device::{DecompressModel, DeviceConfig, GatherModel, KernelModel, PcieModel, UvmModel};
 pub use gpu::Gpu;
+pub use interconnect::{Interconnect, InterconnectConfig, InterconnectStats, LinkModel};
 pub use memory::{ArenaOccupancy, DevPtr, DeviceMemory, OutOfDeviceMemory};
 pub use metrics::{KernelStats, XferStats};
 pub use time::SimTime;

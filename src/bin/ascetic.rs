@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use ascetic::algos::{Bfs, Cc, Closeness, KCore, MsBfs, PageRank, Sssp};
 use ascetic::baselines::{AnySystem, PtSystem, SubwaySystem, UvmSystem};
 use ascetic::core::{
-    AsceticConfig, AsceticSystem, CompressionMode, FillPolicy, OutOfCoreSystem, PrefetchMode,
-    RunReport,
+    run_fleet, AsceticConfig, AsceticSystem, CompressionMode, FillPolicy, FleetConfig,
+    FleetRunReport, OutOfCoreSystem, PrefetchMode, RunReport,
 };
 use ascetic::graph::datasets::{weighted_variant, Dataset, DatasetId};
 use ascetic::graph::generators::{
@@ -70,6 +70,9 @@ USAGE:
                    [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
                    [--chunk BYTES] [--no-adaptive] [--compression off|always|adaptive]
                    [--prefetch off|next-frontier|hotness]
+                   [--devices N] [--fabric pcie|nvlink] (N>1: shard across an
+                    N-device fleet — ascetic system only; outputs stay
+                    byte-identical to one device)
                    [--iter-csv FILE] [--trace FILE.json]
                    [--trace-out FILE.json|FILE.jsonl] (hierarchical span trace:
                     .json is Chrome/Perfetto format for ui.perfetto.dev,
@@ -82,6 +85,8 @@ USAGE:
                     and reused by every algorithm — paper §4.3)
   ascetic serve GRAPH (--trace FILE.jsonl | --synthetic N [--seed S] [--spacing-ns T])
                    [--policy fifo|sjf|residency] [--no-batching]
+                   [--devices N] [--fabric pcie|nvlink] (route jobs across an
+                    N-device fleet with static-region replication)
                    [--mem BYTES | --mem-frac F] [--summary text|json]
                    [--trace-out FILE.json|FILE.jsonl] (per-job lifecycle spans)
                    (multi-query serving: admission control, shared-residency
@@ -570,6 +575,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
+    let devices: usize = o.parse("devices")?.unwrap_or(1);
+    if devices > 1 {
+        if system != "ascetic" {
+            return Err(format!(
+                "--devices {devices} shards the ascetic system; --system {system} is single-device"
+            ));
+        }
+        return cmd_run_fleet(&o, &g, &algo, devices);
+    }
     let rep = run_system(&o, &system, &g, &algo)?;
     match o.get("summary").unwrap_or("text") {
         "text" => print_report(&rep, &g),
@@ -612,6 +626,83 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `--fabric pcie|nvlink` → a [`FleetConfig`] over N devices.
+fn fleet_config(o: &Opts, devices: usize) -> Result<FleetConfig, String> {
+    match o.get("fabric").unwrap_or("pcie") {
+        "pcie" => Ok(FleetConfig::pcie(devices)),
+        "nvlink" => Ok(FleetConfig::nvlink(devices)),
+        other => Err(format!("unknown --fabric {other} (pcie|nvlink)")),
+    }
+}
+
+/// The `--devices N` (N>1) path of `ascetic run`: shard the graph across
+/// an N-device fleet and run with cross-device frontier exchange. The
+/// answer is byte-identical to the single-device run; only the timing
+/// model changes.
+fn cmd_run_fleet(o: &Opts, g: &Csr, algo: &str, devices: usize) -> Result<(), String> {
+    let dev = device_from(o, g)?;
+    let tracing = o.get("trace-out").is_some();
+    let cfg = ascetic_config(o, dev)?.with_tracing(tracing);
+    let fleet = fleet_config(o, devices)?;
+    let fabric = o.get("fabric").unwrap_or("pcie").to_string();
+    let source: u32 = o.parse("source")?.unwrap_or(0);
+    let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
+    let rep = match algo {
+        "bfs" => run_fleet(cfg, fleet, g, &Bfs::new(source)),
+        "sssp" => {
+            if g.is_weighted() {
+                run_fleet(cfg, fleet, g, &Sssp::new(source))
+            } else {
+                let wg = weighted_variant(g);
+                run_fleet(cfg, fleet, &wg, &Sssp::new(source))
+            }
+        }
+        "cc" => run_fleet(cfg, fleet, g, &Cc::new()),
+        "pr" => run_fleet(cfg, fleet, g, &PageRank::new()),
+        "kcore" => run_fleet(cfg, fleet, g, &KCore::new(kk)),
+        "msbfs" => run_fleet(cfg, fleet, g, &MsBfs::new(sample_sources(g, 64))),
+        "closeness" => run_fleet(cfg, fleet, g, &Closeness::new(sample_sources(g, 16))),
+        other => return Err(format!("unknown --algo {other}")),
+    };
+    print_fleet_report(&rep, &fabric);
+    if let Some(path) = o.get("trace-out") {
+        match &rep.span_trace {
+            Some(trace) => write_span_trace(trace, path)?,
+            None => eprintln!("note: fleet ran without span tracing"),
+        }
+    }
+    Ok(())
+}
+
+fn print_fleet_report(r: &FleetRunReport, fabric: &str) {
+    println!(
+        "system:            Ascetic fleet ({} devices, {fabric} fabric)",
+        r.devices
+    );
+    println!("iterations:        {}", r.iterations);
+    println!("makespan:          {:>8.2} ms", r.makespan_ns as f64 / 1e6);
+    println!(
+        "frontier exchange: {:>8.2} MB ({} peer / {} staged transfers, {:.2} MB over the wire)",
+        r.exchange_bytes as f64 / 1e6,
+        r.interconnect.peer_transfers,
+        r.interconnect.staged_transfers,
+        r.interconnect.total_bytes() as f64 / 1e6
+    );
+    println!(
+        "\n{:<8} {:>10} {:>11} {:>12}",
+        "device", "time", "prestore", "steady xfer"
+    );
+    for (i, d) in r.per_device.iter().enumerate() {
+        println!(
+            "{:<8} {:>8.2}ms {:>9.2}MB {:>10.2}MB",
+            format!("dev{i}"),
+            d.sim_time_ns as f64 / 1e6,
+            d.prestore_bytes as f64 / 1e6,
+            d.steady_bytes() as f64 / 1e6
+        );
+    }
 }
 
 fn cmd_pipeline(args: &[String]) -> Result<(), String> {
@@ -697,6 +788,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut sc = ServeConfig::new(cfg, policy);
     if o.has("no-batching") {
         sc = sc.without_batching();
+    }
+    if let Some(n) = o.parse::<usize>("devices")? {
+        sc = sc.with_devices(n);
+        let ic = match o.get("fabric").unwrap_or("pcie") {
+            "pcie" => ascetic::sim::InterconnectConfig::pcie(),
+            "nvlink" => ascetic::sim::InterconnectConfig::nvlink(),
+            other => return Err(format!("unknown --fabric {other} (pcie|nvlink)")),
+        };
+        sc = sc.with_interconnect(ic);
     }
     let weighted = jobs
         .iter()

@@ -323,6 +323,80 @@ fn span_traces_are_byte_identical_across_thread_counts() {
     set_num_threads(0);
 }
 
+/// Tentpole of the fleet PR: sharded multi-device execution is a pure
+/// timing model. Every algorithm's answer must be byte-identical across
+/// fleet sizes {1, 2, 4}, and the whole fleet report — answer, makespan,
+/// exchange volume, per-device reports, and the merged per-device span
+/// trace — must be byte-identical across host thread counts {1, 8}.
+#[test]
+fn fleet_runs_are_bit_identical_across_devices_and_threads() {
+    use ascetic::core::{run_fleet, FleetConfig, FleetRunReport, RUN_REPORT_SCHEMA_VERSION};
+
+    let ds = Dataset::build(DatasetId::Fk, SCALE);
+    let g = ds.graph.clone();
+    let wg = ds.weighted();
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    let cfg = AsceticConfig::new(dev)
+        .with_chunk_bytes(1024)
+        .with_tracing(true);
+
+    let run_suite = |threads: usize| -> Vec<FleetRunReport> {
+        set_num_threads(threads);
+        let mut reports = Vec::new();
+        for devices in [1usize, 2, 4] {
+            let fc = FleetConfig::nvlink(devices);
+            reports.push(run_fleet(cfg, fc, &g, &Bfs::new(0)));
+            reports.push(run_fleet(cfg, fc, &g, &Cc::new()));
+            reports.push(run_fleet(cfg, fc, &g, &PageRank::new()));
+            reports.push(run_fleet(cfg, fc, &wg, &Sssp::new(0)));
+        }
+        reports
+    };
+
+    let base = run_suite(1);
+    // sharding may not change any answer: every device count agrees with
+    // the single-device run, algorithm by algorithm
+    for chunk in base.chunks(4).skip(1) {
+        for (single, fleet) in base[..4].iter().zip(chunk) {
+            assert_eq!(
+                single.output, fleet.output,
+                "{} devices changed an answer",
+                fleet.devices
+            );
+        }
+    }
+    let trace_bytes = |r: &FleetRunReport| -> String {
+        let t = r.span_trace.as_ref().expect("fleet ran with tracing");
+        assert!(!t.spans().is_empty());
+        format!(
+            "{}\n{}",
+            t.to_perfetto_json(RUN_REPORT_SCHEMA_VERSION),
+            t.to_jsonl(RUN_REPORT_SCHEMA_VERSION)
+        )
+    };
+    let sweep = run_suite(8);
+    for (a, b) in base.iter().zip(&sweep) {
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.output, b.output, "outputs depend on host threads");
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(
+            a.makespan_ns, b.makespan_ns,
+            "makespan depends on host threads"
+        );
+        assert_eq!(a.exchange_bytes, b.exchange_bytes);
+        for (ad, bd) in a.per_device.iter().zip(&b.per_device) {
+            assert_identical(ad, bd);
+        }
+        assert_eq!(
+            trace_bytes(a),
+            trace_bytes(b),
+            "fleet trace bytes must not depend on host threads ({} devices)",
+            a.devices
+        );
+    }
+    set_num_threads(0);
+}
+
 #[test]
 fn dataset_builds_are_reproducible() {
     let a = Dataset::build(DatasetId::Gs, SCALE);
