@@ -96,6 +96,53 @@ impl VertexProgram for Bfs {
                 .collect(),
         )
     }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    /// Pull candidates: the still-unreached vertices. A push iteration can
+    /// only ever improve `INF` vertices (level-synchronous proposals are
+    /// `level + 1`, and every reached vertex already sits at or below
+    /// that), so restricting the gather to them is exact.
+    fn pull_targets(&self, g: &Csr, _active: &Bitmap, state: &BfsState) -> Bitmap {
+        let mut b = Bitmap::new(g.num_vertices());
+        for (v, d) in state.dist.iter().enumerate() {
+            if d.load(Ordering::Relaxed) == INF_DIST {
+                b.set(v);
+            }
+        }
+        b
+    }
+
+    /// Gather `min(frozen[parent] + 1)` over *all* active in-neighbors.
+    ///
+    /// No first-hit early exit: frontier vertices may carry mixed frozen
+    /// distances (fleet exchange can activate a vertex a level "late"), and
+    /// only the full min commutes with the push formulation's per-edge
+    /// atomic mins — which is also what keeps the scanned-edge count, and
+    /// therefore the simulated kernel time, thread-independent.
+    #[inline]
+    fn pull_vertex(
+        &self,
+        v: VertexId,
+        in_edges: EdgeSlice<'_>,
+        active: &Bitmap,
+        state: &BfsState,
+        next: &AtomicBitmap,
+    ) -> u64 {
+        let mut best = INF_DIST;
+        for (u, _w) in in_edges.iter() {
+            if active.get(u as usize) {
+                let nd = state.frozen[u as usize].load(Ordering::Relaxed) + 1;
+                best = best.min(nd);
+            }
+        }
+        if best != INF_DIST && atomic_min_u32(&state.dist[v as usize], best) {
+            next.set(v as usize);
+        }
+        in_edges.len() as u64
+    }
 }
 
 #[cfg(test)]

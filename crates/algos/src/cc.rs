@@ -90,6 +90,53 @@ impl VertexProgram for Cc {
                 .collect(),
         )
     }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    /// Pull candidates: every vertex whose label can still shrink. Label 0
+    /// is the global floor, so vertices already there are exact to skip.
+    fn pull_targets(&self, g: &Csr, _active: &Bitmap, state: &CcState) -> Bitmap {
+        let mut b = Bitmap::new(g.num_vertices());
+        for (v, l) in state.label.iter().enumerate() {
+            if l.load(Ordering::Relaxed) > 0 {
+                b.set(v);
+            }
+        }
+        b
+    }
+
+    /// Gather the min frozen label over active in-neighbors. Early exit
+    /// when the running min reaches 0 is exact (nothing beats the floor)
+    /// and deterministic: the stop position depends only on the row's
+    /// contents, never on thread interleaving.
+    #[inline]
+    fn pull_vertex(
+        &self,
+        v: VertexId,
+        in_edges: EdgeSlice<'_>,
+        active: &Bitmap,
+        state: &CcState,
+        next: &AtomicBitmap,
+    ) -> u64 {
+        let mut best = u32::MAX;
+        let mut scanned = 0u64;
+        for (u, _w) in in_edges.iter() {
+            scanned += 1;
+            if active.get(u as usize) {
+                let l = state.frozen[u as usize].load(Ordering::Relaxed);
+                best = best.min(l);
+                if best == 0 {
+                    break;
+                }
+            }
+        }
+        if best != u32::MAX && atomic_min_u32(&state.label[v as usize], best) {
+            next.set(v as usize);
+        }
+        scanned
+    }
 }
 
 #[cfg(test)]

@@ -41,4 +41,4 @@ pub use kcore::KCore;
 pub use msbfs::MsBfs;
 pub use pr::PageRank;
 pub use sssp::Sssp;
-pub use traits::{AlgoOutput, EdgeSlice, VertexProgram};
+pub use traits::{AlgoOutput, EdgeSlice, TraversalDirection, VertexProgram};

@@ -168,6 +168,52 @@ impl VertexProgram for PageRank {
     fn max_iterations(&self) -> u32 {
         self.max_iters
     }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    /// PR's gather is the textbook pull formulation: every vertex may
+    /// receive mass from an active in-neighbor, so the candidate set is all
+    /// of `V`. (That makes pull demand ≈ |E| — the session's density
+    /// heuristic only picks it when the push frontier is at least that
+    /// expensive.)
+    fn pull_targets(&self, g: &Csr, _active: &Bitmap, _state: &PrState) -> Bitmap {
+        Bitmap::ones(g.num_vertices())
+    }
+
+    /// Sum the fixed-point contributions of active in-neighbors and apply
+    /// them in one atomic add. Integer adds commute, so the result and the
+    /// threshold-crossing activation are bit-identical to the push
+    /// scatter's per-edge adds.
+    #[inline]
+    fn pull_vertex(
+        &self,
+        v: VertexId,
+        in_edges: EdgeSlice<'_>,
+        active: &Bitmap,
+        state: &PrState,
+        next: &AtomicBitmap,
+    ) -> u64 {
+        let mut total = 0u64;
+        for (u, _w) in in_edges.iter() {
+            if active.get(u as usize) {
+                let deg = state.degree[u as usize] as u64;
+                if deg == 0 {
+                    continue; // dangling: mass already retired at claim time
+                }
+                let claimed = state.claimed[u as usize].load(Ordering::Relaxed);
+                total += ((claimed as u128 * state.damping_fx as u128) >> 40) as u64 / deg;
+            }
+        }
+        if total > 0 {
+            let old = state.residual[v as usize].fetch_add(total, Ordering::Relaxed);
+            if old < state.eps_fx && old + total >= state.eps_fx {
+                next.set(v as usize);
+            }
+        }
+        in_edges.len() as u64
+    }
 }
 
 #[cfg(test)]

@@ -248,6 +248,62 @@ impl AlgoOutput {
             _ => Some(0),
         }
     }
+
+    /// FNV-1a over the output's canonical little-endian bytes: a compact,
+    /// deterministic fingerprint for byte-identity oracles (across serve
+    /// policies, traversal directions, thread and device counts).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        match self {
+            AlgoOutput::Distances(v) | AlgoOutput::Labels(v) => {
+                eat(&[1u8]);
+                for x in v {
+                    eat(&x.to_le_bytes());
+                }
+            }
+            AlgoOutput::Ranks(v) => {
+                eat(&[2u8]);
+                for x in v {
+                    eat(&x.to_bits().to_le_bytes());
+                }
+            }
+            AlgoOutput::MultiDistances(vs) => {
+                eat(&[3u8]);
+                for v in vs {
+                    eat(&(v.len() as u64).to_le_bytes());
+                    for x in v {
+                        eat(&x.to_le_bytes());
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Which orientation an iteration traverses edges in.
+///
+/// * **Push** — the classic mode: scan *active* vertices' out-edges and
+///   scatter updates to their targets (CSR rows).
+/// * **Pull** — direction-optimizing mode: scan candidate *target*
+///   vertices' in-edges (CSC rows of the transposed graph) and gather from
+///   active parents. Profitable when the frontier is dense, because the
+///   pull demand is bounded by the in-degree of the *unconverged* vertices
+///   rather than the out-degree of the whole frontier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraversalDirection {
+    /// Scatter over active vertices' out-edges.
+    Push,
+    /// Gather over candidate vertices' in-edges.
+    Pull,
 }
 
 /// A push-based vertex program.
@@ -293,6 +349,45 @@ pub trait VertexProgram: Sync {
     /// Safety valve for non-converging configurations.
     fn max_iterations(&self) -> u32 {
         10_000
+    }
+
+    /// Whether the program has an exact pull-mode implementation
+    /// ([`VertexProgram::pull_targets`] / [`VertexProgram::pull_vertex`]).
+    /// Push-only programs (SSSP's relaxations, k-core's peeling,
+    /// closeness's lane bitsets) leave this `false` and are never asked to
+    /// pull.
+    fn supports_pull(&self) -> bool {
+        false
+    }
+
+    /// The set of vertices whose in-edge rows a pull iteration must scan,
+    /// given the frozen `active` frontier. BFS/CC pull over the still
+    /// unconverged vertices; PR's gather touches every vertex. Only called
+    /// when [`VertexProgram::supports_pull`] is true.
+    fn pull_targets(&self, g: &Csr, active: &Bitmap, state: &Self::State) -> Bitmap {
+        let _ = (g, active, state);
+        unimplemented!("program does not support pull traversal")
+    }
+
+    /// Process target vertex `v`'s in-edges (sources of edges pointing at
+    /// `v`), gathering from parents that are set in the frozen `active`
+    /// bitmap, updating `state` and activating `v` in `next` exactly as the
+    /// push formulation would. Returns the number of in-edges actually
+    /// scanned (early-exit may stop before the row ends), which the session
+    /// charges to the pull kernel's cost model. Must be correct under
+    /// partial, repeated delivery of a row, like
+    /// [`VertexProgram::process_vertex`]. Only called when
+    /// [`VertexProgram::supports_pull`] is true.
+    fn pull_vertex(
+        &self,
+        v: VertexId,
+        in_edges: EdgeSlice<'_>,
+        active: &Bitmap,
+        state: &Self::State,
+        next: &AtomicBitmap,
+    ) -> u64 {
+        let _ = (v, in_edges, active, state, next);
+        unimplemented!("program does not support pull traversal")
     }
 
     /// Wire bytes a fleet must ship per remote frontier vertex at an

@@ -178,6 +178,7 @@ impl OutOfCoreSystem for PtSystem {
                 payload_bytes: payload,
                 time_ns: iter_end.since(iter_start),
                 static_edges: 0,
+                pull: false,
             });
             iter_windows.push((iter_start.0, iter_end.0));
             active = next.snapshot();

@@ -1,0 +1,63 @@
+//! Benchmarks of `Bitmap::iter_ones` across the density regimes the
+//! session walks every iteration: near-empty frontiers (a few set bits
+//! among millions — the zero-word skip's home turf), clustered frontiers
+//! (set bits packed into a few words), and dense frontiers where every
+//! word carries payload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use ascetic_par::Bitmap;
+
+const N: usize = 1 << 20;
+
+fn sparse_scattered(stride: usize) -> Bitmap {
+    let mut b = Bitmap::new(N);
+    let mut i = 0;
+    while i < N {
+        b.set(i);
+        i += stride;
+    }
+    b
+}
+
+fn clustered(run: usize, period: usize) -> Bitmap {
+    let mut b = Bitmap::new(N);
+    let mut i = 0;
+    while i < N {
+        for j in i..(i + run).min(N) {
+            b.set(j);
+        }
+        i += period;
+    }
+    b
+}
+
+fn iter_ones_benches(c: &mut Criterion) {
+    let cases: [(&str, Bitmap); 4] = [
+        // 16 set bits in a 1M-bit map: virtually every word is zero
+        ("sparse_1_in_64k", sparse_scattered(N / 16)),
+        // one bit per 8 words: skip still dominates
+        ("sparse_1_in_512", sparse_scattered(512)),
+        // 64-bit runs every 4096 bits: zero gaps between dense islands
+        ("clustered_64_per_4096", clustered(64, 4096)),
+        // every other bit: no zero words at all (skip must not slow this)
+        ("dense_alternating", sparse_scattered(2)),
+    ];
+    let mut grp = c.benchmark_group("bitmap_iter_ones");
+    grp.throughput(Throughput::Elements(N as u64));
+    for (name, b) in &cases {
+        grp.bench_function(*name, |bench| {
+            bench.iter(|| {
+                let mut acc = 0usize;
+                for i in b.iter_ones() {
+                    acc = acc.wrapping_add(i);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, iter_ones_benches);
+criterion_main!(benches);

@@ -1,0 +1,279 @@
+//! Direction sweep — push vs pull vs density-adaptive traversal over the
+//! chunked CSC mirror.
+//!
+//! Runs Ascetic under `DirectionMode::{Push, Pull, Adaptive}` over the
+//! pull-capable algorithms (BFS, CC, PR — SSSP is push-only and would be
+//! rejected) × the full dataset grid, with the on-demand compression chain
+//! both off and adaptive. The acceptance invariants of the direction
+//! machinery are checked here:
+//!
+//! * every direction produces byte-identical outputs (`first_mismatch`
+//!   with zero tolerance) — direction is a data-movement decision, never
+//!   an answer change;
+//! * `adaptive` never ships more steady-state wire bytes than push-only,
+//!   and strictly fewer on BFS (the dense mid-phase is where pull wins);
+//! * `adaptive` never increases the simulated total time of any cell.
+//!
+//! Output: markdown on stdout, `direction.csv` under `$ASCETIC_RESULTS`,
+//! and `BENCH_direction.json` recording the per-cell wire/time deltas and
+//! pull-iteration counts. Pass `--smoke` for the fast CI variant (asserts
+//! downgraded to warnings at toy scale).
+
+use ascetic_bench::fmt::Table;
+use ascetic_bench::output::emit;
+use ascetic_bench::run::{run_grid, Cell, Sys};
+use ascetic_bench::setup::{Algo, Env};
+use ascetic_core::{CompressionMode, DirectionMode, RunReport};
+use ascetic_graph::datasets::DatasetId;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const MODES: [(DirectionMode, &str); 3] = [
+    (DirectionMode::Push, "push"),
+    (DirectionMode::Pull, "pull"),
+    (DirectionMode::Adaptive, "adaptive"),
+];
+
+const COMPS: [(CompressionMode, &str); 2] = [
+    (CompressionMode::Off, "off"),
+    (CompressionMode::Adaptive, "adaptive"),
+];
+
+/// The algorithms with a pull implementation; forcing `--direction pull`
+/// on anything else is a configuration error by design.
+const PULL_ALGOS: [Algo; 3] = [Algo::Bfs, Algo::Cc, Algo::Pr];
+
+fn pull_iters(r: &RunReport) -> usize {
+    r.per_iter.iter().filter(|i| i.pull).count()
+}
+
+fn mode_grid(scale: u64, dir: DirectionMode, comp: CompressionMode) -> Vec<Cell> {
+    let env = Env::with_scale(scale)
+        .with_direction(dir)
+        .with_compression(comp);
+    run_grid(&env, &PULL_ALGOS, &DatasetId::ALL, &[Sys::Ascetic])
+}
+
+/// `grids[comp][mode]`, in `COMPS` × `MODES` order.
+fn json_report(smoke: bool, scale: u64, grids: &[Vec<Vec<Cell>>]) -> String {
+    let mut j = ascetic_bench::output::json_header("direction", smoke);
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"cells\": [");
+    let mut push_wire_total = 0u64;
+    let mut adaptive_wire_total = 0u64;
+    let mut regressed = 0usize;
+    let cells = grids[0][0].len();
+    let mode_obj = |r: &RunReport| {
+        format!(
+            "{{\"sim_ns\": {}, \"steady_wire_bytes\": {}, \"h2d_wire_bytes\": {}, \
+             \"pull_iterations\": {}}}",
+            r.sim_time_ns,
+            r.steady_wire_bytes(),
+            r.xfer.h2d_wire_bytes,
+            pull_iters(r)
+        )
+    };
+    for (ci, &(_, comp_name)) in COMPS.iter().enumerate() {
+        for (i, cell) in grids[ci][0].iter().enumerate() {
+            let (p, f, a) = (
+                &cell.reports[0],
+                &grids[ci][1][i].reports[0],
+                &grids[ci][2][i].reports[0],
+            );
+            push_wire_total += p.steady_wire_bytes();
+            adaptive_wire_total += a.steady_wire_bytes();
+            if a.sim_time_ns > p.sim_time_ns {
+                regressed += 1;
+            }
+            let comma = if ci + 1 < COMPS.len() || i + 1 < cells {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                j,
+                "    {{\"algo\": \"{}\", \"dataset\": \"{}\", \"compression\": \"{}\", \
+                 \"push\": {}, \"pull\": {}, \"adaptive\": {}, \
+                 \"wire_saved_bytes\": {}, \"time_delta_ns\": {}}}{}",
+                cell.algo.name(),
+                cell.dataset.abbr(),
+                comp_name,
+                mode_obj(p),
+                mode_obj(f),
+                mode_obj(a),
+                p.steady_wire_bytes() as i64 - a.steady_wire_bytes() as i64,
+                a.sim_time_ns as i64 - p.sim_time_ns as i64,
+                comma
+            );
+        }
+    }
+    let saved_pct = 100.0 * (push_wire_total as f64 - adaptive_wire_total as f64)
+        / push_wire_total.max(1) as f64;
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"totals\": {{");
+    let _ = writeln!(j, "    \"push_wire_bytes\": {push_wire_total},");
+    let _ = writeln!(j, "    \"adaptive_wire_bytes\": {adaptive_wire_total},");
+    let _ = writeln!(j, "    \"wire_saved_pct\": {saved_pct:.2},");
+    let _ = writeln!(j, "    \"cells_time_regressed\": {regressed}");
+    let _ = writeln!(j, "  }}");
+    j.push('}');
+    j.push('\n');
+    j
+}
+
+fn output_path() -> PathBuf {
+    match std::env::var("ASCETIC_RESULTS") {
+        Ok(dir) if !dir.is_empty() => {
+            std::fs::create_dir_all(&dir).expect("create $ASCETIC_RESULTS dir");
+            PathBuf::from(dir).join("BENCH_direction.json")
+        }
+        _ => PathBuf::from("BENCH_direction.json"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 50_000 } else { Env::from_env().scale };
+    eprintln!("Direction sweep (scale 1/{scale})");
+
+    // grids[comp][mode]
+    let grids: Vec<Vec<Vec<Cell>>> = COMPS
+        .iter()
+        .map(|&(comp, comp_name)| {
+            MODES
+                .iter()
+                .map(|&(dir, dir_name)| {
+                    eprintln!("direction: {dir_name}, compression: {comp_name}");
+                    mode_grid(scale, dir, comp)
+                })
+                .collect()
+        })
+        .collect();
+
+    // the direction decision must be invisible to the algorithms: every
+    // mode × compression combination answers exactly like push/off
+    let baseline = &grids[0][0];
+    for comp_grids in &grids {
+        for grid in comp_grids {
+            for (a, b) in baseline.iter().zip(grid.iter()) {
+                assert!(
+                    a.reports[0]
+                        .output
+                        .first_mismatch(&b.reports[0].output, 0.0)
+                        .is_none(),
+                    "direction changed the answer on {} / {}",
+                    a.algo.name(),
+                    a.dataset.abbr()
+                );
+            }
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "Algo",
+        "Dataset",
+        "Compression",
+        "Wire (push)",
+        "Wire (adaptive)",
+        "Saved",
+        "Pull iters",
+        "Time delta",
+    ]);
+    let mut csv = Table::new(vec![
+        "direction",
+        "compression",
+        "algo",
+        "dataset",
+        "sim_ns",
+        "steady_wire_bytes",
+        "h2d_wire_bytes",
+        "pull_iterations",
+    ]);
+    for (ci, comp_grids) in grids.iter().enumerate() {
+        for (mi, grid) in comp_grids.iter().enumerate() {
+            for c in grid {
+                let r = &c.reports[0];
+                csv.row(vec![
+                    MODES[mi].1.to_string(),
+                    COMPS[ci].1.to_string(),
+                    c.algo.name().to_string(),
+                    c.dataset.abbr().to_string(),
+                    r.sim_time_ns.to_string(),
+                    r.steady_wire_bytes().to_string(),
+                    r.xfer.h2d_wire_bytes.to_string(),
+                    pull_iters(r).to_string(),
+                ]);
+            }
+        }
+    }
+    let mut slow = Vec::new();
+    let mut not_reduced = Vec::new();
+    for (ci, &(_, comp_name)) in COMPS.iter().enumerate() {
+        for (pc, ac) in grids[ci][0].iter().zip(grids[ci][2].iter()) {
+            let p = &pc.reports[0];
+            let a = &ac.reports[0];
+            let saved = p.steady_wire_bytes() as i64 - a.steady_wire_bytes() as i64;
+            let dt = a.sim_time_ns as i64 - p.sim_time_ns as i64;
+            table.row(vec![
+                pc.algo.name().to_string(),
+                pc.dataset.abbr().to_string(),
+                comp_name.to_string(),
+                format!("{:.1} KiB", p.steady_wire_bytes() as f64 / 1024.0),
+                format!("{:.1} KiB", a.steady_wire_bytes() as f64 / 1024.0),
+                format!(
+                    "{:.1}%",
+                    100.0 * saved as f64 / p.steady_wire_bytes().max(1) as f64
+                ),
+                pull_iters(a).to_string(),
+                format!("{:+.2}%", 100.0 * dt as f64 / p.sim_time_ns.max(1) as f64),
+            ]);
+            let tag = format!("{}/{}/{}", pc.algo.name(), pc.dataset.abbr(), comp_name);
+            if dt > 0 {
+                slow.push(tag.clone());
+            }
+            // strict reduction only where push shipped anything at all —
+            // a fully-resident graph has nothing for pull to save
+            if saved < 0 || (pc.algo == Algo::Bfs && p.steady_wire_bytes() > 0 && saved <= 0) {
+                not_reduced.push(tag);
+            }
+        }
+    }
+    emit("direction", &table, &csv);
+
+    let json = json_report(smoke, scale, &grids);
+    let path = output_path();
+    std::fs::write(&path, &json).expect("write BENCH_direction.json");
+    println!("wrote {}", path.display());
+
+    let push_wire: u64 = grids
+        .iter()
+        .flat_map(|cg| cg[0].iter())
+        .map(|c| c.reports[0].steady_wire_bytes())
+        .sum();
+    let adaptive_wire: u64 = grids
+        .iter()
+        .flat_map(|cg| cg[2].iter())
+        .map(|c| c.reports[0].steady_wire_bytes())
+        .sum();
+    let saved_pct = 100.0 * (push_wire as f64 - adaptive_wire as f64) / push_wire.max(1) as f64;
+    println!("adaptive ships {saved_pct:.1}% fewer steady-state wire bytes than push-only");
+    if smoke {
+        // toy scale: pull may never win, so only warn
+        if !not_reduced.is_empty() {
+            eprintln!(
+                "warning: adaptive did not reduce wire bytes on: {}",
+                not_reduced.join(", ")
+            );
+        }
+        if !slow.is_empty() {
+            eprintln!("warning: adaptive slowed down: {}", slow.join(", "));
+        }
+    } else {
+        assert!(
+            not_reduced.is_empty(),
+            "adaptive must not ship more wire bytes than push (strictly fewer on BFS): {}",
+            not_reduced.join(", ")
+        );
+        assert!(slow.is_empty(), "adaptive slowed down: {}", slow.join(", "));
+    }
+}

@@ -9,7 +9,7 @@
 //! of magnitude of the paper's Figure 2 chunking.
 
 use ascetic_baselines::{AnySystem, PtSystem, SubwaySystem, UvmSystem};
-use ascetic_core::{AsceticConfig, AsceticSystem, CompressionMode, PrefetchMode};
+use ascetic_core::{AsceticConfig, AsceticSystem, CompressionMode, DirectionMode, PrefetchMode};
 use ascetic_graph::datasets::{Dataset, DatasetId, PAPER_GPU_MEM_BYTES};
 use ascetic_graph::{Csr, VertexId};
 use ascetic_sim::DeviceConfig;
@@ -60,6 +60,8 @@ pub struct Env {
     pub compression: CompressionMode,
     /// Cross-iteration prefetch mode (Ascetic only).
     pub prefetch: PrefetchMode,
+    /// Traversal direction policy (Ascetic only).
+    pub direction: DirectionMode,
     /// Span-trace output directory (`ASCETIC_TRACE`). When set, every
     /// system the environment constructs records hierarchical spans, and
     /// [`Env::maybe_write_trace`] dumps one Perfetto `.json` per run.
@@ -81,7 +83,9 @@ impl Env {
     /// the `ASCETIC_COMPRESSION`-selected transfer mode
     /// (`off`/`always`/`adaptive`; default off) and the
     /// `ASCETIC_PREFETCH`-selected prefetch mode
-    /// (`off`/`next-frontier`/`hotness`; default off). `ASCETIC_TRACE=DIR`
+    /// (`off`/`next-frontier`/`hotness`; default off), the
+    /// `ASCETIC_DIRECTION`-selected traversal-direction policy
+    /// (`push`/`pull`/`adaptive`; default push). `ASCETIC_TRACE=DIR`
     /// additionally records span traces on every constructed system and
     /// routes per-run Perfetto dumps into `DIR`.
     pub fn from_env() -> Env {
@@ -97,11 +101,16 @@ impl Env {
             .ok()
             .and_then(|s| PrefetchMode::parse(&s))
             .unwrap_or(PrefetchMode::Off);
+        let direction = std::env::var("ASCETIC_DIRECTION")
+            .ok()
+            .and_then(|s| DirectionMode::parse(&s))
+            .unwrap_or(DirectionMode::Push);
         let trace = std::env::var_os("ASCETIC_TRACE").map(std::path::PathBuf::from);
         Env {
             scale,
             compression,
             prefetch,
+            direction,
             trace,
         }
     }
@@ -112,6 +121,7 @@ impl Env {
             scale,
             compression: CompressionMode::Off,
             prefetch: PrefetchMode::Off,
+            direction: DirectionMode::Push,
             trace: None,
         }
     }
@@ -162,6 +172,12 @@ impl Env {
         self
     }
 
+    /// Same environment with a different traversal-direction policy.
+    pub fn with_direction(mut self, mode: DirectionMode) -> Env {
+        self.direction = mode;
+        self
+    }
+
     /// Build one dataset stand-in.
     pub fn dataset(&self, id: DatasetId) -> Dataset {
         Dataset::build(id, self.scale)
@@ -207,6 +223,7 @@ impl Env {
             .with_chunk_bytes(self.chunk_bytes())
             .with_compression(self.compression)
             .with_prefetch(self.prefetch)
+            .with_direction(self.direction)
             .with_tracing(self.tracing())
     }
 

@@ -105,6 +105,53 @@ pub enum CompressionMode {
     Adaptive,
 }
 
+/// Which direction the session traverses edges in each iteration.
+///
+/// Push scatters over the frontier's out-edges (CSR rows, the paper's
+/// model); pull gathers over candidate targets' in-edges (CSC rows of the
+/// transposed mirror). `Adaptive` compares the two directions' estimated
+/// on-demand wire bytes every iteration and picks the cheaper one, with
+/// hysteresis so the choice does not flap on near-ties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DirectionMode {
+    /// Always push (the paper's systems all do).
+    #[default]
+    Push,
+    /// Force pull every iteration. Rejected for programs without a pull
+    /// implementation.
+    Pull,
+    /// Per-iteration Beamer-style density switch between push and pull.
+    /// Programs without a pull implementation silently run push.
+    Adaptive,
+}
+
+impl DirectionMode {
+    /// Parse a CLI value (`push` / `pull` / `adaptive`).
+    pub fn parse(s: &str) -> Option<DirectionMode> {
+        match s {
+            "push" => Some(DirectionMode::Push),
+            "pull" => Some(DirectionMode::Pull),
+            "adaptive" => Some(DirectionMode::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of the mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DirectionMode::Push => "push",
+            DirectionMode::Pull => "pull",
+            DirectionMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::fmt::Display for DirectionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Static-region chunk replacement policy (paper §3.4, Figure 6).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReplacementPolicy {
@@ -164,6 +211,8 @@ pub struct AsceticConfig {
     pub compression: CompressionMode,
     /// Cross-iteration prefetch policy (default [`PrefetchMode::Off`]).
     pub prefetch: PrefetchMode,
+    /// Traversal direction policy (default [`DirectionMode::Push`]).
+    pub direction: DirectionMode,
 }
 
 impl AsceticConfig {
@@ -183,6 +232,7 @@ impl AsceticConfig {
             od_buffers: 1,
             compression: CompressionMode::Off,
             prefetch: PrefetchMode::Off,
+            direction: DirectionMode::Push,
         }
     }
 
@@ -251,6 +301,12 @@ impl AsceticConfig {
     /// Builder: set the cross-iteration prefetch policy.
     pub fn with_prefetch(mut self, mode: PrefetchMode) -> Self {
         self.prefetch = mode;
+        self
+    }
+
+    /// Builder: set the traversal direction policy.
+    pub fn with_direction(mut self, mode: DirectionMode) -> Self {
+        self.direction = mode;
         self
     }
 
@@ -409,6 +465,23 @@ mod tests {
             .with_compression(CompressionMode::Adaptive)
             .validate_for(&weighted)
             .is_ok());
+    }
+
+    #[test]
+    fn direction_builder_and_parse() {
+        let c = AsceticConfig::new(DeviceConfig::p100(1 << 20));
+        assert_eq!(c.direction, DirectionMode::Push, "push is the default");
+        let c = c.with_direction(DirectionMode::Adaptive);
+        assert_eq!(c.direction, DirectionMode::Adaptive);
+        for m in [
+            DirectionMode::Push,
+            DirectionMode::Pull,
+            DirectionMode::Adaptive,
+        ] {
+            assert_eq!(DirectionMode::parse(m.as_str()), Some(m));
+            assert_eq!(m.to_string(), m.as_str());
+        }
+        assert_eq!(DirectionMode::parse("sideways"), None);
     }
 
     #[test]

@@ -59,7 +59,8 @@ pub mod static_region;
 pub mod system;
 
 pub use config::{
-    AsceticConfig, CompressionMode, ConfigError, FillPolicy, ReplacementPolicy, MIN_CHUNK_BYTES,
+    AsceticConfig, CompressionMode, ConfigError, DirectionMode, FillPolicy, ReplacementPolicy,
+    MIN_CHUNK_BYTES,
 };
 pub use engine::AsceticSystem;
 pub use fleet::{run_fleet, FleetConfig, FleetRunReport};

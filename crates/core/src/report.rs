@@ -42,6 +42,9 @@ pub struct IterReport {
     /// Of the active edges, how many were served from the static region
     /// (always 0 for baselines).
     pub static_edges: u64,
+    /// Whether this iteration ran in pull (gather) direction — always
+    /// `false` for push-only configurations and all baselines.
+    pub pull: bool,
 }
 
 /// Link/compute utilization over one iteration window, derived from the
@@ -473,6 +476,12 @@ impl RunReport {
             json::key_into(k, &mut out);
             out.push_str(&v.to_string());
         }
+        out.push(',');
+        json::key_into("pull_iterations", &mut out);
+        out.push_str(&self.per_iter.iter().filter(|i| i.pull).count().to_string());
+        out.push(',');
+        json::key_into("output_fp", &mut out);
+        out.push_str(&format!("\"{:016x}\"", self.output.fingerprint()));
         out.push(',');
         json::key_into("events_dropped", &mut out);
         out.push_str(&self.events_dropped.to_string());

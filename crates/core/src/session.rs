@@ -19,16 +19,18 @@
 //! [`super::engine::AsceticSystem`] is a thin one-shot wrapper around this
 //! type.
 
-use ascetic_algos::{EdgeSlice, VertexProgram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ascetic_algos::{EdgeSlice, TraversalDirection, VertexProgram};
 use ascetic_graph::chunks::{ChunkGeometry, ChunkId};
 use ascetic_graph::compress::{encode_ranges, EncodeEntry};
-use ascetic_graph::Csr;
+use ascetic_graph::{Csr, GraphChunks, VertexId};
 use ascetic_obs::{Event, MetricsSnapshot, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap, Bitmap};
 use ascetic_sim::{DevPtr, Engine, Gpu, KernelStats, SimTime, XferStats};
 
 use crate::codec::{chunk_wire_bytes, compress_wins, estimate_batch_wire};
-use crate::config::{AsceticConfig, CompressionMode, FillPolicy, ReplacementPolicy};
+use crate::config::{AsceticConfig, CompressionMode, DirectionMode, FillPolicy, ReplacementPolicy};
 use crate::engine::finish_report;
 use crate::hotness::HotnessTable;
 use crate::maps::DataMaps;
@@ -75,6 +77,10 @@ pub struct AsceticSession<'g> {
     region: StaticRegion,
     od_buffers: Vec<DevPtr>,
     hotness: HotnessTable,
+    // the chunked CSC mirror for pull-direction iterations; built once
+    // per session (only when the config can ever pull) and shared by
+    // every run
+    mirror: Option<GraphChunks>,
     prestore_bytes: u64,
     prestore_wire_bytes: u64,
     prestore_ns: u64,
@@ -124,6 +130,14 @@ pub struct RunCtx {
     // gap-issued transfers whose region mutation is deferred to the
     // iteration boundary (kernels may still be reading the region)
     prefetch_inflight: Vec<(PrefetchOp, u64)>,
+    // --- Direction-optimizing traversal state. ---
+    // the direction iteration k decided for k+1 (computed after k's
+    // refreshes so the estimate sees the residency k+1 will); None on
+    // iteration 0, which decides on the spot
+    next_pull: Option<TraversalDirection>,
+    // the direction the previous iteration ran in (hysteresis input)
+    last_dir: TraversalDirection,
+    pull_iters: u32,
 }
 
 impl RunCtx {
@@ -312,6 +326,15 @@ impl<'g> AsceticSession<'g> {
             }
         }
 
+        // The CSC mirror is host-side state (the on-demand pipeline ships
+        // its rows exactly like CSR rows), built eagerly so every run —
+        // and every fleet shard — amortizes one transpose.
+        let mirror = if cfg.direction != DirectionMode::Push {
+            Some(GraphChunks::build(g, cfg.chunk_bytes))
+        } else {
+            None
+        };
+
         AsceticSession {
             cfg,
             g,
@@ -320,6 +343,7 @@ impl<'g> AsceticSession<'g> {
             region,
             od_buffers,
             hotness,
+            mirror,
             prestore_bytes,
             prestore_wire_bytes,
             prestore_ns,
@@ -494,6 +518,87 @@ impl<'g> AsceticSession<'g> {
         self.gpu.timeline.barrier(SimTime(barrier_ns));
     }
 
+    /// Beamer-style density heuristic on *transfer* demand: compare the
+    /// on-demand wire bytes each direction would ship for `frontier`.
+    /// Push ships the non-resident frontier vertices' out-edge rows plus
+    /// their subgraph index; pull bypasses the (CSR-chunked) static region
+    /// entirely, so it ships every candidate target's full in-edge row.
+    /// Switching *into* pull demands a 25 % margin; staying only a tie —
+    /// the hysteresis that keeps near-equal iterations from flapping.
+    fn pull_wins<P: VertexProgram>(
+        &self,
+        prog: &P,
+        frontier: &Bitmap,
+        state: &P::State,
+        prev_pull: bool,
+    ) -> bool {
+        let g = self.g;
+        let bpe = g.bytes_per_edge() as u64;
+        let resident = self.region.vertex_bitmap();
+        let mut push_edges = 0u64;
+        let mut push_nodes = 0u64;
+        for v in frontier.iter_ones() {
+            if !resident.get(v) {
+                push_edges += g.degree(v as VertexId);
+                push_nodes += 1;
+            }
+        }
+        let push_est = push_edges * bpe + push_nodes * 8;
+        let csc = &self
+            .mirror
+            .as_ref()
+            .expect("adaptive direction without a CSC mirror")
+            .csc;
+        let targets = prog.pull_targets(g, frontier, state);
+        let mut pull_edges = 0u64;
+        let mut pull_nodes = 0u64;
+        for v in targets.iter_ones() {
+            let d = csc.degree(v as VertexId);
+            if d > 0 {
+                pull_edges += d;
+                pull_nodes += 1;
+            }
+        }
+        let pull_est = pull_edges * bpe + pull_nodes * 8;
+        if prev_pull {
+            pull_est <= push_est
+        } else {
+            pull_est * 4 < push_est * 3
+        }
+    }
+
+    /// Resolve the traversal direction for an iteration whose frontier is
+    /// `frontier`, honoring the config policy and the program's pull
+    /// capability. Forcing `--direction pull` onto a push-only program is
+    /// a contract violation, not a silent fallback.
+    fn direction_for<P: VertexProgram>(
+        &self,
+        prog: &P,
+        frontier: &Bitmap,
+        state: &P::State,
+        prev: TraversalDirection,
+    ) -> TraversalDirection {
+        if !prog.supports_pull() {
+            assert!(
+                self.cfg.direction != DirectionMode::Pull,
+                "--direction pull: {} is push-only (no pull implementation)",
+                prog.name()
+            );
+            return TraversalDirection::Push;
+        }
+        match self.cfg.direction {
+            DirectionMode::Push => TraversalDirection::Push,
+            DirectionMode::Pull => TraversalDirection::Pull,
+            DirectionMode::Adaptive => {
+                if self.pull_wins(prog, frontier, state, prev == TraversalDirection::Pull) {
+                    TraversalDirection::Pull
+                } else {
+                    TraversalDirection::Push
+                }
+            }
+        }
+    }
+
     /// Capture the per-run delta baselines and fresh loop state. Drivers
     /// call this once, then [`AsceticSession::step_iteration`] per
     /// iteration, then [`AsceticSession::finish_run`].
@@ -523,6 +628,9 @@ impl<'g> AsceticSession<'g> {
             prefetch_waste: 0,
             prefetch_deferred: std::collections::VecDeque::new(),
             prefetch_inflight: Vec::new(),
+            next_pull: None,
+            last_dir: TraversalDirection::Push,
+            pull_iters: 0,
         }
     }
 
@@ -553,6 +661,22 @@ impl<'g> AsceticSession<'g> {
         let lazy_fill = matches!(cfg.fill, FillPolicy::Lazy);
         let prefetch_on = cfg.prefetch.is_on();
         let iter = ctx.iter;
+
+        // Direction dispatch: the previous iteration pre-committed a
+        // direction for this frontier (after its prefetch window, so the
+        // residency estimate matches what this iteration's data maps will
+        // see); iteration 0 decides on the spot. Default `Push` policy
+        // takes none of these branches and stays byte-identical.
+        if cfg.direction != DirectionMode::Push {
+            let dir = match ctx.next_pull.take() {
+                Some(d) => d,
+                None => self.direction_for(prog, active, state, ctx.last_dir),
+            };
+            ctx.last_dir = dir;
+            if dir == TraversalDirection::Pull {
+                return self.step_pull_iteration(prog, ctx, active, state, next);
+            }
+        }
 
         let iter_start = self.gpu.sync();
         self.gpu.obs.record(iter_start.0, Event::IterStart { iter });
@@ -1007,6 +1131,17 @@ impl<'g> AsceticSession<'g> {
             }
         }
 
+        // Pre-commit the next iteration's direction *after* the prefetch
+        // commits above, so the push-vs-pull transfer estimate sees the
+        // exact static-region residency the next data maps will see.
+        if cfg.direction != DirectionMode::Push
+            && prog.supports_pull()
+            && !next_frontier.is_all_zero()
+        {
+            ctx.next_pull =
+                Some(self.direction_for(prog, &next_frontier, state, TraversalDirection::Push));
+        }
+
         if let Some((start, end)) = pf_window.take() {
             if let Some(tr) = self.gpu.timeline.tracer_mut() {
                 let t = tr.track(PREFETCH_WINDOW_TRACK);
@@ -1028,6 +1163,227 @@ impl<'g> AsceticSession<'g> {
             payload_bytes: od_payload,
             time_ns: iter_end.since(iter_start),
             static_edges: maps.static_edges,
+            pull: false,
+        });
+        ctx.iter += 1;
+    }
+
+    /// One pull-direction iteration: ship every live target's in-edge row
+    /// from the chunked CSC mirror through the on-demand pipeline and run
+    /// the pull kernel over it. The CSR-chunked static region holds
+    /// out-edges, so pull bypasses it entirely — no static compute, no
+    /// hotness updates, no replacement, and any in-flight prefetch plan is
+    /// written off as waste rather than committed against a region nothing
+    /// will read this iteration.
+    fn step_pull_iteration<P: VertexProgram>(
+        &mut self,
+        prog: &P,
+        ctx: &mut RunCtx,
+        active: &Bitmap,
+        state: &P::State,
+        next: &AtomicBitmap,
+    ) {
+        let g = self.g;
+        let cfg = self.cfg;
+        let n = g.num_vertices();
+        let weighted = g.is_weighted();
+        let compressible = compression_eligible(&cfg, g);
+        let iter = ctx.iter;
+
+        let iter_start = self.gpu.sync();
+        self.gpu.obs.record(iter_start.0, Event::IterStart { iter });
+        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+            let t = tr.track(SESSION_TRACK);
+            tr.begin(
+                t,
+                iter_start.0,
+                &format!("iteration {iter} (pull)"),
+                CAT_PHASE,
+            )
+            .expect("iterations are sequential on the session track");
+        }
+
+        // ➊ GenDataMap over the *target* set (unvisited candidates), same
+        // bitmap-kernel charge as the push direction.
+        let targets = prog.pull_targets(g, active, state);
+        let genmap = self.gpu.kernel_at(0, (n as u64).div_ceil(64), iter_start);
+        ctx.breakdown.gen_map_ns += genmap.duration();
+        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+            let t = tr.track(SESSION_TRACK);
+            tr.complete(t, genmap.start.0, genmap.end.0, "GenDataMap", CAT_PHASE)
+                .expect("GenDataMap opens the iteration");
+        }
+
+        // A pull iteration never reads the static region, so a stale
+        // prefetch plan has nothing to validate against: drain it as
+        // waste instead of mutating residency on signals one push
+        // iteration old.
+        for (_op, bytes) in ctx.prefetch_inflight.drain(..) {
+            ctx.prefetch_waste += bytes;
+        }
+        for (_chunk, bytes) in ctx.prefetch_pending.drain(..) {
+            ctx.prefetch_waste += bytes;
+        }
+        ctx.prefetch_deferred.clear();
+        ctx.prefetch_ready = SimTime::ZERO;
+
+        let mirror = self
+            .mirror
+            .as_ref()
+            .expect("pull iteration without a CSC mirror");
+        let csc = &mirror.csc;
+        let target_nodes: Vec<VertexId> = targets
+            .iter_ones()
+            .map(|v| v as VertexId)
+            .filter(|&v| csc.degree(v) > 0)
+            .collect();
+
+        let mut od_payload = 0u64;
+        let mut scanned_edges = 0u64;
+        if !target_nodes.is_empty() {
+            let min_buffer_words = self.od_buffers.iter().map(|b| b.len).min().unwrap_or(0);
+            assert!(
+                min_buffer_words > 0,
+                "no on-demand buffer but pull targets exist"
+            );
+            let batches = plan_batches(csc, &target_nodes, min_buffer_words);
+            let batch_bpe = csc.bytes_per_edge() as u64;
+            // CPU gather spans up front, same as push: gathers serialize
+            // on the CPU engine and overlap downstream wire + kernels.
+            let mut gather_ready = genmap.end;
+            let gather_spans: Vec<_> = batches
+                .iter()
+                .map(|entries| {
+                    let edges: u64 = entries.iter().map(|e| e.num_edges()).sum();
+                    let span =
+                        self.gpu
+                            .gather_at(edges * batch_bpe, entries.len() as u64, gather_ready);
+                    ctx.breakdown.gather_ns += span.duration();
+                    gather_ready = span.end;
+                    span
+                })
+                .collect();
+            let gather_first = gather_spans.first().map(|s| s.start);
+            let gather_last = gather_ready;
+            let mut od_window_end = gather_last;
+            for (bi, (entries, g_span)) in batches.into_iter().zip(gather_spans).enumerate() {
+                let buf_idx = bi % self.od_buffers.len();
+                let buffer = self.od_buffers[buf_idx];
+                let batch = gather(csc, entries);
+                let dst = buffer.slice(0, batch.words.len());
+                let ready = g_span.end.max(ctx.buffer_free_at[buf_idx]);
+                let raw_bytes = batch.payload_bytes();
+                // Compression crossover. The hotness wire cache is keyed
+                // by CSR chunks, so no estimate is available for CSC
+                // rows: encode outright and decide on the actual size.
+                let mut compressed: Option<(u64, SimTime)> = None;
+                if compressible && raw_bytes > 0 {
+                    ctx.enc_entries.clear();
+                    ctx.enc_entries
+                        .extend(batch.entries.iter().map(|e| (e.vertex, e.edges.clone())));
+                    ctx.enc_buf.clear();
+                    let wire = encode_ranges(csc, &ctx.enc_entries, &mut ctx.enc_buf) as u64;
+                    let ship = matches!(cfg.compression, CompressionMode::Always)
+                        || chain_wins(&self.gpu, ready, raw_bytes, wire);
+                    if ship {
+                        let (copy, dec) =
+                            self.gpu
+                                .h2d_compressed_at(dst, &batch.words, &ctx.enc_buf, ready);
+                        let reg = &mut self.gpu.obs.registry;
+                        reg.counter_add("compress.transfers", 1);
+                        reg.counter_add("compress.raw_bytes", raw_bytes);
+                        reg.counter_add("compress.wire_bytes", wire);
+                        reg.observe("compress.ratio_x100", raw_bytes * 100 / wire.max(1));
+                        compressed = Some((copy.duration() + dec.duration(), dec.end));
+                    } else {
+                        self.gpu.obs.registry.counter_add("compress.declined", 1);
+                    }
+                }
+                let (t_ns, payload_at) = compressed.unwrap_or_else(|| {
+                    let t_span = self.gpu.h2d_at(dst, &batch.words, ready);
+                    (t_span.duration(), t_span.end)
+                });
+                self.gpu.xfer.h2d_bytes += batch.index_bytes();
+                self.gpu.xfer.h2d_wire_bytes += batch.index_bytes();
+                ctx.breakdown.transfer_ns += t_ns;
+                od_payload += batch.payload_bytes() + batch.index_bytes();
+
+                // Host execution runs before the kernel charge: the
+                // simulated pull kernel's edge count is the exact number
+                // of in-edges the operator scanned (CC's zero-label early
+                // exit makes that data-dependent), so the scan result is
+                // needed first. The virtual clock makes the ordering
+                // unobservable.
+                let batch_scanned = {
+                    let mem = &self.gpu.mem;
+                    let batch_ref = &batch;
+                    let scanned = AtomicU64::new(0);
+                    parallel_for(batch_ref.entries.len(), |i| {
+                        let e = &batch_ref.entries[i];
+                        let words = &mem.words(dst)[batch_ref.entry_words(i)];
+                        let s = prog.pull_vertex(
+                            e.vertex,
+                            EdgeSlice::new(words, weighted),
+                            active,
+                            state,
+                            next,
+                        );
+                        scanned.fetch_add(s, Ordering::Relaxed);
+                    });
+                    scanned.into_inner()
+                };
+                scanned_edges += batch_scanned;
+                let c_span =
+                    self.gpu
+                        .pull_kernel_at(batch_scanned, batch.entries.len() as u64, payload_at);
+                ctx.breakdown.ondemand_compute_ns += c_span.duration();
+                ctx.buffer_free_at[buf_idx] = c_span.end;
+                od_window_end = od_window_end.max(c_span.end);
+            }
+            if let Some(first) = gather_first {
+                if let Some(tr) = self.gpu.timeline.tracer_mut() {
+                    let t = tr.track(ONDEMAND_TRACK);
+                    tr.begin(
+                        t,
+                        first.0,
+                        &format!("on-demand iter {iter} (pull)"),
+                        CAT_PHASE,
+                    )
+                    .expect("on-demand windows are sequential");
+                    tr.complete(t, first.0, gather_last.0, "gather", CAT_PHASE)
+                        .expect("gather nests in the on-demand window");
+                    tr.end(t, od_window_end.0)
+                        .expect("the window closes after its last batch");
+                }
+            }
+        }
+        self.gpu.obs.registry.counter_add("direction.pull_iters", 1);
+        ctx.pull_iters += 1;
+
+        // Pre-commit the next iteration's direction. Pull never mutates
+        // static residency, so deciding here sees exactly what the next
+        // iteration's estimate would.
+        let next_frontier = next.snapshot();
+        if !next_frontier.is_all_zero() {
+            ctx.next_pull =
+                Some(self.direction_for(prog, &next_frontier, state, TraversalDirection::Pull));
+        }
+
+        let iter_end = self.gpu.sync();
+        self.gpu.obs.record(iter_end.0, Event::IterEnd { iter });
+        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+            let t = tr.track(SESSION_TRACK);
+            tr.end(t, iter_end.0)
+                .expect("the iteration span closes at the barrier");
+        }
+        ctx.iter_windows.push((iter_start.0, iter_end.0));
+        ctx.per_iter.push(IterReport {
+            active_vertices: active.count_ones() as u64,
+            active_edges: scanned_edges,
+            payload_bytes: od_payload,
+            time_ns: iter_end.since(iter_start),
+            static_edges: 0,
+            pull: true,
         });
         ctx.iter += 1;
     }
@@ -1411,5 +1767,126 @@ mod tests {
         assert_eq!(one_shot.xfer, first.xfer);
         assert_eq!(one_shot.sim_time_ns, first.sim_time_ns);
         assert_eq!(one_shot.prestore_bytes, first.prestore_bytes);
+    }
+
+    #[test]
+    fn forced_pull_runs_match_oracles() {
+        let g = uniform_graph(2_000, 16_000, false, 37);
+        let cfg = cfg_for(&g).with_direction(DirectionMode::Pull);
+        let mut s = AsceticSession::new(cfg, &g);
+        let bfs = s.run(&Bfs::new(0));
+        assert_eq!(bfs.output, run_in_memory(&g, &Bfs::new(0)).output);
+        assert!(bfs.per_iter.iter().all(|i| i.pull), "every iteration pulls");
+        let cc = s.run(&Cc::new());
+        assert_eq!(cc.output, run_in_memory(&g, &Cc::new()).output);
+        let pr = s.run(&PageRank::new());
+        assert_eq!(pr.output, run_in_memory(&g, &PageRank::new()).output);
+    }
+
+    /// A source feeding a dense hub clique with a tiny tail hanging off
+    /// one hub: after the clique level is visited, the frontier's out-edge
+    /// volume is enormous while the unvisited tail's in-edge volume is
+    /// tiny — exactly the dense mid-phase where pull must win.
+    fn clique_tail_graph() -> Csr {
+        use ascetic_graph::GraphBuilder;
+        let m = 100usize;
+        let tails = 10usize;
+        let mut b = GraphBuilder::new(1 + m + tails);
+        for h in 1..=m {
+            b.add_edge(0, h as VertexId);
+        }
+        for u in 1..=m {
+            for v in 1..=m {
+                if u != v {
+                    b.add_edge(u as VertexId, v as VertexId);
+                }
+            }
+        }
+        for t in 0..tails {
+            b.add_edge(1, (1 + m + t) as VertexId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn adaptive_matches_push_outputs_and_ships_fewer_wire_bytes_on_bfs() {
+        let g = clique_tail_graph();
+        let push = AsceticSession::new(cfg_for(&g), &g).run(&Bfs::new(0));
+        let cfg = cfg_for(&g).with_direction(DirectionMode::Adaptive);
+        let adaptive = AsceticSession::new(cfg, &g).run(&Bfs::new(0));
+        assert_eq!(
+            adaptive.output, push.output,
+            "direction never changes results"
+        );
+        assert!(
+            adaptive.per_iter.iter().any(|i| i.pull),
+            "the dense mid-phase must pull"
+        );
+        assert_eq!(
+            adaptive.metrics.counter("direction.pull_iters"),
+            Some(adaptive.per_iter.iter().filter(|i| i.pull).count() as u64)
+        );
+        assert!(
+            adaptive.xfer.h2d_wire_bytes < push.xfer.h2d_wire_bytes,
+            "adaptive must reduce on-demand wire traffic: {} vs {}",
+            adaptive.xfer.h2d_wire_bytes,
+            push.xfer.h2d_wire_bytes
+        );
+    }
+
+    #[test]
+    fn adaptive_matches_oracles_for_cc_and_pr() {
+        let g = web_graph(&WebConfig::new(3_000, 40_000, 5));
+        let cfg = cfg_for(&g).with_direction(DirectionMode::Adaptive);
+        let mut s = AsceticSession::new(cfg, &g);
+        let cc = s.run(&Cc::new());
+        assert_eq!(cc.output, run_in_memory(&g, &Cc::new()).output);
+        let pr = s.run(&PageRank::new());
+        assert_eq!(pr.output, run_in_memory(&g, &PageRank::new()).output);
+    }
+
+    #[test]
+    fn adaptive_never_chooses_pull_for_push_only_programs() {
+        use ascetic_graph::datasets::weighted_variant;
+        let g = weighted_variant(&uniform_graph(1_500, 12_000, false, 38));
+        let cfg = cfg_for(&g).with_direction(DirectionMode::Adaptive);
+        let r = AsceticSession::new(cfg, &g).run(&Sssp::new(0));
+        assert_eq!(r.output, run_in_memory(&g, &Sssp::new(0)).output);
+        assert!(r.per_iter.iter().all(|i| !i.pull), "SSSP stays push");
+    }
+
+    #[test]
+    #[should_panic(expected = "push-only")]
+    fn forced_pull_on_push_only_program_panics() {
+        use ascetic_graph::datasets::weighted_variant;
+        let g = weighted_variant(&uniform_graph(1_000, 8_000, false, 39));
+        let cfg = cfg_for(&g).with_direction(DirectionMode::Pull);
+        AsceticSession::new(cfg, &g).run(&Sssp::new(0));
+    }
+
+    #[test]
+    fn pull_runs_with_compression_match_oracles() {
+        let g = web_graph(&WebConfig::new(4_000, 60_000, 3));
+        for mode in [CompressionMode::Always, CompressionMode::Adaptive] {
+            let cfg = compress_cfg(&g, mode).with_direction(DirectionMode::Pull);
+            let r = AsceticSession::new(cfg, &g).run(&Bfs::new(0));
+            assert_eq!(
+                r.output,
+                run_in_memory(&g, &Bfs::new(0)).output,
+                "{mode:?} pull output"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_with_prefetch_matches_push_outputs() {
+        let g = web_graph(&WebConfig::new(3_000, 40_000, 4));
+        let base = cfg_for(&g).with_prefetch(PrefetchMode::NextFrontier);
+        let push = AsceticSession::new(base, &g).run(&Bfs::new(0));
+        let cfg = cfg_for(&g)
+            .with_prefetch(PrefetchMode::NextFrontier)
+            .with_direction(DirectionMode::Adaptive);
+        let adaptive = AsceticSession::new(cfg, &g).run(&Bfs::new(0));
+        assert_eq!(adaptive.output, push.output);
     }
 }

@@ -257,6 +257,43 @@ impl Csr {
         }
     }
 
+    /// The transpose (CSC mirror): a CSR whose row `v` lists the *in*-edges
+    /// of `v` — every source `u` with an edge `u → v` — with parallel
+    /// weights carried over. Edges are placed in CSR iteration order
+    /// (counting sort), so each transposed row's sources come out ascending
+    /// and the delta–varint codec applies to the mirror unchanged.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut offsets = vec![0 as EdgeCount; n + 1];
+        for &t in &self.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let m = self.targets.len();
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = self.weights.as_ref().map(|_| vec![0 as Weight; m]);
+        let src_weights = self.weights.as_deref();
+        for u in 0..n as VertexId {
+            for e in self.edge_range(u) {
+                let t = self.targets[e as usize] as usize;
+                let slot = cursor[t] as usize;
+                cursor[t] += 1;
+                targets[slot] = u;
+                if let (Some(w), Some(sw)) = (&mut weights, src_weights) {
+                    w[slot] = sw[e as usize];
+                }
+            }
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
     /// Iterate `(src, dst)` over all directed edge entries.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices() as VertexId)
@@ -377,6 +414,53 @@ mod tests {
         g.write_edge_words(0..2, &mut buf);
         assert_eq!(buf, vec![1, 50, 2, 51]);
         assert_eq!(g.words_per_edge(), 2);
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge_with_ascending_rows() {
+        let g = tiny();
+        let t = g.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.num_vertices(), g.num_vertices());
+        assert_eq!(t.num_edges(), g.num_edges());
+        // in-edges of tiny(): 0←2, 1←0, 2←{0,1}
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        // every transposed row lists its sources ascending (codec invariant)
+        for v in 0..t.num_vertices() as VertexId {
+            assert!(t.neighbors(v).windows(2).all(|w| w[0] <= w[1]));
+        }
+        // transpose is an involution on the edge multiset
+        let mut fwd: Vec<_> = g.iter_edges().collect();
+        let mut back: Vec<_> = t.transpose().iter_edges().collect();
+        fwd.sort_unstable();
+        back.sort_unstable();
+        assert_eq!(fwd, back);
+    }
+
+    #[test]
+    fn transpose_carries_weights() {
+        let g = tiny().with_weights_from(|_, e| e as Weight + 10);
+        let t = g.transpose();
+        assert!(t.is_weighted());
+        // edge 2→0 is edge index 3 (weight 13)
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.edge_weights(0), &[13]);
+        // in-edges of 2: 0→2 (edge 1, weight 11), 1→2 (edge 2, weight 12)
+        assert_eq!(t.edge_weights(2), &[11, 12]);
+    }
+
+    #[test]
+    fn transpose_handles_self_loops_and_isolated_vertices() {
+        // 0→0 self-loop, 2 isolated, 3→1
+        let g = Csr::from_parts(vec![0, 1, 1, 1, 2], vec![0, 1], None);
+        let t = g.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.neighbors(0), &[0]);
+        assert_eq!(t.neighbors(1), &[3]);
+        assert!(t.neighbors(2).is_empty());
+        assert!(t.neighbors(3).is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod transform;
 pub mod types;
 
 pub use builder::GraphBuilder;
-pub use chunks::ChunkGeometry;
+pub use chunks::{ChunkGeometry, GraphChunks};
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetId};
 pub use types::{EdgeCount, VertexId, Weight, INF_DIST};

@@ -201,11 +201,20 @@ impl Bitmap {
     }
 
     /// Iterate over the indices of set bits, ascending.
+    ///
+    /// Zero words are skipped before any per-bit work: on the sparse
+    /// frontiers graph traversal produces (a handful of set bits across
+    /// millions of vertices), the filter turns iteration cost from
+    /// O(|V|/64 · per-word setup) into a plain word scan.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let base = wi * WORD_BITS;
-            BitIter { word: w }.map(move |b| base + b)
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .flat_map(|(wi, &w)| {
+                let base = wi * WORD_BITS;
+                BitIter { word: w }.map(move |b| base + b)
+            })
     }
 
     /// Collect set-bit indices into a vector (the paper's `StaticNodes` /

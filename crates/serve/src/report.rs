@@ -161,40 +161,10 @@ pub struct ServeReport {
 
 /// FNV-1a over an output's canonical little-endian bytes: a compact,
 /// deterministic fingerprint for byte-identity oracles across policies.
+/// (The hash itself lives on [`AlgoOutput::fingerprint`] so run reports
+/// and serve reports agree on the encoding.)
 pub fn output_fingerprint(output: &AlgoOutput) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    match output {
-        AlgoOutput::Distances(v) | AlgoOutput::Labels(v) => {
-            eat(&[1u8]);
-            for x in v {
-                eat(&x.to_le_bytes());
-            }
-        }
-        AlgoOutput::Ranks(v) => {
-            eat(&[2u8]);
-            for x in v {
-                eat(&x.to_bits().to_le_bytes());
-            }
-        }
-        AlgoOutput::MultiDistances(vs) => {
-            eat(&[3u8]);
-            for v in vs {
-                eat(&(v.len() as u64).to_le_bytes());
-                for x in v {
-                    eat(&x.to_le_bytes());
-                }
-            }
-        }
-    }
-    h
+    output.fingerprint()
 }
 
 impl ServeReport {

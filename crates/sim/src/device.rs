@@ -139,6 +139,10 @@ pub struct DeviceConfig {
     pub pcie: PcieModel,
     /// Kernel cost model.
     pub kernel: KernelModel,
+    /// Pull (gather-direction) kernel cost model. Pull kernels read
+    /// scattered parent state per in-edge instead of streaming a frontier's
+    /// out-edges, so their per-edge cost runs a little higher than push.
+    pub pull_kernel: KernelModel,
     /// Host gather model.
     pub gather: GatherModel,
     /// UVM model.
@@ -159,6 +163,11 @@ impl DeviceConfig {
             kernel: KernelModel {
                 launch_ns: 8_000,
                 edge_fs: 250_000,
+                vertex_fs: 1_000_000,
+            },
+            pull_kernel: KernelModel {
+                launch_ns: 8_000,
+                edge_fs: 300_000,
                 vertex_fs: 1_000_000,
             },
             gather: GatherModel {
@@ -246,6 +255,13 @@ mod tests {
         let raw = 16u64 << 10;
         let saved = cfg.pcie.transfer_ns(raw) - cfg.pcie.transfer_ns(raw / 3);
         assert!(cfg.decompress.decompress_ns(raw) > saved);
+    }
+
+    #[test]
+    fn pull_kernel_costs_more_per_edge_than_push() {
+        let cfg = DeviceConfig::p100(1 << 30);
+        assert!(cfg.pull_kernel.edge_fs > cfg.kernel.edge_fs);
+        assert!(cfg.pull_kernel.kernel_ns(1_000_000, 0) > cfg.kernel.kernel_ns(1_000_000, 0));
     }
 
     #[test]

@@ -281,6 +281,35 @@ impl Gpu {
         span
     }
 
+    /// Charge a pull-direction (gather) kernel of `edges`/`vertices` work
+    /// on the COMPUTE engine, ready at `ready`. Identical accounting to
+    /// [`Gpu::kernel_at`] but costed with the pull kernel model — gather
+    /// kernels pay more per in-edge for their scattered parent reads.
+    pub fn pull_kernel_at(&mut self, edges: u64, vertices: u64, ready: SimTime) -> Span {
+        let dur = self.config.pull_kernel.kernel_ns(edges, vertices);
+        self.kernels.launches += 1;
+        self.kernels.edges += edges;
+        self.kernels.vertices += vertices;
+        self.kernels.time_ns += dur;
+        self.obs.registry.observe("kernel.ns", dur);
+        let span = self
+            .timeline
+            .schedule_labeled(Engine::Compute, ready, dur, || {
+                format!("pull kernel e={edges} v={vertices}")
+            });
+        if self.obs.events_enabled() {
+            self.obs.record(
+                span.start.0,
+                Event::Kernel {
+                    label: format!("pull e={edges} v={vertices}"),
+                    edges,
+                    dur_ns: span.duration(),
+                },
+            );
+        }
+        span
+    }
+
     /// Charge a host gather of `bytes` over `vertices` adjacency lists on
     /// the CPU engine, ready at `ready`.
     pub fn gather_at(&mut self, bytes: u64, vertices: u64, ready: SimTime) -> Span {
@@ -352,6 +381,17 @@ mod tests {
         assert_eq!(g.kernels.launches, 1);
         assert_eq!(g.kernels.edges, 1000);
         assert_eq!(g.kernels.time_ns, s.duration());
+    }
+
+    #[test]
+    fn pull_kernel_accounting_uses_its_own_model() {
+        let mut g = small_gpu();
+        let s = g.pull_kernel_at(1000, 10, SimTime::ZERO);
+        assert_eq!(g.kernels.launches, 1);
+        assert_eq!(g.kernels.edges, 1000);
+        assert_eq!(g.kernels.time_ns, s.duration());
+        assert_eq!(s.duration(), g.config.pull_kernel.kernel_ns(1000, 10));
+        assert!(s.duration() > g.config.kernel.kernel_ns(1000, 10));
     }
 
     #[test]

@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use ascetic::algos::{Bfs, Cc, Closeness, KCore, MsBfs, PageRank, Sssp};
 use ascetic::baselines::{AnySystem, PtSystem, SubwaySystem, UvmSystem};
 use ascetic::core::{
-    run_fleet, AsceticConfig, AsceticSystem, CompressionMode, FillPolicy, FleetConfig,
-    FleetRunReport, OutOfCoreSystem, PrefetchMode, RunReport,
+    run_fleet, AsceticConfig, AsceticSystem, CompressionMode, DirectionMode, FillPolicy,
+    FleetConfig, FleetRunReport, OutOfCoreSystem, PrefetchMode, RunReport,
 };
 use ascetic::graph::datasets::{weighted_variant, Dataset, DatasetId};
 use ascetic::graph::generators::{
@@ -70,6 +70,10 @@ USAGE:
                    [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
                    [--chunk BYTES] [--no-adaptive] [--compression off|always|adaptive]
                    [--prefetch off|next-frontier|hotness]
+                   [--direction push|pull|adaptive] (pull gathers unvisited
+                    vertices' in-edges from a chunked CSC mirror; adaptive
+                    switches per iteration on frontier density — bfs|cc|pr
+                    only, outputs byte-identical to push)
                    [--devices N] [--fabric pcie|nvlink] (N>1: shard across an
                     N-device fleet — ascetic system only; outputs stay
                     byte-identical to one device)
@@ -302,6 +306,23 @@ fn parse_compression_mode(s: &str) -> Result<CompressionMode, String> {
     }
 }
 
+/// `--direction` beats the ASCETIC_DIRECTION environment default.
+fn parse_direction(o: &Opts) -> Result<Option<DirectionMode>, String> {
+    let dir = match o.get("direction") {
+        Some(d) => Some(d.to_string()),
+        None => std::env::var("ASCETIC_DIRECTION").ok(),
+    };
+    match dir {
+        None => Ok(None),
+        Some(d) => DirectionMode::parse(&d)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --direction {d} (push|pull|adaptive)")),
+    }
+}
+
+/// The algorithms with a pull-mode (CSC gather) implementation.
+const PULL_ALGOS: [&str; 3] = ["bfs", "cc", "pr"];
+
 fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> {
     let mut cfg = AsceticConfig::new(dev);
     if let Some(k) = o.parse::<f64>("k-param")? {
@@ -340,6 +361,9 @@ fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> 
         let mode = PrefetchMode::parse(&p)
             .ok_or_else(|| format!("unknown --prefetch {p} (off|next-frontier|hotness)"))?;
         cfg = cfg.with_prefetch(mode);
+    }
+    if let Some(m) = parse_direction(o)? {
+        cfg = cfg.with_direction(m);
     }
     // default chunk scaled sensibly for small inputs
     if o.get("chunk").is_none() {
@@ -547,6 +571,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let spec = o.positional.first().ok_or("missing GRAPH")?;
     let algo: String = o.require("algo")?;
     let system = o.get("system").unwrap_or("ascetic").to_string();
+    // reject a forced pull on a push-only algorithm up front, before any
+    // graph loading, with a clear error instead of a mid-run panic
+    if parse_direction(&o)? == Some(DirectionMode::Pull) && !PULL_ALGOS.contains(&algo.as_str()) {
+        return Err(format!(
+            "--direction pull: {algo} is push-only (pull is implemented for bfs|cc|pr)"
+        ));
+    }
     let g = load_graph(spec)?;
     if system == "memory" {
         let source: u32 = o.parse("source")?.unwrap_or(0);
@@ -782,6 +813,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     if jobs.is_empty() {
         return Err("the trace holds no jobs".into());
+    }
+    if parse_direction(&o)? == Some(DirectionMode::Pull)
+        && jobs.iter().any(|j| !PULL_ALGOS.contains(&j.kind.name()))
+    {
+        return Err(
+            "--direction pull: the workload holds push-only jobs (pull is implemented for \
+             bfs|cc|pr)"
+                .into(),
+        );
     }
     let dev = device_from(&o, &g)?;
     let cfg = ascetic_config(&o, dev)?;

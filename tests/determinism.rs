@@ -397,6 +397,130 @@ fn fleet_runs_are_bit_identical_across_devices_and_threads() {
     set_num_threads(0);
 }
 
+/// Tentpole of the direction PR: pull/adaptive traversal is a pure
+/// data-movement decision. Outputs must be byte-identical across
+/// {push, pull, adaptive} × {1, 2, 8} host threads on one device, and
+/// across {1, 2, 4} devices under adaptive — the direction heuristic is
+/// evaluated on the orchestration thread from deterministic inputs, so
+/// the whole report (times, transfer stats, metrics) pins too.
+#[test]
+fn direction_modes_are_bit_identical_across_threads_and_devices() {
+    use ascetic::core::{run_fleet, DirectionMode, FleetConfig, FleetRunReport};
+
+    let ds = Dataset::build(DatasetId::Fk, SCALE);
+    let g = ds.graph.clone();
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    let cfg = |m: DirectionMode| {
+        AsceticConfig::new(dev)
+            .with_chunk_bytes(1024)
+            .with_direction(m)
+    };
+    let modes = [
+        DirectionMode::Push,
+        DirectionMode::Pull,
+        DirectionMode::Adaptive,
+    ];
+
+    let run_suite = |threads: usize| -> Vec<RunReport> {
+        set_num_threads(threads);
+        let mut reports = Vec::new();
+        for m in modes {
+            let asc = AsceticSystem::new(cfg(m));
+            reports.push(asc.run(&g, &Bfs::new(0)));
+            reports.push(asc.run(&g, &Cc::new()));
+            reports.push(asc.run(&g, &PageRank::new()));
+        }
+        reports
+    };
+    let base = run_suite(1);
+    // direction never changes an answer: pull and adaptive agree with push
+    for chunk in base.chunks(3).skip(1) {
+        for (push, other) in base[..3].iter().zip(chunk) {
+            assert_eq!(
+                push.output, other.output,
+                "direction changed the {} answer",
+                other.algorithm
+            );
+        }
+    }
+    for threads in [2, 8] {
+        let sweep = run_suite(threads);
+        for (a, b) in base.iter().zip(&sweep) {
+            assert_identical(a, b);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}/{} metrics must not depend on host threads ({} vs 1)",
+                a.system, a.algorithm, threads
+            );
+        }
+    }
+
+    // adaptive across fleet sizes: every device count answers like push
+    let fleet_suite = |threads: usize| -> Vec<FleetRunReport> {
+        set_num_threads(threads);
+        [1usize, 2, 4]
+            .iter()
+            .map(|&d| {
+                run_fleet(
+                    cfg(DirectionMode::Adaptive),
+                    FleetConfig::nvlink(d),
+                    &g,
+                    &Bfs::new(0),
+                )
+            })
+            .collect()
+    };
+    let fleet_base = fleet_suite(1);
+    for r in &fleet_base {
+        assert_eq!(
+            r.output, base[0].output,
+            "{} devices under adaptive changed the BFS answer",
+            r.devices
+        );
+    }
+    for (a, b) in fleet_base.iter().zip(&fleet_suite(8)) {
+        assert_eq!(a.output, b.output, "fleet outputs depend on host threads");
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.exchange_bytes, b.exchange_bytes);
+    }
+    set_num_threads(0);
+}
+
+/// Pinned: on the standard bench graph the adaptive policy must actually
+/// take the pull path on the dense mid-phase — at least one pull
+/// iteration, strictly fewer steady-state wire bytes than push-only, and
+/// the exact push answer.
+#[test]
+fn adaptive_switches_on_the_dense_mid_phase_of_the_bench_graph() {
+    use ascetic::core::DirectionMode;
+
+    let g = Dataset::build(DatasetId::Fk, SCALE).graph.clone();
+    let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() / 2);
+    let run = |m: DirectionMode| {
+        AsceticSystem::new(
+            AsceticConfig::new(dev)
+                .with_chunk_bytes(1024)
+                .with_direction(m),
+        )
+        .run(&g, &Bfs::new(0))
+    };
+    let push = run(DirectionMode::Push);
+    let adaptive = run(DirectionMode::Adaptive);
+    assert_eq!(push.output, adaptive.output, "adaptive changed the answer");
+    assert!(
+        push.per_iter.iter().all(|i| !i.pull),
+        "push-only run reported pull iterations"
+    );
+    let pulls = adaptive.per_iter.iter().filter(|i| i.pull).count();
+    assert!(pulls >= 1, "adaptive never switched to pull on fk@{SCALE}");
+    assert!(
+        adaptive.steady_wire_bytes() < push.steady_wire_bytes(),
+        "adaptive must strictly reduce wire bytes ({} vs {})",
+        adaptive.steady_wire_bytes(),
+        push.steady_wire_bytes()
+    );
+}
+
 #[test]
 fn dataset_builds_are_reproducible() {
     let a = Dataset::build(DatasetId::Gs, SCALE);

@@ -33,6 +33,27 @@ fn arb_graph() -> impl Strategy<Value = Csr> {
         .prop_map(|(n, edges)| graph_from_edges(n, &edges))
 }
 
+/// Like [`graph_from_edges`] but keeping self-loops, and with every edge
+/// squeezed into the bottom half of the vertex range so the top half is
+/// guaranteed isolated — the structural quirks (self-loops, isolated
+/// vertices, disconnected components) the pull operators must survive.
+fn quirky_graph_from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut b = GraphBuilder::new(n).sort_neighbors(true);
+    let span = (n as u32 / 2).max(1);
+    for &(u, v) in edges {
+        b.add_edge(u % span, v % span);
+    }
+    b.build()
+}
+
+fn arb_quirky_graph() -> impl Strategy<Value = Csr> {
+    (
+        16usize..200,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 1..2000),
+    )
+        .prop_map(|(n, edges)| quirky_graph_from_edges(n, &edges))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -99,6 +120,36 @@ proptest! {
             let oracle = run_in_memory(&g, &PageRank::new());
             prop_assert_eq!(asc.output, oracle.output);
         }
+    }
+
+    #[test]
+    fn pull_and_adaptive_always_match_push(
+        g in arb_quirky_graph(),
+        forced in any::<bool>(),
+        chunk in 16usize..256,
+    ) {
+        use ascetic::core::DirectionMode;
+        let chunk = chunk.next_multiple_of(8);
+        // edge budget must hold at least two chunks (engine precondition)
+        let edge_budget = (g.edge_bytes() / 2).max(2 * chunk as u64 + 8);
+        let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + edge_budget);
+        let mode = if forced { DirectionMode::Pull } else { DirectionMode::Adaptive };
+        let cfg = |m: DirectionMode| AsceticConfig::new(dev).with_chunk_bytes(chunk).with_direction(m);
+
+        let push = AsceticSystem::new(cfg(DirectionMode::Push)).run(&g, &Bfs::new(0));
+        let other = AsceticSystem::new(cfg(mode)).run(&g, &Bfs::new(0));
+        prop_assert_eq!(&push.output, &run_in_memory(&g, &Bfs::new(0)).output);
+        prop_assert_eq!(push.output, other.output);
+
+        let push = AsceticSystem::new(cfg(DirectionMode::Push)).run(&g, &Cc::new());
+        let other = AsceticSystem::new(cfg(mode)).run(&g, &Cc::new());
+        prop_assert_eq!(&push.output, &run_in_memory(&g, &Cc::new()).output);
+        prop_assert_eq!(push.output, other.output);
+
+        let push = AsceticSystem::new(cfg(DirectionMode::Push)).run(&g, &PageRank::new());
+        let other = AsceticSystem::new(cfg(mode)).run(&g, &PageRank::new());
+        prop_assert_eq!(&push.output, &run_in_memory(&g, &PageRank::new()).output);
+        prop_assert_eq!(push.output, other.output);
     }
 
     #[test]
