@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use ascetic_graph::{Csr, VertexId, INF_DIST};
 use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
 
-use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// Largest batch either program accepts (one bit per lane in the BFS
 /// masks; SSSP keeps the same bound so batches are interchangeable).
@@ -103,7 +103,7 @@ impl VertexProgram for MsBfsDistances {
         b
     }
 
-    fn begin_iteration(&self, iteration: u32, active: &Bitmap, state: &MsBfsDistancesState) {
+    fn compute(&self, iteration: u32, active: &Bitmap, state: &MsBfsDistancesState) {
         state.next_dist.store(iteration + 1, Ordering::Relaxed);
         for v in active.iter_ones() {
             state.frozen[v].store(state.reached[v].load(Ordering::Relaxed), Ordering::Relaxed);
@@ -111,7 +111,7 @@ impl VertexProgram for MsBfsDistances {
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,
@@ -190,8 +190,8 @@ impl VertexProgram for MsSsspDistances {
         "MS-SSSP-D"
     }
 
-    fn needs_weights(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::new().with_weights()
     }
 
     fn new_state(&self, g: &Csr) -> MsSsspDistancesState {
@@ -217,7 +217,7 @@ impl VertexProgram for MsSsspDistances {
         b
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &MsSsspDistancesState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &MsSsspDistancesState) {
         for v in active.iter_ones() {
             for lane in 0..state.lanes {
                 let i = v * state.lanes + lane;
@@ -227,7 +227,7 @@ impl VertexProgram for MsSsspDistances {
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,

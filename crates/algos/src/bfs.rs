@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use ascetic_graph::{Csr, VertexId, INF_DIST};
 use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
 
-use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// BFS from a fixed source.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +46,10 @@ impl VertexProgram for Bfs {
         "BFS"
     }
 
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::new().with_pull().with_batchable()
+    }
+
     fn new_state(&self, g: &Csr) -> BfsState {
         let dist: Vec<AtomicU32> = (0..g.num_vertices())
             .map(|_| AtomicU32::new(INF_DIST))
@@ -63,14 +67,14 @@ impl VertexProgram for Bfs {
         b
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &BfsState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &BfsState) {
         for v in active.iter_ones() {
             state.frozen[v].store(state.dist[v].load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,
@@ -97,10 +101,6 @@ impl VertexProgram for Bfs {
         )
     }
 
-    fn supports_pull(&self) -> bool {
-        true
-    }
-
     /// Pull candidates: the still-unreached vertices. A push iteration can
     /// only ever improve `INF` vertices (level-synchronous proposals are
     /// `level + 1`, and every reached vertex already sits at or below
@@ -123,7 +123,7 @@ impl VertexProgram for Bfs {
     /// atomic mins — which is also what keeps the scanned-edge count, and
     /// therefore the simulated kernel time, thread-independent.
     #[inline]
-    fn pull_vertex(
+    fn advance_pull(
         &self,
         v: VertexId,
         in_edges: EdgeSlice<'_>,

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use ascetic_graph::{Csr, VertexId};
 use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
 
-use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// Connected components via min-label propagation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -44,8 +44,9 @@ impl VertexProgram for Cc {
         "CC"
     }
 
-    fn frontier_payload_bytes(&self) -> u64 {
-        8 // vertex id + component label
+    fn capabilities(&self) -> Capabilities {
+        // payload: vertex id + component label
+        Capabilities::new().with_pull().with_payload_bytes(8)
     }
 
     fn new_state(&self, g: &Csr) -> CcState {
@@ -59,14 +60,14 @@ impl VertexProgram for Cc {
         Bitmap::ones(g.num_vertices())
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &CcState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &CcState) {
         for v in active.iter_ones() {
             state.frozen[v].store(state.label[v].load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,
@@ -91,10 +92,6 @@ impl VertexProgram for Cc {
         )
     }
 
-    fn supports_pull(&self) -> bool {
-        true
-    }
-
     /// Pull candidates: every vertex whose label can still shrink. Label 0
     /// is the global floor, so vertices already there are exact to skip.
     fn pull_targets(&self, g: &Csr, _active: &Bitmap, state: &CcState) -> Bitmap {
@@ -112,7 +109,7 @@ impl VertexProgram for Cc {
     /// and deterministic: the stop position depends only on the row's
     /// contents, never on thread interleaving.
     #[inline]
-    fn pull_vertex(
+    fn advance_pull(
         &self,
         v: VertexId,
         in_edges: EdgeSlice<'_>,

@@ -119,14 +119,14 @@ impl VertexProgram for Closeness {
         b
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &ClosenessState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &ClosenessState) {
         for v in active.iter_ones() {
             state.frozen[v].store(state.packed[v].load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,

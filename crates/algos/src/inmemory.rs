@@ -12,9 +12,8 @@
 //!    reason about K (the paper's active-fraction parameter, §3.3).
 
 use ascetic_graph::Csr;
-use ascetic_par::{parallel_for, AtomicBitmap};
 
-use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+use crate::traits::{AlgoOutput, VertexProgram};
 
 /// Per-iteration activity record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,39 +56,39 @@ impl InMemoryResult {
     }
 }
 
-/// Run `prog` over `g` entirely in memory.
+/// Run `prog` over `g` entirely in memory, one [`crate::ops::advance_all`]
+/// composition per iteration, with the multi-phase handshake when the
+/// frontier drains.
 pub fn run_in_memory<P: VertexProgram>(g: &Csr, prog: &P) -> InMemoryResult {
-    if prog.needs_weights() {
+    if prog.capabilities().weights {
         assert!(g.is_weighted(), "{} requires weights", prog.name());
     }
-    let n = g.num_vertices();
     let state = prog.new_state(g);
     let mut active = prog.initial_frontier(g);
     let mut log = Vec::new();
     let mut total_edges = 0u64;
     let mut iter = 0u32;
+    let mut phase = 0u32;
 
-    while !active.is_all_zero() && iter < prog.max_iterations() {
-        prog.begin_iteration(iter, &active, &state);
-        let nodes = active.to_indices();
-        let active_edges: u64 = nodes.iter().map(|&v| g.degree(v)).sum();
+    while iter < prog.max_iterations() {
+        if active.is_all_zero() {
+            match crate::ops::phase_transition(prog, phase, g, &state) {
+                Some(f) => {
+                    active = f;
+                    phase += 1;
+                }
+                None => break,
+            }
+        }
+        let active_vertices = active.count_ones() as u64;
+        let (next, active_edges) = crate::ops::advance_all(prog, g, iter, &active, &state);
         log.push(IterationLog {
             iteration: iter,
-            active_vertices: nodes.len() as u64,
+            active_vertices,
             active_edges,
         });
         total_edges += active_edges;
-
-        let next = AtomicBitmap::new(n);
-        let weights = g.weights();
-        parallel_for(nodes.len(), |i| {
-            let v = nodes[i];
-            let r = g.edge_range(v);
-            let (s, e) = (r.start as usize, r.end as usize);
-            let slice = EdgeSlice::split(&g.targets()[s..e], weights.map(|w| &w[s..e]));
-            prog.process_vertex(v, slice, &state, &next);
-        });
-        active = next.snapshot();
+        active = next;
         iter += 1;
     }
 

@@ -71,7 +71,7 @@ impl VertexProgram for KCore {
         b
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &KCoreState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &KCoreState) {
         // mark this wave as peeled *before* any pushes, so concurrent
         // decrements cannot re-activate a vertex being peeled right now
         for v in active.iter_ones() {
@@ -80,7 +80,7 @@ impl VertexProgram for KCore {
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         _src: VertexId,
         edges: EdgeSlice<'_>,

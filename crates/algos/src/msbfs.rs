@@ -72,14 +72,14 @@ impl VertexProgram for MsBfs {
         b
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &MsBfsState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &MsBfsState) {
         for v in active.iter_ones() {
             state.frozen[v].store(state.reached[v].load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,

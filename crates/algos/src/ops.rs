@@ -1,0 +1,222 @@
+//! The operator core: advance / filter / compute, composed by every engine.
+//!
+//! Gunrock-style decomposition of a frontier iteration. Programs supply
+//! functors through [`VertexProgram`]; runtimes (session, fleet, serve,
+//! baselines, the in-memory oracle) call these free functions instead of
+//! invoking program hooks directly, so each engine feature — prefetch,
+//! compression, direction choice, batching, fleet exchange, tracing — is
+//! implemented once here and inherited by every workload:
+//!
+//! * [`compute`] — per-vertex map over the frozen active set, run once per
+//!   iteration on the orchestration thread;
+//! * [`advance`] / [`advance_pull`] + [`pull_frontier`] — edge expansion of
+//!   one vertex's row (or a piece of it), push or pull, single- or
+//!   multi-lane (lanes live inside the program's state, as in MS-BFS);
+//! * [`filter`] — frontier compaction through the program's retain
+//!   predicate;
+//! * [`advance_all`] — whole-frontier push advance over a host CSR, the
+//!   composition the in-memory oracle uses;
+//! * [`phase_transition`] — the multi-phase handshake, consulted when a
+//!   frontier drains.
+//!
+//! The operators are deliberately thin: determinism rests on the same
+//! contracts as before (frozen snapshots in `compute`, commuting atomic
+//! reductions in advance, pure predicates in filter), and the engines keep
+//! their own batching/cost accounting around these calls.
+
+use ascetic_graph::{Csr, VertexId};
+use ascetic_par::{parallel_for, AtomicBitmap, Bitmap};
+
+use crate::traits::{EdgeSlice, VertexProgram};
+
+/// Run the *compute* operator for one iteration: the program's per-vertex
+/// map over the frozen `active` set. Must be called exactly once per
+/// iteration, before any advance of that iteration, on the orchestration
+/// thread.
+#[inline]
+pub fn compute<P: VertexProgram>(prog: &P, iteration: u32, active: &Bitmap, state: &P::State) {
+    prog.compute(iteration, active, state);
+}
+
+/// Run the push *advance* operator over (a piece of) one active vertex's
+/// out-edges. Engines may deliver a row in several pieces, but each edge
+/// exactly once per iteration.
+#[inline]
+pub fn advance<P: VertexProgram>(
+    prog: &P,
+    src: VertexId,
+    edges: EdgeSlice<'_>,
+    state: &P::State,
+    next: &AtomicBitmap,
+) {
+    prog.advance_push(src, edges, state, next);
+}
+
+/// The candidate set a pull iteration must gather into, given the frozen
+/// `active` frontier. Only meaningful when the program's
+/// [`crate::Capabilities::pull`] is on.
+#[inline]
+pub fn pull_frontier<P: VertexProgram>(
+    prog: &P,
+    g: &Csr,
+    active: &Bitmap,
+    state: &P::State,
+) -> Bitmap {
+    prog.pull_targets(g, active, state)
+}
+
+/// Run the pull *advance* operator over (a piece of) one candidate
+/// vertex's in-edges; returns the number of edges actually scanned for the
+/// kernel cost model.
+#[inline]
+pub fn advance_pull<P: VertexProgram>(
+    prog: &P,
+    v: VertexId,
+    in_edges: EdgeSlice<'_>,
+    active: &Bitmap,
+    state: &P::State,
+    next: &AtomicBitmap,
+) -> u64 {
+    prog.advance_pull(v, in_edges, active, state, next)
+}
+
+/// Run the *filter* operator: compact a freshly snapshotted next frontier
+/// through the program's retain predicate. The default predicate keeps
+/// everything, in which case the frontier passes through bit-for-bit
+/// unchanged (exact-frontier programs pay one scan of their set bits).
+pub fn filter<P: VertexProgram>(prog: &P, frontier: Bitmap, state: &P::State) -> Bitmap {
+    let mut out = frontier;
+    let dropped: Vec<usize> = out
+        .iter_ones()
+        .filter(|&v| !prog.retain(v as VertexId, state))
+        .collect();
+    for v in dropped {
+        out.clear(v);
+    }
+    out
+}
+
+/// Run one whole-frontier push advance over a host CSR: compute, then a
+/// parallel advance of every active row, then filter. Returns the
+/// compacted next frontier plus the active-edge count — the in-memory
+/// oracle's entire iteration, and the reference composition the
+/// out-of-core engines mirror around their data movement.
+pub fn advance_all<P: VertexProgram>(
+    prog: &P,
+    g: &Csr,
+    iteration: u32,
+    active: &Bitmap,
+    state: &P::State,
+) -> (Bitmap, u64) {
+    compute(prog, iteration, active, state);
+    let nodes = active.to_indices();
+    let active_edges: u64 = nodes.iter().map(|&v| g.degree(v)).sum();
+    let next = AtomicBitmap::new(g.num_vertices());
+    let weights_all = g.weights();
+    parallel_for(nodes.len(), |i| {
+        let v = nodes[i];
+        let r = g.edge_range(v);
+        let (s, e) = (r.start as usize, r.end as usize);
+        let slice = EdgeSlice::split(&g.targets()[s..e], weights_all.map(|w| &w[s..e]));
+        advance(prog, v, slice, state, &next);
+    });
+    (filter(prog, next.snapshot(), state), active_edges)
+}
+
+/// Consult the multi-phase handshake after a frontier drains: `finished`
+/// phases are complete. Returns the next phase's (non-empty) initial
+/// frontier, or `None` when the program is done. Single-phase programs
+/// (the default `next_phase`) always get `None`.
+pub fn phase_transition<P: VertexProgram>(
+    prog: &P,
+    finished: u32,
+    g: &Csr,
+    state: &P::State,
+) -> Option<Bitmap> {
+    let f = prog.next_phase(finished, g, state)?;
+    if f.is_all_zero() {
+        None
+    } else {
+        Some(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AlgoOutput;
+    use ascetic_graph::generators::uniform_graph;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A tiny program that activates everything but retains only even
+    /// vertices — exercises the filter operator doing real compaction.
+    struct EvenHops;
+    impl VertexProgram for EvenHops {
+        type State = Vec<AtomicU32>;
+        fn name(&self) -> &'static str {
+            "even-hops"
+        }
+        fn new_state(&self, g: &Csr) -> Self::State {
+            (0..g.num_vertices()).map(|_| AtomicU32::new(0)).collect()
+        }
+        fn initial_frontier(&self, g: &Csr) -> Bitmap {
+            let mut b = Bitmap::new(g.num_vertices());
+            b.set(0);
+            b
+        }
+        fn advance_push(
+            &self,
+            _src: VertexId,
+            edges: EdgeSlice<'_>,
+            state: &Self::State,
+            next: &AtomicBitmap,
+        ) {
+            for (t, _) in edges.iter() {
+                state[t as usize].fetch_add(1, Ordering::Relaxed);
+                next.set(t as usize);
+            }
+        }
+        fn retain(&self, v: VertexId, _state: &Self::State) -> bool {
+            v.is_multiple_of(2)
+        }
+        fn max_iterations(&self) -> u32 {
+            3
+        }
+        fn output(&self, state: &Self::State) -> AlgoOutput {
+            AlgoOutput::Labels(state.iter().map(|x| x.load(Ordering::Relaxed)).collect())
+        }
+    }
+
+    #[test]
+    fn filter_compacts_through_retain() {
+        let g = uniform_graph(64, 512, false, 7);
+        let prog = EvenHops;
+        let state = prog.new_state(&g);
+        let active = prog.initial_frontier(&g);
+        let (next, edges) = advance_all(&prog, &g, 0, &active, &state);
+        assert_eq!(edges, g.degree(0));
+        assert!(next.iter_ones().all(|v| v % 2 == 0), "odd vertex survived");
+    }
+
+    #[test]
+    fn default_retain_is_identity() {
+        let g = uniform_graph(32, 128, false, 3);
+        let prog = crate::Bfs::new(0);
+        let state = prog.new_state(&g);
+        let mut b = Bitmap::new(g.num_vertices());
+        for v in [1usize, 5, 17, 31] {
+            b.set(v);
+        }
+        let before: Vec<usize> = b.iter_ones().collect();
+        let after = filter(&prog, b, &state);
+        assert_eq!(after.iter_ones().collect::<Vec<_>>(), before);
+    }
+
+    #[test]
+    fn single_phase_programs_decline_transition() {
+        let g = uniform_graph(16, 64, false, 1);
+        let prog = crate::Bfs::new(0);
+        let state = prog.new_state(&g);
+        assert!(phase_transition(&prog, 0, &g, &state).is_none());
+    }
+}

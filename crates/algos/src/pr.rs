@@ -9,7 +9,7 @@
 //! Formulation: each vertex `v` carries `rank(v)` and `residual(v)`;
 //! initially `rank = 0`, `residual = (1-d)/n`, everyone active. An active
 //! vertex claims its residual `r` (once per iteration, in
-//! [`VertexProgram::begin_iteration`], so split edge delivery cannot
+//! [`VertexProgram::compute`], so split edge delivery cannot
 //! double-claim), retires it into `rank`, and pushes `d·r/deg(v)` along
 //! every out-edge. A target crossing the threshold `ε` activates. At
 //! termination every vertex's rank satisfies the PageRank equation to
@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ascetic_graph::{Csr, VertexId};
 use ascetic_par::{AtomicBitmap, Bitmap};
 
-use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// Fixed-point scale: 2^40 units per 1.0 of rank mass.
 const SCALE: u64 = 1 << 40;
@@ -76,7 +76,7 @@ pub struct PrState {
     /// Un-propagated residual mass, 2^-40 units.
     residual: Vec<AtomicU64>,
     /// Residual claimed by the current iteration (set in
-    /// `begin_iteration`; read-only during kernels).
+    /// `compute`; read-only during kernels).
     claimed: Vec<AtomicU64>,
     /// Out-degrees (a vertex's edges may arrive in pieces, so the degree
     /// cannot be inferred from slice length).
@@ -94,8 +94,9 @@ impl VertexProgram for PageRank {
         "PR"
     }
 
-    fn frontier_payload_bytes(&self) -> u64 {
-        12 // vertex id + accumulated 64-bit fixed-point residual
+    fn capabilities(&self) -> Capabilities {
+        // payload: vertex id + accumulated 64-bit fixed-point residual
+        Capabilities::new().with_pull().with_payload_bytes(12)
     }
 
     fn new_state(&self, g: &Csr) -> PrState {
@@ -116,7 +117,7 @@ impl VertexProgram for PageRank {
         Bitmap::ones(g.num_vertices())
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &PrState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &PrState) {
         for v in active.iter_ones() {
             let r = state.residual[v].swap(0, Ordering::Relaxed);
             state.rank[v].fetch_add(r, Ordering::Relaxed);
@@ -125,7 +126,7 @@ impl VertexProgram for PageRank {
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,
@@ -169,10 +170,6 @@ impl VertexProgram for PageRank {
         self.max_iters
     }
 
-    fn supports_pull(&self) -> bool {
-        true
-    }
-
     /// PR's gather is the textbook pull formulation: every vertex may
     /// receive mass from an active in-neighbor, so the candidate set is all
     /// of `V`. (That makes pull demand ≈ |E| — the session's density
@@ -187,7 +184,7 @@ impl VertexProgram for PageRank {
     /// threshold-crossing activation are bit-identical to the push
     /// scatter's per-edge adds.
     #[inline]
-    fn pull_vertex(
+    fn advance_pull(
         &self,
         v: VertexId,
         in_edges: EdgeSlice<'_>,

@@ -2,9 +2,10 @@
 //!
 //! Each out-of-core system's result is checked against these simple,
 //! obviously-correct implementations: a queue BFS, Dijkstra, union–find for
-//! weakly connected components, and dense power-iteration PageRank (same
+//! weakly connected components, dense power-iteration PageRank (same
 //! dangling convention as the push variant: dangling mass retired, not
-//! redistributed).
+//! redistributed), synchronous (Jacobi) label propagation, and textbook
+//! f64 Brandes betweenness.
 
 use std::collections::VecDeque;
 
@@ -112,6 +113,90 @@ pub fn pagerank_reference(g: &Csr, damping: f64, tol: f64, max_iters: u32) -> Ve
     rank
 }
 
+/// Synchronous (Jacobi) label propagation: every vertex starts in its own
+/// community, and each sweep every vertex adopts the most frequent label
+/// among its in-neighbors as of the *previous* sweep (ties break to the
+/// smallest label; vertices with no in-neighbors keep their label). Stops
+/// at a fixed point or after `max_sweeps` sweeps — the same cap and
+/// tie-break as [`crate::lp::LabelPropagation`].
+pub fn lp_reference(g: &Csr, max_sweeps: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..max_sweeps {
+        // histogram of in-neighbor labels, counting multi-edges
+        let mut counts: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for v in 0..n as VertexId {
+            let l = labels[v as usize];
+            for &t in g.neighbors(v) {
+                let hist = &mut counts[t as usize];
+                match hist.iter_mut().find(|e| e.0 == l) {
+                    Some(e) => e.1 += 1,
+                    None => hist.push((l, 1)),
+                }
+            }
+        }
+        let next: Vec<u32> = (0..n)
+            .map(|v| {
+                counts[v]
+                    .iter()
+                    .fold(None, |best: Option<(u32, u32)>, &(l, c)| match best {
+                        Some((bl, bc))
+                            if (bc, std::cmp::Reverse(bl)) >= (c, std::cmp::Reverse(l)) =>
+                        {
+                            best
+                        }
+                        _ => Some((l, c)),
+                    })
+                    .map_or(labels[v], |(l, _)| l)
+            })
+            .collect();
+        if next == labels {
+            break;
+        }
+        labels = next;
+    }
+    labels
+}
+
+/// Single-source betweenness centrality by textbook Brandes (f64 path
+/// counts and dependencies). The source's own centrality is 0 by
+/// convention.
+pub fn betweenness_reference(g: &Csr, source: VertexId) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF_DIST; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut order: Vec<VertexId> = Vec::new();
+    dist[source as usize] = 0;
+    sigma[source as usize] = 1.0;
+    let mut q = VecDeque::new();
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        order.push(v);
+        let nd = dist[v as usize] + 1;
+        for &t in g.neighbors(v) {
+            if dist[t as usize] == INF_DIST {
+                dist[t as usize] = nd;
+                q.push_back(t);
+            }
+            if dist[t as usize] == nd {
+                sigma[t as usize] += sigma[v as usize];
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    for &v in order.iter().rev() {
+        let nd = dist[v as usize] + 1;
+        for &t in g.neighbors(v) {
+            if dist[t as usize] == nd {
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[t as usize] * (1.0 + delta[t as usize]);
+            }
+        }
+    }
+    delta[source as usize] = 0.0;
+    delta
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +258,30 @@ mod tests {
     #[test]
     fn pagerank_empty_graph() {
         assert!(pagerank_reference(&Csr::empty(0), 0.85, 1e-9, 10).is_empty());
+    }
+
+    #[test]
+    fn lp_clique_converges_to_one_community() {
+        // 4-clique: one sweep of ties-to-min then consensus on label 0
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        let g = b.build();
+        assert_eq!(lp_reference(&g, 16), vec![0; 4]);
+    }
+
+    #[test]
+    fn brandes_on_path() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(betweenness_reference(&g, 0), vec![0.0, 2.0, 1.0, 0.0]);
     }
 }

@@ -1,0 +1,430 @@
+//! The one list of shipped algorithms.
+//!
+//! [`Algo`] is the single source of truth for what this workspace can run:
+//! the CLI parses `--algo` through its [`std::str::FromStr`], the serve
+//! layer's trace parser and job admission consult its metadata, and the
+//! bench harness builds its tables from it. Adding an algorithm means
+//! adding a variant here (plus its program module) — every entry point
+//! picks it up.
+//!
+//! [`AnyProgram`] is the type-erased instantiation: a closed enum over the
+//! concrete programs, itself implementing [`VertexProgram`] by
+//! delegation, so monomorphic engines (`session.run`, `run_fleet`, the
+//! baselines) can execute a runtime-chosen algorithm without dynamic
+//! dispatch or per-call generics at the call site.
+
+use ascetic_graph::{Csr, VertexId};
+use ascetic_par::{AtomicBitmap, Bitmap};
+
+use crate::betweenness::{BcState, Betweenness};
+use crate::bfs::{Bfs, BfsState};
+use crate::cc::{Cc, CcState};
+use crate::closeness::{Closeness, ClosenessState};
+use crate::kcore::{KCore, KCoreState};
+use crate::lp::{LabelPropagation, LpState};
+use crate::msbfs::{MsBfs, MsBfsState};
+use crate::pr::{PageRank, PrState};
+use crate::sssp::{Sssp, SsspState};
+use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
+
+/// Every algorithm the workspace ships, by CLI name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Algo {
+    /// Breadth-first search (`bfs`).
+    Bfs,
+    /// Single-source shortest paths (`sssp`).
+    Sssp,
+    /// Weakly connected components (`cc`).
+    Cc,
+    /// Residual PageRank (`pr`).
+    Pr,
+    /// k-core decomposition (`kcore`).
+    KCore,
+    /// 64-lane multi-source BFS (`msbfs`).
+    MsBfs,
+    /// Sampled closeness centrality (`closeness`).
+    Closeness,
+    /// Label-propagation community detection (`lp`).
+    Lp,
+    /// Brandes betweenness centrality (`bc`).
+    Bc,
+}
+
+impl Algo {
+    /// All shipped algorithms, in canonical (serve cost-model) order: the
+    /// paper's four first, extensions after.
+    pub const ALL: [Algo; 9] = [
+        Algo::Bfs,
+        Algo::Sssp,
+        Algo::Cc,
+        Algo::Pr,
+        Algo::KCore,
+        Algo::MsBfs,
+        Algo::Closeness,
+        Algo::Lp,
+        Algo::Bc,
+    ];
+
+    /// Canonical lowercase CLI/trace name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Bfs => "bfs",
+            Algo::Sssp => "sssp",
+            Algo::Cc => "cc",
+            Algo::Pr => "pr",
+            Algo::KCore => "kcore",
+            Algo::MsBfs => "msbfs",
+            Algo::Closeness => "closeness",
+            Algo::Lp => "lp",
+            Algo::Bc => "bc",
+        }
+    }
+
+    /// Human/report display name (matches the program's
+    /// [`VertexProgram::name`]).
+    pub fn display(self) -> &'static str {
+        match self {
+            Algo::Bfs => "BFS",
+            Algo::Sssp => "SSSP",
+            Algo::Cc => "CC",
+            Algo::Pr => "PR",
+            Algo::KCore => "kCore",
+            Algo::MsBfs => "MS-BFS",
+            Algo::Closeness => "Closeness",
+            Algo::Lp => "LP",
+            Algo::Bc => "BC",
+        }
+    }
+
+    /// Capability descriptor of the algorithm's program (metadata is
+    /// parameter-independent, so a throwaway instantiation answers for
+    /// all).
+    pub fn capabilities(self) -> Capabilities {
+        self.program(&ProgramOpts::meta()).capabilities()
+    }
+
+    /// Whether the program reads edge weights (wants the weighted graph
+    /// variant).
+    pub fn weighted(self) -> bool {
+        self.capabilities().weights
+    }
+
+    /// Whether the program may be scheduled in pull/adaptive direction.
+    pub fn pull(self) -> bool {
+        self.capabilities().pull
+    }
+
+    /// Whether the program is rooted at one source vertex (`--source`
+    /// applies; serve jobs carry a per-job source).
+    pub fn single_source(self) -> bool {
+        matches!(self, Algo::Bfs | Algo::Sssp | Algo::Bc)
+    }
+
+    /// How many sampled sources a multi-source program takes by default
+    /// (0 for everything else).
+    pub fn default_source_count(self) -> usize {
+        match self {
+            Algo::MsBfs => 64,
+            Algo::Closeness => 16,
+            _ => 0,
+        }
+    }
+
+    /// Whether the serve layer accepts jobs of this kind. The long-running
+    /// whole-graph sweeps (`msbfs`, `closeness`) are batch workloads, not
+    /// interactive queries.
+    pub fn servable(self) -> bool {
+        !matches!(self, Algo::MsBfs | Algo::Closeness)
+    }
+
+    /// Instantiate the program with `opts`.
+    pub fn program(self, opts: &ProgramOpts) -> AnyProgram {
+        match self {
+            Algo::Bfs => AnyProgram::Bfs(Bfs::new(opts.source)),
+            Algo::Sssp => AnyProgram::Sssp(Sssp::new(opts.source)),
+            Algo::Cc => AnyProgram::Cc(Cc::new()),
+            Algo::Pr => AnyProgram::Pr(PageRank::new()),
+            Algo::KCore => AnyProgram::KCore(KCore::new(opts.k)),
+            Algo::MsBfs => AnyProgram::MsBfs(MsBfs::new(opts.sources.clone())),
+            Algo::Closeness => AnyProgram::Closeness(Closeness::new(opts.sources.clone())),
+            Algo::Lp => AnyProgram::Lp(LabelPropagation::new()),
+            Algo::Bc => AnyProgram::Bc(Betweenness::new(opts.source)),
+        }
+    }
+}
+
+impl std::fmt::Display for Algo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for an unrecognized algorithm name, listing what is accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownAlgo(pub String);
+
+impl std::fmt::Display for UnknownAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown algorithm '{}' (expected one of: ", self.0)?;
+        for (i, a) in Algo::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(a.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for UnknownAlgo {}
+
+impl std::str::FromStr for Algo {
+    type Err = UnknownAlgo;
+    fn from_str(s: &str) -> Result<Self, UnknownAlgo> {
+        Algo::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| UnknownAlgo(s.to_string()))
+    }
+}
+
+/// Instantiation parameters for [`Algo::program`]. Fields an algorithm
+/// does not use are ignored.
+#[derive(Clone, Debug)]
+pub struct ProgramOpts {
+    /// Root vertex for single-source programs.
+    pub source: VertexId,
+    /// Sampled sources for multi-source programs.
+    pub sources: Vec<VertexId>,
+    /// Core parameter for `kcore`.
+    pub k: u32,
+}
+
+impl Default for ProgramOpts {
+    fn default() -> Self {
+        ProgramOpts {
+            source: 0,
+            sources: Vec::new(),
+            k: 4,
+        }
+    }
+}
+
+impl ProgramOpts {
+    /// Opts for a single-source run from `source`.
+    pub fn from_source(source: VertexId) -> Self {
+        ProgramOpts {
+            source,
+            ..Self::default()
+        }
+    }
+
+    /// Opts valid for every algorithm (multi-source programs reject an
+    /// empty source list) — used for metadata-only instantiations.
+    fn meta() -> Self {
+        ProgramOpts {
+            sources: vec![0],
+            ..Self::default()
+        }
+    }
+}
+
+/// A runtime-chosen program: closed enum over every registered algorithm,
+/// delegating [`VertexProgram`] to the wrapped concrete program.
+#[allow(missing_docs)] // variants mirror `Algo` one-to-one
+pub enum AnyProgram {
+    Bfs(Bfs),
+    Sssp(Sssp),
+    Cc(Cc),
+    Pr(PageRank),
+    KCore(KCore),
+    MsBfs(MsBfs),
+    Closeness(Closeness),
+    Lp(LabelPropagation),
+    Bc(Betweenness),
+}
+
+/// State for [`AnyProgram`] — the wrapped program's state, same variant.
+#[allow(missing_docs)] // variants mirror `Algo` one-to-one
+pub enum AnyState {
+    Bfs(BfsState),
+    Sssp(SsspState),
+    Cc(CcState),
+    Pr(PrState),
+    KCore(KCoreState),
+    MsBfs(MsBfsState),
+    Closeness(ClosenessState),
+    Lp(LpState),
+    Bc(BcState),
+}
+
+/// Delegate an expression to the wrapped program (no state involved).
+macro_rules! each {
+    ($self:expr, $p:ident => $e:expr) => {
+        match $self {
+            AnyProgram::Bfs($p) => $e,
+            AnyProgram::Sssp($p) => $e,
+            AnyProgram::Cc($p) => $e,
+            AnyProgram::Pr($p) => $e,
+            AnyProgram::KCore($p) => $e,
+            AnyProgram::MsBfs($p) => $e,
+            AnyProgram::Closeness($p) => $e,
+            AnyProgram::Lp($p) => $e,
+            AnyProgram::Bc($p) => $e,
+        }
+    };
+}
+
+/// Delegate an expression that also needs the matching state variant.
+/// A variant mismatch means the state came from a *different* program —
+/// a driver bug, so it panics loudly.
+macro_rules! each_with_state {
+    ($self:expr, $state:expr, $p:ident, $s:ident => $e:expr) => {
+        match ($self, $state) {
+            (AnyProgram::Bfs($p), AnyState::Bfs($s)) => $e,
+            (AnyProgram::Sssp($p), AnyState::Sssp($s)) => $e,
+            (AnyProgram::Cc($p), AnyState::Cc($s)) => $e,
+            (AnyProgram::Pr($p), AnyState::Pr($s)) => $e,
+            (AnyProgram::KCore($p), AnyState::KCore($s)) => $e,
+            (AnyProgram::MsBfs($p), AnyState::MsBfs($s)) => $e,
+            (AnyProgram::Closeness($p), AnyState::Closeness($s)) => $e,
+            (AnyProgram::Lp($p), AnyState::Lp($s)) => $e,
+            (AnyProgram::Bc($p), AnyState::Bc($s)) => $e,
+            _ => unreachable!("AnyState does not belong to this AnyProgram"),
+        }
+    };
+}
+
+impl VertexProgram for AnyProgram {
+    type State = AnyState;
+
+    fn name(&self) -> &'static str {
+        each!(self, p => p.name())
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        each!(self, p => p.capabilities())
+    }
+
+    fn new_state(&self, g: &Csr) -> AnyState {
+        match self {
+            AnyProgram::Bfs(p) => AnyState::Bfs(p.new_state(g)),
+            AnyProgram::Sssp(p) => AnyState::Sssp(p.new_state(g)),
+            AnyProgram::Cc(p) => AnyState::Cc(p.new_state(g)),
+            AnyProgram::Pr(p) => AnyState::Pr(p.new_state(g)),
+            AnyProgram::KCore(p) => AnyState::KCore(p.new_state(g)),
+            AnyProgram::MsBfs(p) => AnyState::MsBfs(p.new_state(g)),
+            AnyProgram::Closeness(p) => AnyState::Closeness(p.new_state(g)),
+            AnyProgram::Lp(p) => AnyState::Lp(p.new_state(g)),
+            AnyProgram::Bc(p) => AnyState::Bc(p.new_state(g)),
+        }
+    }
+
+    fn initial_frontier(&self, g: &Csr) -> Bitmap {
+        each!(self, p => p.initial_frontier(g))
+    }
+
+    fn compute(&self, iteration: u32, active: &Bitmap, state: &AnyState) {
+        each_with_state!(self, state, p, s => p.compute(iteration, active, s))
+    }
+
+    fn advance_push(
+        &self,
+        src: VertexId,
+        edges: EdgeSlice<'_>,
+        state: &AnyState,
+        next: &AtomicBitmap,
+    ) {
+        each_with_state!(self, state, p, s => p.advance_push(src, edges, s, next))
+    }
+
+    fn pull_targets(&self, g: &Csr, active: &Bitmap, state: &AnyState) -> Bitmap {
+        each_with_state!(self, state, p, s => p.pull_targets(g, active, s))
+    }
+
+    fn advance_pull(
+        &self,
+        v: VertexId,
+        in_edges: EdgeSlice<'_>,
+        active: &Bitmap,
+        state: &AnyState,
+        next: &AtomicBitmap,
+    ) -> u64 {
+        each_with_state!(self, state, p, s => p.advance_pull(v, in_edges, active, s, next))
+    }
+
+    fn retain(&self, v: VertexId, state: &AnyState) -> bool {
+        each_with_state!(self, state, p, s => p.retain(v, s))
+    }
+
+    fn next_phase(&self, finished: u32, g: &Csr, state: &AnyState) -> Option<Bitmap> {
+        each_with_state!(self, state, p, s => p.next_phase(finished, g, s))
+    }
+
+    fn output(&self, state: &AnyState) -> AlgoOutput {
+        each_with_state!(self, state, p, s => p.output(s))
+    }
+
+    fn max_iterations(&self) -> u32 {
+        each!(self, p => p.max_iterations())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inmemory::run_in_memory;
+    use ascetic_graph::generators::uniform_graph;
+
+    #[test]
+    fn names_round_trip() {
+        for a in Algo::ALL {
+            assert_eq!(a.name().parse::<Algo>().unwrap(), a);
+            assert_eq!(a.to_string(), a.name());
+        }
+        let err = "pagerank".parse::<Algo>().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("pagerank") && msg.contains("bfs") && msg.contains("bc"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn metadata_is_consistent() {
+        assert!(Algo::Sssp.weighted() && !Algo::Bfs.weighted());
+        assert!(Algo::Bfs.pull() && Algo::Cc.pull() && Algo::Pr.pull());
+        assert!(!Algo::Sssp.pull() && !Algo::Bc.pull());
+        assert!(Algo::Bc.single_source() && !Algo::Lp.single_source());
+        assert!(!Algo::MsBfs.servable() && Algo::Lp.servable());
+        assert_eq!(Algo::MsBfs.default_source_count(), 64);
+        assert_eq!(Algo::Closeness.default_source_count(), 16);
+        for a in Algo::ALL {
+            // display name agrees with the instantiated program
+            assert_eq!(a.display(), a.program(&ProgramOpts::meta()).name());
+        }
+    }
+
+    #[test]
+    fn any_program_matches_concrete_program() {
+        let g = uniform_graph(300, 2_400, false, 5);
+        let erased = run_in_memory(&g, &Algo::Bfs.program(&ProgramOpts::from_source(1)));
+        let concrete = run_in_memory(&g, &crate::bfs::Bfs::new(1));
+        assert_eq!(erased.output, concrete.output);
+        assert_eq!(erased.iterations, concrete.iterations);
+
+        let erased = run_in_memory(&g, &Algo::Bc.program(&ProgramOpts::from_source(1)));
+        let concrete = run_in_memory(&g, &Betweenness::new(1));
+        assert_eq!(erased.output, concrete.output);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn mismatched_state_is_rejected() {
+        let g = uniform_graph(10, 20, false, 1);
+        let bfs = Algo::Bfs.program(&ProgramOpts::default());
+        let cc_state = Algo::Cc.program(&ProgramOpts::default()).new_state(&g);
+        let _ = bfs.output(&cc_state);
+    }
+}

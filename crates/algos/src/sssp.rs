@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use ascetic_graph::{Csr, VertexId, INF_DIST};
 use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
 
-use crate::traits::{AlgoOutput, EdgeSlice, VertexProgram};
+use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// SSSP from a fixed source over non-negative `u32` weights.
 #[derive(Clone, Copy, Debug)]
@@ -40,12 +40,12 @@ impl VertexProgram for Sssp {
         "SSSP"
     }
 
-    fn needs_weights(&self) -> bool {
-        true
-    }
-
-    fn frontier_payload_bytes(&self) -> u64 {
-        8 // vertex id + tentative distance
+    fn capabilities(&self) -> Capabilities {
+        // payload: vertex id + tentative distance
+        Capabilities::new()
+            .with_weights()
+            .with_batchable()
+            .with_payload_bytes(8)
     }
 
     fn new_state(&self, g: &Csr) -> SsspState {
@@ -66,14 +66,14 @@ impl VertexProgram for Sssp {
         b
     }
 
-    fn begin_iteration(&self, _iteration: u32, active: &Bitmap, state: &SsspState) {
+    fn compute(&self, _iteration: u32, active: &Bitmap, state: &SsspState) {
         for v in active.iter_ones() {
             state.frozen[v].store(state.dist[v].load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
     #[inline]
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,

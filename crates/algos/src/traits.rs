@@ -1,25 +1,41 @@
-//! The push-based vertex-program abstraction.
+//! The vertex-program abstraction behind the operator core.
 //!
 //! Every out-of-core system in this workspace (PT, UVM, Subway, Ascetic)
-//! executes the same programs through this trait. The contract mirrors the
-//! paper's workflow (Figure 4):
+//! executes the same programs through this trait. A program declares
+//! *functors* — a push [`VertexProgram::advance_push`], an optional pull
+//! gather ([`VertexProgram::pull_targets`] /
+//! [`VertexProgram::advance_pull`]), a per-iteration
+//! [`VertexProgram::compute`] map, a [`VertexProgram::retain`] filter
+//! predicate and an optional [`VertexProgram::next_phase`] transition —
+//! plus a [`Capabilities`] descriptor. The engines in [`crate::ops`]
+//! compose these into the advance → filter → compute loop that every
+//! runtime (session, fleet, serve, baselines, in-memory oracle) drives;
+//! programs never own a loop. The contract mirrors the paper's workflow
+//! (Figure 4):
 //!
 //! 1. the driver owns an `ActiveBitmap`; at the start of each iteration it
-//!    snapshots it and calls [`VertexProgram::begin_iteration`];
+//!    snapshots it and runs the *compute* operator
+//!    ([`VertexProgram::compute`]);
 //! 2. the system materializes each active vertex's edge payload *somewhere*
 //!    (a partition buffer, the static region, a gathered on-demand
-//!    subgraph, UVM pages) and hands it to
-//!    [`VertexProgram::process_vertex`] as an [`EdgeSlice`] — programs
+//!    subgraph, UVM pages) and hands it to the *advance* operator
+//!    ([`VertexProgram::advance_push`]) as an [`EdgeSlice`] — programs
 //!    never know or care where the bytes came from;
-//! 3. `process_vertex` pushes updates into the (device-resident, atomic)
+//! 3. `advance_push` pushes updates into the (device-resident, atomic)
 //!    vertex state and marks activated vertices in the *next* frontier;
-//! 4. the run ends when the frontier comes back empty.
+//! 4. the *filter* operator compacts the next frontier through
+//!    [`VertexProgram::retain`];
+//! 5. when the frontier comes back empty the driver offers the program a
+//!    phase transition ([`VertexProgram::next_phase`]); the run ends when
+//!    that declines.
 //!
 //! A vertex's edges may be delivered in several pieces within one iteration
 //! (Subway splits oversized subgraphs; Ascetic splits across the two
-//! regions' boundary chunk), so `process_vertex` must be correct under
+//! regions' boundary chunk), so `advance_push` must be correct under
 //! partial, repeated-source delivery — which push-style atomic reductions
-//! are naturally.
+//! are naturally. Each edge is delivered exactly once per iteration, so
+//! per-edge accumulations (PR residual scatter, betweenness path counts)
+//! are exact.
 
 use ascetic_graph::{Csr, VertexId};
 use ascetic_par::{AtomicBitmap, Bitmap};
@@ -306,7 +322,124 @@ pub enum TraversalDirection {
     Pull,
 }
 
-/// A push-based vertex program.
+/// What a program can do and what its frontier traffic costs — declared
+/// once, consulted by every engine instead of per-feature default-method
+/// probes. Engines promise never to invoke a functor whose capability bit
+/// is off: a program with `pull: false` will never see its pull functors
+/// called, so the benign defaults on the trait are unreachable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The program reads edge weights (doubles edge bytes — the paper's
+    /// SSSP). Engines assert the graph variant matches.
+    pub weights: bool,
+    /// The program has an exact pull-mode gather
+    /// ([`VertexProgram::pull_targets`] / [`VertexProgram::advance_pull`])
+    /// and may be scheduled pull or adaptive.
+    pub pull: bool,
+    /// Same-kind single-source queries can be fused into one multi-lane
+    /// run (the serve layer batches BFS/SSSP through their `MS-*-D`
+    /// variants).
+    pub batchable: bool,
+    /// Wire bytes a fleet must ship per remote frontier vertex at an
+    /// iteration boundary: the vertex id plus whatever per-vertex value
+    /// the program's push updates carry (a distance, a component label, a
+    /// residual). Sized per program so the exchange traffic in fleet
+    /// reports reflects the actual protocol, not a one-size guess.
+    pub payload_bytes: u64,
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities {
+            weights: false,
+            pull: false,
+            batchable: false,
+            payload_bytes: 4, // vertex id only (pure frontier-membership programs)
+        }
+    }
+}
+
+impl Capabilities {
+    /// Builder start: the default descriptor (unweighted push-only,
+    /// 4-byte id payload).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare that edge weights are required.
+    pub fn with_weights(mut self) -> Self {
+        self.weights = true;
+        self
+    }
+
+    /// Declare an exact pull implementation.
+    pub fn with_pull(mut self) -> Self {
+        self.pull = true;
+        self
+    }
+
+    /// Declare serve-layer batchability.
+    pub fn with_batchable(mut self) -> Self {
+        self.batchable = true;
+        self
+    }
+
+    /// Set the per-vertex frontier exchange payload.
+    pub fn with_payload_bytes(mut self, bytes: u64) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+}
+
+/// A capability mismatch between a program and a requested configuration.
+///
+/// Raised at *configuration build / admission time* (CLI validation, serve
+/// job admission, `AsceticConfig` checks) — never mid-run: engines treat
+/// [`Capabilities`] as ground truth and silently fall back where the
+/// request was only a preference (adaptive direction), but a *forced*
+/// incompatible request surfaces as this typed error instead of the old
+/// `unimplemented!()` panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoError {
+    /// `--direction pull` was forced for a program whose
+    /// [`Capabilities::pull`] is off.
+    PullUnsupported {
+        /// Program display name.
+        algo: &'static str,
+    },
+    /// A weighted-graph program was handed an unweighted graph (or vice
+    /// versa).
+    WeightsMismatch {
+        /// Program display name.
+        algo: &'static str,
+        /// Whether the program requires weights.
+        needs_weights: bool,
+    },
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::PullUnsupported { algo } => write!(
+                f,
+                "--direction pull: {algo} is push-only (no pull operator)"
+            ),
+            AlgoError::WeightsMismatch {
+                algo,
+                needs_weights: true,
+            } => write!(f, "{algo} requires a weighted graph"),
+            AlgoError::WeightsMismatch {
+                algo,
+                needs_weights: false,
+            } => write!(f, "{algo} runs on the unweighted graph variant"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}
+
+/// A vertex program: per-edge/per-vertex functors plus a [`Capabilities`]
+/// descriptor, composed into runs by the operators in [`crate::ops`].
 pub trait VertexProgram: Sync {
     /// Per-run mutable state (device-resident vertex arrays; atomics).
     type State: Sync + Send;
@@ -314,28 +447,31 @@ pub trait VertexProgram: Sync {
     /// Display name ("BFS", "SSSP", ...).
     fn name(&self) -> &'static str;
 
-    /// Whether this program requires edge weights (doubles edge bytes —
-    /// the paper's SSSP).
-    fn needs_weights(&self) -> bool {
-        false
+    /// The program's capability descriptor. Engines consult this — and
+    /// only this — to decide which functors may be invoked and how to
+    /// budget frontier traffic.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::default()
     }
 
     /// Allocate and initialize state for `g`.
     fn new_state(&self, g: &Csr) -> Self::State;
 
-    /// The iteration-0 frontier.
+    /// The iteration-0 frontier (of the first phase).
     fn initial_frontier(&self, g: &Csr) -> Bitmap;
 
-    /// Hook called once per iteration with the (frozen) active bitmap,
-    /// before any `process_vertex` of that iteration. PR claims residuals
-    /// here so that split edge delivery cannot double-claim.
-    fn begin_iteration(&self, iteration: u32, active: &Bitmap, state: &Self::State) {
+    /// *Compute* functor: a per-iteration map over the (frozen) active
+    /// set, run once on the orchestration thread before any advance of
+    /// that iteration. PR claims residuals here so that split edge
+    /// delivery cannot double-claim; label propagation adopts labels here.
+    fn compute(&self, iteration: u32, active: &Bitmap, state: &Self::State) {
         let _ = (iteration, active, state);
     }
 
-    /// Process (a piece of) the out-edges of active vertex `src`, pushing
-    /// updates into `state` and activating vertices in `next`.
-    fn process_vertex(
+    /// Push *advance* functor: process (a piece of) the out-edges of
+    /// active vertex `src`, pushing updates into `state` and activating
+    /// vertices in `next`.
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,
@@ -343,42 +479,26 @@ pub trait VertexProgram: Sync {
         next: &AtomicBitmap,
     );
 
-    /// Extract the final answer.
-    fn output(&self, state: &Self::State) -> AlgoOutput;
-
-    /// Safety valve for non-converging configurations.
-    fn max_iterations(&self) -> u32 {
-        10_000
-    }
-
-    /// Whether the program has an exact pull-mode implementation
-    /// ([`VertexProgram::pull_targets`] / [`VertexProgram::pull_vertex`]).
-    /// Push-only programs (SSSP's relaxations, k-core's peeling,
-    /// closeness's lane bitsets) leave this `false` and are never asked to
-    /// pull.
-    fn supports_pull(&self) -> bool {
-        false
-    }
-
     /// The set of vertices whose in-edge rows a pull iteration must scan,
     /// given the frozen `active` frontier. BFS/CC pull over the still
-    /// unconverged vertices; PR's gather touches every vertex. Only called
-    /// when [`VertexProgram::supports_pull`] is true.
+    /// unconverged vertices; PR's gather touches every vertex. Never
+    /// called when [`Capabilities::pull`] is off (the default returns an
+    /// empty set, making an erroneous call benign rather than a panic).
     fn pull_targets(&self, g: &Csr, active: &Bitmap, state: &Self::State) -> Bitmap {
-        let _ = (g, active, state);
-        unimplemented!("program does not support pull traversal")
+        let _ = (active, state);
+        Bitmap::new(g.num_vertices())
     }
 
-    /// Process target vertex `v`'s in-edges (sources of edges pointing at
-    /// `v`), gathering from parents that are set in the frozen `active`
-    /// bitmap, updating `state` and activating `v` in `next` exactly as the
-    /// push formulation would. Returns the number of in-edges actually
-    /// scanned (early-exit may stop before the row ends), which the session
-    /// charges to the pull kernel's cost model. Must be correct under
-    /// partial, repeated delivery of a row, like
-    /// [`VertexProgram::process_vertex`]. Only called when
-    /// [`VertexProgram::supports_pull`] is true.
-    fn pull_vertex(
+    /// Pull *advance* functor: process target vertex `v`'s in-edges
+    /// (sources of edges pointing at `v`), gathering from parents that are
+    /// set in the frozen `active` bitmap, updating `state` and activating
+    /// `v` in `next` exactly as the push formulation would. Returns the
+    /// number of in-edges actually scanned (early-exit may stop before the
+    /// row ends), which the session charges to the pull kernel's cost
+    /// model. Must be correct under partial, repeated delivery of a row,
+    /// like [`VertexProgram::advance_push`]. Never called when
+    /// [`Capabilities::pull`] is off (the default scans nothing).
+    fn advance_pull(
         &self,
         v: VertexId,
         in_edges: EdgeSlice<'_>,
@@ -387,16 +507,37 @@ pub trait VertexProgram: Sync {
         next: &AtomicBitmap,
     ) -> u64 {
         let _ = (v, in_edges, active, state, next);
-        unimplemented!("program does not support pull traversal")
+        0
     }
 
-    /// Wire bytes a fleet must ship per remote frontier vertex at an
-    /// iteration boundary: the vertex id plus whatever per-vertex value
-    /// the program's push updates carry (a distance, a component label, a
-    /// residual). Sized per program so the exchange traffic in fleet
-    /// reports reflects the actual protocol, not a one-size guess.
-    fn frontier_payload_bytes(&self) -> u64 {
-        4 // vertex id only (pure frontier-membership programs: BFS-like)
+    /// *Filter* functor: whether an activated vertex should stay in the
+    /// next frontier. A pure predicate over `state`, applied by the filter
+    /// operator after every advance; the default keeps everything (exact
+    /// frontier programs). Label propagation drops vertices whose label
+    /// cannot change.
+    fn retain(&self, v: VertexId, state: &Self::State) -> bool {
+        let _ = (v, state);
+        true
+    }
+
+    /// Phase-transition hook for multi-phase programs, consulted when the
+    /// frontier drains. `finished` phases (0-based) have completed; return
+    /// the next phase's initial frontier to continue, or `None` to end the
+    /// run. Betweenness centrality runs a forward BFS phase, then one
+    /// dependency-accumulation phase per BFS level, walking back toward
+    /// the source. The iteration counter keeps climbing across phases and
+    /// [`VertexProgram::max_iterations`] bounds the whole run.
+    fn next_phase(&self, finished: u32, g: &Csr, state: &Self::State) -> Option<Bitmap> {
+        let _ = (finished, g, state);
+        None
+    }
+
+    /// Extract the final answer.
+    fn output(&self, state: &Self::State) -> AlgoOutput;
+
+    /// Safety valve for non-converging configurations.
+    fn max_iterations(&self) -> u32 {
+        10_000
     }
 }
 
@@ -476,5 +617,31 @@ mod tests {
         assert_eq!(a.first_mismatch(&r1, 0.0), Some(0), "type mismatch");
         let short = AlgoOutput::Distances(vec![0]);
         assert_eq!(a.first_mismatch(&short, 0.0), Some(1));
+    }
+
+    #[test]
+    fn capabilities_builder_and_defaults() {
+        let d = Capabilities::default();
+        assert!(!d.weights && !d.pull && !d.batchable);
+        assert_eq!(d.payload_bytes, 4);
+        let c = Capabilities::new()
+            .with_weights()
+            .with_pull()
+            .with_batchable()
+            .with_payload_bytes(12);
+        assert!(c.weights && c.pull && c.batchable);
+        assert_eq!(c.payload_bytes, 12);
+    }
+
+    #[test]
+    fn algo_error_messages_name_the_program() {
+        let e = AlgoError::PullUnsupported { algo: "SSSP" };
+        let msg = e.to_string();
+        assert!(msg.contains("SSSP") && msg.contains("push-only"), "{msg}");
+        let w = AlgoError::WeightsMismatch {
+            algo: "SSSP",
+            needs_weights: true,
+        };
+        assert!(w.to_string().contains("weighted"), "{w}");
     }
 }

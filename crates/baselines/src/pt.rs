@@ -9,7 +9,7 @@
 //! is deliberately absent, matching the paper's PT results where data
 //! transfer dominates by 10–200×).
 
-use ascetic_algos::{EdgeSlice, VertexProgram};
+use ascetic_algos::{ops, EdgeSlice, VertexProgram};
 use ascetic_graph::partition::partition_by_bytes;
 use ascetic_graph::Csr;
 use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
@@ -66,7 +66,7 @@ impl OutOfCoreSystem for PtSystem {
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {
-        assert_eq!(g.is_weighted(), prog.needs_weights());
+        assert_eq!(g.is_weighted(), prog.capabilities().weights);
         let n = g.num_vertices();
         let mut gpu = if self.tracing {
             Gpu::new_traced(self.device)
@@ -91,11 +91,21 @@ impl OutOfCoreSystem for PtSystem {
         let mut iter_windows = Vec::new();
         let mut staging: Vec<u32> = Vec::new();
         let mut iter = 0u32;
+        let mut phase = 0u32;
 
-        while !active.is_all_zero() && iter < prog.max_iterations() {
+        while iter < prog.max_iterations() {
+            if active.is_all_zero() {
+                match ops::phase_transition(prog, phase, g, &state) {
+                    Some(f) => {
+                        active = f;
+                        phase += 1;
+                    }
+                    None => break,
+                }
+            }
             let iter_start = gpu.sync();
             gpu.obs.record(iter_start.0, Event::IterStart { iter });
-            prog.begin_iteration(iter, &active, &state);
+            ops::compute(prog, iter, &active, &state);
             let next = AtomicBitmap::new(n);
             let mut payload = 0u64;
             let mut active_vertices = 0u64;
@@ -160,7 +170,7 @@ impl OutOfCoreSystem for PtSystem {
                             let off = (lo - edge_lo) as usize * wpe;
                             let len_w = (hi - lo) as usize * wpe;
                             let words = &mem.words(dst)[off..off + len_w];
-                            prog.process_vertex(v, EdgeSlice::new(words, weighted), &state, &next);
+                            ops::advance(prog, v, EdgeSlice::new(words, weighted), &state, &next);
                         });
                     }
                     shipped += staging.len() as u64;
@@ -181,7 +191,7 @@ impl OutOfCoreSystem for PtSystem {
                 pull: false,
             });
             iter_windows.push((iter_start.0, iter_end.0));
-            active = next.snapshot();
+            active = ops::filter(prog, next.snapshot(), &state);
             iter += 1;
         }
 

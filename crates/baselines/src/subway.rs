@@ -15,7 +15,7 @@
 //! (`ascetic_core::ondemand`), mirroring the paper: "We also exploit such
 //! an approach to manage the On-demand Region in Ascetic."
 
-use ascetic_algos::{EdgeSlice, VertexProgram};
+use ascetic_algos::{ops, EdgeSlice, VertexProgram};
 use ascetic_graph::compress::{encode_ranges, EncodeEntry};
 use ascetic_graph::Csr;
 use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
@@ -85,7 +85,7 @@ impl OutOfCoreSystem for SubwaySystem {
     }
 
     fn run<P: VertexProgram>(&self, g: &Csr, prog: &P) -> RunReport {
-        assert_eq!(g.is_weighted(), prog.needs_weights());
+        assert_eq!(g.is_weighted(), prog.capabilities().weights);
         let n = g.num_vertices();
         let mut gpu = if self.tracing {
             Gpu::new_traced(self.device)
@@ -113,11 +113,21 @@ impl OutOfCoreSystem for SubwaySystem {
         let mut per_iter = Vec::new();
         let mut iter_windows = Vec::new();
         let mut iter = 0u32;
+        let mut phase = 0u32;
 
-        while !active.is_all_zero() && iter < prog.max_iterations() {
+        while iter < prog.max_iterations() {
+            if active.is_all_zero() {
+                match ops::phase_transition(prog, phase, g, &state) {
+                    Some(f) => {
+                        active = f;
+                        phase += 1;
+                    }
+                    None => break,
+                }
+            }
             let iter_start = gpu.sync();
             gpu.obs.record(iter_start.0, Event::IterStart { iter });
-            prog.begin_iteration(iter, &active, &state);
+            ops::compute(prog, iter, &active, &state);
             let nodes = active.to_indices();
             let active_edges: u64 = nodes.iter().map(|&v| g.degree(v)).sum();
             let next = AtomicBitmap::new(n);
@@ -179,7 +189,13 @@ impl OutOfCoreSystem for SubwaySystem {
                 parallel_for(batch_ref.entries.len(), |i| {
                     let e = &batch_ref.entries[i];
                     let words = &mem.words(dst)[batch_ref.entry_words(i)];
-                    prog.process_vertex(e.vertex, EdgeSlice::new(words, weighted), &state, &next);
+                    ops::advance(
+                        prog,
+                        e.vertex,
+                        EdgeSlice::new(words, weighted),
+                        &state,
+                        &next,
+                    );
                 });
             }
 
@@ -194,7 +210,7 @@ impl OutOfCoreSystem for SubwaySystem {
                 pull: false,
             });
             iter_windows.push((iter_start.0, iter_end.0));
-            active = next.snapshot();
+            active = ops::filter(prog, next.snapshot(), &state);
             iter += 1;
         }
 

@@ -14,7 +14,7 @@
 //! uses) migrates each iteration's page set at bulk bandwidth instead of
 //! fault-by-fault.
 
-use ascetic_algos::{EdgeSlice, VertexProgram};
+use ascetic_algos::{ops, EdgeSlice, VertexProgram};
 use ascetic_graph::Csr;
 use ascetic_obs::{Event, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap};
@@ -87,7 +87,7 @@ impl UvmSystem {
         prog: &P,
         mut trace: Option<(&mut AccessTracer, u64)>,
     ) -> RunReport {
-        assert_eq!(g.is_weighted(), prog.needs_weights());
+        assert_eq!(g.is_weighted(), prog.capabilities().weights);
         let n = g.num_vertices();
         let mut gpu = if self.tracing {
             Gpu::new_traced(self.device)
@@ -108,11 +108,21 @@ impl UvmSystem {
         let mut per_iter = Vec::new();
         let mut iter_windows = Vec::new();
         let mut iter = 0u32;
+        let mut phase = 0u32;
 
-        while !active.is_all_zero() && iter < prog.max_iterations() {
+        while iter < prog.max_iterations() {
+            if active.is_all_zero() {
+                match ops::phase_transition(prog, phase, g, &state) {
+                    Some(f) => {
+                        active = f;
+                        phase += 1;
+                    }
+                    None => break,
+                }
+            }
             let iter_start = gpu.sync();
             gpu.obs.record(iter_start.0, Event::IterStart { iter });
-            prog.begin_iteration(iter, &active, &state);
+            ops::compute(prog, iter, &active, &state);
             let nodes = active.to_indices();
             let active_edges: u64 = nodes.iter().map(|&v| g.degree(v)).sum();
             let next = AtomicBitmap::new(n);
@@ -193,7 +203,7 @@ impl UvmSystem {
                 let er = g.edge_range(v);
                 let (s, e) = (er.start as usize, er.end as usize);
                 let slice = EdgeSlice::split(&g.targets()[s..e], weights.map(|w| &w[s..e]));
-                prog.process_vertex(v, slice, &state, &next);
+                ops::advance(prog, v, slice, &state, &next);
             });
 
             let iter_end = gpu.sync();
@@ -207,7 +217,7 @@ impl UvmSystem {
                 pull: false,
             });
             iter_windows.push((iter_start.0, iter_end.0));
-            active = next.snapshot();
+            active = ops::filter(prog, next.snapshot(), &state);
             iter += 1;
         }
 

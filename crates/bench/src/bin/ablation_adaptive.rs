@@ -46,14 +46,14 @@ fn main() {
             assert_eq!(off.output, on.output, "adaptivity must not change results");
             let improvement = (off.seconds() / on.seconds() - 1.0) * 100.0;
             table.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{ratio:.2}"),
                 format!("{:.4}s", off.seconds()),
                 format!("{:.4}s", on.seconds()),
                 format!("{improvement:+.1}%"),
             ]);
             csv.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{ratio:.2}"),
                 format!("{:.6}", off.seconds()),
                 format!("{:.6}", on.seconds()),
@@ -68,7 +68,7 @@ fn main() {
         );
         let on = run_algo(&AsceticSystem::new(env.ascetic_cfg()), g, algo);
         table.row(vec![
-            algo.name().to_string(),
+            algo.display().to_string(),
             "Eq(2)".to_string(),
             format!("{:.4}s", off.seconds()),
             format!("{:.4}s", on.seconds()),

@@ -56,14 +56,14 @@ fn main() {
                 format!("{:.2}MB", rep.prestore_bytes as f64 / 1e6),
             ]);
             csv.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 chunk.to_string(),
                 format!("{:.6}", rep.seconds()),
                 format!("{hit:.2}"),
                 rep.steady_bytes().to_string(),
             ]);
         }
-        section(algo.name(), &table);
+        section(algo.display(), &table);
     }
     write_raw("ablation_chunk_size", &csv);
     println!(

@@ -44,13 +44,13 @@ fn main() {
                     format!("{:+.1}%", (base / rep.seconds() - 1.0) * 100.0),
                 ]);
                 csv.row(vec![
-                    algo.name().to_string(),
+                    algo.display().to_string(),
                     format!("{ratio:.1}"),
                     nbuf.to_string(),
                     format!("{:.6}", rep.seconds()),
                 ]);
             }
-            section(&format!("{} at R = {ratio}", algo.name()), &table);
+            section(&format!("{} at R = {ratio}", algo.display()), &table);
         }
     }
     write_raw("ablation_double_buffer", &csv);

@@ -40,7 +40,7 @@ fn main() {
                 format!("{:.4}s", rep.seconds()),
             ]);
             csv.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{k:.2}"),
                 format!("{share:.4}"),
                 format!("{:.6}", rep.seconds()),
@@ -50,7 +50,7 @@ fn main() {
         section(
             &format!(
                 "{} (measured avg activity: {:.1}%)",
-                algo.name(),
+                algo.display(),
                 truth * 100.0
             ),
             &table,

@@ -38,14 +38,14 @@ fn main() {
             let total: u64 = rep.per_iter.iter().map(|i| i.active_edges).sum();
             let hit = static_edges as f64 / total.max(1) as f64 * 100.0;
             table.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 order.to_string(),
                 format!("{:.4}s", rep.seconds()),
                 format!("{hit:.1}%"),
                 format!("{:.2}MB", rep.steady_bytes() as f64 / 1e6),
             ]);
             csv.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 order.to_string(),
                 format!("{:.6}", rep.seconds()),
                 format!("{hit:.2}"),

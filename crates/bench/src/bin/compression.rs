@@ -18,7 +18,7 @@
 use ascetic_bench::fmt::{human_bytes, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Cell, Sys};
-use ascetic_bench::setup::{Algo, Env};
+use ascetic_bench::setup::Env;
 use ascetic_core::CompressionMode;
 use ascetic_graph::datasets::DatasetId;
 use std::fmt::Write as _;
@@ -34,7 +34,7 @@ fn mode_grid(scale: u64, mode: CompressionMode) -> Vec<Cell> {
     // weighted graphs reject `Always` by design (weights ship raw, so a
     // forced-encode mode is a contradiction); SSSP's "always" cells run
     // the closest legal mode instead so the grid stays rectangular
-    Algo::TABLE4_ORDER
+    ascetic_bench::setup::TABLE4_ORDER
         .iter()
         .flat_map(|&algo| {
             let m = if algo.weighted() && mode == CompressionMode::Always {
@@ -75,7 +75,7 @@ fn json_report(smoke: bool, scale: u64, grids: &[Vec<Cell>]) -> String {
              \"always\": {{\"sim_ns\": {}, \"bytes\": {}, \"wire\": {}}}, \
              \"adaptive\": {{\"sim_ns\": {}, \"bytes\": {}, \"wire\": {}}}, \
              \"wire_saved_bytes\": {}, \"time_delta_ns\": {}}}{}",
-            off[i].algo.name(),
+            off[i].algo.display(),
             off[i].dataset.abbr(),
             o.sim_time_ns,
             o.total_bytes_with_prestore(),
@@ -143,7 +143,7 @@ fn main() {
                     .first_mismatch(&b.reports[0].output, 1e-9)
                     .is_none(),
                 "compression changed the answer on {} / {}",
-                a.algo.name(),
+                a.algo.display(),
                 a.dataset.abbr()
             );
         }
@@ -170,7 +170,7 @@ fn main() {
             let r = &c.reports[0];
             csv.row(vec![
                 MODES[gi].1.to_string(),
-                c.algo.name().to_string(),
+                c.algo.display().to_string(),
                 c.dataset.abbr().to_string(),
                 r.sim_time_ns.to_string(),
                 r.total_bytes_with_prestore().to_string(),
@@ -186,7 +186,7 @@ fn main() {
         let saved = 100.0 * (raw as f64 - wire as f64) / raw.max(1) as f64;
         let dt = ad.sim_time_ns as i64 - o.sim_time_ns as i64;
         table.row(vec![
-            cell.algo.name().to_string(),
+            cell.algo.display().to_string(),
             cell.dataset.abbr().to_string(),
             human_bytes(raw),
             human_bytes(wire),
@@ -216,7 +216,7 @@ fn main() {
         .iter()
         .zip(grids[2].iter())
         .filter(|(o, a)| a.reports[0].sim_time_ns > o.reports[0].sim_time_ns)
-        .map(|(o, _)| format!("{}/{}", o.algo.name(), o.dataset.abbr()))
+        .map(|(o, _)| format!("{}/{}", o.algo.display(), o.dataset.abbr()))
         .collect();
     if !regressed.is_empty() {
         eprintln!("warning: adaptive slowed down: {}", regressed.join(", "));

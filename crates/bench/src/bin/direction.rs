@@ -95,7 +95,7 @@ fn json_report(smoke: bool, scale: u64, grids: &[Vec<Vec<Cell>>]) -> String {
                 "    {{\"algo\": \"{}\", \"dataset\": \"{}\", \"compression\": \"{}\", \
                  \"push\": {}, \"pull\": {}, \"adaptive\": {}, \
                  \"wire_saved_bytes\": {}, \"time_delta_ns\": {}}}{}",
-                cell.algo.name(),
+                cell.algo.display(),
                 cell.dataset.abbr(),
                 comp_name,
                 mode_obj(p),
@@ -162,7 +162,7 @@ fn main() {
                         .first_mismatch(&b.reports[0].output, 0.0)
                         .is_none(),
                     "direction changed the answer on {} / {}",
-                    a.algo.name(),
+                    a.algo.display(),
                     a.dataset.abbr()
                 );
             }
@@ -196,7 +196,7 @@ fn main() {
                 csv.row(vec![
                     MODES[mi].1.to_string(),
                     COMPS[ci].1.to_string(),
-                    c.algo.name().to_string(),
+                    c.algo.display().to_string(),
                     c.dataset.abbr().to_string(),
                     r.sim_time_ns.to_string(),
                     r.steady_wire_bytes().to_string(),
@@ -215,7 +215,7 @@ fn main() {
             let saved = p.steady_wire_bytes() as i64 - a.steady_wire_bytes() as i64;
             let dt = a.sim_time_ns as i64 - p.sim_time_ns as i64;
             table.row(vec![
-                pc.algo.name().to_string(),
+                pc.algo.display().to_string(),
                 pc.dataset.abbr().to_string(),
                 comp_name.to_string(),
                 format!("{:.1} KiB", p.steady_wire_bytes() as f64 / 1024.0),
@@ -227,7 +227,7 @@ fn main() {
                 pull_iters(a).to_string(),
                 format!("{:+.2}%", 100.0 * dt as f64 / p.sim_time_ns.max(1) as f64),
             ]);
-            let tag = format!("{}/{}/{}", pc.algo.name(), pc.dataset.abbr(), comp_name);
+            let tag = format!("{}/{}/{}", pc.algo.display(), pc.dataset.abbr(), comp_name);
             if dt > 0 {
                 slow.push(tag.clone());
             }

@@ -48,7 +48,7 @@ fn main() {
                 algo,
             );
             csv.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 name.to_string(),
                 format!("{:.6}", rep.seconds()),
                 rep.total_bytes_with_prestore().to_string(),
@@ -64,7 +64,7 @@ fn main() {
             - 1.0)
             * 100.0;
         table.row(vec![
-            algo.name().to_string(),
+            algo.display().to_string(),
             format!("{:.4}s", secs[0]),
             format!("{:.4}s", secs[1]),
             format!("{:.4}s", secs[2]),

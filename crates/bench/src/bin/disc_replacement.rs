@@ -70,7 +70,7 @@ fn main() {
             let od_share =
                 rep.breakdown.ondemand_compute_ns as f64 / rep.sim_time_ns as f64 * 100.0;
             table.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 name.to_string(),
                 format!("{:.4}s", rep.seconds()),
                 format!("{delta:+.1}%"),
@@ -79,7 +79,7 @@ fn main() {
                 format!("{od_share:.1}%"),
             ]);
             csv.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 name.to_string(),
                 format!("{:.6}", rep.seconds()),
                 rep.refresh_bytes.to_string(),

@@ -71,7 +71,7 @@ fn main() {
                 format!("{subway:.4}s"),
             ]);
             csv.row(vec![
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{r:.2}"),
                 format!("{:.6}", rep.seconds()),
                 format!("{:.6}", b.static_compute_ns as f64 / 1e9),
@@ -83,7 +83,7 @@ fn main() {
             ]);
         }
         section(
-            &format!("{} (Eq (2) chooses R = {eq2:.2})", algo.name()),
+            &format!("{} (Eq (2) chooses R = {eq2:.2})", algo.display()),
             &table,
         );
     }

@@ -32,7 +32,7 @@ fn main() {
         for &frac in &mem_fracs {
             let mem = (g.edge_bytes() as f64 * frac) as u64 + vertex_overhead;
             let dev = env.device_with_mem(mem);
-            eprintln!("  {} at {:.0}% ...", algo.name(), frac * 100.0);
+            eprintln!("  {} at {:.0}% ...", algo.display(), frac * 100.0);
             let sw = run_algo(&SubwaySystem::new(dev), g, algo);
             let asc = run_algo(
                 &AsceticSystem::new(AsceticConfig::new(dev).with_chunk_bytes(env.chunk_bytes())),
@@ -43,14 +43,14 @@ fn main() {
             let speed = sw.seconds() / asc.seconds();
             table.row(vec![
                 format!("{:.0}%", frac * 100.0),
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{:.4}s", sw.seconds()),
                 format!("{:.4}s", asc.seconds()),
                 format!("{speed:.2}X"),
             ]);
             csv.row(vec![
                 format!("{frac:.2}"),
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{:.6}", sw.seconds()),
                 format!("{:.6}", asc.seconds()),
                 format!("{speed:.4}"),

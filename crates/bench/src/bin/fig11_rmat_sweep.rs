@@ -53,7 +53,7 @@ fn main() {
             } else {
                 g.clone()
             };
-            eprintln!("  RMAT {:.1}B / {} ...", pe as f64 / 1e9, algo.name());
+            eprintln!("  RMAT {:.1}B / {} ...", pe as f64 / 1e9, algo.display());
             let sw = run_algo(&SubwaySystem::new(dev), &gg, algo);
             let asc = run_algo(&AsceticSystem::new(env.ascetic_cfg()), &gg, algo);
             assert_eq!(sw.output, asc.output);
@@ -61,7 +61,7 @@ fn main() {
             table.row(vec![
                 format!("{:.1}B", pe as f64 / 1e9),
                 format!("{:.2}M", g.num_edges() as f64 / 1e6),
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{:.4}s", sw.seconds()),
                 format!("{:.4}s", asc.seconds()),
                 format!("{speed:.2}X"),
@@ -69,7 +69,7 @@ fn main() {
             csv.row(vec![
                 pe.to_string(),
                 g.num_edges().to_string(),
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{:.6}", sw.seconds()),
                 format!("{:.6}", asc.seconds()),
                 format!("{speed:.4}"),

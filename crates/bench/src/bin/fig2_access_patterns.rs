@@ -45,7 +45,7 @@ fn main() {
             Algo::Pr => sys.run_traced(g, &PageRank::new(), &mut tracer, chunk_bytes),
             Algo::Sssp => sys.run_traced(g, &Sssp::new(source_vertex(g)), &mut tracer, chunk_bytes),
             Algo::Cc => sys.run_traced(g, &Cc::new(), &mut tracer, chunk_bytes),
-            Algo::Bfs => unreachable!(),
+            _ => unreachable!(),
         };
         let counts = tracer.iteration_counts();
         let touched = counts.iter().filter(|&&c| c > 0).count();
@@ -55,7 +55,7 @@ fn main() {
             nonzero.iter().copied().max().unwrap_or(0),
         );
         summary.row(vec![
-            algo.name().to_string(),
+            algo.display().to_string(),
             format!("{touched}/{NUM_CHUNKS}"),
             mn.to_string(),
             mx.to_string(),
@@ -63,16 +63,16 @@ fn main() {
         ]);
         eprintln!(
             "  {}: {} iterations, {} trace events",
-            algo.name(),
+            algo.display(),
             rep.iterations,
             tracer.events().len()
         );
         maybe_write_csv(
-            &format!("fig2_{}_timeline.csv", algo.name().to_lowercase()),
+            &format!("fig2_{}_timeline.csv", algo.display().to_lowercase()),
             &tracer.events_csv(),
         );
         maybe_write_csv(
-            &format!("fig2_{}_counts.csv", algo.name().to_lowercase()),
+            &format!("fig2_{}_counts.csv", algo.display().to_lowercase()),
             &tracer.iteration_counts_csv(),
         );
     }

@@ -8,7 +8,7 @@
 use ascetic_bench::fmt::{geomean, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
-use ascetic_bench::setup::{Algo, Env};
+use ascetic_bench::setup::Env;
 use ascetic_graph::datasets::DatasetId;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
     eprintln!("Figure 7: Ascetic vs Subway (scale 1/{})", env.scale);
     let cells = run_grid(
         &env,
-        &Algo::TABLE4_ORDER,
+        &ascetic_bench::setup::TABLE4_ORDER,
         &DatasetId::ALL,
         &[Sys::Subway, Sys::Ascetic],
     );
@@ -36,7 +36,7 @@ fn main() {
         let ratio = asc.steady_bytes() as f64 / sw.steady_bytes() as f64;
         speeds.push(speed);
         ratios.push(ratio.max(1e-6));
-        let label = format!("{}-{}", c.algo.name(), c.dataset.abbr());
+        let label = format!("{}-{}", c.algo.display(), c.dataset.abbr());
         table.row(vec![
             label.clone(),
             format!("{speed:.2}X"),

@@ -52,7 +52,7 @@ fn main() {
         let pd = PreparedDataset::build(&env, id);
         for algo in [Algo::Bfs, Algo::Sssp, Algo::Cc, Algo::Pr] {
             let g = pd.graph(algo);
-            eprintln!("  {} / {} ...", algo.name(), id.abbr());
+            eprintln!("  {} / {} ...", algo.display(), id.abbr());
             let sw = run_algo(&env.subway(), g, algo);
             let static_only = run_algo(
                 &AsceticSystem::new(env.ascetic_cfg().with_overlap(false)),
@@ -68,7 +68,7 @@ fn main() {
             assert_eq!(static_only.output, sw.output);
             assert_eq!(full.output, sw.output);
             assert_eq!(prefetch.output, sw.output);
-            let stem = format!("{}_{}", algo.name(), id.abbr());
+            let stem = format!("{}_{}", algo.display(), id.abbr());
             env.maybe_write_trace(&sw, &format!("fig8_subway_{stem}"));
             env.maybe_write_trace(&static_only, &format!("fig8_static_{stem}"));
             env.maybe_write_trace(&full, &format!("fig8_full_{stem}"));
@@ -85,7 +85,7 @@ fn main() {
             static_savings_all.push(s_static);
             overlap_savings_all.push(s_overlap);
             prefetch_savings_all.push(s_prefetch);
-            let label = format!("{}-{}", algo.name(), id.abbr());
+            let label = format!("{}-{}", algo.display(), id.abbr());
             table.row(vec![
                 label.clone(),
                 format!("{t_sw:.4}s"),

@@ -8,7 +8,7 @@
 use ascetic_bench::fmt::{geomean, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
-use ascetic_bench::setup::{Algo, Env};
+use ascetic_bench::setup::Env;
 use ascetic_core::CompressionMode;
 use ascetic_graph::datasets::DatasetId;
 
@@ -18,7 +18,7 @@ fn main() {
     let compressed = env.compression != CompressionMode::Off;
     let cells = run_grid(
         &env,
-        &Algo::TABLE4_ORDER,
+        &ascetic_bench::setup::TABLE4_ORDER,
         &DatasetId::ALL,
         &[Sys::Uvm, Sys::Ascetic],
     );
@@ -38,7 +38,7 @@ fn main() {
         let speed = uvm.seconds() / asc.seconds();
         let ratio = asc.total_bytes_with_prestore() as f64 / uvm.steady_bytes() as f64;
         speeds.push(speed);
-        let label = format!("{}-{}", c.algo.name(), c.dataset.abbr());
+        let label = format!("{}-{}", c.algo.display(), c.dataset.abbr());
         let mut row = vec![label.clone(), format!("{speed:.2}X"), format!("{ratio:.2}")];
         let mut csv_row = vec![label, format!("{speed:.4}"), format!("{ratio:.4}")];
         if compressed {

@@ -22,7 +22,7 @@
 use ascetic_bench::fmt::Table;
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Cell, Sys};
-use ascetic_bench::setup::{Algo, Env};
+use ascetic_bench::setup::Env;
 use ascetic_core::{PrefetchMode, RunReport};
 use ascetic_graph::datasets::DatasetId;
 use std::fmt::Write as _;
@@ -42,7 +42,12 @@ fn stall_ns(r: &RunReport) -> u64 {
 
 fn mode_grid(scale: u64, mode: PrefetchMode) -> Vec<Cell> {
     let env = Env::with_scale(scale).with_prefetch(mode);
-    run_grid(&env, &Algo::TABLE4_ORDER, &DatasetId::ALL, &[Sys::Ascetic])
+    run_grid(
+        &env,
+        &ascetic_bench::setup::TABLE4_ORDER,
+        &DatasetId::ALL,
+        &[Sys::Ascetic],
+    )
 }
 
 fn json_report(smoke: bool, scale: u64, grids: &[Vec<Cell>]) -> String {
@@ -83,7 +88,7 @@ fn json_report(smoke: bool, scale: u64, grids: &[Vec<Cell>]) -> String {
             "    {{\"algo\": \"{}\", \"dataset\": \"{}\", \
              \"off\": {}, \"next_frontier\": {}, \"hotness\": {}, \
              \"stall_hidden_ns\": {}, \"time_delta_ns\": {}}}{}",
-            off[i].algo.name(),
+            off[i].algo.display(),
             off[i].dataset.abbr(),
             mode_obj(o),
             mode_obj(n),
@@ -138,7 +143,7 @@ fn main() {
                     .first_mismatch(&b.reports[0].output, 1e-9)
                     .is_none(),
                 "prefetch changed the answer on {} / {}",
-                a.algo.name(),
+                a.algo.display(),
                 a.dataset.abbr()
             );
         }
@@ -169,7 +174,7 @@ fn main() {
             let r = &c.reports[0];
             csv.row(vec![
                 MODES[gi].1.to_string(),
-                c.algo.name().to_string(),
+                c.algo.display().to_string(),
                 c.dataset.abbr().to_string(),
                 r.sim_time_ns.to_string(),
                 stall_ns(r).to_string(),
@@ -186,7 +191,7 @@ fn main() {
         let hidden = 100.0 * (stall_ns(o) as f64 - stall_ns(n) as f64) / stall_ns(o).max(1) as f64;
         let dt = n.sim_time_ns as i64 - o.sim_time_ns as i64;
         table.row(vec![
-            cell.algo.name().to_string(),
+            cell.algo.display().to_string(),
             cell.dataset.abbr().to_string(),
             format!("{:.2} ms", stall_ns(o) as f64 / 1e6),
             format!("{:.2} ms", stall_ns(n) as f64 / 1e6),
@@ -210,7 +215,7 @@ fn main() {
         .iter()
         .zip(grids[1].iter())
         .filter(|(o, n)| n.reports[0].sim_time_ns > o.reports[0].sim_time_ns)
-        .map(|(o, _)| format!("{}/{}", o.algo.name(), o.dataset.abbr()))
+        .map(|(o, _)| format!("{}/{}", o.algo.display(), o.dataset.abbr()))
         .collect();
     if smoke {
         // toy scale: the grid barely oversubscribes, so only warn

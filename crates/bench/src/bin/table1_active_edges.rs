@@ -14,7 +14,7 @@
 
 use ascetic_bench::fmt::Table;
 use ascetic_bench::output::emit;
-use ascetic_bench::setup::{run_algo_in_memory, Algo, Env};
+use ascetic_bench::setup::{run_algo_in_memory, Env};
 use ascetic_graph::datasets::DatasetId;
 
 fn main() {
@@ -25,21 +25,21 @@ fn main() {
     for id in [DatasetId::Fk, DatasetId::Uk] {
         let ds = env.dataset(id);
         let mut cells = vec![ds.id.name().to_string()];
-        for algo in Algo::TABLE1_ORDER {
+        for algo in ascetic_bench::setup::TABLE1_ORDER {
             let g = env.graph_for(&ds, algo);
             let res = run_algo_in_memory(&g, algo);
             let pct = res.avg_active_edge_fraction(&g) * 100.0;
             cells.push(format!("{pct:.1}%"));
             csv.row(vec![
                 id.abbr().to_string(),
-                algo.name().to_string(),
+                algo.display().to_string(),
                 format!("{pct:.3}"),
                 res.iterations.to_string(),
             ]);
             eprintln!(
                 "  {} {}: {:.1}% over {} iterations",
                 id.abbr(),
-                algo.name(),
+                algo.display(),
                 pct,
                 res.iterations
             );

@@ -15,7 +15,7 @@
 use ascetic_bench::fmt::{human_bytes, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
-use ascetic_bench::setup::{Algo, Env};
+use ascetic_bench::setup::Env;
 use ascetic_graph::datasets::DatasetId;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
     );
     let cells = run_grid(
         &env,
-        &Algo::TABLE1_ORDER,
+        &ascetic_bench::setup::TABLE1_ORDER,
         &[DatasetId::Fk, DatasetId::Uk],
         &[Sys::Subway],
     );
@@ -42,7 +42,7 @@ fn main() {
     ]);
     for id in [DatasetId::Fk, DatasetId::Uk] {
         let mut cells_row = vec![id.name().to_string()];
-        for algo in Algo::TABLE1_ORDER {
+        for algo in ascetic_bench::setup::TABLE1_ORDER {
             let c = cells
                 .iter()
                 .find(|c| c.algo == algo && c.dataset == id)
@@ -51,7 +51,7 @@ fn main() {
             cells_row.push(human_bytes(rep.avg_iteration_payload_bytes));
             csv.row(vec![
                 id.abbr().to_string(),
-                algo.name().to_string(),
+                algo.display().to_string(),
                 rep.avg_iteration_payload_bytes.to_string(),
                 rep.peak_iteration_payload_bytes.to_string(),
                 device.to_string(),

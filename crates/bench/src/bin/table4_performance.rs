@@ -8,7 +8,7 @@
 use ascetic_bench::fmt::{geomean, human_secs, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
-use ascetic_bench::setup::{Algo, Env};
+use ascetic_bench::setup::Env;
 use ascetic_graph::datasets::DatasetId;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
     eprintln!("Table 4: performance (scale 1/{})", env.scale);
     let cells = run_grid(
         &env,
-        &Algo::TABLE4_ORDER,
+        &ascetic_bench::setup::TABLE4_ORDER,
         &DatasetId::ALL,
         &[Sys::Pt, Sys::Subway, Sys::Ascetic],
     );
@@ -42,14 +42,14 @@ fn main() {
         subway_speedups.push(sw_x);
         ascetic_speedups.push(asc_x);
         table.row(vec![
-            c.algo.name().to_string(),
+            c.algo.display().to_string(),
             c.dataset.abbr().to_string(),
             human_secs(pt),
             format!("{sw_x:.1}X"),
             format!("{asc_x:.1}X"),
         ]);
         csv.row(vec![
-            c.algo.name().to_string(),
+            c.algo.display().to_string(),
             c.dataset.abbr().to_string(),
             format!("{pt:.6}"),
             format!("{sw:.6}"),

@@ -9,7 +9,7 @@
 use ascetic_bench::fmt::{geomean, human_bytes, Table};
 use ascetic_bench::output::emit;
 use ascetic_bench::run::{run_grid, Sys};
-use ascetic_bench::setup::{Algo, Env};
+use ascetic_bench::setup::Env;
 use ascetic_core::CompressionMode;
 use ascetic_graph::datasets::DatasetId;
 
@@ -19,7 +19,7 @@ fn main() {
     let compressed = env.compression != CompressionMode::Off;
     let cells = run_grid(
         &env,
-        &Algo::TABLE4_ORDER,
+        &ascetic_bench::setup::TABLE4_ORDER,
         &DatasetId::ALL,
         &[Sys::Pt, Sys::Subway, Sys::Ascetic],
     );
@@ -68,7 +68,7 @@ fn main() {
         g_sw.push(xs);
         g_asc.push(xa);
         let mut row = vec![
-            c.algo.name().to_string(),
+            c.algo.display().to_string(),
             c.dataset.abbr().to_string(),
             human_bytes(ds_bytes),
             format!("{xp:.1}X"),
@@ -76,7 +76,7 @@ fn main() {
             format!("{xa:.2}X"),
         ];
         let mut csv_row = vec![
-            c.algo.name().to_string(),
+            c.algo.display().to_string(),
             c.dataset.abbr().to_string(),
             ds_bytes.to_string(),
             pt.to_string(),

@@ -143,7 +143,7 @@ fn json_report(smoke: bool, ab: &DispatchAb, runs: &[AlgoRun]) -> String {
             j,
             "    {{\"system\": \"Ascetic\", \"dataset\": \"FK\", \"algo\": \"{}\", \
              \"threads\": {}, \"wall_ms\": {:.3}, \"sim_ms\": {:.3}, \"iterations\": {}}}{}",
-            r.algo.name(),
+            r.algo.display(),
             r.threads,
             r.wall_ms,
             r.sim_ms,
@@ -201,7 +201,7 @@ fn main() {
     let mut rt = Table::new(vec!["algo", "threads", "wall ms", "sim ms", "iters"]);
     for r in &runs {
         rt.row(vec![
-            r.algo.name().to_string(),
+            r.algo.display().to_string(),
             r.threads.to_string(),
             format!("{:.2}", r.wall_ms),
             format!("{:.2}", r.sim_ms),

@@ -94,7 +94,7 @@ pub fn run_grid(env: &Env, algos: &[Algo], datasets: &[DatasetId], systems: &[Sy
                 eprintln!(
                     "  running {} / {} / {} ...",
                     sys.name(),
-                    algo.name(),
+                    algo.display(),
                     pd.id.abbr()
                 );
                 let system = env.system(sys);
@@ -102,14 +102,14 @@ pub fn run_grid(env: &Env, algos: &[Algo], datasets: &[DatasetId], systems: &[Sy
                     panic!(
                         "{} refuses {} / {}: {e}",
                         sys.name(),
-                        algo.name(),
+                        algo.display(),
                         pd.id.abbr()
                     );
                 }
                 let rep = run_algo(&system, g, algo);
                 env.maybe_write_trace(
                     &rep,
-                    &format!("{}_{}_{}", sys.name(), algo.name(), pd.id.abbr()),
+                    &format!("{}_{}_{}", sys.name(), algo.display(), pd.id.abbr()),
                 );
                 reports.push(rep);
             }
@@ -120,7 +120,7 @@ pub fn run_grid(env: &Env, algos: &[Algo], datasets: &[DatasetId], systems: &[Sy
                     "{} and {} disagree on {} / {}",
                     r.system,
                     reports[0].system,
-                    algo.name(),
+                    algo.display(),
                     pd.id.abbr()
                 );
             }

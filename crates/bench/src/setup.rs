@@ -17,40 +17,16 @@ use ascetic_sim::DeviceConfig;
 /// Default scale divisor for benchmark binaries.
 pub const DEFAULT_BENCH_SCALE: u64 = 1000;
 
-/// The four algorithms of the evaluation, in the paper's table order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algo {
-    /// Single-source shortest path (weighted).
-    Sssp,
-    /// PageRank (residual).
-    Pr,
-    /// Connected components.
-    Cc,
-    /// Breadth-first search.
-    Bfs,
-}
+/// The workspace algorithm registry, re-exported: the bench harness has no
+/// private algorithm list. Metadata ([`Algo::weighted`], display names)
+/// comes from the registry; the paper's table orderings live in
+/// [`TABLE4_ORDER`]/[`TABLE1_ORDER`] below.
+pub use ascetic_algos::Algo;
 
-impl Algo {
-    /// Table 4 row order: SSSP, PR, CC, BFS.
-    pub const TABLE4_ORDER: [Algo; 4] = [Algo::Sssp, Algo::Pr, Algo::Cc, Algo::Bfs];
-    /// Table 1 column order: BFS, SSSP, CC, PR.
-    pub const TABLE1_ORDER: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Cc, Algo::Pr];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algo::Bfs => "BFS",
-            Algo::Sssp => "SSSP",
-            Algo::Cc => "CC",
-            Algo::Pr => "PR",
-        }
-    }
-
-    /// Whether the algorithm needs edge weights (doubling edge bytes).
-    pub fn weighted(self) -> bool {
-        matches!(self, Algo::Sssp)
-    }
-}
+/// Table 4 row order: SSSP, PR, CC, BFS (the paper's four).
+pub const TABLE4_ORDER: [Algo; 4] = [Algo::Sssp, Algo::Pr, Algo::Cc, Algo::Bfs];
+/// Table 1 column order: BFS, SSSP, CC, PR.
+pub const TABLE1_ORDER: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Cc, Algo::Pr];
 
 /// The experimental environment.
 pub struct Env {
@@ -271,6 +247,29 @@ pub fn source_vertex(g: &Csr) -> VertexId {
         .unwrap_or(0)
 }
 
+/// Instantiate `algo` for a bench run: single-source programs root at the
+/// dataset's hub ([`source_vertex`]), multi-source programs draw their
+/// registry-default sample count, kcore uses the paper-default k = 4.
+pub fn bench_program(g: &Csr, algo: Algo) -> ascetic_algos::AnyProgram {
+    let count = algo.default_source_count();
+    let sources = if count > 0 {
+        let n = g.num_vertices() as VertexId;
+        let mut s: Vec<VertexId> = (0..count as VertexId)
+            .map(|i| i.wrapping_mul(2_654_435_761) % n.max(1))
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    } else {
+        vec![source_vertex(g)]
+    };
+    algo.program(&ascetic_algos::ProgramOpts {
+        source: source_vertex(g),
+        sources,
+        k: 4,
+    })
+}
+
 /// Run `algo` on `g` (already weighted if needed) under a system, via the
 /// common trait.
 pub fn run_algo<S: ascetic_core::OutOfCoreSystem>(
@@ -278,31 +277,12 @@ pub fn run_algo<S: ascetic_core::OutOfCoreSystem>(
     g: &Csr,
     algo: Algo,
 ) -> ascetic_core::RunReport {
-    match algo {
-        Algo::Bfs => sys.run(g, &ascetic_algos::Bfs::new(source_vertex(g))),
-        Algo::Sssp => sys.run(g, &ascetic_algos::Sssp::new(source_vertex(g))),
-        Algo::Cc => sys.run(g, &ascetic_algos::Cc::new()),
-        Algo::Pr => sys.run(g, &ascetic_algos::PageRank::new()),
-    }
+    sys.run(g, &bench_program(g, algo))
 }
 
 /// Run `algo` in memory (oracle + activity log).
 pub fn run_algo_in_memory(g: &Csr, algo: Algo) -> ascetic_algos::InMemoryResult {
-    match algo {
-        Algo::Bfs => {
-            ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::Bfs::new(source_vertex(g)))
-        }
-        Algo::Sssp => {
-            ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::Sssp::new(source_vertex(g)))
-        }
-        Algo::Cc => ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::Cc::new()),
-        Algo::Pr => ascetic_algos::inmemory::run_in_memory(g, &ascetic_algos::PageRank::new()),
-    }
-}
-
-/// Instantiate the program for `algo` (for custom drivers).
-pub fn program_names() -> [&'static str; 4] {
-    ["BFS", "SSSP", "CC", "PR"]
+    ascetic_algos::inmemory::run_in_memory(g, &bench_program(g, algo))
 }
 
 #[cfg(test)]
@@ -333,17 +313,17 @@ mod tests {
     fn all_systems_agree_on_a_small_dataset() {
         let env = Env::with_scale(50_000);
         let ds = env.dataset(DatasetId::Gs);
-        for algo in Algo::TABLE4_ORDER {
+        for algo in TABLE4_ORDER {
             let g = env.graph_for(&ds, algo);
             let oracle = run_algo_in_memory(&g, algo);
             let asc = run_algo(&env.ascetic(), &g, algo);
-            assert_eq!(asc.output, oracle.output, "Ascetic {}", algo.name());
+            assert_eq!(asc.output, oracle.output, "Ascetic {}", algo.display());
             let sw = run_algo(&env.subway(), &g, algo);
-            assert_eq!(sw.output, oracle.output, "Subway {}", algo.name());
+            assert_eq!(sw.output, oracle.output, "Subway {}", algo.display());
             let pt = run_algo(&env.pt(), &g, algo);
-            assert_eq!(pt.output, oracle.output, "PT {}", algo.name());
+            assert_eq!(pt.output, oracle.output, "PT {}", algo.display());
             let uv = run_algo(&env.uvm(), &g, algo);
-            assert_eq!(uv.output, oracle.output, "UVM {}", algo.name());
+            assert_eq!(uv.output, oracle.output, "UVM {}", algo.display());
         }
     }
 

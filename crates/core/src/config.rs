@@ -1,5 +1,6 @@
 //! Ascetic configuration.
 
+use ascetic_algos::{AlgoError, Capabilities};
 use ascetic_graph::Csr;
 use ascetic_sim::DeviceConfig;
 
@@ -30,6 +31,18 @@ pub enum ConfigError {
     /// Weighted graphs cannot use [`CompressionMode::Always`]: weights
     /// always ship raw, so forcing encoding would inflate every transfer.
     CompressedWeightedGraph,
+    /// The configuration asks for something the program's
+    /// [`Capabilities`] rule out (forced pull on a push-only program,
+    /// graph-weighting mismatch). Raised by
+    /// [`AsceticConfig::validate_algo`] at build/admission time — engines
+    /// never check this mid-run.
+    Algo(AlgoError),
+}
+
+impl From<AlgoError> for ConfigError {
+    fn from(e: AlgoError) -> Self {
+        ConfigError::Algo(e)
+    }
 }
 
 impl std::fmt::Display for ConfigError {
@@ -57,6 +70,7 @@ impl std::fmt::Display for ConfigError {
                     "weighted graphs cannot run with compression=always (weights ship raw)"
                 )
             }
+            ConfigError::Algo(e) => e.fmt(f),
         }
     }
 }
@@ -351,6 +365,19 @@ impl AsceticConfig {
         (*self).build()?;
         if g.is_weighted() && self.compression == CompressionMode::Always {
             return Err(ConfigError::CompressedWeightedGraph);
+        }
+        Ok(())
+    }
+
+    /// Check this configuration against a program's capability
+    /// descriptor: forcing `--direction pull` onto a push-only program is
+    /// rejected *here*, at build/admission time, with a typed
+    /// [`AlgoError`] — not by a panic mid-run. (`Adaptive` is a
+    /// preference, not a demand: push-only programs simply stay push.)
+    /// `name` is the program's display name, used in the error message.
+    pub fn validate_algo(&self, caps: Capabilities, name: &'static str) -> Result<(), ConfigError> {
+        if self.direction == DirectionMode::Pull && !caps.pull {
+            return Err(AlgoError::PullUnsupported { algo: name }.into());
         }
         Ok(())
     }

@@ -5,7 +5,7 @@
 //! shards ([`ascetic_graph::partition::partition_even_edges`]), each device
 //! owns one shard as a masked CSR in the *global* vertex-id space, and the
 //! round loop interleaves every shard's
-//! [`AsceticSession::step_iteration`] with a cross-device **frontier
+//! `AsceticSession::step_iteration` with a cross-device **frontier
 //! exchange** arbitrated by the [`Interconnect`]:
 //!
 //! * **owner-computes** — a vertex's full out-edge list lives in exactly
@@ -17,7 +17,7 @@
 //!   threading.
 //! * **frontier exchange** — at the iteration boundary device `i` ships
 //!   its owned slice of the freshly-written next frontier to every peer
-//!   ([`VertexProgram::frontier_payload_bytes`] per vertex), over NVLink
+//!   ([`ascetic_algos::Capabilities::payload_bytes`] per vertex), over NVLink
 //!   peer links when the fabric has them or staged through host memory
 //!   otherwise. The round then closes with a BSP barrier at the last
 //!   transfer's end, stamped onto every device timeline so per-device
@@ -27,7 +27,7 @@
 //! compression crossover, cross-iteration prefetch — runs per-device,
 //! unchanged, over that device's shard.
 
-use ascetic_algos::{AlgoOutput, VertexProgram};
+use ascetic_algos::{ops, AlgoOutput, VertexProgram};
 use ascetic_graph::partition::{partition_even_edges, shard_csr};
 use ascetic_graph::Csr;
 use ascetic_obs::Trace;
@@ -120,7 +120,7 @@ pub fn run_fleet<P: VertexProgram>(
     assert!(fleet.devices > 0, "a fleet needs at least one device");
     assert_eq!(
         g.is_weighted(),
-        prog.needs_weights(),
+        prog.capabilities().weights,
         "graph weighting must match the program"
     );
     let shards = partition_even_edges(g, fleet.devices);
@@ -147,7 +147,7 @@ pub fn run_fleet<P: VertexProgram>(
         .collect();
     let mut ctxs: Vec<_> = sessions.iter_mut().map(|s| s.begin_run()).collect();
     let mut ic = Interconnect::new(fleet.interconnect, sessions.len());
-    let payload = prog.frontier_payload_bytes();
+    let payload = prog.capabilities().payload_bytes;
 
     // Shared replicated vertex state, initialized from the full graph so
     // global facts (PR degrees, initial residuals) are correct on every
@@ -156,8 +156,21 @@ pub fn run_fleet<P: VertexProgram>(
     let mut active = prog.initial_frontier(g);
     let mut exchange_bytes = 0u64;
     let mut round = 0u32;
-    while !active.is_all_zero() && round < prog.max_iterations() {
-        prog.begin_iteration(round, &active, &state);
+    let mut phase = 0u32;
+    while round < prog.max_iterations() {
+        if active.is_all_zero() {
+            // multi-phase handshake: state is replicated, so the
+            // transition runs once on the global view and the next
+            // phase's frontier shards exactly like the initial one
+            match ops::phase_transition(prog, phase, g, &state) {
+                Some(f) => {
+                    active = f;
+                    phase += 1;
+                }
+                None => break,
+            }
+        }
+        ops::compute(prog, round, &active, &state);
         let next = AtomicBitmap::new(n);
         // Owner-computes: every shard steps every round (a device with an
         // empty local frontier still opens/closes its iteration span) so
@@ -166,7 +179,7 @@ pub fn run_fleet<P: VertexProgram>(
             let local = active.and(&owned[s]);
             session.step_iteration(prog, &mut ctxs[s], &local, &state, &next);
         }
-        let frontier = next.snapshot();
+        let frontier = ops::filter(prog, next.snapshot(), &state);
 
         // Frontier exchange: device i broadcasts its owned slice of the
         // next frontier to every peer. Sends issue in (src, dst) order on

@@ -9,8 +9,8 @@
 //! subsequent runs start with a warm region (possibly *warmer* than the
 //! initial fill, if the replacement server adapted it).
 //!
-//! Execution is factored into three steps — [`AsceticSession::begin_run`],
-//! [`AsceticSession::step_iteration`] and [`AsceticSession::finish_run`] —
+//! Execution is factored into three steps — `AsceticSession::begin_run`,
+//! `AsceticSession::step_iteration` and `AsceticSession::finish_run` —
 //! so two drivers can share one engine: [`AsceticSession::run`] composes
 //! them into the classic single-device loop, while `crate::fleet`
 //! interleaves the steps of N shard sessions with cross-device frontier
@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ascetic_algos::{EdgeSlice, TraversalDirection, VertexProgram};
+use ascetic_algos::{ops, EdgeSlice, TraversalDirection, VertexProgram};
 use ascetic_graph::chunks::{ChunkGeometry, ChunkId};
 use ascetic_graph::compress::{encode_ranges, EncodeEntry};
 use ascetic_graph::{Csr, GraphChunks, VertexId};
@@ -88,11 +88,11 @@ pub struct AsceticSession<'g> {
 }
 
 /// Per-run bookkeeping threaded through the stepping API: the delta
-/// baselines captured by [`AsceticSession::begin_run`] plus every piece
+/// baselines captured by `AsceticSession::begin_run` plus every piece
 /// of loop state one iteration hands the next (breakdown, per-iteration
 /// reports, prefetch pipeline state, buffer fences). Opaque outside the
 /// core crate: drivers create it, pass it to each step, and surrender it
-/// to [`AsceticSession::finish_run`].
+/// to `AsceticSession::finish_run`.
 pub struct RunCtx {
     run_start: SimTime,
     xfer0: XferStats,
@@ -549,7 +549,7 @@ impl<'g> AsceticSession<'g> {
             .as_ref()
             .expect("adaptive direction without a CSC mirror")
             .csc;
-        let targets = prog.pull_targets(g, frontier, state);
+        let targets = ops::pull_frontier(prog, g, frontier, state);
         let mut pull_edges = 0u64;
         let mut pull_nodes = 0u64;
         for v in targets.iter_ones() {
@@ -569,8 +569,9 @@ impl<'g> AsceticSession<'g> {
 
     /// Resolve the traversal direction for an iteration whose frontier is
     /// `frontier`, honoring the config policy and the program's pull
-    /// capability. Forcing `--direction pull` onto a push-only program is
-    /// a contract violation, not a silent fallback.
+    /// capability. A push-only program always runs push: forcing
+    /// `--direction pull` onto one is rejected at configuration build /
+    /// admission time ([`AsceticConfig::validate_algo`]), never here.
     fn direction_for<P: VertexProgram>(
         &self,
         prog: &P,
@@ -578,12 +579,7 @@ impl<'g> AsceticSession<'g> {
         state: &P::State,
         prev: TraversalDirection,
     ) -> TraversalDirection {
-        if !prog.supports_pull() {
-            assert!(
-                self.cfg.direction != DirectionMode::Pull,
-                "--direction pull: {} is push-only (no pull implementation)",
-                prog.name()
-            );
+        if !prog.capabilities().pull {
             return TraversalDirection::Push;
         }
         match self.cfg.direction {
@@ -600,8 +596,8 @@ impl<'g> AsceticSession<'g> {
     }
 
     /// Capture the per-run delta baselines and fresh loop state. Drivers
-    /// call this once, then [`AsceticSession::step_iteration`] per
-    /// iteration, then [`AsceticSession::finish_run`].
+    /// call this once, then `AsceticSession::step_iteration` per
+    /// iteration, then `AsceticSession::finish_run`.
     pub(crate) fn begin_run(&mut self) -> RunCtx {
         let run_start = self.gpu.sync();
         RunCtx {
@@ -638,7 +634,7 @@ impl<'g> AsceticSession<'g> {
     /// maps, adaptive re-partition, static-region compute overlapped with
     /// the on-demand pipeline, replacement-server window and the
     /// cross-iteration prefetch commit/plan. The driver owns the frontier
-    /// dance: it calls `prog.begin_iteration` first, passes the (already
+    /// dance: it runs the compute operator first, passes the (already
     /// ownership-masked, in the fleet case) `active` bitmap, and snapshots
     /// `next` after the step (after *all* shards' steps, in the fleet
     /// case) to build the next round's frontier.
@@ -766,7 +762,7 @@ impl<'g> AsceticSession<'g> {
             parallel_for(maps.static_nodes.len(), |i| {
                 let v = maps.static_nodes[i];
                 region_ref.for_each_vertex_slice(mem, g, v, |words| {
-                    prog.process_vertex(v, EdgeSlice::new(words, weighted), state, next);
+                    ops::advance(prog, v, EdgeSlice::new(words, weighted), state, next);
                 });
             });
         }
@@ -917,7 +913,7 @@ impl<'g> AsceticSession<'g> {
                 parallel_for(batch_ref.entries.len(), |i| {
                     let e = &batch_ref.entries[i];
                     let words = &mem.words(dst)[batch_ref.entry_words(i)];
-                    prog.process_vertex(e.vertex, EdgeSlice::new(words, weighted), state, next);
+                    ops::advance(prog, e.vertex, EdgeSlice::new(words, weighted), state, next);
                 });
             }
             if let Some(first) = gather_first {
@@ -1135,7 +1131,7 @@ impl<'g> AsceticSession<'g> {
         // commits above, so the push-vs-pull transfer estimate sees the
         // exact static-region residency the next data maps will see.
         if cfg.direction != DirectionMode::Push
-            && prog.supports_pull()
+            && prog.capabilities().pull
             && !next_frontier.is_all_zero()
         {
             ctx.next_pull =
@@ -1205,7 +1201,7 @@ impl<'g> AsceticSession<'g> {
 
         // ➊ GenDataMap over the *target* set (unvisited candidates), same
         // bitmap-kernel charge as the push direction.
-        let targets = prog.pull_targets(g, active, state);
+        let targets = ops::pull_frontier(prog, g, active, state);
         let genmap = self.gpu.kernel_at(0, (n as u64).div_ceil(64), iter_start);
         ctx.breakdown.gen_map_ns += genmap.duration();
         if let Some(tr) = self.gpu.timeline.tracer_mut() {
@@ -1321,7 +1317,8 @@ impl<'g> AsceticSession<'g> {
                     parallel_for(batch_ref.entries.len(), |i| {
                         let e = &batch_ref.entries[i];
                         let words = &mem.words(dst)[batch_ref.entry_words(i)];
-                        let s = prog.pull_vertex(
+                        let s = ops::advance_pull(
+                            prog,
                             e.vertex,
                             EdgeSlice::new(words, weighted),
                             active,
@@ -1388,7 +1385,7 @@ impl<'g> AsceticSession<'g> {
         ctx.iter += 1;
     }
 
-    /// Close out a run started by [`AsceticSession::begin_run`]: assemble
+    /// Close out a run started by `AsceticSession::begin_run`: assemble
     /// the report, convert cumulative device counters into this run's
     /// deltas and re-arm the event log / tracer for the next run.
     pub(crate) fn finish_run<P: VertexProgram>(
@@ -1472,20 +1469,36 @@ impl<'g> AsceticSession<'g> {
     /// Execute one program over the session's graph. The first run's report
     /// carries the prestore cost; later runs report zero prestore (the
     /// region is already resident — the paper's amortization point).
+    ///
+    /// The loop is the canonical operator composition: compute → advance
+    /// (one `AsceticSession::step_iteration`) → filter, with the
+    /// multi-phase handshake ([`ops::phase_transition`]) when the frontier
+    /// drains. Multi-phase programs (betweenness) therefore inherit
+    /// prefetch, compression and direction choice with no session changes.
     pub fn run<P: VertexProgram>(&mut self, prog: &P) -> RunReport {
         assert_eq!(
             self.g.is_weighted(),
-            prog.needs_weights(),
+            prog.capabilities().weights,
             "graph weighting must match the program"
         );
         let mut ctx = self.begin_run();
         let state = prog.new_state(self.g);
         let mut active = prog.initial_frontier(self.g);
-        while !active.is_all_zero() && ctx.iter < prog.max_iterations() {
-            prog.begin_iteration(ctx.iter, &active, &state);
+        let mut phase = 0u32;
+        while ctx.iter < prog.max_iterations() {
+            if active.is_all_zero() {
+                match ops::phase_transition(prog, phase, self.g, &state) {
+                    Some(f) => {
+                        active = f;
+                        phase += 1;
+                    }
+                    None => break,
+                }
+            }
+            ops::compute(prog, ctx.iter, &active, &state);
             let next = AtomicBitmap::new(self.g.num_vertices());
             self.step_iteration(prog, &mut ctx, &active, &state, &next);
-            active = next.snapshot();
+            active = ops::filter(prog, next.snapshot(), &state);
         }
         self.finish_run(prog, &state, ctx)
     }
@@ -1856,12 +1869,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "push-only")]
-    fn forced_pull_on_push_only_program_panics() {
+    fn forced_pull_on_push_only_program_is_rejected_at_build_time() {
+        use crate::config::ConfigError;
+        use ascetic_algos::AlgoError;
         use ascetic_graph::datasets::weighted_variant;
         let g = weighted_variant(&uniform_graph(1_000, 8_000, false, 39));
         let cfg = cfg_for(&g).with_direction(DirectionMode::Pull);
-        AsceticSession::new(cfg, &g).run(&Sssp::new(0));
+        // validation rejects the combination with a typed error...
+        let prog = Sssp::new(0);
+        let err = cfg
+            .validate_algo(prog.capabilities(), prog.name())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Algo(AlgoError::PullUnsupported { algo: "SSSP" })
+        );
+        assert!(err.to_string().contains("push-only"), "{err}");
+        // ...and a session handed the invalid config anyway degrades to
+        // push instead of panicking mid-run
+        let r = AsceticSession::new(cfg, &g).run(&prog);
+        assert!(r.per_iter.iter().all(|i| !i.pull));
+        assert_eq!(r.output, run_in_memory(&g, &Sssp::new(0)).output);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! # The one unsafe block
 //!
 //! Handing a borrowed closure to `'static` worker threads requires erasing
-//! its lifetime ([`Job`] stores a raw pointer plus a monomorphized
+//! its lifetime (`Job` stores a raw pointer plus a monomorphized
 //! trampoline). This is sound because the submitting thread **always**
 //! blocks until every participating worker has finished the job — including
 //! when the closure panics on either side — so the closure strictly

@@ -1,55 +1,14 @@
 //! Jobs: what a tenant submits to the serving layer.
+//!
+//! Job kinds are [`Algo`] values straight from the algorithm registry —
+//! the serve layer keeps no private algorithm list. Which kinds are
+//! admissible ([`Algo::servable`]) and which fold into multi-source
+//! batches ([`ascetic_algos::Capabilities::batchable`]) are registry
+//! metadata; inadmissible jobs are rejected per-job at admission with a
+//! reason, never mid-run.
 
+pub use ascetic_algos::Algo;
 use ascetic_graph::VertexId;
-
-/// The algorithms the serving layer accepts. Single-source traversals
-/// ([`AlgoKind::Bfs`], [`AlgoKind::Sssp`]) are batchable; whole-graph
-/// analytics ([`AlgoKind::Cc`], [`AlgoKind::Pr`]) always run alone.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum AlgoKind {
-    /// Breadth-first search from `source`.
-    Bfs,
-    /// Single-source shortest paths from `source` (weighted graph).
-    Sssp,
-    /// Connected components.
-    Cc,
-    /// PageRank.
-    Pr,
-}
-
-impl AlgoKind {
-    /// Parse a trace's `algo` field.
-    pub fn parse(s: &str) -> Option<AlgoKind> {
-        match s {
-            "bfs" => Some(AlgoKind::Bfs),
-            "sssp" => Some(AlgoKind::Sssp),
-            "cc" => Some(AlgoKind::Cc),
-            "pr" => Some(AlgoKind::Pr),
-            _ => None,
-        }
-    }
-
-    /// Display name (matches the trace spelling).
-    pub fn name(self) -> &'static str {
-        match self {
-            AlgoKind::Bfs => "bfs",
-            AlgoKind::Sssp => "sssp",
-            AlgoKind::Cc => "cc",
-            AlgoKind::Pr => "pr",
-        }
-    }
-
-    /// Whether jobs of this kind run on the weighted graph variant.
-    pub fn needs_weights(self) -> bool {
-        self == AlgoKind::Sssp
-    }
-
-    /// Whether this kind takes a source vertex (and is therefore
-    /// batchable with same-kind jobs).
-    pub fn single_source(self) -> bool {
-        matches!(self, AlgoKind::Bfs | AlgoKind::Sssp)
-    }
-}
 
 /// One queued query: an algorithm, its parameters and its arrival time on
 /// the serve clock, plus an optional latency deadline.
@@ -58,7 +17,7 @@ pub struct Job {
     /// Caller-chosen identifier (unique within a trace).
     pub id: u32,
     /// Algorithm to run.
-    pub kind: AlgoKind,
+    pub kind: Algo,
     /// Source vertex for single-source kinds (`None` otherwise).
     pub source: Option<VertexId>,
     /// Arrival time on the serve virtual clock, ns.
@@ -73,13 +32,25 @@ mod tests {
 
     #[test]
     fn kind_round_trips_and_classifies() {
-        for k in [AlgoKind::Bfs, AlgoKind::Sssp, AlgoKind::Cc, AlgoKind::Pr] {
-            assert_eq!(AlgoKind::parse(k.name()), Some(k));
+        for k in [
+            Algo::Bfs,
+            Algo::Sssp,
+            Algo::Cc,
+            Algo::Pr,
+            Algo::Lp,
+            Algo::Bc,
+        ] {
+            assert_eq!(k.name().parse::<Algo>().ok(), Some(k));
+            assert!(k.servable());
         }
-        assert_eq!(AlgoKind::parse("pagerank"), None);
-        assert!(AlgoKind::Sssp.needs_weights());
-        assert!(!AlgoKind::Bfs.needs_weights());
-        assert!(AlgoKind::Bfs.single_source() && AlgoKind::Sssp.single_source());
-        assert!(!AlgoKind::Cc.single_source() && !AlgoKind::Pr.single_source());
+        assert!("pagerank".parse::<Algo>().is_err());
+        assert!(Algo::Sssp.weighted());
+        assert!(!Algo::Bfs.weighted());
+        assert!(Algo::Bfs.single_source() && Algo::Sssp.single_source());
+        assert!(!Algo::Cc.single_source() && !Algo::Pr.single_source());
+        assert!(
+            !Algo::MsBfs.servable() && !Algo::Closeness.servable(),
+            "whole-graph sweeps are batch workloads, not queries"
+        );
     }
 }

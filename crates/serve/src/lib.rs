@@ -37,7 +37,7 @@ pub mod report;
 pub mod server;
 pub mod trace;
 
-pub use job::{AlgoKind, Job};
+pub use job::{Algo, Job};
 pub use policy::{Policy, ALL_POLICIES};
 pub use report::{
     output_fingerprint, JobReport, LatencyBreakdown, LatencyPercentiles, RejectedJob, ServeReport,

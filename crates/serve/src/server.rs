@@ -5,10 +5,14 @@
 //! weighted variant, for SSSP). The scheduler keeps at most one live
 //! [`AsceticSession`] — the device model — and decides, job by job:
 //!
-//! 1. **admission** — jobs whose graph variant cannot be prepared on the
-//!    device (vertex arrays don't fit, config invalid for the graph, edge
-//!    budget below two chunks) are rejected up front with the
-//!    [`PrepareError`] text, never run;
+//! 1. **admission** — each job is checked against its program's
+//!    capabilities first (whole-graph sweeps are not servable queries; a
+//!    forced pull direction rejects push-only kinds with the typed
+//!    [`AlgoError`](ascetic_algos::AlgoError) text), then jobs whose graph
+//!    variant cannot be prepared on the device (vertex arrays don't fit,
+//!    config invalid for the graph, edge budget below two chunks) are
+//!    rejected with the [`PrepareError`](ascetic_core::PrepareError) text;
+//!    rejected jobs never run, the rest of the workload still does;
 //! 2. **scheduling** — among arrived jobs, [`Policy`] picks the next one;
 //! 3. **batching** — arrived same-kind single-source jobs are folded into
 //!    the pick (up to [`ServeConfig::max_batch`] lanes) and the whole
@@ -35,14 +39,14 @@
 //! charged as the device-to-device replica instead. One device reproduces
 //! the classic scheduler byte-for-byte.
 
-use ascetic_algos::{AlgoOutput, Bfs, Cc, MsBfsDistances, MsSsspDistances, PageRank, Sssp};
+use ascetic_algos::{AlgoOutput, MsBfsDistances, MsSsspDistances, ProgramOpts};
 use ascetic_core::{AsceticConfig, AsceticSession, AsceticSystem, OutOfCoreSystem, Prepared};
 use ascetic_graph::Csr;
 use ascetic_obs::{Registry, SpanTracer};
 use ascetic_par::Bitmap;
 use ascetic_sim::{Interconnect, InterconnectConfig};
 
-use crate::job::{AlgoKind, Job};
+use crate::job::{Algo, Job};
 use crate::policy::Policy;
 use crate::report::{JobReport, RejectedJob, ServeReport};
 
@@ -137,13 +141,16 @@ enum Variant {
     Weighted,
 }
 
-fn variant_of(kind: AlgoKind) -> Variant {
-    if kind.needs_weights() {
+fn variant_of(kind: Algo) -> Variant {
+    if kind.weighted() {
         Variant::Weighted
     } else {
         Variant::Unweighted
     }
 }
+
+/// Number of registered algorithm kinds the cost model tracks.
+const KINDS: usize = Algo::ALL.len();
 
 /// Per-kind running-mean cost model for SJF: seeded from the graph's edge
 /// volume (a whole-graph sweep costs more on a bigger edge array, PR the
@@ -151,33 +158,43 @@ fn variant_of(kind: AlgoKind) -> Variant {
 /// adjusted per job by the source vertex's degree — the same
 /// degree-is-hotness signal the replacement server ranks chunks by.
 struct CostModel {
-    sum_ns: [u64; 4],
-    runs: [u64; 4],
-    prior: [u64; 4],
+    sum_ns: [u64; KINDS],
+    runs: [u64; KINDS],
+    prior: [u64; KINDS],
 }
 
-fn kind_index(kind: AlgoKind) -> usize {
-    match kind {
-        AlgoKind::Bfs => 0,
-        AlgoKind::Sssp => 1,
-        AlgoKind::Cc => 2,
-        AlgoKind::Pr => 3,
-    }
+fn kind_index(kind: Algo) -> usize {
+    Algo::ALL
+        .iter()
+        .position(|&a| a == kind)
+        .expect("every Algo is registered")
 }
 
 impl CostModel {
     fn new(unweighted: &Csr, weighted: Option<&Csr>) -> CostModel {
         let eb = unweighted.edge_bytes();
         let ebw = weighted.map_or(eb * 2, |g| g.edge_bytes());
+        // relative magnitudes only — SJF ranks, it does not predict.
+        // Index order is Algo::ALL: the paper's four keep their seeds,
+        // the extensions slot in by workload shape (traversal-like cheap,
+        // sweep-like dear).
+        let mut prior = [eb; KINDS];
+        prior[kind_index(Algo::Sssp)] = ebw * 3;
+        prior[kind_index(Algo::Cc)] = eb * 2;
+        prior[kind_index(Algo::Pr)] = eb * 8;
+        prior[kind_index(Algo::KCore)] = eb * 4;
+        prior[kind_index(Algo::MsBfs)] = eb * 6;
+        prior[kind_index(Algo::Closeness)] = eb * 6;
+        prior[kind_index(Algo::Lp)] = eb * 4;
+        prior[kind_index(Algo::Bc)] = eb * 3;
         CostModel {
-            sum_ns: [0; 4],
-            runs: [0; 4],
-            // relative magnitudes only — SJF ranks, it does not predict
-            prior: [eb, ebw * 3, eb * 2, eb * 8],
+            sum_ns: [0; KINDS],
+            runs: [0; KINDS],
+            prior,
         }
     }
 
-    fn observe(&mut self, kind: AlgoKind, run_ns: u64) {
+    fn observe(&mut self, kind: Algo, run_ns: u64) {
         let i = kind_index(kind);
         self.sum_ns[i] += run_ns;
         self.runs[i] += 1;
@@ -212,7 +229,7 @@ pub fn serve<'g>(
     weighted: Option<&'g Csr>,
     jobs: &[Job],
 ) -> Result<ServeReport, ServeError> {
-    if jobs.iter().any(|j| j.kind.needs_weights()) && weighted.is_none() {
+    if jobs.iter().any(|j| j.kind.weighted()) && weighted.is_none() {
         return Err(ServeError::WeightedGraphMissing);
     }
     let max_batch = sc.max_batch.clamp(1, ascetic_algos::MAX_BATCH_LANES);
@@ -234,8 +251,39 @@ pub fn serve<'g>(
         })
         .collect();
 
-    // --- Admission: prepare each variant once; reject what cannot run. ---
+    // --- Admission. ---
+    // Per-job capability checks first: kinds the serve layer does not
+    // accept, and kinds the configuration rules out (forced pull on a
+    // push-only program), are rejected here with a reason — never by a
+    // panic mid-run.
     let mut rejected: Vec<RejectedJob> = Vec::new();
+    let mut admitted: Vec<Job> = Vec::new();
+    for job in jobs {
+        if !job.kind.servable() {
+            rejected.push(RejectedJob {
+                id: job.id,
+                algo: job.kind.name(),
+                reason: format!(
+                    "{} is a whole-graph batch sweep, not a servable query",
+                    job.kind.name()
+                ),
+            });
+            continue;
+        }
+        if let Err(e) = sc
+            .cfg
+            .validate_algo(job.kind.capabilities(), job.kind.display())
+        {
+            rejected.push(RejectedJob {
+                id: job.id,
+                algo: job.kind.name(),
+                reason: e.to_string(),
+            });
+            continue;
+        }
+        admitted.push(*job);
+    }
+    // Then prepare each graph variant once; reject what cannot run.
     let mut pending: Vec<Job> = Vec::new();
     let mut states: [Option<VariantState<'g>>; 2] = [None, None];
     for (vi, g) in [(0, Some(unweighted)), (1, weighted)] {
@@ -250,12 +298,12 @@ pub fn serve<'g>(
                     "edge budget {} B below two {}-byte chunks",
                     prepared.edge_budget_bytes, sc.cfg.chunk_bytes
                 );
-                reject_variant(vi, jobs, &reason, &mut rejected);
+                reject_variant(vi, &admitted, &reason, &mut rejected);
             }
-            Err(e) => reject_variant(vi, jobs, &e.to_string(), &mut rejected),
+            Err(e) => reject_variant(vi, &admitted, &e.to_string(), &mut rejected),
         }
     }
-    for job in jobs {
+    for job in &admitted {
         let vi = variant_of(job.kind) as usize;
         if states[vi].is_some() {
             pending.push(*job);
@@ -333,9 +381,9 @@ pub fn serve<'g>(
         let vi = variant as usize;
         let g = states[vi].as_ref().unwrap().g;
 
-        // fold arrived same-kind single-source jobs into the batch
+        // fold arrived same-kind batchable jobs into the batch
         let mut batch_idx: Vec<usize> = vec![pick];
-        if sc.batching && picked.kind.single_source() {
+        if sc.batching && picked.kind.capabilities().batchable {
             for &i in &arrived_until {
                 if i != pick && pending[i].kind == picked.kind && batch_idx.len() < max_batch {
                     batch_idx.push(i);
@@ -381,12 +429,13 @@ pub fn serve<'g>(
             .filter_map(|&i| pending[i].source)
             .collect();
         let report = match picked.kind {
-            AlgoKind::Bfs if sources.len() > 1 => sess.run(&MsBfsDistances::new(sources.clone())),
-            AlgoKind::Bfs => sess.run(&Bfs::new(sources[0])),
-            AlgoKind::Sssp if sources.len() > 1 => sess.run(&MsSsspDistances::new(sources.clone())),
-            AlgoKind::Sssp => sess.run(&Sssp::new(sources[0])),
-            AlgoKind::Cc => sess.run(&Cc::new()),
-            AlgoKind::Pr => sess.run(&PageRank::new()),
+            // batched single-source traversals run their multi-lane variant
+            Algo::Bfs if sources.len() > 1 => sess.run(&MsBfsDistances::new(sources.clone())),
+            Algo::Sssp if sources.len() > 1 => sess.run(&MsSsspDistances::new(sources.clone())),
+            kind => {
+                let opts = ProgramOpts::from_source(sources.first().copied().unwrap_or(0));
+                sess.run(&kind.program(&opts))
+            }
         };
         cost.observe(picked.kind, report.sim_time_ns);
 
@@ -622,7 +671,7 @@ mod tests {
     fn bfs_job(id: u32, source: u32, submit_ns: u64) -> Job {
         Job {
             id,
-            kind: AlgoKind::Bfs,
+            kind: Algo::Bfs,
             source: Some(source),
             submit_ns,
             deadline_ns: None,
@@ -638,7 +687,7 @@ mod tests {
             bfs_job(1, 7, 0),
             Job {
                 id: 2,
-                kind: AlgoKind::Cc,
+                kind: Algo::Cc,
                 source: None,
                 submit_ns: 0,
                 deadline_ns: None,
@@ -656,7 +705,7 @@ mod tests {
         assert_eq!(rep.makespan_ns, rep.jobs[2].finish_ns);
         // the answers are the engine's answers
         let mut solo = AsceticSession::new(sc.cfg, &g);
-        let d0 = solo.run(&Bfs::new(0)).output;
+        let d0 = solo.run(&ascetic_algos::Bfs::new(0)).output;
         assert_eq!(
             output_fingerprint(&rep.jobs[0].output),
             output_fingerprint(&d0)
@@ -674,14 +723,14 @@ mod tests {
         let mut jobs: Vec<Job> = (0..6).map(|i| bfs_job(i, i * 97, 0)).collect();
         jobs.push(Job {
             id: 6,
-            kind: AlgoKind::Sssp,
+            kind: Algo::Sssp,
             source: Some(3),
             submit_ns: 0,
             deadline_ns: None,
         });
         jobs.push(Job {
             id: 7,
-            kind: AlgoKind::Sssp,
+            kind: Algo::Sssp,
             source: Some(44),
             submit_ns: 0,
             deadline_ns: None,
@@ -758,7 +807,7 @@ mod tests {
             bfs_job(0, 0, 0),
             Job {
                 id: 1,
-                kind: AlgoKind::Sssp,
+                kind: Algo::Sssp,
                 source: Some(5),
                 submit_ns: 0,
                 deadline_ns: None,
@@ -777,20 +826,62 @@ mod tests {
     }
 
     #[test]
+    fn capability_misfits_are_rejected_per_job_at_admission() {
+        let (g, _) = graphs();
+        // Forced pull: LP is push-only, BFS has a pull operator — the LP
+        // job is rejected with the AlgoError text, BFS still runs. A
+        // whole-graph sweep kind is rejected as unservable.
+        let cfg = cfg_for(&g).with_direction(ascetic_core::DirectionMode::Pull);
+        let jobs = [
+            bfs_job(0, 0, 0),
+            Job {
+                id: 1,
+                kind: Algo::Lp,
+                source: None,
+                submit_ns: 0,
+                deadline_ns: None,
+            },
+            Job {
+                id: 2,
+                kind: Algo::MsBfs,
+                source: None,
+                submit_ns: 0,
+                deadline_ns: None,
+            },
+        ];
+        let rep = serve(&ServeConfig::new(cfg, Policy::Fifo), &g, None, &jobs).unwrap();
+        assert_eq!(rep.jobs.len(), 1);
+        assert_eq!(rep.jobs[0].id, 0);
+        assert_eq!(rep.rejected.len(), 2);
+        assert_eq!(rep.rejected[0].id, 1);
+        assert!(
+            rep.rejected[0].reason.contains("push-only"),
+            "reason should carry the pull mismatch: {}",
+            rep.rejected[0].reason
+        );
+        assert_eq!(rep.rejected[1].id, 2);
+        assert!(
+            rep.rejected[1].reason.contains("not a servable query"),
+            "{}",
+            rep.rejected[1].reason
+        );
+    }
+
+    #[test]
     fn deadlines_are_judged_against_finish_time() {
         let (g, _) = graphs();
         let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo);
         let jobs = [
             Job {
                 id: 0,
-                kind: AlgoKind::Bfs,
+                kind: Algo::Bfs,
                 source: Some(0),
                 submit_ns: 0,
                 deadline_ns: Some(1),
             },
             Job {
                 id: 1,
-                kind: AlgoKind::Bfs,
+                kind: Algo::Bfs,
                 source: Some(1),
                 submit_ns: 0,
                 deadline_ns: Some(u64::MAX),
@@ -818,7 +909,7 @@ mod tests {
         let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo);
         let jobs = [Job {
             id: 0,
-            kind: AlgoKind::Sssp,
+            kind: Algo::Sssp,
             source: Some(0),
             submit_ns: 0,
             deadline_ns: None,

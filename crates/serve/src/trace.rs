@@ -15,7 +15,7 @@
 //! variant names the offending field and value so the CLI can print an
 //! actionable message and exit nonzero.
 
-use crate::job::{AlgoKind, Job};
+use crate::job::{Algo, Job};
 
 /// What went wrong on a trace line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,7 +69,14 @@ impl std::fmt::Display for TraceError {
                 write!(f, "field \"{field}\" has invalid value {value}")
             }
             TraceErrorKind::UnknownAlgo(a) => {
-                write!(f, "unknown algo \"{a}\" (expected bfs, sssp, cc or pr)")
+                write!(f, "unknown algo \"{a}\" (expected one of: ")?;
+                for (i, k) in Algo::ALL.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", k.name())?;
+                }
+                write!(f, ")")
             }
             TraceErrorKind::UnexpectedSource(algo) => {
                 write!(
@@ -168,8 +175,10 @@ fn parse_line(line: &str) -> Result<Job, TraceErrorKind> {
             }
             "algo" => {
                 let s = parse_string(f, "algo")?;
-                algo =
-                    Some(AlgoKind::parse(s).ok_or_else(|| TraceErrorKind::UnknownAlgo(s.into()))?);
+                algo = Some(
+                    s.parse::<Algo>()
+                        .map_err(|_| TraceErrorKind::UnknownAlgo(s.into()))?,
+                );
             }
             "source" => {
                 let v = parse_u64(f, "source")?;
@@ -283,13 +292,13 @@ pub fn synthetic_mixed(
     assert!(num_vertices > 0 && burst > 0);
     let mut rng = seed | 1;
     let mut jobs = Vec::with_capacity(n_jobs);
-    const CYCLE: [AlgoKind; 6] = [
-        AlgoKind::Bfs,
-        AlgoKind::Sssp,
-        AlgoKind::Bfs,
-        AlgoKind::Cc,
-        AlgoKind::Sssp,
-        AlgoKind::Pr,
+    const CYCLE: [Algo; 6] = [
+        Algo::Bfs,
+        Algo::Sssp,
+        Algo::Bfs,
+        Algo::Cc,
+        Algo::Sssp,
+        Algo::Pr,
     ];
     for i in 0..n_jobs {
         let kind = CYCLE[i % CYCLE.len()];
@@ -322,7 +331,7 @@ mod tests {
             jobs,
             vec![Job {
                 id: 3,
-                kind: AlgoKind::Sssp,
+                kind: Algo::Sssp,
                 source: Some(7),
                 submit_ns: 100,
                 deadline_ns: Some(5000),
@@ -391,8 +400,8 @@ mod tests {
         let a = synthetic_mixed(36, 1_000, 7, 10_000, 4);
         let b = synthetic_mixed(36, 1_000, 7, 10_000, 4);
         assert_eq!(a, b);
-        assert!(a.iter().any(|j| j.kind == AlgoKind::Sssp));
-        assert!(a.iter().any(|j| j.kind == AlgoKind::Bfs));
+        assert!(a.iter().any(|j| j.kind == Algo::Sssp));
+        assert!(a.iter().any(|j| j.kind == Algo::Bfs));
         assert!(a.iter().any(|j| !j.kind.single_source()));
         // bursts share a submit time
         assert_eq!(a[0].submit_ns, a[3].submit_ns);

@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use ascetic::algos::{AlgoOutput, EdgeSlice, VertexProgram};
+use ascetic::algos::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 use ascetic::core::{AsceticConfig, AsceticSystem, OutOfCoreSystem};
 use ascetic::graph::datasets::weighted_variant;
 use ascetic::graph::generators::{web_graph, WebConfig};
@@ -40,8 +40,8 @@ impl VertexProgram for WidestPath {
         "SSWP"
     }
 
-    fn needs_weights(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::new().with_weights()
     }
 
     fn new_state(&self, g: &Csr) -> WpState {
@@ -59,13 +59,13 @@ impl VertexProgram for WidestPath {
         b
     }
 
-    fn begin_iteration(&self, _iter: u32, active: &Bitmap, state: &WpState) {
+    fn compute(&self, _iter: u32, active: &Bitmap, state: &WpState) {
         for v in active.iter_ones() {
             state.frozen[v].store(state.width[v].load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
-    fn process_vertex(
+    fn advance_push(
         &self,
         src: VertexId,
         edges: EdgeSlice<'_>,

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use ascetic::algos::{Bfs, Cc, Closeness, KCore, MsBfs, PageRank, Sssp};
+use ascetic::algos::{Algo, AlgoError, AnyProgram, ProgramOpts};
 use ascetic::baselines::{AnySystem, PtSystem, SubwaySystem, UvmSystem};
 use ascetic::core::{
     run_fleet, AsceticConfig, AsceticSystem, CompressionMode, DirectionMode, FillPolicy,
@@ -65,7 +65,8 @@ USAGE:
   ascetic generate --kind social|web|rmat|uniform --vertices N --edges M
                    [--seed S] [--undirected] [--weighted] -o FILE
   ascetic info GRAPH
-  ascetic run GRAPH --algo bfs|sssp|cc|pr|kcore|msbfs|closeness [--system ascetic|subway|pt|uvm|memory]
+  ascetic run GRAPH --algo bfs|sssp|cc|pr|kcore|msbfs|closeness|lp|bc
+                   [--system ascetic|subway|pt|uvm|memory]
                    [--mem BYTES | --mem-frac F] [--source V] [--k-param F] [--kcore-k K]
                    [--static-ratio R] [--no-overlap] [--fill front|rear|random|lazy]
                    [--chunk BYTES] [--no-adaptive] [--compression off|always|adaptive]
@@ -84,7 +85,7 @@ USAGE:
                    [--metrics-out FILE.jsonl] [--summary text|json|csv|md]
                    [--pool-metrics] (append host worker-pool telemetry — wall-clock,
                     non-deterministic — as an extra JSONL line / stdout object)
-  ascetic pipeline GRAPH --algos bfs,cc,pr [--mem BYTES | --mem-frac F]
+  ascetic pipeline GRAPH --algos bfs,cc,pr,lp [--mem BYTES | --mem-frac F]
                    (one Ascetic session: the static region is prestored once
                     and reused by every algorithm — paper §4.3)
   ascetic serve GRAPH (--trace FILE.jsonl | --synthetic N [--seed S] [--spacing-ns T])
@@ -320,9 +321,6 @@ fn parse_direction(o: &Opts) -> Result<Option<DirectionMode>, String> {
     }
 }
 
-/// The algorithms with a pull-mode (CSC gather) implementation.
-const PULL_ALGOS: [&str; 3] = ["bfs", "cc", "pr"];
-
 fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> {
     let mut cfg = AsceticConfig::new(dev);
     if let Some(k) = o.parse::<f64>("k-param")? {
@@ -376,10 +374,23 @@ fn ascetic_config(o: &Opts, dev: DeviceConfig) -> Result<AsceticConfig, String> 
     cfg.build().map_err(|e| e.to_string())
 }
 
-fn run_system(o: &Opts, system: &str, g: &Csr, algo: &str) -> Result<RunReport, String> {
-    let dev = device_from(o, g)?;
+/// Instantiate `algo` from the CLI knobs: `--source` roots single-source
+/// programs, `--kcore-k` parameterizes kcore, and multi-source programs
+/// draw their registry-default sample count from the graph.
+fn program_for(o: &Opts, g: &Csr, algo: Algo) -> Result<AnyProgram, String> {
     let source: u32 = o.parse("source")?.unwrap_or(0);
-    let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
+    let k: u32 = o.parse("kcore-k")?.unwrap_or(4);
+    let count = algo.default_source_count();
+    let sources = if count > 0 {
+        sample_sources(g, count)
+    } else {
+        vec![source]
+    };
+    Ok(algo.program(&ProgramOpts { source, sources, k }))
+}
+
+fn run_system(o: &Opts, system: &str, g: &Csr, algo: Algo) -> Result<RunReport, String> {
+    let dev = device_from(o, g)?;
     let tracing = o.has("trace-flag") || o.get("trace").is_some() || o.get("trace-out").is_some();
     // an event log is only worth recording when it will be exported
     let events = o.get("metrics-out").is_some();
@@ -411,32 +422,17 @@ fn run_system(o: &Opts, system: &str, g: &Csr, algo: &str) -> Result<RunReport, 
             .into(),
         other => return Err(format!("unknown --system {other}")),
     };
-    // `sssp` below may auto-weight the graph; the vertex count (what
-    // prepare checks) is unchanged by weighting, and the session ships
-    // weighted payloads raw, so preparing against `g` stays valid.
+    // A weighted program may auto-weight the graph below; the vertex
+    // count (what prepare checks) is unchanged by weighting, and the
+    // session ships weighted payloads raw, so preparing against `g`
+    // stays valid.
     sys.prepare(g).map_err(|e| e.to_string())?;
-    match algo {
-        "bfs" => Ok(sys.run(g, &Bfs::new(source))),
-        "sssp" => {
-            if !g.is_weighted() {
-                let wg = weighted_variant(g);
-                Ok(sys.run(&wg, &Sssp::new(source)))
-            } else {
-                Ok(sys.run(g, &Sssp::new(source)))
-            }
-        }
-        "cc" => Ok(sys.run(g, &Cc::new())),
-        "pr" => Ok(sys.run(g, &PageRank::new())),
-        "kcore" => Ok(sys.run(g, &KCore::new(kk))),
-        "msbfs" => {
-            let sources = sample_sources(g, 64);
-            Ok(sys.run(g, &MsBfs::new(sources)))
-        }
-        "closeness" => {
-            let sources = sample_sources(g, 16);
-            Ok(sys.run(g, &Closeness::new(sources)))
-        }
-        other => Err(format!("unknown --algo {other}")),
+    let prog = program_for(o, g, algo)?;
+    if algo.weighted() && !g.is_weighted() {
+        let wg = weighted_variant(g);
+        Ok(sys.run(&wg, &prog))
+    } else {
+        Ok(sys.run(g, &prog))
     }
 }
 
@@ -569,33 +565,27 @@ fn write_span_trace(trace: &ascetic::obs::Trace, path: &str) -> Result<(), Strin
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
     let spec = o.positional.first().ok_or("missing GRAPH")?;
-    let algo: String = o.require("algo")?;
+    let algo: Algo = o
+        .require::<String>("algo")?
+        .parse()
+        .map_err(|e: ascetic::algos::registry::UnknownAlgo| e.to_string())?;
     let system = o.get("system").unwrap_or("ascetic").to_string();
     // reject a forced pull on a push-only algorithm up front, before any
-    // graph loading, with a clear error instead of a mid-run panic
-    if parse_direction(&o)? == Some(DirectionMode::Pull) && !PULL_ALGOS.contains(&algo.as_str()) {
-        return Err(format!(
-            "--direction pull: {algo} is push-only (pull is implemented for bfs|cc|pr)"
-        ));
+    // graph loading, with the typed registry error instead of a mid-run
+    // panic
+    if parse_direction(&o)? == Some(DirectionMode::Pull) && !algo.pull() {
+        return Err(AlgoError::PullUnsupported {
+            algo: algo.display(),
+        }
+        .to_string());
     }
     let g = load_graph(spec)?;
     if system == "memory" {
-        let source: u32 = o.parse("source")?.unwrap_or(0);
-        let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
-        let res = match algo.as_str() {
-            "bfs" => ascetic::algos::inmemory::run_in_memory(&g, &Bfs::new(source)),
-            "sssp" => {
-                let wg = if g.is_weighted() {
-                    g.clone()
-                } else {
-                    weighted_variant(&g)
-                };
-                ascetic::algos::inmemory::run_in_memory(&wg, &Sssp::new(source))
-            }
-            "cc" => ascetic::algos::inmemory::run_in_memory(&g, &Cc::new()),
-            "pr" => ascetic::algos::inmemory::run_in_memory(&g, &PageRank::new()),
-            "kcore" => ascetic::algos::inmemory::run_in_memory(&g, &KCore::new(kk)),
-            other => return Err(format!("unknown --algo {other}")),
+        let prog = program_for(&o, &g, algo)?;
+        let res = if algo.weighted() && !g.is_weighted() {
+            ascetic::algos::inmemory::run_in_memory(&weighted_variant(&g), &prog)
+        } else {
+            ascetic::algos::inmemory::run_in_memory(&g, &prog)
         };
         println!("system:            memory (oracle)");
         println!("iterations:        {}", res.iterations);
@@ -613,9 +603,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 "--devices {devices} shards the ascetic system; --system {system} is single-device"
             ));
         }
-        return cmd_run_fleet(&o, &g, &algo, devices);
+        return cmd_run_fleet(&o, &g, algo, devices);
     }
-    let rep = run_system(&o, &system, &g, &algo)?;
+    let rep = run_system(&o, &system, &g, algo)?;
     match o.get("summary").unwrap_or("text") {
         "text" => print_report(&rep, &g),
         "json" => println!("{}", rep.summary_json()),
@@ -672,30 +662,18 @@ fn fleet_config(o: &Opts, devices: usize) -> Result<FleetConfig, String> {
 /// an N-device fleet and run with cross-device frontier exchange. The
 /// answer is byte-identical to the single-device run; only the timing
 /// model changes.
-fn cmd_run_fleet(o: &Opts, g: &Csr, algo: &str, devices: usize) -> Result<(), String> {
+fn cmd_run_fleet(o: &Opts, g: &Csr, algo: Algo, devices: usize) -> Result<(), String> {
     let dev = device_from(o, g)?;
     let tracing = o.get("trace-out").is_some();
     let cfg = ascetic_config(o, dev)?.with_tracing(tracing);
     let fleet = fleet_config(o, devices)?;
     let fabric = o.get("fabric").unwrap_or("pcie").to_string();
-    let source: u32 = o.parse("source")?.unwrap_or(0);
-    let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
-    let rep = match algo {
-        "bfs" => run_fleet(cfg, fleet, g, &Bfs::new(source)),
-        "sssp" => {
-            if g.is_weighted() {
-                run_fleet(cfg, fleet, g, &Sssp::new(source))
-            } else {
-                let wg = weighted_variant(g);
-                run_fleet(cfg, fleet, &wg, &Sssp::new(source))
-            }
-        }
-        "cc" => run_fleet(cfg, fleet, g, &Cc::new()),
-        "pr" => run_fleet(cfg, fleet, g, &PageRank::new()),
-        "kcore" => run_fleet(cfg, fleet, g, &KCore::new(kk)),
-        "msbfs" => run_fleet(cfg, fleet, g, &MsBfs::new(sample_sources(g, 64))),
-        "closeness" => run_fleet(cfg, fleet, g, &Closeness::new(sample_sources(g, 16))),
-        other => return Err(format!("unknown --algo {other}")),
+    let prog = program_for(o, g, algo)?;
+    let rep = if algo.weighted() && !g.is_weighted() {
+        let wg = weighted_variant(g);
+        run_fleet(cfg, fleet, &wg, &prog)
+    } else {
+        run_fleet(cfg, fleet, g, &prog)
     };
     print_fleet_report(&rep, &fabric);
     if let Some(path) = o.get("trace-out") {
@@ -713,6 +691,7 @@ fn print_fleet_report(r: &FleetRunReport, fabric: &str) {
         r.devices
     );
     println!("iterations:        {}", r.iterations);
+    println!("output fp:         {:016x}", r.output.fingerprint());
     println!("makespan:          {:>8.2} ms", r.makespan_ns as f64 / 1e6);
     println!(
         "frontier exchange: {:>8.2} MB ({} peer / {} staged transfers, {:.2} MB over the wire)",
@@ -747,8 +726,6 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     }
     let dev = device_from(&o, &g)?;
     let cfg = ascetic_config(&o, dev)?;
-    let source: u32 = o.parse("source")?.unwrap_or(0);
-    let kk: u32 = o.parse("kcore-k")?.unwrap_or(4);
 
     let mut session = AsceticSession::new(cfg, &g);
     println!(
@@ -756,13 +733,17 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         "step", "time", "iters", "steady xfer", "prestore", "static hit"
     );
     for name in algos.split(',') {
-        let rep = match name.trim() {
-            "bfs" => session.run(&Bfs::new(source)),
-            "cc" => session.run(&Cc::new()),
-            "pr" => session.run(&PageRank::new()),
-            "kcore" => session.run(&KCore::new(kk)),
-            other => return Err(format!("unknown pipeline algo '{other}'")),
-        };
+        let algo: Algo = name
+            .trim()
+            .parse()
+            .map_err(|e: ascetic::algos::registry::UnknownAlgo| e.to_string())?;
+        if algo.weighted() {
+            return Err(format!(
+                "pipeline runs unweighted algorithms; '{}' needs edge weights",
+                algo.name()
+            ));
+        }
+        let rep = session.run(&program_for(&o, &g, algo)?);
         let static_edges: u64 = rep.per_iter.iter().map(|i| i.static_edges).sum();
         let total: u64 = rep.per_iter.iter().map(|i| i.active_edges).sum();
         println!(
@@ -814,15 +795,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if jobs.is_empty() {
         return Err("the trace holds no jobs".into());
     }
-    if parse_direction(&o)? == Some(DirectionMode::Pull)
-        && jobs.iter().any(|j| !PULL_ALGOS.contains(&j.kind.name()))
-    {
-        return Err(
-            "--direction pull: the workload holds push-only jobs (pull is implemented for \
-             bfs|cc|pr)"
-                .into(),
-        );
-    }
+    // a forced pull with push-only jobs in the trace is handled per-job
+    // at admission: those jobs come back rejected with the AlgoError text
     let dev = device_from(&o, &g)?;
     let cfg = ascetic_config(&o, dev)?;
     let mut sc = ServeConfig::new(cfg, policy);
@@ -840,7 +814,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let weighted = jobs
         .iter()
-        .any(|j| j.kind.needs_weights())
+        .any(|j| j.kind.weighted())
         .then(|| weighted_variant(&g));
     let rep = serve(&sc, &g, weighted.as_ref(), &jobs).map_err(|e| e.to_string())?;
     match o.get("summary").unwrap_or("text") {
@@ -947,7 +921,16 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
     let spec = o.positional.first().ok_or("missing GRAPH")?;
-    let algo: String = o.require("algo")?;
+    let algo: Algo = o
+        .require::<String>("algo")?
+        .parse()
+        .map_err(|e: ascetic::algos::registry::UnknownAlgo| e.to_string())?;
+    if parse_direction(&o)? == Some(DirectionMode::Pull) && !algo.pull() {
+        return Err(AlgoError::PullUnsupported {
+            algo: algo.display(),
+        }
+        .to_string());
+    }
     let g = load_graph(spec)?;
     println!(
         "{:<8} {:>12} {:>9} {:>14} {:>10} {:>9}",
@@ -956,7 +939,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut base: Option<f64> = None;
     let mut outputs: Vec<RunReport> = Vec::new();
     for system in ["pt", "uvm", "subway", "ascetic"] {
-        let rep = run_system(&o, system, &g, &algo)?;
+        let rep = run_system(&o, system, &g, algo)?;
         let t = rep.seconds();
         let b = *base.get_or_insert(t);
         println!(
