@@ -7,9 +7,10 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use ascetic_graph::{Csr, VertexId, INF_DIST};
+use ascetic_graph::{Csr, GraphPatch, VertexId, INF_DIST};
 use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
 
+use crate::incremental::{forward_closure, in_boundary, RepairPlan};
 use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// BFS from a fixed source.
@@ -47,7 +48,10 @@ impl VertexProgram for Bfs {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities::new().with_pull().with_batchable()
+        Capabilities::new()
+            .with_pull()
+            .with_batchable()
+            .with_incremental()
     }
 
     fn new_state(&self, g: &Csr) -> BfsState {
@@ -142,6 +146,55 @@ impl VertexProgram for Bfs {
             next.set(v as usize);
         }
         in_edges.len() as u64
+    }
+
+    /// Invalidate-then-settle. Deleted tree edges (`dist[v] == dist[u] + 1`)
+    /// root a forward closure over the *old* graph's tight edges — every
+    /// vertex whose only witness paths used a deleted edge lies inside it,
+    /// because each hop of a shortest witness path is tight. Distances in
+    /// the closure reset to `INF`; the settle frontier is the closure's
+    /// surviving in-boundary in the *new* graph plus the sources of
+    /// inserted edges (inserts only ever improve a monotone fixed point).
+    fn repair(
+        &self,
+        g_old: &Csr,
+        g_new: &Csr,
+        csc_new: Option<&Csr>,
+        patch: &GraphPatch,
+        state: &BfsState,
+    ) -> RepairPlan {
+        let dist = |v: VertexId| state.dist[v as usize].load(Ordering::Relaxed);
+        let src = self.source;
+        let roots: Vec<VertexId> = patch
+            .deletes
+            .iter()
+            .filter_map(|&(u, v, _)| {
+                let (du, dv) = (dist(u), dist(v));
+                (v != src && du != INF_DIST && dv != INF_DIST && dv == du + 1).then_some(v)
+            })
+            .collect();
+        let mut seeds = Bitmap::new(g_new.num_vertices());
+        if !roots.is_empty() {
+            let in_a = forward_closure(g_old, roots, |s, t, _| {
+                t != src && dist(s) != INF_DIST && dist(t) == dist(s) + 1
+            });
+            for (v, &a) in in_a.iter().enumerate() {
+                if a {
+                    state.dist[v].store(INF_DIST, Ordering::Relaxed);
+                }
+            }
+            in_boundary(g_new, csc_new, &in_a, |p| {
+                if dist(p) != INF_DIST {
+                    seeds.set(p as usize);
+                }
+            });
+        }
+        for &(u, _, _) in &patch.inserts {
+            if dist(u) != INF_DIST {
+                seeds.set(u as usize);
+            }
+        }
+        RepairPlan::Seeded(seeds)
     }
 }
 

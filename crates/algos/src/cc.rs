@@ -13,9 +13,10 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use ascetic_graph::{Csr, VertexId};
+use ascetic_graph::{Csr, GraphPatch, VertexId};
 use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
 
+use crate::incremental::{forward_closure, in_boundary, RepairPlan};
 use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// Connected components via min-label propagation.
@@ -46,7 +47,10 @@ impl VertexProgram for Cc {
 
     fn capabilities(&self) -> Capabilities {
         // payload: vertex id + component label
-        Capabilities::new().with_pull().with_payload_bytes(8)
+        Capabilities::new()
+            .with_pull()
+            .with_payload_bytes(8)
+            .with_incremental()
     }
 
     fn new_state(&self, g: &Csr) -> CcState {
@@ -133,6 +137,45 @@ impl VertexProgram for Cc {
             next.set(v as usize);
         }
         scanned
+    }
+
+    /// Invalidate-then-settle over labels. A deleted edge whose endpoints
+    /// share a label may have been the only conduit for that label, so the
+    /// forward closure of *label-carrying* edges (`label[s] == label[t]`)
+    /// from the deleted heads is reset to self-labels. Each reset vertex is
+    /// itself a settle seed (its own label must re-propagate — it may be
+    /// the new component minimum), alongside the closure's surviving
+    /// in-boundary and insert sources. Labels are always finite, so no
+    /// reachability guards apply.
+    fn repair(
+        &self,
+        g_old: &Csr,
+        g_new: &Csr,
+        csc_new: Option<&Csr>,
+        patch: &GraphPatch,
+        state: &CcState,
+    ) -> RepairPlan {
+        let label = |v: VertexId| state.label[v as usize].load(Ordering::Relaxed);
+        let roots: Vec<VertexId> = patch
+            .deletes
+            .iter()
+            .filter_map(|&(u, v, _)| (label(u) == label(v)).then_some(v))
+            .collect();
+        let mut seeds = Bitmap::new(g_new.num_vertices());
+        if !roots.is_empty() {
+            let in_a = forward_closure(g_old, roots, |s, t, _| label(s) == label(t));
+            for (v, &a) in in_a.iter().enumerate() {
+                if a {
+                    state.label[v].store(v as u32, Ordering::Relaxed);
+                    seeds.set(v);
+                }
+            }
+            in_boundary(g_new, csc_new, &in_a, |p| seeds.set(p as usize));
+        }
+        for &(u, _, _) in &patch.inserts {
+            seeds.set(u as usize);
+        }
+        RepairPlan::Seeded(seeds)
     }
 }
 

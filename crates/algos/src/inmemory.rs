@@ -12,6 +12,7 @@
 //!    reason about K (the paper's active-fraction parameter, §3.3).
 
 use ascetic_graph::Csr;
+use ascetic_par::Bitmap;
 
 use crate::traits::{AlgoOutput, VertexProgram};
 
@@ -64,7 +65,20 @@ pub fn run_in_memory<P: VertexProgram>(g: &Csr, prog: &P) -> InMemoryResult {
         assert!(g.is_weighted(), "{} requires weights", prog.name());
     }
     let state = prog.new_state(g);
-    let mut active = prog.initial_frontier(g);
+    let active = prog.initial_frontier(g);
+    run_in_memory_from(g, prog, &state, active)
+}
+
+/// Run `prog` over `g` from an existing `state` and starting frontier —
+/// the *settle* half of incremental repair (and the warm re-run of a
+/// [`crate::incremental::RepairPlan::Restart`]). [`run_in_memory`] is this
+/// with a fresh state and the program's initial frontier.
+pub fn run_in_memory_from<P: VertexProgram>(
+    g: &Csr,
+    prog: &P,
+    state: &P::State,
+    mut active: Bitmap,
+) -> InMemoryResult {
     let mut log = Vec::new();
     let mut total_edges = 0u64;
     let mut iter = 0u32;
@@ -72,7 +86,7 @@ pub fn run_in_memory<P: VertexProgram>(g: &Csr, prog: &P) -> InMemoryResult {
 
     while iter < prog.max_iterations() {
         if active.is_all_zero() {
-            match crate::ops::phase_transition(prog, phase, g, &state) {
+            match crate::ops::phase_transition(prog, phase, g, state) {
                 Some(f) => {
                     active = f;
                     phase += 1;
@@ -81,7 +95,7 @@ pub fn run_in_memory<P: VertexProgram>(g: &Csr, prog: &P) -> InMemoryResult {
             }
         }
         let active_vertices = active.count_ones() as u64;
-        let (next, active_edges) = crate::ops::advance_all(prog, g, iter, &active, &state);
+        let (next, active_edges) = crate::ops::advance_all(prog, g, iter, &active, state);
         log.push(IterationLog {
             iteration: iter,
             active_vertices,
@@ -93,7 +107,7 @@ pub fn run_in_memory<P: VertexProgram>(g: &Csr, prog: &P) -> InMemoryResult {
     }
 
     InMemoryResult {
-        output: prog.output(&state),
+        output: prog.output(state),
         iterations: iter,
         log,
         total_edges,

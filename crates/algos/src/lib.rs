@@ -28,6 +28,10 @@
 //! * [`lp`] / [`betweenness`] — label-propagation community detection and
 //!   Brandes betweenness centrality (the first multi-phase program), each a
 //!   ~100-line program on the operator core.
+//! * [`incremental`] — repair plans for streaming mutations: programs that
+//!   declare [`Capabilities::incremental`] patch converged state in place
+//!   after an edge batch and re-run the operators from an affected-vertex
+//!   frontier (the `ascetic-mutate` half that lives with the algorithms).
 //! * [`mod@reference`] — simple sequential oracles (queue BFS, Bellman–Ford,
 //!   union–find, power iteration, Jacobi LP, f64 Brandes) used by tests to
 //!   verify every system.
@@ -39,6 +43,7 @@ pub mod betweenness;
 pub mod bfs;
 pub mod cc;
 pub mod closeness;
+pub mod incremental;
 pub mod inmemory;
 pub mod kcore;
 pub mod lp;
@@ -55,7 +60,8 @@ pub use betweenness::Betweenness;
 pub use bfs::Bfs;
 pub use cc::Cc;
 pub use closeness::Closeness;
-pub use inmemory::{run_in_memory, InMemoryResult, IterationLog};
+pub use incremental::RepairPlan;
+pub use inmemory::{run_in_memory, run_in_memory_from, InMemoryResult, IterationLog};
 pub use kcore::KCore;
 pub use lp::LabelPropagation;
 pub use msbfs::MsBfs;

@@ -23,9 +23,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ascetic_graph::{Csr, VertexId};
+use ascetic_graph::{Csr, GraphPatch, VertexId};
 use ascetic_par::{AtomicBitmap, Bitmap};
 
+use crate::incremental::RepairPlan;
 use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// Fixed-point scale: 2^40 units per 1.0 of rank mass.
@@ -96,7 +97,10 @@ impl VertexProgram for PageRank {
 
     fn capabilities(&self) -> Capabilities {
         // payload: vertex id + accumulated 64-bit fixed-point residual
-        Capabilities::new().with_pull().with_payload_bytes(12)
+        Capabilities::new()
+            .with_pull()
+            .with_payload_bytes(12)
+            .with_incremental()
     }
 
     fn new_state(&self, g: &Csr) -> PrState {
@@ -210,6 +214,28 @@ impl VertexProgram for PageRank {
             }
         }
         in_edges.len() as u64
+    }
+
+    /// Residual-driven re-convergence restarted from fresh residuals.
+    ///
+    /// PR's repair is its own residual formulation: re-seed `(1-d)/n`
+    /// everywhere and let the delta scheme re-converge inside the *warm*
+    /// session — that is where the mutation win lives for PR (no
+    /// re-prestore, resident chunks patched in place, only delta wire
+    /// traffic). Warm-starting the old rank/residual vectors is ruled out
+    /// by the hard oracle: fixed-point accumulation order differs from a
+    /// cold run's, so the result would drift off bit-identity. A restart
+    /// also rebuilds the state's cached out-degrees, which the patch
+    /// changed.
+    fn repair(
+        &self,
+        _g_old: &Csr,
+        _g_new: &Csr,
+        _csc_new: Option<&Csr>,
+        _patch: &GraphPatch,
+        _state: &PrState,
+    ) -> RepairPlan {
+        RepairPlan::Restart
     }
 }
 

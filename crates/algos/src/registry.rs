@@ -13,13 +13,14 @@
 //! baselines) can execute a runtime-chosen algorithm without dynamic
 //! dispatch or per-call generics at the call site.
 
-use ascetic_graph::{Csr, VertexId};
+use ascetic_graph::{Csr, GraphPatch, VertexId};
 use ascetic_par::{AtomicBitmap, Bitmap};
 
 use crate::betweenness::{BcState, Betweenness};
 use crate::bfs::{Bfs, BfsState};
 use crate::cc::{Cc, CcState};
 use crate::closeness::{Closeness, ClosenessState};
+use crate::incremental::RepairPlan;
 use crate::kcore::{KCore, KCoreState};
 use crate::lp::{LabelPropagation, LpState};
 use crate::msbfs::{MsBfs, MsBfsState};
@@ -368,6 +369,17 @@ impl VertexProgram for AnyProgram {
 
     fn max_iterations(&self) -> u32 {
         each!(self, p => p.max_iterations())
+    }
+
+    fn repair(
+        &self,
+        g_old: &Csr,
+        g_new: &Csr,
+        csc_new: Option<&Csr>,
+        patch: &GraphPatch,
+        state: &AnyState,
+    ) -> RepairPlan {
+        each_with_state!(self, state, p, s => p.repair(g_old, g_new, csc_new, patch, s))
     }
 }
 

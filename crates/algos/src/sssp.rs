@@ -6,9 +6,10 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use ascetic_graph::{Csr, VertexId, INF_DIST};
+use ascetic_graph::{Csr, GraphPatch, VertexId, INF_DIST};
 use ascetic_par::{atomic_min_u32, AtomicBitmap, Bitmap};
 
+use crate::incremental::{forward_closure, in_boundary, RepairPlan};
 use crate::traits::{AlgoOutput, Capabilities, EdgeSlice, VertexProgram};
 
 /// SSSP from a fixed source over non-negative `u32` weights.
@@ -46,6 +47,7 @@ impl VertexProgram for Sssp {
             .with_weights()
             .with_batchable()
             .with_payload_bytes(8)
+            .with_incremental()
     }
 
     fn new_state(&self, g: &Csr) -> SsspState {
@@ -101,6 +103,55 @@ impl VertexProgram for Sssp {
                 .map(|d| d.load(Ordering::Relaxed))
                 .collect(),
         )
+    }
+
+    /// The weighted invalidate-then-settle pass ([`crate::bfs::Bfs`]'s,
+    /// with `dist[t] == dist[s] + w` as the tight-edge test). The patch
+    /// records one delete entry per removed parallel edge *with its
+    /// weight*, so only deletes that severed an actual shortest-path
+    /// predecessor root the closure.
+    fn repair(
+        &self,
+        g_old: &Csr,
+        g_new: &Csr,
+        csc_new: Option<&Csr>,
+        patch: &GraphPatch,
+        state: &SsspState,
+    ) -> RepairPlan {
+        let dist = |v: VertexId| state.dist[v as usize].load(Ordering::Relaxed);
+        let src = self.source;
+        let roots: Vec<VertexId> = patch
+            .deletes
+            .iter()
+            .filter_map(|&(u, v, w)| {
+                let (du, dv) = (dist(u), dist(v));
+                let w = w.expect("SSSP runs on weighted graphs");
+                (v != src && du != INF_DIST && dv != INF_DIST && dv == du.saturating_add(w))
+                    .then_some(v)
+            })
+            .collect();
+        let mut seeds = Bitmap::new(g_new.num_vertices());
+        if !roots.is_empty() {
+            let in_a = forward_closure(g_old, roots, |s, t, w| {
+                t != src && dist(s) != INF_DIST && dist(t) == dist(s).saturating_add(w)
+            });
+            for (v, &a) in in_a.iter().enumerate() {
+                if a {
+                    state.dist[v].store(INF_DIST, Ordering::Relaxed);
+                }
+            }
+            in_boundary(g_new, csc_new, &in_a, |p| {
+                if dist(p) != INF_DIST {
+                    seeds.set(p as usize);
+                }
+            });
+        }
+        for &(u, _, _) in &patch.inserts {
+            if dist(u) != INF_DIST {
+                seeds.set(u as usize);
+            }
+        }
+        RepairPlan::Seeded(seeds)
     }
 }
 

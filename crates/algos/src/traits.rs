@@ -37,7 +37,9 @@
 //! per-edge accumulations (PR residual scatter, betweenness path counts)
 //! are exact.
 
-use ascetic_graph::{Csr, VertexId};
+use ascetic_graph::{Csr, GraphPatch, VertexId};
+
+use crate::incremental::RepairPlan;
 use ascetic_par::{AtomicBitmap, Bitmap};
 
 /// A view over the edge payload of one vertex (or a piece of it).
@@ -346,6 +348,12 @@ pub struct Capabilities {
     /// residual). Sized per program so the exchange traffic in fleet
     /// reports reflects the actual protocol, not a one-size guess.
     pub payload_bytes: u64,
+    /// The program implements [`VertexProgram::repair`]: after a graph
+    /// mutation batch its converged state can be patched in place and
+    /// re-run from an affected-vertex frontier instead of recomputed from
+    /// scratch. Programs without the bit get the engine's full-recompute
+    /// fallback (fresh state inside the warm session).
+    pub incremental: bool,
 }
 
 impl Default for Capabilities {
@@ -355,6 +363,7 @@ impl Default for Capabilities {
             pull: false,
             batchable: false,
             payload_bytes: 4, // vertex id only (pure frontier-membership programs)
+            incremental: false,
         }
     }
 }
@@ -387,6 +396,12 @@ impl Capabilities {
     /// Set the per-vertex frontier exchange payload.
     pub fn with_payload_bytes(mut self, bytes: u64) -> Self {
         self.payload_bytes = bytes;
+        self
+    }
+
+    /// Declare an incremental repair implementation.
+    pub fn with_incremental(mut self) -> Self {
+        self.incremental = true;
         self
     }
 }
@@ -539,6 +554,27 @@ pub trait VertexProgram: Sync {
     fn max_iterations(&self) -> u32 {
         10_000
     }
+
+    /// Repair converged state after a mutation batch: adjust `state` in
+    /// place (through the same interior mutability the operators use) and
+    /// return where the engine should re-run the operator core from.
+    /// `g_old` is the pre-patch graph (dependency closures are judged on
+    /// the edges the converged state was computed over), `g_new` /
+    /// `csc_new` the post-patch graph and its transpose (when the session
+    /// maintains a mirror). Only called when [`Capabilities::incremental`]
+    /// is on; the default — never reached through a capability-honoring
+    /// engine — asks for a restart.
+    fn repair(
+        &self,
+        g_old: &Csr,
+        g_new: &Csr,
+        csc_new: Option<&Csr>,
+        patch: &GraphPatch,
+        state: &Self::State,
+    ) -> RepairPlan {
+        let _ = (g_old, g_new, csc_new, patch, state);
+        RepairPlan::Restart
+    }
 }
 
 /// Bytes of vertex-array state a program keeps on the device per vertex —
@@ -622,14 +658,15 @@ mod tests {
     #[test]
     fn capabilities_builder_and_defaults() {
         let d = Capabilities::default();
-        assert!(!d.weights && !d.pull && !d.batchable);
+        assert!(!d.weights && !d.pull && !d.batchable && !d.incremental);
         assert_eq!(d.payload_bytes, 4);
         let c = Capabilities::new()
             .with_weights()
             .with_pull()
             .with_batchable()
-            .with_payload_bytes(12);
-        assert!(c.weights && c.pull && c.batchable);
+            .with_payload_bytes(12)
+            .with_incremental();
+        assert!(c.weights && c.pull && c.batchable && c.incremental);
         assert_eq!(c.payload_bytes, 12);
     }
 

@@ -1,0 +1,308 @@
+//! Incremental recompute lane — streaming mutations vs. full recompute.
+//!
+//! Streams deterministic churn batches through a live Ascetic session
+//! (delta-patch + incremental repair, `ascetic-mutate`) and compares each
+//! batch against the alternative a mutation-oblivious deployment has: tear
+//! the session down and recompute cold on the mutated graph. Three batch
+//! sizes (0.1 %, 1 %, 5 % of the dataset's edges) × the five serve-facing
+//! programs, covering all three repair modes — seeded (BFS/SSSP/CC),
+//! restart (PR) and the full-recompute fallback (LP).
+//!
+//! Acceptance invariants checked here (downgraded to warnings by
+//! `--smoke`):
+//!
+//! * On small batches (≤ 1 % of edges) repair beats the cold recompute on
+//!   both simulated time and wire bytes, for every program.
+//! * At the fallback boundary (LP, no `Capabilities::incremental`) no cell
+//!   is slower than the recompute: the warm session must make the
+//!   fallback at worst free, never a regression.
+//! * Every repaired output is bit-identical to a cold in-memory recompute
+//!   on the mutated graph (hard assert even under `--smoke`).
+//!
+//! Output: markdown on stdout, `incremental.csv` under `$ASCETIC_RESULTS`,
+//! and `BENCH_incremental.json` recording every cell plus the two wins.
+
+use ascetic_bench::fmt::{human_bytes, Table};
+use ascetic_bench::output::emit;
+use ascetic_bench::setup::{bench_program, Env};
+use ascetic_core::{AsceticSession, RepairMode};
+use ascetic_graph::datasets::DatasetId;
+use ascetic_graph::Csr;
+use ascetic_mutate::{materialize, run_with_mutations, synthetic_churn};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ascetic_bench::setup::Algo;
+
+/// The serve-facing programs, one per repair mode class.
+const ALGOS: [Algo; 5] = [Algo::Bfs, Algo::Sssp, Algo::Cc, Algo::Pr, Algo::Lp];
+
+/// Batch sizes as fractions of the dataset's edge count. The first two
+/// are the "small batch" regime the acceptance invariant covers.
+const FRACS: [(f64, &str); 3] = [(0.001, "0.1%"), (0.01, "1%"), (0.05, "5%")];
+
+/// How many consecutive batches each cell streams.
+const BATCHES: usize = 3;
+
+/// One (algo, batch-size) cell: repair-path costs summed over the
+/// streamed batches vs. the cold-recompute costs summed over the same
+/// epochs.
+struct CellOut {
+    algo: Algo,
+    mode: &'static str,
+    frac_label: &'static str,
+    frac: f64,
+    batch_edges: usize,
+    repair_time_ns: u64,
+    repair_wire_bytes: u64,
+    repair_iterations: u64,
+    recompute_time_ns: u64,
+    recompute_wire_bytes: u64,
+}
+
+impl CellOut {
+    fn small_batch(&self) -> bool {
+        self.frac <= 0.01
+    }
+    fn wins_time(&self) -> bool {
+        self.repair_time_ns < self.recompute_time_ns
+    }
+    fn wins_wire(&self) -> bool {
+        self.repair_wire_bytes < self.recompute_wire_bytes
+    }
+}
+
+/// The cold alternative for one epoch: a fresh session over the mutated
+/// graph, prestore re-paid. Returns (time_ns, wire_bytes) including the
+/// prestore on both axes — that is exactly what tearing the session down
+/// costs.
+fn recompute_cost(env: &Env, g: &Csr, prog: &ascetic_algos::AnyProgram) -> (u64, u64) {
+    let mut sess = AsceticSession::new(env.ascetic_cfg(), g);
+    let rep = sess.run(prog);
+    (
+        rep.prestore_ns + rep.sim_time_ns,
+        rep.prestore_wire_bytes + rep.xfer.h2d_wire_bytes,
+    )
+}
+
+fn run_cell(env: &Env, base: &Csr, algo: Algo, frac: f64, frac_label: &'static str) -> CellOut {
+    let batch_edges = ((base.num_edges() as f64 * frac) as usize).max(1);
+    // churn is seeded per (algo, frac) so cells are independent draws
+    let seed = 0x5EED ^ ((algo as u64) << 8) ^ (frac * 1e4) as u64;
+    let batches = synthetic_churn(base, BATCHES, batch_edges, seed);
+    let prog = bench_program(base, algo);
+
+    let run = run_with_mutations(env.ascetic_cfg(), base, &prog, &batches, true)
+        .expect("churn batches are always applicable");
+    assert!(
+        run.all_verified(),
+        "{}: a repaired output diverged from the cold recompute",
+        algo.display()
+    );
+
+    let epochs = materialize(base, &batches).expect("same batches, same result");
+    let mut recompute_time_ns = 0;
+    let mut recompute_wire_bytes = 0;
+    for version in &epochs.versions[1..] {
+        let (t, w) = recompute_cost(env, version, &prog);
+        recompute_time_ns += t;
+        recompute_wire_bytes += w;
+    }
+
+    let mode = match run.batches[0].mode {
+        RepairMode::Seeded => "seeded",
+        RepairMode::Restart => "restart",
+        RepairMode::Fallback => "fallback",
+    };
+    CellOut {
+        algo,
+        mode,
+        frac_label,
+        frac,
+        batch_edges,
+        repair_time_ns: run.batches.iter().map(|b| b.patch_ns + b.repair_ns).sum(),
+        repair_wire_bytes: run
+            .batches
+            .iter()
+            .map(|b| b.patch_wire_bytes + b.repair_wire_bytes)
+            .sum(),
+        repair_iterations: run.batches.iter().map(|b| b.repair_iterations as u64).sum(),
+        recompute_time_ns,
+        recompute_wire_bytes,
+    }
+}
+
+fn json_report(smoke: bool, scale: u64, cells: &[CellOut]) -> String {
+    let mut j = ascetic_bench::output::json_header("incremental", smoke);
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"dataset\": \"fk\",");
+    let _ = writeln!(j, "  \"batches_per_cell\": {BATCHES},");
+    let _ = writeln!(j, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"algo\": \"{}\", \"mode\": \"{}\", \"batch_frac\": {}, \
+             \"batch_edges\": {}, \
+             \"repair\": {{\"time_ns\": {}, \"wire_bytes\": {}, \"iterations\": {}}}, \
+             \"recompute\": {{\"time_ns\": {}, \"wire_bytes\": {}}}, \
+             \"time_speedup_x1000\": {}, \"wire_saved_bytes\": {}}}{}",
+            c.algo.display(),
+            c.mode,
+            c.frac,
+            c.batch_edges,
+            c.repair_time_ns,
+            c.repair_wire_bytes,
+            c.repair_iterations,
+            c.recompute_time_ns,
+            c.recompute_wire_bytes,
+            c.recompute_time_ns * 1000 / c.repair_time_ns.max(1),
+            c.recompute_wire_bytes as i64 - c.repair_wire_bytes as i64,
+            comma
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let small = cells.iter().filter(|c| c.small_batch());
+    let _ = writeln!(j, "  \"totals\": {{");
+    let _ = writeln!(
+        j,
+        "    \"small_batch_repair_wins_time\": {},",
+        small.clone().all(CellOut::wins_time)
+    );
+    let _ = writeln!(
+        j,
+        "    \"small_batch_repair_wins_wire\": {},",
+        small.clone().all(CellOut::wins_wire)
+    );
+    let _ = writeln!(
+        j,
+        "    \"fallback_cells_slower\": {}",
+        cells
+            .iter()
+            .filter(|c| c.mode == "fallback" && !c.wins_time())
+            .count()
+    );
+    let _ = writeln!(j, "  }}");
+    j.push('}');
+    j.push('\n');
+    j
+}
+
+fn output_path() -> PathBuf {
+    match std::env::var("ASCETIC_RESULTS") {
+        Ok(dir) if !dir.is_empty() => {
+            std::fs::create_dir_all(&dir).expect("create $ASCETIC_RESULTS dir");
+            PathBuf::from(dir).join("BENCH_incremental.json")
+        }
+        _ => PathBuf::from("BENCH_incremental.json"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 50_000 } else { Env::from_env().scale };
+    let env = Env::with_scale(scale);
+    eprintln!("Incremental recompute lane (scale 1/{scale}, fk stand-in)");
+
+    let ds = env.dataset(DatasetId::Fk);
+    let mut cells: Vec<CellOut> = Vec::new();
+    for algo in ALGOS {
+        let g = env.graph_for(&ds, algo);
+        eprintln!("algo: {}", algo.display());
+        for (frac, label) in FRACS {
+            cells.push(run_cell(&env, &g, algo, frac, label));
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "Algo",
+        "Mode",
+        "Batch",
+        "Repair",
+        "Recompute",
+        "Speedup",
+        "Repair wire",
+        "Recompute wire",
+    ]);
+    let mut csv = Table::new(vec![
+        "algo",
+        "mode",
+        "batch_frac",
+        "batch_edges",
+        "repair_time_ns",
+        "recompute_time_ns",
+        "repair_wire_bytes",
+        "recompute_wire_bytes",
+        "repair_iterations",
+    ]);
+    for c in &cells {
+        table.row(vec![
+            c.algo.display().to_string(),
+            c.mode.to_string(),
+            c.frac_label.to_string(),
+            format!("{:.2}ms", c.repair_time_ns as f64 / 1e6),
+            format!("{:.2}ms", c.recompute_time_ns as f64 / 1e6),
+            format!(
+                "{:.2}x",
+                c.recompute_time_ns as f64 / c.repair_time_ns.max(1) as f64
+            ),
+            human_bytes(c.repair_wire_bytes),
+            human_bytes(c.recompute_wire_bytes),
+        ]);
+        csv.row(vec![
+            c.algo.display().to_string(),
+            c.mode.to_string(),
+            c.frac.to_string(),
+            c.batch_edges.to_string(),
+            c.repair_time_ns.to_string(),
+            c.recompute_time_ns.to_string(),
+            c.repair_wire_bytes.to_string(),
+            c.recompute_wire_bytes.to_string(),
+            c.repair_iterations.to_string(),
+        ]);
+    }
+    emit("incremental", &table, &csv);
+
+    let json = json_report(smoke, scale, &cells);
+    let path = output_path();
+    std::fs::write(&path, &json).expect("write BENCH_incremental.json");
+    println!("wrote {}", path.display());
+
+    // acceptance: repair wins the small-batch regime on both axes, and
+    // the fallback boundary never regresses below the recompute
+    let mut failures: Vec<String> = Vec::new();
+    for c in &cells {
+        if c.small_batch() && !(c.wins_time() && c.wins_wire()) {
+            failures.push(format!(
+                "{}/{}: repair {} ns / {} B vs recompute {} ns / {} B",
+                c.algo.display(),
+                c.frac_label,
+                c.repair_time_ns,
+                c.repair_wire_bytes,
+                c.recompute_time_ns,
+                c.recompute_wire_bytes
+            ));
+        }
+        if c.mode == "fallback" && !c.wins_time() {
+            failures.push(format!(
+                "{}/{} (fallback): repair {} ns is not under the recompute's {} ns",
+                c.algo.display(),
+                c.frac_label,
+                c.repair_time_ns,
+                c.recompute_time_ns
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        if smoke {
+            for f in &failures {
+                eprintln!("warning: {f}");
+            }
+        } else {
+            panic!(
+                "incremental repair lost where it must win:\n  {}",
+                failures.join("\n  ")
+            );
+        }
+    }
+}

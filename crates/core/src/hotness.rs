@@ -57,6 +57,26 @@ impl HotnessTable {
         self.wire_bytes[chunk as usize] = bytes.min(u32::MAX as u64) as u32;
     }
 
+    /// Resize the table to a patched graph's chunk count. New chunks start
+    /// cold and unmeasured; shrinking drops the tail stats. Access history
+    /// for surviving chunks is kept — chunk boundaries are stable under
+    /// patching (geometry depends only on chunk/edge byte sizes), so a
+    /// surviving chunk still covers the same edge range.
+    pub fn resize(&mut self, num_chunks: usize) {
+        self.counts.resize(num_chunks, 0);
+        self.last_access.resize(num_chunks, 0);
+        self.wire_bytes.resize(num_chunks, 0);
+    }
+
+    /// Drop cached wire sizes for every chunk at or after `first_dirty`:
+    /// a patch changed their payload (or shifted it), so the encoded sizes
+    /// must be re-measured before the compressed path may price them.
+    pub fn invalidate_wire_from(&mut self, first_dirty: ChunkId) {
+        for b in self.wire_bytes.iter_mut().skip(first_dirty as usize) {
+            *b = 0;
+        }
+    }
+
     /// Record that `chunk` was accessed during `iteration` (0-based).
     pub fn record(&mut self, chunk: ChunkId, iteration: u32) {
         self.counts[chunk as usize] = self.counts[chunk as usize].saturating_add(1);

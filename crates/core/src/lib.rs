@@ -37,6 +37,10 @@
 //! * [`fleet`] — multi-device sharded execution: owner-computes over
 //!   edge-balanced shards with cross-device frontier exchange on the
 //!   `ascetic-sim` interconnect, byte-identical to single-device.
+//! * [`repair`] — the incremental repair engine: after a mutation batch is
+//!   delta-patched into the session, re-converge program state from an
+//!   affected-vertex frontier (or a warm restart) instead of recomputing
+//!   cold — bit-identical to a full recompute by construction.
 //! * [`engine`] — the one-shot `OutOfCoreSystem` wrapper and report
 //!   assembly shared with the baselines.
 //! * [`report`] — run reports: time breakdown (Tsr, Tfilling, Ttransfer,
@@ -53,6 +57,7 @@ pub mod ondemand;
 pub mod pool_metrics;
 pub mod prefetch;
 pub mod ratio;
+pub mod repair;
 pub mod report;
 pub mod session;
 pub mod static_region;
@@ -66,9 +71,10 @@ pub use engine::AsceticSystem;
 pub use fleet::{run_fleet, FleetConfig, FleetRunReport};
 pub use pool_metrics::pool_metrics_snapshot;
 pub use prefetch::{PrefetchMode, PrefetchOp};
+pub use repair::{repair_session, RepairMode, RepairOutcome};
 pub use report::{
     utilization_from_trace, Breakdown, IterReport, IterUtilization, RunReport,
     RUN_REPORT_SCHEMA_VERSION,
 };
-pub use session::AsceticSession;
+pub use session::{AsceticSession, PatchApply};
 pub use system::{OutOfCoreSystem, PrepareError, Prepared};

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ascetic_algos::{ops, EdgeSlice, TraversalDirection, VertexProgram};
 use ascetic_graph::chunks::{ChunkGeometry, ChunkId};
 use ascetic_graph::compress::{encode_ranges, EncodeEntry};
-use ascetic_graph::{Csr, GraphChunks, VertexId};
+use ascetic_graph::{Csr, GraphChunks, GraphPatch, VertexId};
 use ascetic_obs::{Event, MetricsSnapshot, DEFAULT_EVENT_CAPACITY};
 use ascetic_par::{parallel_for, AtomicBitmap, Bitmap};
 use ascetic_sim::{DevPtr, Engine, Gpu, KernelStats, SimTime, XferStats};
@@ -57,8 +57,16 @@ pub const ONDEMAND_TRACK: &str = "on-demand pipeline";
 pub const REFRESH_TRACK: &str = "replacement server";
 /// Span-trace track for the cross-iteration prefetch windows.
 pub const PREFETCH_WINDOW_TRACK: &str = "prefetch window";
+/// Span-trace track for mutation batches: delta patching and the repair
+/// re-runs they trigger (its own track — patches land *between* runs, so
+/// they must not nest into the session track's iteration spans).
+pub const MUTATE_TRACK: &str = "mutation";
 /// Category stamped on session-level phase spans.
 const CAT_PHASE: &str = "phase";
+
+/// Wire overhead per refreshed device chunk in the mutation delta stream:
+/// a chunk header naming the slot, valid edge count and patch range.
+const PATCH_CHUNK_HEADER_BYTES: u64 = 32;
 
 /// Widen a `(start, end)` window to include `[start_ns, end_ns]`.
 fn widen(w: &mut Option<(u64, u64)>, start_ns: u64, end_ns: u64) {
@@ -1476,18 +1484,33 @@ impl<'g> AsceticSession<'g> {
     /// drains. Multi-phase programs (betweenness) therefore inherit
     /// prefetch, compression and direction choice with no session changes.
     pub fn run<P: VertexProgram>(&mut self, prog: &P) -> RunReport {
+        let state = prog.new_state(self.g);
+        let active = prog.initial_frontier(self.g);
+        self.run_with_state(prog, &state, active)
+    }
+
+    /// Execute one program from caller-owned `state` and a caller-chosen
+    /// starting frontier — the engine half of incremental repair: the
+    /// repair seeds an affected-vertex frontier into converged state and
+    /// this re-runs the operator core over it to the new fixed point.
+    /// [`AsceticSession::run`] is this with fresh state and the program's
+    /// initial frontier.
+    pub fn run_with_state<P: VertexProgram>(
+        &mut self,
+        prog: &P,
+        state: &P::State,
+        mut active: Bitmap,
+    ) -> RunReport {
         assert_eq!(
             self.g.is_weighted(),
             prog.capabilities().weights,
             "graph weighting must match the program"
         );
         let mut ctx = self.begin_run();
-        let state = prog.new_state(self.g);
-        let mut active = prog.initial_frontier(self.g);
         let mut phase = 0u32;
         while ctx.iter < prog.max_iterations() {
             if active.is_all_zero() {
-                match ops::phase_transition(prog, phase, self.g, &state) {
+                match ops::phase_transition(prog, phase, self.g, state) {
                     Some(f) => {
                         active = f;
                         phase += 1;
@@ -1495,13 +1518,152 @@ impl<'g> AsceticSession<'g> {
                     None => break,
                 }
             }
-            ops::compute(prog, ctx.iter, &active, &state);
+            ops::compute(prog, ctx.iter, &active, state);
             let next = AtomicBitmap::new(self.g.num_vertices());
-            self.step_iteration(prog, &mut ctx, &active, &state, &next);
-            active = ops::filter(prog, next.snapshot(), &state);
+            self.step_iteration(prog, &mut ctx, &active, state, &next);
+            active = ops::filter(prog, next.snapshot(), state);
         }
-        self.finish_run(prog, &state, ctx)
+        self.finish_run(prog, state, ctx)
     }
+
+    /// Re-bind the session to a mutated version of its graph *in place*:
+    /// no arena teardown, no re-prestore. The caller (the `ascetic-mutate`
+    /// driver) owns both graph versions; `g_new` must have the same vertex
+    /// count and weightedness (edge mutations, not schema changes).
+    ///
+    /// What happens on the device, per the delta-shipping model:
+    /// * resident chunks at or after the patch's first dirty edge are
+    ///   rewritten in their slots; chunks past a shrunken edge array are
+    ///   evicted (their slots return to the free pool);
+    /// * the wire cost is the mutation delta — one record per inserted or
+    ///   removed edge plus a header per refreshed chunk — not the refreshed
+    ///   chunks' full payload: the device applies the delta with a
+    ///   compaction kernel over the resident copies;
+    /// * the hotness table keeps its access history (chunk boundaries are
+    ///   stable under patching) but drops cached encoded sizes for dirty
+    ///   chunks; the CSC mirror, when built, is swapped for the patched
+    ///   transpose (`csc_new`, or re-transposed here when absent).
+    pub fn apply_patch(
+        &mut self,
+        g_new: &'g Csr,
+        csc_new: Option<&Csr>,
+        patch: &GraphPatch,
+    ) -> PatchApply {
+        assert_eq!(
+            g_new.num_vertices(),
+            self.g.num_vertices(),
+            "patch must preserve the vertex set"
+        );
+        assert_eq!(
+            g_new.is_weighted(),
+            self.g.is_weighted(),
+            "patch must preserve weightedness"
+        );
+        let start = self.gpu.sync();
+        let new_geo = ChunkGeometry::with_chunk_bytes(g_new, self.cfg.chunk_bytes);
+        let epc = self.geo.edges_per_chunk;
+        let first_dirty_chunk =
+            ((patch.first_dirty_edge / epc) as ChunkId).min(new_geo.num_chunks() as ChunkId);
+        let rp = self
+            .region
+            .patch(&mut self.gpu, g_new, new_geo, first_dirty_chunk);
+        self.hotness.resize(new_geo.num_chunks());
+        self.hotness.invalidate_wire_from(first_dirty_chunk);
+        if self.mirror.is_some() {
+            self.mirror = Some(match csc_new {
+                Some(csc) => GraphChunks {
+                    csr_geo: new_geo,
+                    csc_geo: ChunkGeometry::with_chunk_bytes(csc, self.cfg.chunk_bytes),
+                    csc: csc.clone(),
+                },
+                None => GraphChunks::build(g_new, self.cfg.chunk_bytes),
+            });
+        }
+        self.g = g_new;
+        self.geo = new_geo;
+
+        // Delta shipping: endpoints-and-weight records for every changed
+        // edge, plus a per-refreshed-chunk header. The compaction kernel
+        // re-packs the refreshed chunks' resident edges around the delta.
+        let wire_bytes = patch.delta_edges() * (self.geo.bytes_per_edge as u64 + 4)
+            + rp.refreshed.len() as u64 * PATCH_CHUNK_HEADER_BYTES;
+        let mut end = start;
+        if wire_bytes > 0 {
+            let copy = self.gpu.timeline.schedule_labeled(
+                Engine::Copy,
+                start,
+                self.gpu.config.pcie.transfer_ns(wire_bytes),
+                || format!("mutation delta {wire_bytes}B"),
+            );
+            self.gpu.xfer.h2d_bytes += wire_bytes;
+            self.gpu.xfer.h2d_wire_bytes += wire_bytes;
+            self.gpu.xfer.h2d_ops += 1;
+            let refreshed_edges = rp.bytes / self.geo.bytes_per_edge as u64;
+            if refreshed_edges > 0 {
+                let k = self
+                    .gpu
+                    .kernel_at(refreshed_edges, patch.touched.len() as u64, copy.end);
+                end = k.end;
+            } else {
+                end = copy.end;
+            }
+        }
+        let end = self.gpu.sync().max(end);
+
+        let reg = &mut self.gpu.obs.registry;
+        reg.counter_add("mutate.batches", 1);
+        reg.counter_add("mutate.inserts", patch.inserts.len() as u64);
+        reg.counter_add("mutate.deletes", patch.deletes.len() as u64);
+        reg.counter_add("mutate.wire_bytes", wire_bytes);
+        reg.counter_add("mutate.refreshed_chunks", rp.refreshed.len() as u64);
+        reg.counter_add("mutate.evicted_chunks", rp.evicted.len() as u64);
+        self.mutate_span(start.0, end.0, "mutation patch");
+        PatchApply {
+            wire_bytes,
+            refreshed_chunks: rp.refreshed.len() as u32,
+            evicted_chunks: rp.evicted.len() as u32,
+            patch_ns: end.since(start),
+        }
+    }
+
+    /// The patched transpose the session's pull path would read — what
+    /// [`ascetic_algos::VertexProgram::repair`] wants for its in-boundary
+    /// walk (`None` on push-only sessions: repair falls back to a CSR scan).
+    pub(crate) fn mirror_csc(&self) -> Option<&Csr> {
+        self.mirror.as_ref().map(|m| &m.csc)
+    }
+
+    /// Bump a metrics counter (repair-engine hook; the registry itself is
+    /// session-private).
+    pub(crate) fn obs_counter_add(&mut self, key: &'static str, v: u64) {
+        self.gpu.obs.registry.counter_add(key, v);
+    }
+
+    /// Stamp a `[start_ns, end_ns]` span on the mutation track. Zero-length
+    /// spans (an empty-seed repair) are skipped rather than risk tracer
+    /// ordering errors.
+    pub(crate) fn mutate_span(&mut self, start_ns: u64, end_ns: u64, label: &str) {
+        if end_ns <= start_ns {
+            return;
+        }
+        if let Some(tr) = self.gpu.timeline.tracer_mut() {
+            let t = tr.track(MUTATE_TRACK);
+            tr.complete(t, start_ns, end_ns, label, CAT_PHASE)
+                .expect("mutation spans are sequential");
+        }
+    }
+}
+
+/// What [`AsceticSession::apply_patch`] shipped and touched.
+pub struct PatchApply {
+    /// Bytes the mutation delta put on the link (records + chunk headers).
+    pub wire_bytes: u64,
+    /// Resident chunks rewritten in place.
+    pub refreshed_chunks: u32,
+    /// Resident chunks evicted (edge array shrank past them).
+    pub evicted_chunks: u32,
+    /// Simulated time the patch occupied the device, ns.
+    pub patch_ns: u64,
 }
 
 #[cfg(test)]

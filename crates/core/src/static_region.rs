@@ -25,6 +25,18 @@ use crate::config::FillPolicy;
 /// Sentinel for "chunk not resident".
 const NO_SLOT: u32 = u32::MAX;
 
+/// What [`StaticRegion::patch`] did to reconcile the region with a mutated
+/// graph: which resident chunks were rewritten in place, which fell off the
+/// (shrunken) end of the chunked CSR, and the device bytes rewritten.
+pub struct RegionPatch {
+    /// Resident chunks whose device copy was refreshed in place.
+    pub refreshed: Vec<ChunkId>,
+    /// Chunks evicted because the patched graph has fewer chunks.
+    pub evicted: Vec<ChunkId>,
+    /// Device bytes rewritten (the in-place refresh volume).
+    pub bytes: u64,
+}
+
 /// The static region store.
 pub struct StaticRegion {
     /// Device slab backing all slots.
@@ -321,6 +333,67 @@ impl StaticRegion {
     pub fn resident_chunk_ids(&self) -> Vec<ChunkId> {
         self.chunk_of_slot.iter().flatten().copied().collect()
     }
+
+    /// Reconcile the region with an in-place graph patch, *without*
+    /// tearing the arena down: chunks past the patched graph's end are
+    /// evicted, resident chunks at or after `first_dirty_chunk` have their
+    /// device copies rewritten from `g_new` in their existing slots
+    /// (chunk boundaries are stable — geometry depends only on chunk and
+    /// edge byte sizes, which must not change), and the `StaticBitmap` is
+    /// rebuilt. The caller accounts the returned transfer volume.
+    pub fn patch(
+        &mut self,
+        gpu: &mut Gpu,
+        g_new: &Csr,
+        new_geo: ChunkGeometry,
+        first_dirty_chunk: ChunkId,
+    ) -> RegionPatch {
+        assert_eq!(
+            new_geo.chunk_bytes, self.geo.chunk_bytes,
+            "patch must not change chunk size"
+        );
+        assert_eq!(
+            new_geo.bytes_per_edge, self.geo.bytes_per_edge,
+            "patch must not change edge width"
+        );
+        let new_chunks = new_geo.num_chunks();
+        let mut evicted = Vec::new();
+        for c in new_chunks..self.slot_of_chunk.len() {
+            let slot = self.slot_of_chunk[c];
+            if slot != NO_SLOT {
+                self.chunk_of_slot[slot as usize] = None;
+                evicted.push(c as ChunkId);
+            }
+        }
+        self.slot_of_chunk.resize(new_chunks, NO_SLOT);
+        self.geo = new_geo;
+
+        let mut refreshed = Vec::new();
+        let bytes = with_scratch(|scratch| {
+            let mut staging = scratch.take_u32();
+            let mut bytes = 0u64;
+            for c in (first_dirty_chunk as usize)..new_chunks {
+                let slot = self.slot_of_chunk[c];
+                if slot == NO_SLOT {
+                    continue;
+                }
+                staging.clear();
+                g_new.write_edge_words(self.geo.edge_range(c as ChunkId), &mut staging);
+                let dst = self.slot_ptr(slot as usize).slice(0, staging.len());
+                gpu.mem.write(dst, &staging);
+                bytes += (staging.len() * 4) as u64;
+                refreshed.push(c as ChunkId);
+            }
+            scratch.put_u32(staging);
+            bytes
+        });
+        self.rebuild_vertex_bitmap(g_new);
+        RegionPatch {
+            refreshed,
+            evicted,
+            bytes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +544,51 @@ mod tests {
         // only the zero-degree tail vertex is static
         assert!(sr.is_vertex_static(32));
         assert!(!sr.is_vertex_static(0));
+    }
+
+    #[test]
+    fn patch_refreshes_resident_dirty_chunks_in_place() {
+        let (g, geo, mut gpu) = setup(33, 16); // 32 edges, 8 chunks
+        let mut sr = StaticRegion::new(&mut gpu, &g, geo, 4 * 16);
+        sr.fill(&mut gpu, &g, &[0, 1, 5, 7]);
+        // mutate: vertex 4 now points at 0 instead of 5 (same edge count)
+        let mut b = GraphBuilder::new(33);
+        for v in 0..32u32 {
+            b.add_edge(v, if v == 4 { 0 } else { v + 1 });
+        }
+        let g2 = b.build();
+        let geo2 = ChunkGeometry::with_chunk_bytes(&g2, 16);
+        // edge 4 lives in chunk 1 → first dirty chunk is 1
+        let rp = sr.patch(&mut gpu, &g2, geo2, 1);
+        assert_eq!(rp.refreshed, vec![1, 5, 7], "resident chunks >= 1");
+        assert!(rp.evicted.is_empty());
+        assert_eq!(rp.bytes, 3 * 16);
+        let mut seen = Vec::new();
+        sr.for_each_vertex_slice(&gpu.mem, &g2, 4, |w| seen.extend_from_slice(w));
+        assert_eq!(seen, vec![0], "device copy reflects the patched edge");
+        // clean chunk 0 untouched
+        let mut seen0 = Vec::new();
+        sr.for_each_vertex_slice(&gpu.mem, &g2, 2, |w| seen0.extend_from_slice(w));
+        assert_eq!(seen0, vec![3]);
+    }
+
+    #[test]
+    fn patch_evicts_chunks_past_shrunken_end() {
+        let (g, geo, mut gpu) = setup(33, 16); // 8 chunks
+        let mut sr = StaticRegion::new(&mut gpu, &g, geo, 3 * 16);
+        sr.fill(&mut gpu, &g, &[0, 6, 7]);
+        // drop the last 8 edges → 24 edges, 6 chunks
+        let mut b = GraphBuilder::new(33);
+        for v in 0..24u32 {
+            b.add_edge(v, v + 1);
+        }
+        let g2 = b.build();
+        let geo2 = ChunkGeometry::with_chunk_bytes(&g2, 16);
+        let rp = sr.patch(&mut gpu, &g2, geo2, 6);
+        assert_eq!(rp.evicted, vec![6, 7]);
+        assert!(rp.refreshed.is_empty(), "no resident chunks in 6..6");
+        assert_eq!(sr.resident_chunk_ids(), vec![0]);
+        assert_eq!(sr.free_slots(), 2, "slots of evicted chunks are reusable");
     }
 
     #[test]

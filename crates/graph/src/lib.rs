@@ -16,6 +16,9 @@
 //!   (paper §3.4: "we divide the graph dataset into 16KB chunks").
 //! * [`partition`] — contiguous vertex-range edge partitions for the PT
 //!   baseline (GraphReduce-style).
+//! * [`patch`] — streaming edge mutations: a chunked, slack-padded CSR/CSC
+//!   store supporting in-place insert/delete batches with chunk-split on
+//!   overflow (the `ascetic-mutate` substrate).
 //! * [`compress`] — delta–varint adjacency compression (transfer-volume
 //!   ablation substrate).
 //! * [`stats`] — degree statistics and distribution summaries.
@@ -29,6 +32,7 @@ pub mod datasets;
 pub mod edgelist;
 pub mod generators;
 pub mod partition;
+pub mod patch;
 pub mod stats;
 pub mod transform;
 pub mod types;
@@ -37,4 +41,5 @@ pub use builder::GraphBuilder;
 pub use chunks::{ChunkGeometry, GraphChunks};
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetId};
+pub use patch::{GraphPatch, Mutation, PatchError, PatchableCsr};
 pub use types::{EdgeCount, VertexId, Weight, INF_DIST};

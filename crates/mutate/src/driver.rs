@@ -1,0 +1,244 @@
+//! The mutation driver: pre-materialize graph epochs, patch a live
+//! session through each batch, and repair instead of recomputing.
+//!
+//! The session borrows the graph it runs over, so all epochs are
+//! materialized up front via [`PatchableCsr`] — one [`Csr`] (plus CSC
+//! mirror) per batch boundary — and the session is then walked through
+//! them: `apply_patch` splices each delta into the chunked region and
+//! [`repair_session`] re-converges the program state from the patch's
+//! affected-vertex frontier. The optional verify mode replays every epoch
+//! against the in-memory oracle and records bit-identity per batch — the
+//! hard oracle behind the `mutate-smoke` CI job and the incremental bench
+//! lane.
+
+use ascetic_algos::inmemory::run_in_memory;
+use ascetic_algos::VertexProgram;
+use ascetic_core::{repair_session, AsceticConfig, AsceticSession, RepairMode, RunReport};
+use ascetic_graph::{Csr, GraphPatch, Mutation, PatchError, PatchableCsr};
+
+/// All graph epochs of a mutation stream, materialized up front.
+pub struct Epochs {
+    /// `versions[i]` is the graph after the first `i` batches
+    /// (`versions[0]` is the base graph re-packed through the patch
+    /// store's canonical chunking).
+    pub versions: Vec<Csr>,
+    /// The CSC mirror of each version (same indexing).
+    pub cscs: Vec<Csr>,
+    /// `patches[i]` turned `versions[i]` into `versions[i + 1]`.
+    pub patches: Vec<GraphPatch>,
+}
+
+/// Apply `batches` through a [`PatchableCsr`] and keep every intermediate
+/// epoch. Fails on the first malformed mutation (weight-rule violation or
+/// out-of-range endpoint), identifying the batch by index.
+pub fn materialize(g: &Csr, batches: &[Vec<Mutation>]) -> Result<Epochs, (usize, PatchError)> {
+    let mut store = PatchableCsr::with_defaults(g, true);
+    let mut versions = vec![store.to_csr()];
+    let mut cscs = vec![store.to_csc().expect("mirror requested")];
+    let mut patches = Vec::with_capacity(batches.len());
+    for (i, batch) in batches.iter().enumerate() {
+        patches.push(store.apply(batch).map_err(|e| (i, e))?);
+        versions.push(store.to_csr());
+        cscs.push(store.to_csc().expect("mirror requested"));
+    }
+    Ok(Epochs {
+        versions,
+        cscs,
+        patches,
+    })
+}
+
+/// What one batch cost and how the session recovered from it.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Batch index in the stream.
+    pub index: usize,
+    /// Edges inserted.
+    pub inserts: u64,
+    /// Parallel-edge copies removed.
+    pub deletes: u64,
+    /// Deletes that named no live edge (counted no-ops).
+    pub missing_deletes: u64,
+    /// How [`repair_session`] re-converged.
+    pub mode: RepairMode,
+    /// Seed-frontier size (0 unless [`RepairMode::Seeded`]).
+    pub seed_count: u64,
+    /// Bytes the delta patch put on the wire (splice traffic, not the
+    /// repair run's on-demand transfers).
+    pub patch_wire_bytes: u64,
+    /// Simulated time the in-place splice took, ns.
+    pub patch_ns: u64,
+    /// Resident device chunks rewritten in place by the patch.
+    pub refreshed_chunks: u32,
+    /// Resident device chunks evicted by the patch (graph shrank past
+    /// their range).
+    pub evicted_chunks: u32,
+    /// Simulated time of the repair run, ns (warm session: no prestore).
+    pub repair_ns: u64,
+    /// H2D wire bytes the repair run moved.
+    pub repair_wire_bytes: u64,
+    /// Iterations the repair needed.
+    pub repair_iterations: u32,
+    /// Active edges the repair touched, summed over its iterations.
+    pub repair_active_edges: u64,
+    /// Fingerprint of the program output after this batch.
+    pub fingerprint: u64,
+    /// `Some(true)` iff verify mode ran and the repaired output was
+    /// bit-identical to a cold in-memory recompute on the mutated graph.
+    pub matches_recompute: Option<bool>,
+}
+
+/// A full mutated run: base convergence plus one [`BatchOutcome`] per
+/// batch.
+pub struct MutationRun {
+    /// The initial (pre-mutation) convergence on the base graph.
+    pub base: RunReport,
+    /// Per-batch patch + repair accounting, in stream order.
+    pub batches: Vec<BatchOutcome>,
+}
+
+impl MutationRun {
+    /// Whether every verified batch matched the recompute oracle
+    /// (vacuously true when verify mode was off).
+    pub fn all_verified(&self) -> bool {
+        self.batches
+            .iter()
+            .all(|b| b.matches_recompute.unwrap_or(true))
+    }
+
+    /// Fingerprint of the final output (base fingerprint if no batches).
+    pub fn final_fingerprint(&self) -> u64 {
+        self.batches
+            .last()
+            .map(|b| b.fingerprint)
+            .unwrap_or_else(|| self.base.output.fingerprint())
+    }
+}
+
+/// Run `prog` over `g`, then stream `batches` through the session —
+/// patching the resident chunks in place and repairing the program state
+/// after each batch. With `verify`, every batch's repaired output is
+/// compared bit-identically against a cold in-memory recompute on the
+/// mutated graph ([`BatchOutcome::matches_recompute`]).
+pub fn run_with_mutations<P: VertexProgram>(
+    cfg: AsceticConfig,
+    g: &Csr,
+    prog: &P,
+    batches: &[Vec<Mutation>],
+    verify: bool,
+) -> Result<MutationRun, (usize, PatchError)> {
+    let epochs = materialize(g, batches)?;
+    let mut sess = AsceticSession::new(cfg, &epochs.versions[0]);
+    let mut state = prog.new_state(&epochs.versions[0]);
+    let base = sess.run_with_state(prog, &state, prog.initial_frontier(&epochs.versions[0]));
+    let mut outcomes = Vec::with_capacity(epochs.patches.len());
+    for (i, patch) in epochs.patches.iter().enumerate() {
+        let (g_old, g_new) = (&epochs.versions[i], &epochs.versions[i + 1]);
+        let pa = sess.apply_patch(g_new, Some(&epochs.cscs[i + 1]), patch);
+        let out = repair_session(&mut sess, prog, &mut state, g_old, patch);
+        let matches_recompute =
+            verify.then(|| out.report.output == run_in_memory(g_new, prog).output);
+        outcomes.push(BatchOutcome {
+            index: i,
+            inserts: patch.inserts.len() as u64,
+            deletes: patch.deletes.len() as u64,
+            missing_deletes: patch.missing_deletes,
+            mode: out.mode,
+            seed_count: out.seed_count,
+            patch_wire_bytes: pa.wire_bytes,
+            patch_ns: pa.patch_ns,
+            refreshed_chunks: pa.refreshed_chunks,
+            evicted_chunks: pa.evicted_chunks,
+            repair_ns: out.report.sim_time_ns,
+            repair_wire_bytes: out.report.xfer.h2d_wire_bytes,
+            repair_iterations: out.report.iterations,
+            repair_active_edges: out.report.per_iter.iter().map(|it| it.active_edges).sum(),
+            fingerprint: out.report.output.fingerprint(),
+            matches_recompute,
+        });
+    }
+    Ok(MutationRun {
+        base,
+        batches: outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::synthetic_churn;
+    use ascetic_algos::{Bfs, LabelPropagation, Sssp};
+    use ascetic_graph::datasets::weighted_variant;
+    use ascetic_graph::generators::uniform_graph;
+    use ascetic_sim::DeviceConfig;
+
+    fn cfg_for(g: &Csr) -> AsceticConfig {
+        let dev = DeviceConfig::p100(g.num_vertices() as u64 * 24 + g.edge_bytes() * 2 / 5);
+        AsceticConfig::new(dev).with_chunk_bytes(1024)
+    }
+
+    #[test]
+    fn driver_repairs_and_verifies_every_batch() {
+        let g = uniform_graph(700, 5_000, false, 31);
+        let batches = synthetic_churn(&g, 3, 20, 8);
+        let run = run_with_mutations(cfg_for(&g), &g, &Bfs::new(0), &batches, true).unwrap();
+        assert_eq!(run.batches.len(), 3);
+        assert!(run.all_verified());
+        assert!(run
+            .batches
+            .iter()
+            .all(|b| b.mode == RepairMode::Seeded && b.patch_wire_bytes > 0));
+        assert_eq!(
+            run.final_fingerprint(),
+            run.batches.last().unwrap().fingerprint
+        );
+    }
+
+    #[test]
+    fn driver_handles_weighted_programs() {
+        let g = weighted_variant(&uniform_graph(400, 2_500, false, 33));
+        let batches = synthetic_churn(&g, 2, 15, 12);
+        let run = run_with_mutations(cfg_for(&g), &g, &Sssp::new(0), &batches, true).unwrap();
+        assert!(run.all_verified());
+    }
+
+    #[test]
+    fn driver_falls_back_for_non_incremental_programs() {
+        let g = uniform_graph(300, 2_000, false, 35);
+        let batches = synthetic_churn(&g, 2, 10, 21);
+        let run = run_with_mutations(
+            cfg_for(&g),
+            &g,
+            &LabelPropagation::default(),
+            &batches,
+            true,
+        )
+        .unwrap();
+        assert!(run.all_verified());
+        assert!(run
+            .batches
+            .iter()
+            .all(|b| b.mode == RepairMode::Fallback && b.seed_count == 0));
+    }
+
+    #[test]
+    fn materialize_reports_the_failing_batch() {
+        let g = uniform_graph(50, 200, false, 1);
+        let batches = vec![
+            vec![Mutation::Insert {
+                src: 0,
+                dst: 1,
+                weight: None,
+            }],
+            vec![Mutation::Insert {
+                src: 0,
+                dst: 1,
+                weight: Some(7),
+            }],
+        ];
+        let Err((idx, _)) = materialize(&g, &batches) else {
+            panic!("weighted insert into an unweighted graph must fail");
+        };
+        assert_eq!(idx, 1, "the failure is in the second batch");
+    }
+}

@@ -23,6 +23,11 @@
 //! - **traces** ([`trace`]) — workloads come from a JSONL trace file or
 //!   the deterministic synthetic generator; reports ([`report`]) carry
 //!   per-job outcomes plus serve-level metrics through `ascetic-obs`.
+//! - **streaming mutations** ([`server::serve_mutating`]) — traces may
+//!   interleave edge insert/delete records; when a batch's serve-clock
+//!   instant passes, each device's live session is delta-patched in place
+//!   (resident chunks rewritten, hotness carried) instead of being torn
+//!   down and re-prestored, and later jobs answer over the mutated graph.
 //!
 //! Everything runs on integer virtual time: a (trace, policy, config)
 //! triple produces a byte-identical [`ServeReport`] regardless of host
@@ -42,5 +47,8 @@ pub use policy::{Policy, ALL_POLICIES};
 pub use report::{
     output_fingerprint, JobReport, LatencyBreakdown, LatencyPercentiles, RejectedJob, ServeReport,
 };
-pub use server::{serve, ServeConfig, ServeError};
-pub use trace::{parse_trace, synthetic_mixed, to_jsonl, TraceError, TraceErrorKind};
+pub use server::{serve, serve_mutating, ServeConfig, ServeError};
+pub use trace::{
+    mutating_to_jsonl, parse_trace, parse_trace_mutating, synthetic_mixed, synthetic_mutations,
+    to_jsonl, MutatingTrace, TraceError, TraceErrorKind, TraceMutation,
+};

@@ -146,6 +146,12 @@ pub struct ServeReport {
     pub replications: u32,
     /// Bytes those replications put on the interconnect.
     pub replicated_bytes: u64,
+    /// Mutation batches delta-patched into live sessions (each device
+    /// catches up independently, so one trace batch can count once per
+    /// device that was live when its boundary passed).
+    pub mutations_applied: u32,
+    /// Bytes those patches put on the wire (delta splices, not rebuilds).
+    pub mutation_wire_bytes: u64,
     /// Device arena occupancy at shutdown.
     pub occupancy: ArenaOccupancy,
     /// Serve-layer metric snapshot (queue waits, batch occupancy, ...).
@@ -220,6 +226,8 @@ impl ServeReport {
             ("sessions_built", self.sessions_built as u64),
             ("replications", self.replications as u64),
             ("replicated_bytes", self.replicated_bytes),
+            ("mutations_applied", self.mutations_applied as u64),
+            ("mutation_wire_bytes", self.mutation_wire_bytes),
             ("batch_occupancy_x100", self.batch_occupancy_x100()),
         ] {
             out.push(',');
@@ -345,7 +353,8 @@ impl ServeReport {
         let lb = self.latency_breakdown();
         format!(
             "serve[{}]: {} devices, {} jobs ({} batched in {} batches, {} rejected), \
-             {} sessions ({} replicated), makespan {} ns, queue wait {} ns, \
+             {} sessions ({} replicated), {} mutation batches ({} B spliced), \
+             makespan {} ns, queue wait {} ns, \
              on-demand H2D {} B, prestore {} B, residency hits {} B\n\
              latency p50/p90/p99 ns: total {}/{}/{}, queue {}/{}/{}, \
              admission {}/{}/{}, h2d {}/{}/{}, compute {}/{}/{}",
@@ -357,6 +366,8 @@ impl ServeReport {
             self.rejected.len(),
             self.sessions_built,
             self.replications,
+            self.mutations_applied,
+            self.mutation_wire_bytes,
             self.makespan_ns,
             self.total_queue_wait_ns,
             self.ondemand_h2d_bytes,

@@ -41,7 +41,7 @@
 
 use ascetic_algos::{AlgoOutput, MsBfsDistances, MsSsspDistances, ProgramOpts};
 use ascetic_core::{AsceticConfig, AsceticSession, AsceticSystem, OutOfCoreSystem, Prepared};
-use ascetic_graph::Csr;
+use ascetic_graph::{Csr, GraphPatch, Mutation, PatchError, PatchableCsr};
 use ascetic_obs::{Registry, SpanTracer};
 use ascetic_par::Bitmap;
 use ascetic_sim::{Interconnect, InterconnectConfig};
@@ -49,6 +49,7 @@ use ascetic_sim::{Interconnect, InterconnectConfig};
 use crate::job::{Algo, Job};
 use crate::policy::Policy;
 use crate::report::{JobReport, RejectedJob, ServeReport};
+use crate::trace::TraceMutation;
 
 /// Serving-layer configuration on top of the device config.
 #[derive(Clone, Copy, Debug)]
@@ -109,6 +110,9 @@ struct Device<'g> {
     free_ns: u64,
     /// The device's live session, if any.
     session: Option<(Variant, AsceticSession<'g>)>,
+    /// How many mutation batches the live session's graph includes (its
+    /// graph is `versions[epoch]` of the session's variant).
+    epoch: usize,
 }
 
 /// Why a serve call could not start at all (per-job problems become
@@ -117,6 +121,14 @@ struct Device<'g> {
 pub enum ServeError {
     /// The trace holds weighted jobs but no weighted graph was supplied.
     WeightedGraphMissing,
+    /// A mutation batch could not be applied to a graph variant.
+    Mutation {
+        /// 0-based batch index in the schedule (batches are `at_ns`
+        /// groups, in time order).
+        batch: usize,
+        /// The patch-store rejection.
+        error: PatchError,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -127,6 +139,9 @@ impl std::fmt::Display for ServeError {
                     f,
                     "trace contains sssp jobs but no weighted graph was provided"
                 )
+            }
+            ServeError::Mutation { batch, error } => {
+                write!(f, "mutation batch {batch}: {error}")
             }
         }
     }
@@ -213,10 +228,97 @@ impl CostModel {
     }
 }
 
+/// One graph variant's epoch sequence, borrowed: `versions[k]` is the
+/// graph after the first `k` mutation batches; `patches[k]` turned
+/// `versions[k]` into `versions[k + 1]`. A non-mutating serve passes a
+/// single version and no patches.
+#[derive(Clone, Copy)]
+struct EpochSlices<'g> {
+    versions: &'g [Csr],
+    cscs: &'g [Csr],
+    patches: &'g [GraphPatch],
+}
+
+impl<'g> EpochSlices<'g> {
+    fn single(g: &'g Csr) -> EpochSlices<'g> {
+        EpochSlices {
+            versions: std::slice::from_ref(g),
+            cscs: &[],
+            patches: &[],
+        }
+    }
+}
+
+/// Owned epoch storage behind [`serve_mutating`]'s slices.
+struct OwnedEpochs {
+    versions: Vec<Csr>,
+    cscs: Vec<Csr>,
+    patches: Vec<GraphPatch>,
+}
+
+impl OwnedEpochs {
+    fn slices(&self) -> EpochSlices<'_> {
+        EpochSlices {
+            versions: &self.versions,
+            cscs: &self.cscs,
+            patches: &self.patches,
+        }
+    }
+}
+
+/// Normalize a trace mutation's weight for one graph variant: dropped on
+/// the unweighted graph, defaulted to 1 on the weighted one.
+fn normalize_weight(m: Mutation, weighted: bool) -> Mutation {
+    match m {
+        Mutation::Insert { src, dst, weight } => Mutation::Insert {
+            src,
+            dst,
+            weight: weighted.then(|| weight.unwrap_or(1)),
+        },
+        delete => delete,
+    }
+}
+
+/// Run `batches` through a patch store over `g`, keeping every epoch.
+fn materialize_variant(
+    g: &Csr,
+    batches: &[Vec<Mutation>],
+    weighted: bool,
+) -> Result<OwnedEpochs, ServeError> {
+    let mut store = PatchableCsr::with_defaults(g, true);
+    let mut versions = vec![store.to_csr()];
+    let mut cscs = vec![store.to_csc().expect("mirror requested")];
+    let mut patches = Vec::with_capacity(batches.len());
+    for (i, batch) in batches.iter().enumerate() {
+        let normalized: Vec<Mutation> = batch
+            .iter()
+            .map(|&m| normalize_weight(m, weighted))
+            .collect();
+        patches.push(
+            store
+                .apply(&normalized)
+                .map_err(|error| ServeError::Mutation { batch: i, error })?,
+        );
+        versions.push(store.to_csr());
+        cscs.push(store.to_csc().expect("mirror requested"));
+    }
+    Ok(OwnedEpochs {
+        versions,
+        cscs,
+        patches,
+    })
+}
+
 /// State the scheduler carries for one graph variant.
 struct VariantState<'g> {
-    g: &'g Csr,
+    epochs: EpochSlices<'g>,
     prepared: Prepared,
+}
+
+impl<'g> VariantState<'g> {
+    fn at(&self, epoch: usize) -> &'g Csr {
+        &self.epochs.versions[epoch]
+    }
 }
 
 /// Serve `jobs` over `unweighted` (and `weighted`, required iff the trace
@@ -227,6 +329,63 @@ pub fn serve<'g>(
     sc: &ServeConfig,
     unweighted: &'g Csr,
     weighted: Option<&'g Csr>,
+    jobs: &[Job],
+) -> Result<ServeReport, ServeError> {
+    serve_impl(
+        sc,
+        EpochSlices::single(unweighted),
+        weighted.map(EpochSlices::single),
+        &[],
+        jobs,
+    )
+}
+
+/// Like [`serve`], but with a schedule of edge mutations interleaved on
+/// the serve clock. Records sharing an `at_ns` form one atomic batch;
+/// when a device's clock passes a batch boundary its live session is
+/// *delta-patched in place* — resident chunks rewritten, hotness and
+/// residency carried — rather than torn down and re-prestored, and every
+/// job started at or after the boundary answers over the mutated graph.
+/// Both graph variants are mutated in lockstep (insert weights default to
+/// 1 on the weighted variant and are dropped on the unweighted one).
+pub fn serve_mutating(
+    sc: &ServeConfig,
+    unweighted: &Csr,
+    weighted: Option<&Csr>,
+    jobs: &[Job],
+    mutations: &[TraceMutation],
+) -> Result<ServeReport, ServeError> {
+    // Group the schedule into atomic batches by time stamp.
+    let mut sorted: Vec<&TraceMutation> = mutations.iter().collect();
+    sorted.sort_by_key(|m| m.at_ns);
+    let mut boundaries: Vec<u64> = Vec::new();
+    let mut batches: Vec<Vec<Mutation>> = Vec::new();
+    for m in sorted {
+        if boundaries.last() != Some(&m.at_ns) {
+            boundaries.push(m.at_ns);
+            batches.push(Vec::new());
+        }
+        batches.last_mut().expect("just pushed").push(m.mutation);
+    }
+    let un = materialize_variant(unweighted, &batches, false)?;
+    let w = match weighted {
+        Some(g) => Some(materialize_variant(g, &batches, true)?),
+        None => None,
+    };
+    serve_impl(
+        sc,
+        un.slices(),
+        w.as_ref().map(|e| e.slices()),
+        &boundaries,
+        jobs,
+    )
+}
+
+fn serve_impl<'g>(
+    sc: &ServeConfig,
+    unweighted: EpochSlices<'g>,
+    weighted: Option<EpochSlices<'g>>,
+    boundaries: &[u64],
     jobs: &[Job],
 ) -> Result<ServeReport, ServeError> {
     if jobs.iter().any(|j| j.kind.weighted()) && weighted.is_none() {
@@ -283,15 +442,20 @@ pub fn serve<'g>(
         }
         admitted.push(*job);
     }
-    // Then prepare each graph variant once; reject what cannot run.
+    // Then prepare each graph variant once (over its base epoch); reject
+    // what cannot run.
     let mut pending: Vec<Job> = Vec::new();
     let mut states: [Option<VariantState<'g>>; 2] = [None, None];
-    for (vi, g) in [(0, Some(unweighted)), (1, weighted)] {
-        let Some(g) = g else { continue };
+    for (vi, eps) in [(0, Some(unweighted)), (1, weighted)] {
+        let Some(eps) = eps else { continue };
+        let g = &eps.versions[0];
         let sys = AsceticSystem::new(sc.cfg);
         match sys.prepare(g) {
             Ok(prepared) if prepared.edge_budget_bytes >= 2 * sc.cfg.chunk_bytes as u64 => {
-                states[vi] = Some(VariantState { g, prepared });
+                states[vi] = Some(VariantState {
+                    epochs: eps,
+                    prepared,
+                });
             }
             Ok(prepared) => {
                 let reason = format!(
@@ -316,10 +480,11 @@ pub fn serve<'g>(
         .map(|_| Device {
             free_ns: 0,
             session: None,
+            epoch: 0,
         })
         .collect();
     let mut ic = Interconnect::new(sc.interconnect, devices);
-    let mut cost = CostModel::new(unweighted, weighted);
+    let mut cost = CostModel::new(&unweighted.versions[0], weighted.map(|e| &e.versions[0]));
     let mut job_reports: Vec<JobReport> = Vec::new();
     let mut batch_seq = 0u32;
     let mut sessions_built = 0u32;
@@ -330,6 +495,8 @@ pub fn serve<'g>(
     let mut ondemand_h2d_bytes = 0u64;
     let mut prestore_bytes = 0u64;
     let mut residency_hit_bytes = 0u64;
+    let mut mutations_applied = 0u32;
+    let mut mutation_wire_bytes = 0u64;
     let mut makespan_ns = 0u64;
 
     while !pending.is_empty() {
@@ -341,6 +508,9 @@ pub fn serve<'g>(
             .min_by_key(|&i| (devs[i].free_ns, i))
             .expect("at least one device");
         let now = devs[d].free_ns;
+        // Mutation batches whose boundary this decision has passed: the
+        // epoch every estimate, build and run at `now` must see.
+        let cur_epoch = boundaries.iter().take_while(|&&b| b <= now).count();
         let arrived_until = {
             let arrived: Vec<usize> = (0..pending.len())
                 .filter(|&i| pending[i].submit_ns <= now)
@@ -361,7 +531,10 @@ pub fn serve<'g>(
                 .iter()
                 .min_by_key(|&&i| {
                     let j = &pending[i];
-                    let g = states[variant_of(j.kind) as usize].as_ref().unwrap().g;
+                    let g = states[variant_of(j.kind) as usize]
+                        .as_ref()
+                        .unwrap()
+                        .at(cur_epoch);
                     cost.estimate(j, g)
                 })
                 .unwrap(),
@@ -369,7 +542,10 @@ pub fn serve<'g>(
                 .iter()
                 .min_by_key(|&&i| {
                     let j = &pending[i];
-                    let g = states[variant_of(j.kind) as usize].as_ref().unwrap().g;
+                    let g = states[variant_of(j.kind) as usize]
+                        .as_ref()
+                        .unwrap()
+                        .at(cur_epoch);
                     // highest score against the deciding device's session
                     // wins; ties fall back to FIFO order
                     (std::cmp::Reverse(score_affinity(j, g, &devs[d].session)), i)
@@ -379,7 +555,7 @@ pub fn serve<'g>(
         let picked = pending[pick];
         let variant = variant_of(picked.kind);
         let vi = variant as usize;
-        let g = states[vi].as_ref().unwrap().g;
+        let g = states[vi].as_ref().unwrap().at(cur_epoch);
 
         // fold arrived same-kind batchable jobs into the batch
         let mut batch_idx: Vec<usize> = vec![pick];
@@ -393,32 +569,60 @@ pub fn serve<'g>(
         }
 
         // session residency: reuse on a variant match, rebuild otherwise.
-        // A rebuild looks for a warm donor of the same variant on another
-        // device first — replicating its static region device-to-device
-        // can be far cheaper than a fresh host prestore.
+        // A reused session that is behind the mutation schedule is caught
+        // up by splicing each passed batch into its resident chunks —
+        // repaired, not rebuilt. A rebuild looks for a warm donor of the
+        // same variant (at the same epoch) on another device first —
+        // replicating its static region device-to-device can be far
+        // cheaper than a fresh host prestore.
+        let reuse = matches!(&devs[d].session, Some((v, _)) if *v == variant);
+        let mut mutate_ns = 0u64;
         let mut replica_donor: Option<(usize, u64)> = None;
-        match &devs[d].session {
-            Some((v, _)) if *v == variant => {}
-            _ => {
-                replica_donor = devs
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, dev)| {
-                        i != d
-                            && dev
-                                .session
-                                .as_ref()
-                                .is_some_and(|(v, s)| *v == variant && s.runs() > 0)
-                    })
-                    .map(|(i, dev)| (i, dev.session.as_ref().unwrap().1.prestore_wire_bytes()))
-                    .next();
-                // assigning drops the old device state, prestore re-paid
-                let prepared = &states[vi].as_ref().unwrap().prepared;
-                devs[d].session =
-                    Some((variant, AsceticSession::with_prepared(sc.cfg, g, prepared)));
-                sessions_built += 1;
-                reg.counter_add("serve.sessions_built", 1);
+        if reuse {
+            let vs = states[vi].as_ref().unwrap();
+            let dev = &mut devs[d];
+            let sess = &mut dev.session.as_mut().expect("reuse checked").1;
+            while dev.epoch < cur_epoch {
+                let k = dev.epoch;
+                let pa = sess.apply_patch(
+                    &vs.epochs.versions[k + 1],
+                    Some(&vs.epochs.cscs[k + 1]),
+                    &vs.epochs.patches[k],
+                );
+                mutate_ns += pa.patch_ns;
+                mutations_applied += 1;
+                mutation_wire_bytes += pa.wire_bytes;
+                reg.counter_add("serve.mutations_applied", 1);
+                reg.counter_add("serve.mutation_wire_bytes", pa.wire_bytes);
+                dev.epoch += 1;
             }
+        } else {
+            replica_donor = devs
+                .iter()
+                .enumerate()
+                .filter(|&(i, dev)| {
+                    i != d
+                        && dev.epoch == cur_epoch
+                        && dev
+                            .session
+                            .as_ref()
+                            .is_some_and(|(v, s)| *v == variant && s.runs() > 0)
+                })
+                .map(|(i, dev)| (i, dev.session.as_ref().unwrap().1.prestore_wire_bytes()))
+                .next();
+            // assigning drops the old device state, prestore re-paid
+            let vs = states[vi].as_ref().unwrap();
+            let session = if cur_epoch == 0 {
+                AsceticSession::with_prepared(sc.cfg, g, &vs.prepared)
+            } else {
+                // a mid-stream build prestores the current epoch's graph;
+                // the base-epoch geometry cache no longer describes it
+                AsceticSession::new(sc.cfg, g)
+            };
+            devs[d].session = Some((variant, session));
+            devs[d].epoch = cur_epoch;
+            sessions_built += 1;
+            reg.counter_add("serve.sessions_built", 1);
         }
         let sess = &mut devs[d].session.as_mut().unwrap().1;
         let warm = sess.runs() > 0;
@@ -462,8 +666,19 @@ pub fn serve<'g>(
                 }
             }
         }
-        let start = now;
-        let finish = now + service_ns;
+        if mutate_ns > 0 {
+            tracer
+                .complete(
+                    sched_tracks[d],
+                    now,
+                    now + mutate_ns,
+                    &format!("mutate to epoch {cur_epoch}"),
+                    "mutate",
+                )
+                .expect("patches precede the run");
+        }
+        let start = now + mutate_ns;
+        let finish = start + service_ns;
         devs[d].free_ns = finish;
         makespan_ns = makespan_ns.max(finish);
         tracer
@@ -595,6 +810,8 @@ pub fn serve<'g>(
         sessions_built,
         replications,
         replicated_bytes,
+        mutations_applied,
+        mutation_wire_bytes,
         occupancy,
         metrics: reg.snapshot(),
         span_trace: Some(tracer.finish().expect("serve spans are complete")),
@@ -1100,5 +1317,135 @@ mod tests {
             .filter(|s| s.name == "admitted")
             .count();
         assert_eq!(admitted, 3, "every batch member shows the shared prestore");
+    }
+
+    #[test]
+    fn mutating_serve_with_empty_schedule_matches_plain_serve() {
+        let (g, w) = graphs();
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo);
+        let jobs = synthetic_mixed(8, g.num_vertices(), 3, 50_000, 2);
+        let plain = serve(&sc, &g, Some(&w), &jobs).unwrap();
+        let mutating = serve_mutating(&sc, &g, Some(&w), &jobs, &[]).unwrap();
+        assert_eq!(
+            plain.to_json(),
+            mutating.to_json(),
+            "an empty mutation schedule must be a byte-identical no-op"
+        );
+        assert_eq!(mutating.mutations_applied, 0);
+    }
+
+    #[test]
+    fn mutating_serve_patches_the_session_instead_of_rebuilding() {
+        use ascetic_algos::inmemory::run_in_memory;
+        let g = uniform_graph(1_200, 9_000, false, 47);
+        let sc = ServeConfig::new(cfg_for(&g), Policy::Fifo).without_batching();
+        // find a vertex BFS(0) reaches in >= 3 hops (or never), then
+        // insert a 0 -> far shortcut so the answer must visibly change
+        let base_dist = match run_in_memory(&g, &ascetic_algos::Bfs::new(0)).output {
+            AlgoOutput::Distances(d) => d,
+            other => panic!("bfs yields distances, got {other:?}"),
+        };
+        let far = (0..g.num_vertices() as u32)
+            .find(|&v| base_dist[v as usize] > 2)
+            .expect("a 1200-vertex uniform graph has vertices beyond 2 hops");
+        let mutations = [TraceMutation {
+            at_ns: 1,
+            mutation: Mutation::Insert {
+                src: 0,
+                dst: far,
+                weight: None,
+            },
+        }];
+        // job 0 decides at t=0 (epoch 0), job 1 after it (epoch 1)
+        let jobs = [bfs_job(0, 0, 0), bfs_job(1, 0, 1)];
+        let rep = serve_mutating(&sc, &g, None, &jobs, &mutations).unwrap();
+        assert_eq!(
+            rep.sessions_built, 1,
+            "the session is repaired, not rebuilt"
+        );
+        assert_eq!(rep.mutations_applied, 1);
+        assert!(
+            rep.mutation_wire_bytes > 0,
+            "the splice is paid on the wire"
+        );
+        // the answers bracket the mutation: job 0 over the base graph,
+        // job 1 over the patched one — each bit-identical to the oracle
+        let epochs = materialize_variant(&g, &[vec![mutations[0].mutation]], false).unwrap();
+        for (job, version) in rep.jobs.iter().zip(&epochs.versions) {
+            assert_eq!(
+                output_fingerprint(&job.output),
+                output_fingerprint(&run_in_memory(version, &ascetic_algos::Bfs::new(0)).output),
+                "job {} diverged from its epoch's recompute",
+                job.id
+            );
+        }
+        assert_ne!(
+            output_fingerprint(&rep.jobs[0].output),
+            output_fingerprint(&rep.jobs[1].output),
+            "the shortcut must change the distances"
+        );
+        // the scheduler trace shows the splice window
+        let trace = rep.span_trace.as_ref().expect("serve always traces");
+        assert!(
+            trace.spans().iter().any(|s| s.name.starts_with("mutate")),
+            "patching appears on the scheduler track"
+        );
+    }
+
+    #[test]
+    fn mutating_serve_is_deterministic_and_consistent_under_every_policy() {
+        use crate::policy::ALL_POLICIES;
+        use crate::trace::synthetic_mutations;
+        use ascetic_algos::inmemory::run_in_memory;
+        let g = uniform_graph(1_500, 11_000, false, 53);
+        let w = weighted_variant(&g);
+        let jobs = synthetic_mixed(10, g.num_vertices(), 5, 200_000, 2);
+        let mutations = synthetic_mutations(12, g.num_vertices(), 9, 400_000);
+        // reconstruct the batches the server will apply, per variant
+        let mut batches: Vec<Vec<Mutation>> = Vec::new();
+        let mut last_at = None;
+        for m in &mutations {
+            if last_at != Some(m.at_ns) {
+                last_at = Some(m.at_ns);
+                batches.push(Vec::new());
+            }
+            batches.last_mut().unwrap().push(m.mutation);
+        }
+        let un = materialize_variant(&g, &batches, false).unwrap();
+        let we = materialize_variant(&w, &batches, true).unwrap();
+        for policy in ALL_POLICIES {
+            let sc = ServeConfig::new(cfg_for(&g), policy);
+            let a = serve_mutating(&sc, &g, Some(&w), &jobs, &mutations).unwrap();
+            let b = serve_mutating(&sc, &g, Some(&w), &jobs, &mutations).unwrap();
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "{policy:?}: mutating serve must be deterministic"
+            );
+            // every answer is bit-identical to a recompute on *some* whole
+            // epoch — never a half-patched hybrid graph
+            for job in &a.jobs {
+                let algo: Algo = job.algo.parse().expect("job algo is registered");
+                let source = jobs
+                    .iter()
+                    .find(|j| j.id == job.id)
+                    .and_then(|j| j.source)
+                    .unwrap_or(0);
+                let opts = ProgramOpts::from_source(source);
+                let versions = if algo.weighted() {
+                    &we.versions
+                } else {
+                    &un.versions
+                };
+                let matched = versions
+                    .iter()
+                    .any(|v| run_in_memory(v, &algo.program(&opts)).output == job.output);
+                assert!(
+                    matched,
+                    "{policy:?}: job {} matches no epoch's recompute",
+                    job.id
+                );
+            }
+        }
     }
 }

@@ -14,6 +14,22 @@
 //! number, in the same spirit as `ascetic-core`'s `ConfigError`: every
 //! variant names the offending field and value so the CLI can print an
 //! actionable message and exit nonzero.
+//!
+//! A *mutating* trace ([`parse_trace_mutating`]) may interleave edge
+//! mutation records with the jobs:
+//!
+//! ```text
+//! {"mutate": "insert", "src": 1, "dst": 2, "at": 500, "weight": 3}
+//! {"mutate": "delete", "src": 7, "dst": 0, "at": 900}
+//! ```
+//!
+//! `mutate`, `src` and `dst` are required; `at` (serve-clock ns, default
+//! 0) stamps when the mutation lands; `weight` is optional on inserts
+//! (the serving layer weights each graph variant itself) and rejected on
+//! deletes. Records sharing an `at` form one atomic batch. The plain
+//! [`parse_trace`] stays strict and rejects mutation lines.
+
+use ascetic_graph::Mutation;
 
 use crate::job::{Algo, Job};
 
@@ -41,6 +57,17 @@ pub enum TraceErrorKind {
     SourceOutOfRange {
         /// The offending source vertex.
         source: u32,
+        /// Vertices in the graph.
+        num_vertices: usize,
+    },
+    /// `mutate` is neither `insert` nor `delete`.
+    UnknownMutation(String),
+    /// `weight` given on a delete mutation.
+    UnexpectedWeight,
+    /// A mutation endpoint is out of range for the graph being served.
+    EndpointOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
         /// Vertices in the graph.
         num_vertices: usize,
     },
@@ -93,6 +120,25 @@ impl std::fmt::Display for TraceError {
             } => write!(
                 f,
                 "source {source} out of range for a graph with {num_vertices} vertices"
+            ),
+            TraceErrorKind::UnknownMutation(m) => {
+                write!(
+                    f,
+                    "unknown mutate \"{m}\" (expected \"insert\" or \"delete\")"
+                )
+            }
+            TraceErrorKind::UnexpectedWeight => {
+                write!(
+                    f,
+                    "a delete removes every parallel edge and takes no \"weight\""
+                )
+            }
+            TraceErrorKind::EndpointOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for a graph with {num_vertices} vertices"
             ),
         }
     }
@@ -158,13 +204,16 @@ fn parse_string<'a>(f: &Field<'a>, field: &'static str) -> Result<&'a str, Trace
 }
 
 fn parse_line(line: &str) -> Result<Job, TraceErrorKind> {
-    let fields = split_fields(line)?;
+    parse_job_fields(&split_fields(line)?)
+}
+
+fn parse_job_fields(fields: &[Field<'_>]) -> Result<Job, TraceErrorKind> {
     let mut id = None;
     let mut algo = None;
     let mut source = None;
     let mut submit_ns = 0u64;
     let mut deadline_ns = None;
-    for f in &fields {
+    for f in fields {
         match f.key {
             "id" => {
                 let v = parse_u64(f, "id")?;
@@ -242,6 +291,162 @@ pub fn parse_trace(text: &str, num_vertices: Option<usize>) -> Result<Vec<Job>, 
     Ok(jobs)
 }
 
+/// One edge mutation scheduled on the serve clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceMutation {
+    /// Serve-clock instant the mutation lands (records sharing an `at`
+    /// form one atomic batch).
+    pub at_ns: u64,
+    /// The edge insert/delete. Insert weights are optional here: the
+    /// serving layer normalizes them per graph variant (dropped on the
+    /// unweighted graph, defaulted to 1 on the weighted one).
+    pub mutation: Mutation,
+}
+
+/// A parsed mutating trace: the job queue plus the mutation schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutatingTrace {
+    /// Jobs sorted by `(submit_ns, id)` — exactly [`parse_trace`]'s order.
+    pub jobs: Vec<Job>,
+    /// Mutations sorted by `at_ns` (stable: file order breaks ties).
+    pub mutations: Vec<TraceMutation>,
+}
+
+fn parse_mutation_fields(fields: &[Field<'_>]) -> Result<TraceMutation, TraceErrorKind> {
+    let mut op = None;
+    let mut src = None;
+    let mut dst = None;
+    let mut weight = None;
+    let mut at_ns = 0u64;
+    for f in fields {
+        match f.key {
+            "mutate" => op = Some(parse_string(f, "mutate")?),
+            "src" => {
+                let v = parse_u64(f, "src")?;
+                src = Some(u32::try_from(v).map_err(|_| TraceErrorKind::BadValue {
+                    field: "src",
+                    value: f.value.to_string(),
+                })?);
+            }
+            "dst" => {
+                let v = parse_u64(f, "dst")?;
+                dst = Some(u32::try_from(v).map_err(|_| TraceErrorKind::BadValue {
+                    field: "dst",
+                    value: f.value.to_string(),
+                })?);
+            }
+            "weight" => {
+                let v = parse_u64(f, "weight")?;
+                weight = Some(u32::try_from(v).map_err(|_| TraceErrorKind::BadValue {
+                    field: "weight",
+                    value: f.value.to_string(),
+                })?);
+            }
+            "at" => at_ns = parse_u64(f, "at")?,
+            other => {
+                return Err(TraceErrorKind::Syntax(format!("unknown field \"{other}\"")));
+            }
+        }
+    }
+    let op = op.expect("dispatched on the mutate key");
+    let src = src.ok_or(TraceErrorKind::MissingField("src"))?;
+    let dst = dst.ok_or(TraceErrorKind::MissingField("dst"))?;
+    let mutation = match op {
+        "insert" => Mutation::Insert { src, dst, weight },
+        "delete" => {
+            if weight.is_some() {
+                return Err(TraceErrorKind::UnexpectedWeight);
+            }
+            Mutation::Delete { src, dst }
+        }
+        other => return Err(TraceErrorKind::UnknownMutation(other.into())),
+    };
+    Ok(TraceMutation { at_ns, mutation })
+}
+
+/// Parse a JSONL trace that may interleave mutation records with jobs.
+/// Jobs get the exact [`parse_trace`] treatment (duplicate-id rejection,
+/// source bounds, canonical `(submit_ns, id)` order); mutation endpoints
+/// are bounded by `num_vertices` when known and the schedule comes back
+/// sorted by `at_ns` with file order breaking ties.
+pub fn parse_trace_mutating(
+    text: &str,
+    num_vertices: Option<usize>,
+) -> Result<MutatingTrace, TraceError> {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut mutations: Vec<TraceMutation> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let at = |kind| TraceError { line: lineno, kind };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields = split_fields(trimmed).map_err(at)?;
+        if fields.iter().any(|f| f.key == "mutate") {
+            let m = parse_mutation_fields(&fields).map_err(at)?;
+            if let Some(n) = num_vertices {
+                let (src, dst) = match m.mutation {
+                    Mutation::Insert { src, dst, .. } => (src, dst),
+                    Mutation::Delete { src, dst } => (src, dst),
+                };
+                for v in [src, dst] {
+                    if v as usize >= n {
+                        return Err(at(TraceErrorKind::EndpointOutOfRange {
+                            vertex: v,
+                            num_vertices: n,
+                        }));
+                    }
+                }
+            }
+            mutations.push(m);
+            continue;
+        }
+        let job = parse_job_fields(&fields).map_err(at)?;
+        if jobs.iter().any(|j| j.id == job.id) {
+            return Err(at(TraceErrorKind::DuplicateId(job.id)));
+        }
+        if let (Some(n), Some(s)) = (num_vertices, job.source) {
+            if s as usize >= n {
+                return Err(at(TraceErrorKind::SourceOutOfRange {
+                    source: s,
+                    num_vertices: n,
+                }));
+            }
+        }
+        jobs.push(job);
+    }
+    jobs.sort_by_key(|j| (j.submit_ns, j.id));
+    mutations.sort_by_key(|m| m.at_ns);
+    Ok(MutatingTrace { jobs, mutations })
+}
+
+/// Serialize a mutating trace back to JSONL (inverse of
+/// [`parse_trace_mutating`] up to line order, which the parser
+/// canonicalizes anyway).
+pub fn mutating_to_jsonl(jobs: &[Job], mutations: &[TraceMutation]) -> String {
+    let mut out = to_jsonl(jobs);
+    for m in mutations {
+        match m.mutation {
+            Mutation::Insert { src, dst, weight } => {
+                out.push_str(&format!(
+                    "{{\"mutate\": \"insert\", \"src\": {src}, \"dst\": {dst}"
+                ));
+                if let Some(w) = weight {
+                    out.push_str(&format!(", \"weight\": {w}"));
+                }
+            }
+            Mutation::Delete { src, dst } => {
+                out.push_str(&format!(
+                    "{{\"mutate\": \"delete\", \"src\": {src}, \"dst\": {dst}"
+                ));
+            }
+        }
+        out.push_str(&format!(", \"at\": {}}}\n", m.at_ns));
+    }
+    out
+}
+
 /// Serialize jobs back to the JSONL trace format (inverse of
 /// [`parse_trace`]; used by the bench to persist generated traces).
 pub fn to_jsonl(jobs: &[Job]) -> String {
@@ -314,6 +519,39 @@ pub fn synthetic_mixed(
         });
     }
     jobs
+}
+
+/// Generate a deterministic mutation schedule: `n` mutations (roughly
+/// 70% weighted inserts, 30% deletes) in batches of three sharing an
+/// `at_ns`, spaced `spacing_ns` apart. Deletes name random endpoint pairs
+/// — ones that miss every live edge are counted no-ops downstream.
+pub fn synthetic_mutations(
+    n: usize,
+    num_vertices: usize,
+    seed: u64,
+    spacing_ns: u64,
+) -> Vec<TraceMutation> {
+    assert!(num_vertices > 0);
+    let mut rng = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+    (0..n)
+        .map(|i| {
+            let src = (xorshift(&mut rng) % num_vertices as u64) as u32;
+            let dst = (xorshift(&mut rng) % num_vertices as u64) as u32;
+            let mutation = if xorshift(&mut rng) % 10 < 3 {
+                Mutation::Delete { src, dst }
+            } else {
+                Mutation::Insert {
+                    src,
+                    dst,
+                    weight: Some((xorshift(&mut rng) % 9 + 1) as u32),
+                }
+            };
+            TraceMutation {
+                at_ns: (i / 3) as u64 * spacing_ns,
+                mutation,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -393,6 +631,113 @@ mod tests {
         let text = to_jsonl(&jobs);
         let back = parse_trace(&text, Some(100)).unwrap();
         assert_eq!(jobs, back);
+    }
+
+    #[test]
+    fn mutating_trace_interleaves_jobs_and_mutations() {
+        let text = "{\"id\": 1, \"algo\": \"cc\", \"submit_ns\": 50}\n\
+                    {\"mutate\": \"insert\", \"src\": 1, \"dst\": 2, \"at\": 500, \"weight\": 3}\n\
+                    {\"id\": 0, \"algo\": \"bfs\", \"source\": 2}\n\
+                    {\"mutate\": \"delete\", \"src\": 3, \"dst\": 0, \"at\": 100}\n";
+        let t = parse_trace_mutating(text, Some(10)).unwrap();
+        assert_eq!(t.jobs.len(), 2);
+        assert_eq!(t.jobs[0].id, 0, "jobs keep the canonical order");
+        assert_eq!(
+            t.mutations,
+            vec![
+                TraceMutation {
+                    at_ns: 100,
+                    mutation: Mutation::Delete { src: 3, dst: 0 }
+                },
+                TraceMutation {
+                    at_ns: 500,
+                    mutation: Mutation::Insert {
+                        src: 1,
+                        dst: 2,
+                        weight: Some(3)
+                    }
+                },
+            ],
+            "mutations sort by at_ns"
+        );
+    }
+
+    #[test]
+    fn mutating_parser_keeps_the_job_checks() {
+        // duplicate job ids are rejected with the offending line number,
+        // exactly as in the plain parser
+        let dup = "{\"id\": 0, \"algo\": \"cc\"}\n\
+                   {\"mutate\": \"insert\", \"src\": 1, \"dst\": 2, \"at\": 5}\n\
+                   {\"id\": 0, \"algo\": \"pr\"}\n";
+        let err = parse_trace_mutating(dup, None).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.kind, TraceErrorKind::DuplicateId(0));
+
+        let oob = parse_trace_mutating("{\"id\": 0, \"algo\": \"bfs\", \"source\": 9}\n", Some(5))
+            .unwrap_err();
+        assert!(matches!(oob.kind, TraceErrorKind::SourceOutOfRange { .. }));
+    }
+
+    #[test]
+    fn mutation_field_rules_are_enforced() {
+        let bad_op =
+            parse_trace_mutating("{\"mutate\": \"upsert\", \"src\": 0, \"dst\": 1}\n", None)
+                .unwrap_err();
+        assert_eq!(
+            bad_op.kind,
+            TraceErrorKind::UnknownMutation("upsert".into())
+        );
+
+        let missing =
+            parse_trace_mutating("{\"mutate\": \"insert\", \"dst\": 1}\n", None).unwrap_err();
+        assert_eq!(missing.kind, TraceErrorKind::MissingField("src"));
+
+        let weighted_delete = parse_trace_mutating(
+            "{\"mutate\": \"delete\", \"src\": 0, \"dst\": 1, \"weight\": 2}\n",
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(weighted_delete.kind, TraceErrorKind::UnexpectedWeight);
+
+        let oob = parse_trace_mutating(
+            "{\"mutate\": \"insert\", \"src\": 0, \"dst\": 9, \"at\": 1}\n",
+            Some(5),
+        )
+        .unwrap_err();
+        assert_eq!(
+            oob.kind,
+            TraceErrorKind::EndpointOutOfRange {
+                vertex: 9,
+                num_vertices: 5
+            }
+        );
+        assert!(oob.to_string().contains("vertex 9 out of range"));
+    }
+
+    #[test]
+    fn plain_parser_stays_strict_about_mutations() {
+        let err = parse_trace(
+            "{\"mutate\": \"insert\", \"src\": 0, \"dst\": 1, \"at\": 5}\n",
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, TraceErrorKind::Syntax(_)));
+    }
+
+    #[test]
+    fn mutating_jsonl_round_trips() {
+        let jobs = synthetic_mixed(9, 50, 4, 1_000, 3);
+        let muts = synthetic_mutations(7, 50, 8, 2_000);
+        let text = mutating_to_jsonl(&jobs, &muts);
+        let back = parse_trace_mutating(&text, Some(50)).unwrap();
+        assert_eq!(back.jobs, jobs);
+        assert_eq!(back.mutations, muts);
+        assert_eq!(
+            synthetic_mutations(7, 50, 8, 2_000),
+            muts,
+            "generator is deterministic"
+        );
     }
 
     #[test]

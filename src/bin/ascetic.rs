@@ -11,6 +11,11 @@
 //! Graphs are file paths (binary `.beg` from `generate`, or whitespace
 //! `src dst [w]` text) or builtin dataset specs `gs|fk|fs|uk@SCALE`
 //! (stand-ins for the paper's Table 3 datasets at `1/SCALE` size).
+//!
+//! `run --mutations FILE` streams JSONL edge insert/delete batches through
+//! the session after the base run, delta-patching resident chunks and
+//! incrementally repairing the answer after every batch; `--verify` checks
+//! each repaired output bit-identically against a cold recompute.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -85,10 +90,21 @@ USAGE:
                    [--metrics-out FILE.jsonl] [--summary text|json|csv|md]
                    [--pool-metrics] (append host worker-pool telemetry — wall-clock,
                     non-deterministic — as an extra JSONL line / stdout object)
+                   [--mutations FILE.jsonl] [--verify] (stream edge insert/delete
+                    batches through the session after the base run: resident
+                    chunks are delta-patched in place and the answer is
+                    incrementally repaired after every batch; lines are
+                    {{\"op\":\"insert|delete\",\"src\":..,\"dst\":..[,\"weight\":W][,\"batch\":B]}};
+                    --verify recomputes each batch cold and demands bit-identity
+                    — ascetic system, single device only)
   ascetic pipeline GRAPH --algos bfs,cc,pr,lp [--mem BYTES | --mem-frac F]
                    (one Ascetic session: the static region is prestored once
                     and reused by every algorithm — paper §4.3)
   ascetic serve GRAPH (--trace FILE.jsonl | --synthetic N [--seed S] [--spacing-ns T])
+                   [--mutations M] (with --synthetic: interleave M synthetic edge
+                    mutations; trace files may carry their own
+                    {{\"mutate\":\"insert|delete\",\"src\":..,\"dst\":..,\"at\":NS}} lines —
+                    live sessions are delta-patched at each batch's instant)
                    [--policy fifo|sjf|residency] [--no-batching]
                    [--devices N] [--fabric pcie|nvlink] (route jobs across an
                     N-device fleet with static-region replication)
@@ -115,7 +131,7 @@ struct Opts {
     flags: HashMap<String, String>,
 }
 
-const BOOL_FLAGS: [&str; 7] = [
+const BOOL_FLAGS: [&str; 8] = [
     "undirected",
     "weighted",
     "no-overlap",
@@ -123,6 +139,7 @@ const BOOL_FLAGS: [&str; 7] = [
     "quiet",
     "pool-metrics",
     "no-batching",
+    "verify",
 ];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -597,6 +614,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let devices: usize = o.parse("devices")?.unwrap_or(1);
+    if let Some(path) = o.get("mutations") {
+        if system != "ascetic" {
+            return Err(format!(
+                "--mutations patches the ascetic session; --system {system} has none"
+            ));
+        }
+        if devices > 1 {
+            return Err("--mutations runs single-device (drop --devices)".into());
+        }
+        return cmd_run_mutations(&o, &g, algo, path);
+    }
     if devices > 1 {
         if system != "ascetic" {
             return Err(format!(
@@ -645,6 +673,88 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             Some(trace) => write_span_trace(trace, path)?,
             None => eprintln!("note: this system ran without span tracing"),
         }
+    }
+    Ok(())
+}
+
+/// The `--mutations FILE` path of `ascetic run`: converge on the base
+/// graph, then stream the file's insert/delete batches through the live
+/// session — delta-patching resident chunks in place and incrementally
+/// repairing the answer after every batch. `--verify` recomputes each
+/// batch cold in memory and demands bit-identity; any mismatch is a
+/// nonzero exit.
+fn cmd_run_mutations(o: &Opts, g: &Csr, algo: Algo, path: &str) -> Result<(), String> {
+    use ascetic::mutate::{parse_mutations, run_with_mutations};
+    let dev = device_from(o, g)?;
+    let cfg = ascetic_config(o, dev)?;
+    let verify = o.has("verify");
+    let weighted_run = algo.weighted() && !g.is_weighted();
+    let wg = weighted_run.then(|| weighted_variant(g));
+    let run_g = wg.as_ref().unwrap_or(g);
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read mutations {path}: {e}"))?;
+    let batches = parse_mutations(&text, Some(run_g.num_vertices()), Some(run_g.is_weighted()))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if batches.is_empty() {
+        return Err(format!("{path}: the mutation file holds no batches"));
+    }
+    let prog = program_for(o, run_g, algo)?;
+    let run = run_with_mutations(cfg, run_g, &prog, &batches, verify)
+        .map_err(|(i, e)| format!("{path}: batch {i} is not applicable: {e}"))?;
+    println!("system:            Ascetic (streaming mutations)");
+    println!("algorithm:         {}", run.base.algorithm);
+    println!(
+        "base run:          {:>8.2} ms, {} iterations, fp {:016x}",
+        run.base.sim_time_ns as f64 / 1e6,
+        run.base.iterations,
+        run.base.output.fingerprint()
+    );
+    println!(
+        "\n{:>5} {:>6} {:>6} {:<8} {:>7} {:>11} {:>10} {:>6} {:>16} {:>7}",
+        "batch",
+        "+ins",
+        "-del",
+        "mode",
+        "seeds",
+        "patch",
+        "repair",
+        "iters",
+        "fingerprint",
+        "verify"
+    );
+    for b in &run.batches {
+        println!(
+            "{:>5} {:>6} {:>6} {:<8} {:>7} {:>9.2}KB {:>8.2}ms {:>6} {:016x} {:>7}",
+            b.index,
+            b.inserts,
+            b.deletes,
+            format!("{:?}", b.mode).to_lowercase(),
+            b.seed_count,
+            b.patch_wire_bytes as f64 / 1e3,
+            b.repair_ns as f64 / 1e6,
+            b.repair_iterations,
+            b.fingerprint,
+            match b.matches_recompute {
+                Some(true) => "ok",
+                Some(false) => "FAIL",
+                None => "-",
+            }
+        );
+    }
+    let total_patch: u64 = run.batches.iter().map(|b| b.patch_wire_bytes).sum();
+    let total_repair: u64 = run.batches.iter().map(|b| b.repair_ns).sum();
+    println!(
+        "\n{} batches: {:.2} KB spliced, {:.2} ms of repair, final fp {:016x}",
+        run.batches.len(),
+        total_patch as f64 / 1e3,
+        total_repair as f64 / 1e6,
+        run.final_fingerprint()
+    );
+    if verify {
+        if !run.all_verified() {
+            return Err("repaired output diverged from the cold recompute".into());
+        }
+        println!("every repaired output matches its cold recompute ✓");
     }
     Ok(())
 }
@@ -765,7 +875,10 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use ascetic::serve::{parse_trace, serve, synthetic_mixed, Policy, ServeConfig};
+    use ascetic::serve::{
+        parse_trace_mutating, serve_mutating, synthetic_mixed, synthetic_mutations, Policy,
+        ServeConfig, TraceMutation,
+    };
     let o = parse_opts(args)?;
     let spec = o.positional.first().ok_or("missing GRAPH")?;
     let g = load_graph(spec)?;
@@ -780,15 +893,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         None => Policy::ResidencyAffinity,
     };
-    // a trace file, or the deterministic synthetic mixed workload
-    let jobs = if let Some(path) = o.get("trace") {
+    // a trace file (which may interleave mutation records), or the
+    // deterministic synthetic mixed workload
+    let (jobs, mutations): (Vec<_>, Vec<TraceMutation>) = if let Some(path) = o.get("trace") {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
-        parse_trace(&text, Some(g.num_vertices())).map_err(|e| e.to_string())?
+        let t = parse_trace_mutating(&text, Some(g.num_vertices())).map_err(|e| e.to_string())?;
+        (t.jobs, t.mutations)
     } else if let Some(n) = o.parse::<usize>("synthetic")? {
         let seed = o.parse::<u64>("seed")?.unwrap_or(7);
         let spacing = o.parse::<u64>("spacing-ns")?.unwrap_or(0);
-        synthetic_mixed(n, g.num_vertices(), seed, spacing, 1)
+        let jobs = synthetic_mixed(n, g.num_vertices(), seed, spacing, 1);
+        let muts = match o.parse::<usize>("mutations")? {
+            Some(m) => synthetic_mutations(m, g.num_vertices(), seed, spacing.max(1)),
+            None => Vec::new(),
+        };
+        (jobs, muts)
     } else {
         return Err("serve needs --trace FILE or --synthetic N".into());
     };
@@ -816,7 +936,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .iter()
         .any(|j| j.kind.weighted())
         .then(|| weighted_variant(&g));
-    let rep = serve(&sc, &g, weighted.as_ref(), &jobs).map_err(|e| e.to_string())?;
+    let rep =
+        serve_mutating(&sc, &g, weighted.as_ref(), &jobs, &mutations).map_err(|e| e.to_string())?;
     match o.get("summary").unwrap_or("text") {
         "text" => {
             println!("{}", rep.summary_text());

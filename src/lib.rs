@@ -17,6 +17,8 @@
 //! * [`core`] — the Ascetic framework itself (static + on-demand regions).
 //! * [`baselines`] — PT, UVM and Subway comparison systems.
 //! * [`serve`] — multi-query serving: shared-residency scheduling, batching.
+//! * [`mutate`] — streaming graph mutations: JSONL ingest, delta-patching,
+//!   incremental recompute.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -24,6 +26,7 @@ pub use ascetic_algos as algos;
 pub use ascetic_baselines as baselines;
 pub use ascetic_core as core;
 pub use ascetic_graph as graph;
+pub use ascetic_mutate as mutate;
 pub use ascetic_obs as obs;
 pub use ascetic_par as par;
 pub use ascetic_serve as serve;

@@ -285,6 +285,88 @@ fn compare_agrees() {
 }
 
 #[test]
+fn run_with_mutations_repairs_and_verifies() {
+    let muts = tmpfile("muts.jsonl");
+    std::fs::write(
+        &muts,
+        r#"{"op": "insert", "src": 1, "dst": 90, "batch": 0}
+{"op": "insert", "src": 90, "dst": 7, "batch": 0}
+{"op": "delete", "src": 1, "dst": 90, "batch": 1}
+"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["run", "gs@20000", "--algo", "bfs", "--mem-frac", "0.4"])
+        .arg("--mutations")
+        .arg(&muts)
+        .arg("--verify")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("streaming mutations"), "{text}");
+    assert!(
+        text.contains("every repaired output matches its cold recompute"),
+        "{text}"
+    );
+    // two batches, both shown with a verify verdict
+    assert_eq!(text.matches(" ok").count(), 2, "{text}");
+    std::fs::remove_file(&muts).ok();
+}
+
+#[test]
+fn malformed_mutations_fail_with_the_line_number() {
+    let muts = tmpfile("bad-muts.jsonl");
+    std::fs::write(
+        &muts,
+        "{\"op\": \"insert\", \"src\": 1, \"dst\": 2}\n{\"op\": \"sever\", \"src\": 3, \"dst\": 4}\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["run", "gs@20000", "--algo", "bfs", "--mem-frac", "0.4"])
+        .arg("--mutations")
+        .arg(&muts)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutation line 2"), "{err}");
+    assert!(err.contains("unknown op \"sever\""), "{err}");
+    std::fs::remove_file(&muts).ok();
+}
+
+#[test]
+fn serve_applies_trace_mutations_to_live_sessions() {
+    let trace = tmpfile("mutating-trace.jsonl");
+    std::fs::write(
+        &trace,
+        r#"{"id": 0, "algo": "bfs", "source": 3, "submit_ns": 0}
+{"mutate": "insert", "src": 3, "dst": 41, "at": 1}
+{"id": 1, "algo": "bfs", "source": 3, "submit_ns": 2}
+"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["serve", "gs@20000", "--mem-frac", "0.4", "--no-batching"])
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 mutation batches"), "{text}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let out = bin().args(["run", "fk@1000"]).output().unwrap(); // missing --algo
     assert!(!out.status.success());
